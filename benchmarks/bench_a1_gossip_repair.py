@@ -1,0 +1,104 @@
+"""A1 (ablation) -- gossip cadence versus repair convergence.
+
+The paper's durability arithmetic (C7) rests on a short window "to detect
+and repair a segment failure", and its write path tolerates missing writes
+because "the segment chain is used by each storage node to identify records
+that it has not received and fill in these holes by gossiping with other
+storage nodes" (section 2.2).
+
+This ablation sweeps the gossip interval and measures how long a segment
+that missed a burst of writes (down during the burst, then restored) takes
+to converge back to the fleet SCL -- the knob that directly sets C7's
+repair window.  Also measures the baseline-hydration path: a segment so
+far behind that the records it needs are already GC'd from every hot log
+must fetch a materialized baseline instead.
+"""
+
+from repro import AuroraCluster, ClusterConfig
+
+from .conftest import fmt, print_table
+
+
+def convergence_time(gossip_interval_ms, seed=810):
+    config = ClusterConfig(seed=seed)
+    config.node.gossip_interval = gossip_interval_ms
+    cluster = AuroraCluster.build(config)
+    db = cluster.session()
+    cluster.failures.crash_node("pg0-f")
+    for i in range(30):
+        db.write(f"key{i:02d}", i)
+    target_scl = max(cluster.segment_scls(0).values())
+    cluster.failures.restore_node("pg0-f")
+    restored_at = cluster.loop.now
+    lagging = cluster.nodes["pg0-f"].segment
+    for _ in range(100_000):
+        if lagging.scl >= target_scl:
+            return cluster.loop.now - restored_at
+        cluster.run_for(1.0)
+    raise AssertionError("gossip never converged")
+
+
+def test_a1_gossip_interval_sweep(benchmark):
+    def sweep():
+        return {
+            interval: convergence_time(interval)
+            for interval in (5.0, 20.0, 80.0, 320.0)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [fmt(interval, 0), fmt(duration, 1)]
+        for interval, duration in results.items()
+    ]
+    print_table(
+        "A1: time for a restored segment to re-converge via gossip (ms)",
+        ["gossip interval (ms)", "convergence (ms)"],
+        rows,
+    )
+    durations = list(results.values())
+    # Repair time tracks the gossip cadence (monotone, roughly linear).
+    assert durations == sorted(durations)
+    assert durations[-1] > 3 * durations[0]
+
+
+def test_a1_baseline_hydration_when_hot_logs_are_gone(benchmark):
+    """A segment that falls behind every peer's GC horizon cannot catch up
+    record-by-record; it must hydrate a materialized baseline (the
+    mechanism recovery and membership repair share)."""
+
+    def run():
+        config = ClusterConfig(seed=811)
+        config.node.backup_interval = 40.0
+        config.node.gc_interval = 20.0
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        cluster.failures.crash_node("pg0-f")
+        for i in range(40):
+            db.write(f"key{i:02d}", i)
+        cluster.run_for(600)  # coalesce + backup + GC: hot logs drain
+        horizons = [
+            cluster.nodes[f"pg0-{c}"].segment.gc_horizon for c in "abcde"
+        ]
+        assert max(horizons) > cluster.nodes["pg0-f"].segment.scl
+        cluster.failures.restore_node("pg0-f")
+        restored_at = cluster.loop.now
+        lagging = cluster.nodes["pg0-f"].segment
+        target = max(cluster.segment_scls(0).values())
+        while lagging.scl < target:
+            cluster.run_for(5.0)
+            assert cluster.loop.now - restored_at < 30_000
+        return (
+            cluster.loop.now - restored_at,
+            lagging.gc_horizon,
+            lagging.read_block(
+                cluster.writer.root_leaf_block, lagging.scl
+            ) is not None,
+        )
+
+    duration, horizon, readable = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(f"\nbaseline hydration: converged in {duration:.1f} ms, "
+          f"adopted gc_horizon={horizon}, serving reads={readable}")
+    assert readable
+    assert horizon > 0

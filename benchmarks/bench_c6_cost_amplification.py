@@ -1,0 +1,114 @@
+"""C6 -- storage cost amplification: full/tail quorum sets (section 4.2).
+
+"a protection group is composed of three full segments ... and three tail
+segments ...  this yields a cost amplification closer to three copies of
+the data rather than a full six while satisfying our requirement to support
+AZ+1 failures."
+
+Part A: the analytic amplification model across log:block ratios, for six
+full copies versus the 3+3 mix (ablation D5).
+
+Part B: empirical bytes held by actual simulated clusters under identical
+workloads in both configurations.
+
+Part C: the availability check -- the cheaper quorum set still survives an
+AZ failure for writes and AZ+1 for reads.
+"""
+
+from repro import AuroraCluster, ClusterConfig
+from repro.analysis.availability import az_failure_survival
+from repro.analysis.cost import (
+    ALL_FULL_V6,
+    FULL_TAIL_V6,
+    CostModel,
+    measured_amplification_from_cluster,
+)
+from repro.core.quorum import full_tail_config
+
+from .conftest import fmt, print_table
+
+
+def test_c6_analytic_amplification(benchmark):
+    def sweep():
+        rows = []
+        for ratio in (0.0, 0.05, 0.1, 0.2, 0.5):
+            model = CostModel(log_to_block_ratio=ratio)
+            rows.append(
+                [
+                    fmt(ratio, 2),
+                    fmt(model.amplification(ALL_FULL_V6), 2),
+                    fmt(model.amplification(FULL_TAIL_V6), 2),
+                    fmt(100 * model.savings_vs_all_full(FULL_TAIL_V6), 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "C6: bytes stored per user byte (amplification)",
+        ["log:block ratio", "6 full copies", "3 full + 3 tail",
+         "savings %"],
+        rows,
+    )
+    # The paper's claim at realistic ratios (logs trimmed continuously,
+    # so the retained log is ~5-10% of block bytes): ~3x, not 6x.
+    for ratio_s, _full6, mixed_s, _savings in rows:
+        if float(ratio_s) <= 0.1:
+            assert 3.0 <= float(mixed_s) <= 3.7
+
+
+def test_c6_empirical_cluster_bytes(benchmark):
+    def measure(full_tail, seed):
+        cluster = AuroraCluster.build(
+            ClusterConfig(seed=seed, full_tail=full_tail)
+        )
+        db = cluster.session()
+        for i in range(80):
+            db.write(f"key{i:03d}", "x" * 64)
+        cluster.run_for(100)
+        for node in cluster.nodes.values():
+            node.segment.coalesce()
+        return measured_amplification_from_cluster(cluster)
+
+    def run():
+        return measure(False, 720), measure(True, 720)
+
+    all_full, mixed = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["6 full copies", int(all_full["block_bytes"]),
+         int(all_full["log_bytes"]), fmt(all_full["amplification"], 2)],
+        ["3 full + 3 tail", int(mixed["block_bytes"]),
+         int(mixed["log_bytes"]), fmt(mixed["amplification"], 2)],
+    ]
+    print_table(
+        "C6b: measured bytes in simulated clusters (same workload)",
+        ["configuration", "block bytes", "log bytes", "amplification"],
+        rows,
+    )
+    # Block bytes halve (3 materializing copies instead of 6).
+    assert mixed["block_bytes"] < all_full["block_bytes"] * 0.6
+    assert mixed["amplification"] < all_full["amplification"] * 0.75
+
+
+def test_c6_cheap_quorum_keeps_az_plus_one(benchmark):
+    def check():
+        config = full_tail_config(
+            ["f1", "f2", "f3"], ["t1", "t2", "t3"]
+        )
+        az_map = {
+            "f1": "az1", "t1": "az1",
+            "f2": "az2", "t2": "az2",
+            "f3": "az3", "t3": "az3",
+        }
+        return (
+            az_failure_survival(config.write_expr, az_map, 0),
+            az_failure_survival(config.read_expr, az_map, 1),
+            az_failure_survival(config.read_expr, az_map, 2),
+        )
+
+    write_az, read_az1, read_az2 = benchmark(check)
+    print(f"\nfull/tail: write survives AZ={write_az}, "
+          f"read survives AZ+1={read_az1}, AZ+2={read_az2}")
+    assert write_az          # writes survive a whole-AZ loss
+    assert read_az1          # reads (repair) survive AZ+1
+    assert not read_az2      # the design's stated limit

@@ -1,0 +1,145 @@
+"""E1 (extension) -- journal-ordered cross-partition commits versus 2PC.
+
+Section 1 of the paper: the single-writer approach "is extensible to
+multi-writer databases by ordering writes at database nodes, storage
+nodes, and using a journal to order operations that span multiple database
+instances".  This bench measures that extension against the alternative
+the paper rejects -- running two-phase commit between the partitions:
+
+- **journal**: one quorum append (4/6 of journal segments) is the commit
+  point; participants apply asynchronously in GSN order; a participant
+  crash after the append loses nothing (replay).
+- **2PC**: two sequential rounds between coordinator and participants with
+  forced writes, plus the blocking window if the coordinator dies.
+
+Also reports the single-partition fast path: transactions that touch one
+partition never pay for the journal at all.
+"""
+
+import random
+
+from repro.baselines import TwoPhaseCommitCluster
+from repro.multiwriter import MultiWriterCluster
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+
+from .conftest import fmt, percentile, print_table
+
+ROUNDS = 60
+
+
+def find_cross_keys(mw):
+    by_partition = {}
+    i = 0
+    while len(by_partition) < 2:
+        key = f"key-{i}"
+        by_partition.setdefault(mw.partition_of(key), key)
+        i += 1
+    return list(by_partition.values())
+
+
+def run_journal_commits():
+    mw = MultiWriterCluster(partition_count=2, seed=901)
+    session = mw.session()
+    k_a, k_b = find_cross_keys(mw)
+    cross, single = [], []
+    for i in range(ROUNDS):
+        start = mw.loop.now
+        txn = session.begin()
+        session.put(txn, k_a, i)
+        session.put(txn, k_b, i)
+        session.commit(txn)
+        cross.append(mw.loop.now - start)
+        start = mw.loop.now
+        session.write(k_a, i)  # single-partition fast path
+        single.append(mw.loop.now - start)
+    return cross, single
+
+
+def run_2pc_commits():
+    loop = EventLoop()
+    rng = random.Random(902)
+    network = Network(loop, rng)
+    # Two participants: the two "partitions" of the cross transaction.
+    tpc = TwoPhaseCommitCluster(loop, network, rng, participant_count=2)
+    futures = [tpc.commit() for _ in range(ROUNDS)]
+    loop.run_until_idle()
+    assert all(f.done for f in futures)
+    return tpc.coordinator.commit_latencies
+
+
+def test_e1_cross_partition_commit_latency(benchmark):
+    def run():
+        cross, single = run_journal_commits()
+        tpc = run_2pc_commits()
+        return cross, single, tpc
+
+    cross, single, tpc = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["journal (cross-partition)", fmt(percentile(cross, 0.5)),
+         fmt(percentile(cross, 0.99))],
+        ["single-partition fast path", fmt(percentile(single, 0.5)),
+         fmt(percentile(single, 0.99))],
+        ["2PC between partitions", fmt(percentile(tpc, 0.5)),
+         fmt(percentile(tpc, 0.99))],
+    ]
+    print_table(
+        f"E1: multi-writer commit latency, {ROUNDS} txns (ms)",
+        ["path", "p50", "p99"],
+        rows,
+    )
+    # Single-partition traffic pays nothing for multi-writer support.
+    assert percentile(single, 0.5) < percentile(cross, 0.5)
+    # The journal's p99 tail stays controlled (one quorum round) while
+    # 2PC's unanimity amplifies outliers.
+    assert (
+        percentile(cross, 0.99) / percentile(cross, 0.5)
+        < percentile(tpc, 0.99) / percentile(tpc, 0.5) + 2.0
+    )
+
+
+def test_e1_participant_crash_no_blocking_window(benchmark):
+    """2PC's blocking window versus the journal: after the commit point,
+    a dead participant blocks NOTHING -- it replays on recovery."""
+
+    def run():
+        mw = MultiWriterCluster(partition_count=2, seed=903)
+        session = mw.session()
+        k_a, k_b = find_cross_keys(mw)
+        # Commit a cross transaction fully.
+        txn = session.begin()
+        session.put(txn, k_a, "pre")
+        session.put(txn, k_b, "pre")
+        session.commit(txn)
+        # Sequence another one at the journal; crash a participant before
+        # it applies (the 2PC-blocking analogue).
+        victim = mw.partition_of(k_a)
+        entry = session.drive(
+            mw.journal.append(
+                "in-doubt",
+                {mw.partition_of(k_a): [(k_a, "decided")],
+                 mw.partition_of(k_b): [(k_b, "decided")]},
+            )
+        )
+        mw.crash_partition(victim)
+        # The OTHER partition proceeds immediately -- no blocking window.
+        other = mw.partition_of(k_b)
+        session.drive(mw.appliers[other].ensure_applied(entry.gsn))
+        other_value = session.get(k_b)
+        # And traffic on the surviving partition flows freely.
+        survivor_key = k_b
+        session.write(survivor_key, "still-writing")
+        # Recover the victim: the decided transaction replays.
+        recover_start = mw.loop.now
+        session.drive(mw.recover_partition(victim))
+        recovery_ms = mw.loop.now - recover_start
+        return other_value, session.get(k_a), recovery_ms
+
+    other_value, victim_value, recovery_ms = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(f"\nsurvivor applied immediately: {other_value!r}; victim after "
+          f"replay: {victim_value!r}; recovery+replay = {recovery_ms:.1f} ms")
+    assert other_value == "decided"
+    assert victim_value == "decided"
+    assert recovery_ms < 1_000

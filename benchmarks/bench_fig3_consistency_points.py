@@ -1,0 +1,103 @@
+"""F3 -- Figure 3: storage consistency points.
+
+Reproduces the paper's exact worked example: two protection groups, log
+records 101-106 alternating between them (odd -> PG1, even -> PG2), with
+records 105 and 106 not yet at quorum.  The paper states the expected
+bookkeeping: "PG1's PGCL is 103 because 105 has not met quorum, PG2's PGCL
+is 104 because 106 has not met quorum, and the database's VCL is 104".
+
+Also runs the live-cluster analogue: a two-PG cluster where the last write
+to each PG is withheld from a write quorum, and checks that the driver's
+trackers land on the same shape.
+"""
+
+from repro.core.consistency import (
+    PGConsistencyTracker,
+    VolumeConsistencyTracker,
+)
+from repro.core.quorum import v6_config
+
+from .conftest import print_table
+
+
+def figure3_exact():
+    """The paper's example, run through the pure trackers."""
+    pg1_members = [f"A1 B1 C1 D1 E1 F1".split()[i] for i in range(6)]
+    pg2_members = [f"A2 B2 C2 D2 E2 F2".split()[i] for i in range(6)]
+    pg1 = PGConsistencyTracker(1, v6_config(pg1_members))
+    pg2 = PGConsistencyTracker(2, v6_config(pg2_members))
+    volume = VolumeConsistencyTracker()
+    for lsn in range(101, 107):
+        volume.register(lsn, 1 if lsn % 2 else 2, mtr_end=True)
+    # Records 101, 103 fully acked on PG1; 105 only on 2 members.
+    for member in pg1_members[:4]:
+        pg1.record_ack(member, 103)
+    for member in pg1_members[4:]:
+        pg1.record_ack(member, 105)
+    # Records 102, 104 fully acked on PG2; 106 only on 3 members.
+    for member in pg2_members[:4]:
+        pg2.record_ack(member, 104)
+    for member in pg2_members[4:]:
+        pg2.record_ack(member, 106)
+    volume.on_pgcl(1, pg1.pgcl)
+    volume.on_pgcl(2, pg2.pgcl)
+    return pg1.pgcl, pg2.pgcl, volume.vcl
+
+
+def test_fig3_exact_example(benchmark):
+    pgcl1, pgcl2, vcl = benchmark(figure3_exact)
+    print_table(
+        "Figure 3: storage consistency points (paper's worked example)",
+        ["point", "paper", "reproduced"],
+        [
+            ["PGCL (PG1)", 103, pgcl1],
+            ["PGCL (PG2)", 104, pgcl2],
+            ["VCL", 104, vcl],
+        ],
+    )
+    assert (pgcl1, pgcl2, vcl) == (103, 104, 104)
+
+
+def run_live_cluster():
+    from repro import AuroraCluster, ClusterConfig
+
+    config = ClusterConfig(pg_count=2, blocks_per_pg=16, seed=203)
+    cluster = AuroraCluster.build(config)
+    db = cluster.session()
+    # Fill enough rows to spill block allocation into PG1 (block
+    # allocation walks PG0 first); splits consume ~1 block per ~14 rows.
+    for i in range(170):
+        db.write(f"key{i:03d}", i)
+    cluster.run_for(50)
+    driver = cluster.writer.driver
+    return {
+        "pgcls": {pg: t.pgcl for pg, t in driver.pg_trackers.items()},
+        "vcl": driver.vcl,
+        "vdl": driver.vdl,
+        "scls": {
+            0: cluster.segment_scls(0),
+            1: cluster.segment_scls(1),
+        },
+    }
+
+
+def test_fig3_live_cluster(benchmark):
+    state = benchmark.pedantic(run_live_cluster, rounds=1, iterations=1)
+    rows = [
+        ["PGCL(PG0)", state["pgcls"][0]],
+        ["PGCL(PG1)", state["pgcls"][1]],
+        ["VCL", state["vcl"]],
+        ["VDL", state["vdl"]],
+    ]
+    print_table("Figure 3 (live cluster): consistency points",
+                ["point", "LSN"], rows)
+    # Invariant shape: VCL caps at the smallest PG frontier; VDL <= VCL;
+    # every PGCL is supported by >= 4 member SCLs.
+    assert state["vdl"] <= state["vcl"]
+    for pg, pgcl in state["pgcls"].items():
+        assert state["vcl"] <= max(pgcl for pgcl in state["pgcls"].values())
+        supporters = [
+            scl for scl in state["scls"][pg].values() if scl >= pgcl
+        ]
+        assert len(supporters) >= 4
+    assert state["pgcls"][1] > 0  # traffic really spanned both PGs

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Read scaling with physical replication (sections 3.2 - 3.4).
+
+- Replicas attach to the shared storage volume with ZERO data movement.
+- They consume the physical redo stream, applying whole MTR chunks only
+  once the writer reports them durable (so replica state always trails
+  durability, never issuance).
+- Read views anchor at VDL points; commit visibility comes from shipped
+  commit notices -- snapshot isolation holds on every replica.
+- The writer's commit latency is unchanged by replica count.
+
+Run:  python examples/read_replica_scaling.py
+"""
+
+from repro import AuroraCluster
+from repro.workloads import WorkloadGenerator, WorkloadRunner, profile
+
+
+def main() -> None:
+    cluster = AuroraCluster.build(seed=31)
+    db = cluster.session()
+
+    # Preload some data, then attach replicas AFTER the fact: their caches
+    # are cold, so early reads are served by the shared storage volume.
+    db.write_many({f"item:{i:04d}": i * 10 for i in range(200)})
+    cluster.run_for(30)
+    for name in ("r1", "r2", "r3"):
+        cluster.add_replica(name)
+    print("attached 3 replicas with zero data copy "
+          "(durable state is shared)\n")
+
+    # -- Reads on every replica --------------------------------------------
+    for name in ("r1", "r2", "r3"):
+        rs = cluster.replica_session(name)
+        print(f"{name}: item:0042 = {rs.get('item:0042')}, "
+              f"scan[0..4] = {[v for _k, v in rs.scan('item:0000', 'item:0004')]}")
+
+    # -- Replication invariants ---------------------------------------------
+    replica = cluster.replicas["r1"]
+    db.write("fresh", "hot off the log")
+    print(f"\nwriter VDL={cluster.writer.vdl}, "
+          f"replica applied VDL={replica.applied_vdl}, "
+          f"lag={replica.replica_lag} LSNs")
+    cluster.run_for(20)
+    rs = cluster.replica_session("r1")
+    print(f"replica sees the new committed row: {rs.get('fresh')!r}")
+
+    # -- Writer path cost of replication --------------------------------------
+    runner = WorkloadRunner(
+        cluster, WorkloadGenerator(profile("write_only"), seed=31)
+    )
+    stats = runner.run_closed_loop(clients=4, transactions_per_client=25)
+    summary = stats.summary()
+    print(f"\n100 write txns with 3 replicas attached: "
+          f"p50={summary['p50_ms']:.2f}ms p99={summary['p99_ms']:.2f}ms "
+          f"(replication is asynchronous, off the write path)")
+    cluster.run_for(50)
+    print("replica lag after the burst:",
+          {n: r.replica_lag for n, r in cluster.replicas.items()})
+
+    # -- Uncached redo is discarded -------------------------------------------
+    print(f"\nreplica r1 stream stats: "
+          f"chunks applied={replica.stats.chunks_applied}, "
+          f"records applied={replica.stats.records_applied}, "
+          f"records discarded (uncached blocks)="
+          f"{replica.stats.records_discarded}")
+    print("('Redo records for uncached blocks can be discarded, as they "
+          "can be read from the shared storage volume')")
+
+    # -- Teardown is instant ----------------------------------------------------
+    cluster.remove_replica("r3")
+    print("\nr3 torn down; remaining:", sorted(cluster.replicas))
+
+
+if __name__ == "__main__":
+    main()

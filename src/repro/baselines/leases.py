@@ -1,0 +1,97 @@
+"""Lease-based fencing -- the alternative Aurora rejects.
+
+Section 2.4: "Some systems use leases to establish short term entitlements
+to access the system, but leases introduce latency when one needs to wait
+for expiry.  Aurora, rather than waiting for a lease to expire, just
+changes the locks on the door."
+
+:class:`LeaseFencing` models the lease protocol: a holder owns the resource
+until its lease expires (renewing every ``renew_interval``); a new owner
+taking over after the holder *appears* dead must wait out the remaining
+lease term before it can safely act, because the old holder might still be
+alive and writing.  Benchmark C5 compares that dead time against Aurora's
+epoch bump, which costs one quorum round trip regardless of timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Lease:
+    holder: str
+    granted_at: float
+    expires_at: float
+
+
+class LeaseFencing:
+    """A single-resource lease manager with wall-clock semantics."""
+
+    def __init__(
+        self, lease_duration_ms: float, renew_interval_ms: float | None = None
+    ) -> None:
+        if lease_duration_ms <= 0:
+            raise ConfigurationError("lease_duration_ms must be > 0")
+        self.lease_duration_ms = lease_duration_ms
+        self.renew_interval_ms = (
+            renew_interval_ms
+            if renew_interval_ms is not None
+            else lease_duration_ms / 3.0
+        )
+        self.current: Lease | None = None
+        self.grants = 0
+        self.renewals = 0
+
+    def acquire(self, holder: str, now: float) -> Lease:
+        """Grant the lease if free or expired; raises otherwise."""
+        if self.current is not None and now < self.current.expires_at:
+            if self.current.holder != holder:
+                raise ConfigurationError(
+                    f"lease held by {self.current.holder} until "
+                    f"{self.current.expires_at}"
+                )
+        self.current = Lease(
+            holder=holder,
+            granted_at=now,
+            expires_at=now + self.lease_duration_ms,
+        )
+        self.grants += 1
+        return self.current
+
+    def renew(self, holder: str, now: float) -> Lease:
+        if self.current is None or self.current.holder != holder:
+            raise ConfigurationError(f"{holder} does not hold the lease")
+        if now >= self.current.expires_at:
+            raise ConfigurationError("lease already expired; re-acquire")
+        self.current = Lease(
+            holder=holder,
+            granted_at=now,
+            expires_at=now + self.lease_duration_ms,
+        )
+        self.renewals += 1
+        return self.current
+
+    def fencing_wait_ms(self, now: float) -> float:
+        """How long a new owner must wait before it can safely take over.
+
+        Zero if the lease is free or already expired; otherwise the
+        remaining lease term.  This is the cost the paper's epochs avoid.
+        """
+        if self.current is None:
+            return 0.0
+        return max(0.0, self.current.expires_at - now)
+
+    def failover_dead_time_ms(
+        self, holder_crash_at: float, detection_delay_ms: float
+    ) -> float:
+        """Total unavailability after a holder crash under leases.
+
+        The successor first detects the failure, then waits out whatever
+        lease term remains.  With Aurora's epoch fencing the same failover
+        costs detection plus a single quorum write (no waiting).
+        """
+        detected_at = holder_crash_at + detection_delay_ms
+        return detection_delay_ms + self.fencing_wait_ms(detected_at)

@@ -1,0 +1,199 @@
+"""Synchronous mirrored replication and ARIES-style recovery.
+
+Two traditional designs the paper contrasts with:
+
+- **write-all / read-one mirroring** (section 3: "traditional replication
+  models where one writes to all copies, enabling a read from just one,
+  though those models have worse write availability"):
+  :class:`MirroredCluster` must collect an acknowledgement from *every*
+  mirror before answering a write, so one slow or dead mirror stalls the
+  write path -- the availability/latency trade Aurora's 4/6 quorum avoids.
+
+- **redo replay at crash recovery** (section 2.4: "No redo replay is
+  required as part of crash recovery since segments are able to generate
+  data blocks on their own"): :class:`AriesRecoveryModel` is an analytic
+  stand-in for a classic ARIES engine whose restart must re-apply every
+  redo record since the last checkpoint, making recovery time proportional
+  to log volume -- benchmark C8's comparator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.events import EventLoop, Future
+from repro.sim.latency import LatencyModel, disk_service
+from repro.sim.network import Actor, Message, Network
+
+
+@dataclass(frozen=True)
+class MirrorWrite:
+    seq: int
+    key: object
+    value: object
+
+
+@dataclass(frozen=True)
+class MirrorAck:
+    seq: int
+    mirror: str
+
+
+class MirrorNode(Actor):
+    """A synchronous mirror: applies the write, then acknowledges."""
+
+    def __init__(
+        self,
+        name: str,
+        rng: random.Random,
+        disk: LatencyModel | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.rng = rng
+        self.disk = disk if disk is not None else disk_service()
+        self.data: dict = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, MirrorWrite):
+            delay = self.disk.sample(self.rng)
+            self.loop.schedule(delay, self._apply, message.src, payload)
+
+    def _apply(self, primary: str, write: MirrorWrite) -> None:
+        self.data[write.key] = write.value
+        self.network.send(
+            self.name, primary, MirrorAck(write.seq, self.name)
+        )
+
+
+@dataclass
+class _PendingWrite:
+    seq: int
+    started: float
+    future: Future
+    acks: set[str] = field(default_factory=set)
+
+
+class MirroredPrimary(Actor):
+    """The primary of a write-all / read-one replica set."""
+
+    def __init__(
+        self, name: str, mirrors: list[str], rng: random.Random
+    ) -> None:
+        super().__init__(name)
+        self.mirrors = list(mirrors)
+        self.rng = rng
+        self.data: dict = {}
+        self._seq = 0
+        self._pending: dict[int, _PendingWrite] = {}
+        self.write_latencies: list[float] = []
+
+    def write(self, key, value) -> Future:
+        """Resolves only when EVERY mirror has acknowledged."""
+        self._seq += 1
+        seq = self._seq
+        self.data[key] = value
+        state = _PendingWrite(
+            seq=seq, started=self.loop.now, future=Future(self.loop)
+        )
+        self._pending[seq] = state
+        for mirror in self.mirrors:
+            self.network.send(self.name, mirror, MirrorWrite(seq, key, value))
+        return state.future
+
+    def read(self, key):
+        """Read-one: served locally, no network at all."""
+        return self.data.get(key)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, MirrorAck):
+            state = self._pending.get(payload.seq)
+            if state is None:
+                return
+            state.acks.add(payload.mirror)
+            if len(state.acks) == len(self.mirrors) and not state.future.done:
+                self.write_latencies.append(self.loop.now - state.started)
+                state.future.set_result(payload.seq)
+                del self._pending[payload.seq]
+
+    @property
+    def stalled_writes(self) -> int:
+        """Writes stuck waiting for a mirror (the availability weakness)."""
+        return len(self._pending)
+
+
+class MirroredCluster:
+    """A primary plus N synchronous mirrors."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        rng: random.Random,
+        mirror_count: int = 2,
+        azs: tuple[str, ...] = ("az1", "az2", "az3"),
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        names = [f"mirror-{i}" for i in range(mirror_count)]
+        self.mirrors = [MirrorNode(name, rng) for name in names]
+        for i, mirror in enumerate(self.mirrors):
+            network.attach(mirror, az=azs[(i + 1) % len(azs)])
+        self.primary = MirroredPrimary("mirror-primary", names, rng)
+        network.attach(self.primary, az=azs[0])
+
+    def write(self, key, value) -> Future:
+        return self.primary.write(key, value)
+
+
+class AriesRecoveryModel:
+    """Analytic model of classic redo-replay restart.
+
+    Parameters are per-record costs; :meth:`recovery_time_ms` returns the
+    restart time for a crash occurring ``records_since_checkpoint`` into
+    the log.  Contrast with Aurora, where recovery cost is a read-quorum
+    scan per protection group, independent of redo volume.
+    """
+
+    def __init__(
+        self,
+        redo_apply_us: float = 2.0,
+        log_read_us: float = 0.5,
+        analysis_pass_us: float = 0.2,
+    ) -> None:
+        if min(redo_apply_us, log_read_us, analysis_pass_us) < 0:
+            raise ConfigurationError("per-record costs must be >= 0")
+        self.redo_apply_us = redo_apply_us
+        self.log_read_us = log_read_us
+        self.analysis_pass_us = analysis_pass_us
+
+    def recovery_time_ms(self, records_since_checkpoint: int) -> float:
+        """ARIES restart: analysis pass + redo pass over the whole tail."""
+        per_record_us = (
+            self.analysis_pass_us + self.log_read_us + self.redo_apply_us
+        )
+        return records_since_checkpoint * per_record_us / 1000.0
+
+    def checkpoint_interval_tradeoff(
+        self,
+        write_rate_per_s: float,
+        checkpoint_cost_ms: float,
+        interval_s: float,
+    ) -> dict[str, float]:
+        """Foreground checkpoint overhead versus worst-case recovery time.
+
+        The classic tension Aurora dissolves by removing checkpoints from
+        the database entirely (storage coalesces continuously).
+        """
+        worst_case_records = write_rate_per_s * interval_s
+        return {
+            "worst_case_recovery_ms": self.recovery_time_ms(
+                int(worst_case_records)
+            ),
+            "checkpoint_overhead_pct": (
+                100.0 * checkpoint_cost_ms / (interval_s * 1000.0)
+            ),
+        }

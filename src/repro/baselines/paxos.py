@@ -1,0 +1,259 @@
+"""Multi-Paxos with a stable leader.
+
+This models the "consensus for every write" architecture the related-work
+section attributes to Google Cloud Spanner: "a SQL database on a quorum
+replicated system, using Multi-Paxos to establish consensus for every
+write".
+
+The leader runs phase 1 (PREPARE / PROMISE) once to own a ballot, then each
+client value costs one phase-2 round: ACCEPT to all acceptors, chosen on a
+majority of ACCEPTED.  Each acceptor force-writes its promise/acceptance
+before answering (consensus safety requires it), so the per-write critical
+path is: leader->acceptor network + acceptor disk + acceptor->leader
+network, taken as the *majority order statistic* across acceptors -- the
+jitter-amplifying structure Aurora's one-way quorum acks avoid, plus the
+leader's inability to acknowledge out of order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.events import EventLoop, Future
+from repro.sim.latency import LatencyModel, disk_service
+from repro.sim.network import Actor, Message, Network
+
+
+@dataclass(frozen=True)
+class PaxosPrepare:
+    ballot: int
+
+
+@dataclass(frozen=True)
+class PaxosPromise:
+    ballot: int
+    acceptor: str
+    #: (slot, accepted_ballot, value) triples the acceptor already holds.
+    accepted: tuple[tuple[int, int, object], ...]
+
+
+@dataclass(frozen=True)
+class PaxosAccept:
+    ballot: int
+    slot: int
+    value: object
+
+
+@dataclass(frozen=True)
+class PaxosAccepted:
+    ballot: int
+    slot: int
+    acceptor: str
+
+
+@dataclass(frozen=True)
+class PaxosNack:
+    ballot: int
+    higher_ballot: int
+
+
+class PaxosAcceptor(Actor):
+    """A Paxos acceptor with simulated forced writes."""
+
+    def __init__(
+        self,
+        name: str,
+        rng: random.Random,
+        disk: LatencyModel | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.rng = rng
+        self.disk = disk if disk is not None else disk_service()
+        self.promised_ballot = 0
+        #: slot -> (ballot, value)
+        self.accepted: dict[int, tuple[int, object]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, PaxosPrepare):
+            delay = self.disk.sample(self.rng)
+            self.loop.schedule(delay, self._promise, message.src, payload)
+        elif isinstance(payload, PaxosAccept):
+            delay = self.disk.sample(self.rng)
+            self.loop.schedule(delay, self._accept, message.src, payload)
+
+    def _promise(self, leader: str, prepare: PaxosPrepare) -> None:
+        if prepare.ballot <= self.promised_ballot:
+            self.network.send(
+                self.name,
+                leader,
+                PaxosNack(prepare.ballot, self.promised_ballot),
+            )
+            return
+        self.promised_ballot = prepare.ballot
+        accepted = tuple(
+            (slot, ballot, value)
+            for slot, (ballot, value) in sorted(self.accepted.items())
+        )
+        self.network.send(
+            self.name,
+            leader,
+            PaxosPromise(prepare.ballot, self.name, accepted),
+        )
+
+    def _accept(self, leader: str, accept: PaxosAccept) -> None:
+        if accept.ballot < self.promised_ballot:
+            self.network.send(
+                self.name,
+                leader,
+                PaxosNack(accept.ballot, self.promised_ballot),
+            )
+            return
+        self.promised_ballot = accept.ballot
+        self.accepted[accept.slot] = (accept.ballot, accept.value)
+        self.network.send(
+            self.name,
+            leader,
+            PaxosAccepted(accept.ballot, accept.slot, self.name),
+        )
+
+
+@dataclass
+class _SlotState:
+    value: object
+    accepted_by: set[str] = field(default_factory=set)
+    chosen: bool = False
+    started: float = 0.0
+    future: Future | None = None
+
+
+class PaxosLeader(Actor):
+    """A stable Multi-Paxos leader proposing client values."""
+
+    def __init__(
+        self,
+        name: str,
+        acceptors: list[str],
+        rng: random.Random,
+        ballot: int = 1,
+    ) -> None:
+        super().__init__(name)
+        self.acceptors = list(acceptors)
+        self.rng = rng
+        self.ballot = ballot
+        self.elected = False
+        self._promises: set[str] = set()
+        self._election_future: Future | None = None
+        self._next_slot = 0
+        self._slots: dict[int, _SlotState] = {}
+        #: Slots are chosen in any order, but values are only *applied*
+        #: (and clients answered) in slot order -- Multi-Paxos's in-order
+        #: commit constraint, which converts one slow slot into head-of-
+        #: line blocking.  Aurora's commit queue has the same structure
+        #: but is fed by quorum acks, not consensus rounds.
+        self._applied_upto = -1
+        self.commit_latencies: list[float] = []
+
+    @property
+    def majority(self) -> int:
+        return len(self.acceptors) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Phase 1: leadership
+    # ------------------------------------------------------------------
+    def elect(self) -> Future:
+        """Run phase 1; resolves True when a majority has promised."""
+        self._election_future = Future(self.loop)
+        self._promises.clear()
+        for acceptor in self.acceptors:
+            self.network.send(self.name, acceptor, PaxosPrepare(self.ballot))
+        return self._election_future
+
+    # ------------------------------------------------------------------
+    # Phase 2: one round per value
+    # ------------------------------------------------------------------
+    def propose(self, value: object) -> Future:
+        """Replicate one value; resolves with its slot once chosen *and*
+        all earlier slots are chosen (in-order commit)."""
+        if not self.elected:
+            raise RuntimeError("leader must be elected before proposing")
+        slot = self._next_slot
+        self._next_slot += 1
+        state = _SlotState(
+            value=value, started=self.loop.now, future=Future(self.loop)
+        )
+        self._slots[slot] = state
+        for acceptor in self.acceptors:
+            self.network.send(
+                self.name, acceptor, PaxosAccept(self.ballot, slot, value)
+            )
+        return state.future
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, PaxosPromise):
+            self._on_promise(payload)
+        elif isinstance(payload, PaxosAccepted):
+            self._on_accepted(payload)
+        elif isinstance(payload, PaxosNack):
+            self.elected = False
+
+    def _on_promise(self, promise: PaxosPromise) -> None:
+        if promise.ballot != self.ballot or self.elected:
+            return
+        self._promises.add(promise.acceptor)
+        if len(self._promises) >= self.majority:
+            self.elected = True
+            if self._election_future and not self._election_future.done:
+                self._election_future.set_result(True)
+
+    def _on_accepted(self, accepted: PaxosAccepted) -> None:
+        if accepted.ballot != self.ballot:
+            return
+        state = self._slots.get(accepted.slot)
+        if state is None or state.chosen:
+            return
+        state.accepted_by.add(accepted.acceptor)
+        if len(state.accepted_by) >= self.majority:
+            state.chosen = True
+            self._apply_in_order()
+
+    def _apply_in_order(self) -> None:
+        while True:
+            next_slot = self._applied_upto + 1
+            state = self._slots.get(next_slot)
+            if state is None or not state.chosen:
+                return
+            self._applied_upto = next_slot
+            if state.future is not None and not state.future.done:
+                self.commit_latencies.append(self.loop.now - state.started)
+                state.future.set_result(next_slot)
+
+
+class PaxosCluster:
+    """One leader + N acceptors, pre-elected and ready to propose."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        rng: random.Random,
+        acceptor_count: int = 6,
+        azs: tuple[str, ...] = ("az1", "az2", "az3"),
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.rng = rng
+        names = [f"paxos-a{i}" for i in range(acceptor_count)]
+        self.acceptors = [PaxosAcceptor(name, rng) for name in names]
+        for i, acceptor in enumerate(self.acceptors):
+            network.attach(acceptor, az=azs[i % len(azs)])
+        self.leader = PaxosLeader("paxos-leader", names, rng)
+        network.attach(self.leader, az=azs[0])
+
+    def elect(self) -> Future:
+        return self.leader.elect()
+
+    def propose(self, value: object = None) -> Future:
+        return self.leader.propose(value)

@@ -1,0 +1,372 @@
+"""Raft-style leader replication with elections and heartbeats.
+
+A compact but operational Raft [Ongaro & Ousterhout 2014, cited by the
+paper]: randomized election timeouts, term-stamped RequestVote /
+AppendEntries, majority commit, and log repair via the nextIndex backoff.
+Log compaction and membership change are out of scope -- the benchmarks use
+Raft for (a) per-write commit latency under a consensus round and (b) the
+availability gap while a failed leader's term times out and a new leader
+is elected, which is exactly the "I/O stall" window Aurora's membership
+epochs avoid.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.sim.events import EventLoop, Future
+from repro.sim.latency import LatencyModel, disk_service
+from repro.sim.network import Actor, Message, Network
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    term: int
+    value: object
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class VoteReply:
+    term: int
+    voter: str
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader: str
+    prev_index: int
+    prev_term: int
+    entries: tuple[LogEntry, ...]
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendReply:
+    term: int
+    follower: str
+    success: bool
+    match_index: int
+
+
+@dataclass
+class _Pending:
+    index: int
+    started: float
+    future: Future
+
+
+class RaftNode(Actor):
+    """One Raft peer."""
+
+    def __init__(
+        self,
+        name: str,
+        peers: list[str],
+        rng: random.Random,
+        disk: LatencyModel | None = None,
+        election_timeout: tuple[float, float] = (150.0, 300.0),
+        heartbeat_interval: float = 50.0,
+    ) -> None:
+        super().__init__(name)
+        self.peers = [p for p in peers if p != name]
+        self.rng = rng
+        self.disk = disk if disk is not None else disk_service()
+        self.election_timeout = election_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.role = Role.FOLLOWER
+        self.term = 0
+        self.voted_for: str | None = None
+        self.log: list[LogEntry] = []
+        self.commit_index = -1
+        self.votes: set[str] = set()
+        self.next_index: dict[str, int] = {}
+        self.match_index: dict[str, int] = {}
+        self._pending: list[_Pending] = []
+        self._timer_generation = 0
+        self.commit_latencies: list[float] = []
+        self.became_leader_at: float | None = None
+
+    @property
+    def cluster_size(self) -> int:
+        return len(self.peers) + 1
+
+    @property
+    def majority(self) -> int:
+        return self.cluster_size // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._reset_election_timer()
+
+    def _reset_election_timer(self) -> None:
+        self._timer_generation += 1
+        generation = self._timer_generation
+        timeout = self.rng.uniform(*self.election_timeout)
+        self.loop.schedule(timeout, self._maybe_start_election, generation)
+
+    def _maybe_start_election(self, generation: int) -> None:
+        if generation != self._timer_generation:
+            return  # timer was reset by a heartbeat
+        if self.role is Role.LEADER:
+            return
+        if self.network is None or not self.network.is_up(self.name):
+            self._reset_election_timer()
+            return
+        self._start_election()
+
+    def _start_election(self) -> None:
+        self.term += 1
+        self.role = Role.CANDIDATE
+        self.voted_for = self.name
+        self.votes = {self.name}
+        last_index = len(self.log) - 1
+        last_term = self.log[last_index].term if self.log else 0
+        for peer in self.peers:
+            self.network.send(
+                self.name,
+                peer,
+                RequestVote(self.term, self.name, last_index, last_term),
+            )
+        self._reset_election_timer()
+
+    def _heartbeat(self, generation: int) -> None:
+        if generation != self._timer_generation or self.role is not Role.LEADER:
+            return
+        self._broadcast_append()
+        self.loop.schedule(self.heartbeat_interval, self._heartbeat, generation)
+
+    # ------------------------------------------------------------------
+    # Client interface
+    # ------------------------------------------------------------------
+    def propose(self, value: object) -> Future:
+        """Replicate one value; resolves with its index once committed."""
+        future = Future(self.loop)
+        if self.role is not Role.LEADER:
+            future.set_exception(RuntimeError(f"{self.name} is not leader"))
+            return future
+        self.log.append(LogEntry(self.term, value))
+        index = len(self.log) - 1
+        self._pending.append(
+            _Pending(index=index, started=self.loop.now, future=future)
+        )
+        self._broadcast_append()
+        return future
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, RequestVote):
+            self._on_request_vote(payload)
+        elif isinstance(payload, VoteReply):
+            self._on_vote_reply(payload)
+        elif isinstance(payload, AppendEntries):
+            self._on_append(payload)
+        elif isinstance(payload, AppendReply):
+            self._on_append_reply(payload)
+
+    def _observe_term(self, term: int) -> None:
+        if term > self.term:
+            self.term = term
+            self.role = Role.FOLLOWER
+            self.voted_for = None
+
+    def _on_request_vote(self, request: RequestVote) -> None:
+        self._observe_term(request.term)
+        grant = False
+        if request.term == self.term and self.voted_for in (None, request.candidate):
+            my_last = len(self.log) - 1
+            my_last_term = self.log[my_last].term if self.log else 0
+            candidate_current = (
+                request.last_log_term,
+                request.last_log_index,
+            ) >= (my_last_term, my_last)
+            if candidate_current:
+                grant = True
+                self.voted_for = request.candidate
+                self._reset_election_timer()
+        self.network.send(
+            self.name,
+            request.candidate,
+            VoteReply(self.term, self.name, grant),
+        )
+
+    def _on_vote_reply(self, reply: VoteReply) -> None:
+        self._observe_term(reply.term)
+        if self.role is not Role.CANDIDATE or reply.term != self.term:
+            return
+        if reply.granted:
+            self.votes.add(reply.voter)
+            if len(self.votes) >= self.majority:
+                self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.became_leader_at = self.loop.now
+        self.next_index = {p: len(self.log) for p in self.peers}
+        self.match_index = {p: -1 for p in self.peers}
+        self._timer_generation += 1
+        self._broadcast_append()
+        self.loop.schedule(
+            self.heartbeat_interval, self._heartbeat, self._timer_generation
+        )
+
+    def _broadcast_append(self) -> None:
+        for peer in self.peers:
+            next_idx = self.next_index.get(peer, len(self.log))
+            prev_index = next_idx - 1
+            prev_term = (
+                self.log[prev_index].term if 0 <= prev_index < len(self.log)
+                else 0
+            )
+            entries = tuple(self.log[next_idx:])
+            self.network.send(
+                self.name,
+                peer,
+                AppendEntries(
+                    term=self.term,
+                    leader=self.name,
+                    prev_index=prev_index,
+                    prev_term=prev_term,
+                    entries=entries,
+                    leader_commit=self.commit_index,
+                ),
+            )
+
+    def _on_append(self, append: AppendEntries) -> None:
+        self._observe_term(append.term)
+        if append.term < self.term:
+            self.network.send(
+                self.name,
+                append.leader,
+                AppendReply(self.term, self.name, False, -1),
+            )
+            return
+        self.role = Role.FOLLOWER
+        self._reset_election_timer()
+        # Consistency check on the previous entry.
+        if append.prev_index >= 0 and (
+            append.prev_index >= len(self.log)
+            or self.log[append.prev_index].term != append.prev_term
+        ):
+            self.network.send(
+                self.name,
+                append.leader,
+                AppendReply(self.term, self.name, False, -1),
+            )
+            return
+        # Append (truncating any conflicting suffix) with a forced write.
+        insert_at = append.prev_index + 1
+        self.log = self.log[:insert_at] + list(append.entries)
+        match = len(self.log) - 1
+        if append.leader_commit > self.commit_index:
+            self.commit_index = min(append.leader_commit, match)
+        delay = self.disk.sample(self.rng) if append.entries else 0.0
+        self.loop.schedule(
+            delay,
+            lambda: self.network.send(
+                self.name,
+                append.leader,
+                AppendReply(self.term, self.name, True, match),
+            ),
+        )
+
+    def _on_append_reply(self, reply: AppendReply) -> None:
+        self._observe_term(reply.term)
+        if self.role is not Role.LEADER or reply.term != self.term:
+            return
+        if not reply.success:
+            self.next_index[reply.follower] = max(
+                0, self.next_index.get(reply.follower, len(self.log)) - 1
+            )
+            self._broadcast_append()
+            return
+        self.match_index[reply.follower] = reply.match_index
+        self.next_index[reply.follower] = reply.match_index + 1
+        self._advance_commit()
+
+    def _advance_commit(self) -> None:
+        for index in range(len(self.log) - 1, self.commit_index, -1):
+            if self.log[index].term != self.term:
+                continue
+            replicas = 1 + sum(
+                1 for m in self.match_index.values() if m >= index
+            )
+            if replicas >= self.majority:
+                self.commit_index = index
+                break
+        self._ack_pending()
+
+    def _ack_pending(self) -> None:
+        remaining = []
+        for pending in self._pending:
+            if pending.index <= self.commit_index:
+                if not pending.future.done:
+                    self.commit_latencies.append(
+                        self.loop.now - pending.started
+                    )
+                    pending.future.set_result(pending.index)
+            else:
+                remaining.append(pending)
+        self._pending = remaining
+
+
+class RaftCluster:
+    """N Raft peers; call :meth:`elect_first_leader` before proposing."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        rng: random.Random,
+        node_count: int = 5,
+        azs: tuple[str, ...] = ("az1", "az2", "az3"),
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.rng = rng
+        names = [f"raft-{i}" for i in range(node_count)]
+        self.nodes = [RaftNode(name, names, rng) for name in names]
+        for i, node in enumerate(self.nodes):
+            network.attach(node, az=azs[i % len(azs)])
+            node.start()
+
+    def leader(self) -> RaftNode | None:
+        leaders = [
+            n
+            for n in self.nodes
+            if n.role is Role.LEADER and self.network.is_up(n.name)
+        ]
+        if not leaders:
+            return None
+        return max(leaders, key=lambda n: n.term)
+
+    def elect_first_leader(self, max_ms: float = 5_000.0) -> RaftNode:
+        deadline = self.loop.now + max_ms
+        while self.loop.now < deadline:
+            self.loop.run(until=self.loop.now + 50.0)
+            node = self.leader()
+            if node is not None:
+                return node
+        raise RuntimeError("no Raft leader elected within the deadline")

@@ -1,0 +1,229 @@
+"""Two-phase commit over the simulated network.
+
+The textbook protocol Aurora avoids: the coordinator sends PREPARE to every
+participant, each participant force-writes a prepare record and votes, the
+coordinator force-writes the decision and broadcasts COMMIT/ABORT, and the
+participants acknowledge after their own force-write.
+
+Two properties the paper's argument relies on fall straight out of the
+implementation:
+
+- **latency**: a commit costs two sequential network round trips to *every*
+  participant plus three forced disk writes on the critical path, versus
+  Aurora's single one-way record send + quorum of one-way acks;
+- **blocking**: a participant that has voted YES may neither commit nor
+  abort until it hears the decision -- if the coordinator crashes in the
+  window between collecting votes and broadcasting, participants hold
+  their locks indefinitely (:attr:`TPCParticipant.blocked_transactions`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.events import EventLoop, Future
+from repro.sim.latency import LatencyModel, disk_service
+from repro.sim.network import Actor, Message, Network
+
+
+@dataclass(frozen=True)
+class TPCPrepare:
+    txn_id: int
+    payload: object
+
+
+@dataclass(frozen=True)
+class TPCVote:
+    txn_id: int
+    participant: str
+    yes: bool
+
+
+@dataclass(frozen=True)
+class TPCDecision:
+    txn_id: int
+    commit: bool
+
+
+@dataclass(frozen=True)
+class TPCAck:
+    txn_id: int
+    participant: str
+
+
+class TPCParticipant(Actor):
+    """One resource manager."""
+
+    def __init__(
+        self,
+        name: str,
+        rng: random.Random,
+        disk: LatencyModel | None = None,
+        vote_yes: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.rng = rng
+        self.disk = disk if disk is not None else disk_service()
+        self.vote_yes = vote_yes
+        #: txn_id -> payload for transactions in the prepared (blocking)
+        #: window: voted YES, decision not yet received.
+        self.prepared: dict[int, object] = {}
+        self.committed: set[int] = set()
+        self.aborted: set[int] = set()
+
+    @property
+    def blocked_transactions(self) -> list[int]:
+        """Transactions stuck awaiting a decision (the blocking window)."""
+        return sorted(self.prepared)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, TPCPrepare):
+            # Force-write the prepare record, then vote.
+            delay = self.disk.sample(self.rng)
+            self.loop.schedule(delay, self._vote, message.src, payload)
+        elif isinstance(payload, TPCDecision):
+            delay = self.disk.sample(self.rng)
+            self.loop.schedule(delay, self._decide, message.src, payload)
+
+    def _vote(self, coordinator: str, prepare: TPCPrepare) -> None:
+        if self.vote_yes:
+            self.prepared[prepare.txn_id] = prepare.payload
+        self.network.send(
+            self.name,
+            coordinator,
+            TPCVote(
+                txn_id=prepare.txn_id,
+                participant=self.name,
+                yes=self.vote_yes,
+            ),
+        )
+
+    def _decide(self, coordinator: str, decision: TPCDecision) -> None:
+        self.prepared.pop(decision.txn_id, None)
+        if decision.commit:
+            self.committed.add(decision.txn_id)
+        else:
+            self.aborted.add(decision.txn_id)
+        self.network.send(
+            self.name,
+            coordinator,
+            TPCAck(txn_id=decision.txn_id, participant=self.name),
+        )
+
+
+@dataclass
+class _InFlight:
+    txn_id: int
+    votes: dict[str, bool] = field(default_factory=dict)
+    acks: set[str] = field(default_factory=set)
+    decided: bool = False
+    started: float = 0.0
+    future: Future | None = None
+
+
+class TPCCoordinator(Actor):
+    """The transaction coordinator."""
+
+    def __init__(
+        self,
+        name: str,
+        participants: list[str],
+        rng: random.Random,
+        disk: LatencyModel | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.participants = list(participants)
+        self.rng = rng
+        self.disk = disk if disk is not None else disk_service()
+        self._next_txn = 1
+        self._inflight: dict[int, _InFlight] = {}
+        self.commit_latencies: list[float] = []
+
+    def commit(self, payload: object = None) -> Future:
+        """Run one distributed commit; resolves with (txn_id, committed)."""
+        txn_id = self._next_txn
+        self._next_txn += 1
+        state = _InFlight(
+            txn_id=txn_id, started=self.loop.now, future=Future(self.loop)
+        )
+        self._inflight[txn_id] = state
+        for participant in self.participants:
+            self.network.send(
+                self.name, participant, TPCPrepare(txn_id, payload)
+            )
+        return state.future
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, TPCVote):
+            self._on_vote(payload)
+        elif isinstance(payload, TPCAck):
+            self._on_ack(payload)
+
+    def _on_vote(self, vote: TPCVote) -> None:
+        state = self._inflight.get(vote.txn_id)
+        if state is None or state.decided:
+            return
+        state.votes[vote.participant] = vote.yes
+        if len(state.votes) < len(self.participants):
+            return
+        state.decided = True
+        commit = all(state.votes.values())
+        # Force-write the decision record before broadcasting.
+        delay = self.disk.sample(self.rng)
+        self.loop.schedule(delay, self._broadcast_decision, state, commit)
+
+    def _broadcast_decision(self, state: _InFlight, commit: bool) -> None:
+        for participant in self.participants:
+            self.network.send(
+                self.name, participant, TPCDecision(state.txn_id, commit)
+            )
+        # The client can be answered once the decision is durable (the
+        # acks only close out the protocol), which is the charitable
+        # latency accounting for 2PC.
+        if state.future is not None and not state.future.done:
+            self.commit_latencies.append(self.loop.now - state.started)
+            state.future.set_result((state.txn_id, commit))
+
+    def _on_ack(self, ack: TPCAck) -> None:
+        state = self._inflight.get(ack.txn_id)
+        if state is None:
+            return
+        state.acks.add(ack.participant)
+        if len(state.acks) == len(self.participants):
+            del self._inflight[ack.txn_id]
+
+
+class TwoPhaseCommitCluster:
+    """Convenience wiring: one coordinator + N participants on a network."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: Network,
+        rng: random.Random,
+        participant_count: int = 6,
+        azs: tuple[str, ...] = ("az1", "az2", "az3"),
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.rng = rng
+        names = [f"tpc-p{i}" for i in range(participant_count)]
+        self.participants = [TPCParticipant(name, rng) for name in names]
+        for i, participant in enumerate(self.participants):
+            network.attach(participant, az=azs[i % len(azs)])
+        self.coordinator = TPCCoordinator("tpc-coord", names, rng)
+        network.attach(self.coordinator, az=azs[0])
+
+    def commit(self) -> Future:
+        return self.coordinator.commit()
+
+    def crash_coordinator(self) -> None:
+        self.network.fail_node(self.coordinator.name)
+
+    def blocked_transaction_count(self) -> int:
+        return sum(
+            len(p.blocked_transactions) for p in self.participants
+        )

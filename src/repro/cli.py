@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo``      -- the quickstart scenario with a final cluster report;
+- ``workload``  -- run a named OLTP profile and print latency statistics;
+- ``faults``    -- a guided failure tour: AZ outage, crash recovery,
+  membership change, each with before/after consistency points;
+- ``report``    -- build a cluster, run brief traffic, dump the report.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import AuroraCluster, ClusterConfig
+from repro.db.session import Session
+from repro.report import cluster_report, format_report
+from repro.workloads import PROFILES, WorkloadGenerator, WorkloadRunner, profile
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Amazon Aurora: On Avoiding Distributed "
+            "Consensus for I/Os, Commits, and Membership Changes' "
+            "(SIGMOD 2018)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="simulation seed"
+    )
+    # Accept --seed after the subcommand too (friendlier UX).
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument("--seed", type=int, default=None,
+                             dest="sub_seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "demo", help="quickstart scenario + cluster report",
+        parents=[seed_parent],
+    )
+
+    workload = sub.add_parser(
+        "workload", help="run an OLTP profile and report latencies",
+        parents=[seed_parent],
+    )
+    workload.add_argument(
+        "--profile", choices=sorted(PROFILES), default="read_write"
+    )
+    workload.add_argument("--clients", type=int, default=4)
+    workload.add_argument("--txns", type=int, default=50)
+    workload.add_argument(
+        "--full-tail", action="store_true",
+        help="use the 3 full + 3 tail segment mix (section 4.2)",
+    )
+
+    sub.add_parser(
+        "faults", help="guided tour: AZ outage, crash recovery, repair",
+        parents=[seed_parent],
+    )
+
+    multiwriter = sub.add_parser(
+        "multiwriter",
+        help="the multi-writer extension: journal-ordered cross-partition "
+             "transactions",
+        parents=[seed_parent],
+    )
+    multiwriter.add_argument("--partitions", type=int, default=3)
+    multiwriter.add_argument("--transfers", type=int, default=10)
+
+    report = sub.add_parser(
+        "report", help="dump a cluster report", parents=[seed_parent]
+    )
+    report.add_argument("--txns", type=int, default=30)
+    report.add_argument("--replicas", type=int, default=1)
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    cluster = AuroraCluster.build(seed=args.seed)
+    db = cluster.session()
+    txn = db.begin()
+    db.put(txn, "hello", "aurora")
+    scn = db.commit(txn)
+    print(f"committed 'hello' at SCN {scn}; read back: {db.get('hello')!r}")
+    cluster.crash_writer()
+    db.drive(cluster.recover_writer())
+    print(f"crashed + recovered; 'hello' survived: {db.get('hello')!r}")
+    print()
+    print(format_report(cluster_report(cluster)))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    config = ClusterConfig(seed=args.seed, full_tail=args.full_tail)
+    cluster = AuroraCluster.build(config)
+    generator = WorkloadGenerator(profile(args.profile), seed=args.seed)
+    runner = WorkloadRunner(cluster, generator)
+    stats = runner.run_closed_loop(
+        clients=args.clients, transactions_per_client=args.txns
+    )
+    summary = stats.summary()
+    print(f"profile={args.profile} clients={args.clients} "
+          f"txns/client={args.txns} full_tail={args.full_tail}")
+    print(f"  committed={summary['committed']:.0f} "
+          f"aborted={summary['aborted']:.0f}")
+    print(f"  commit latency ms: p50={summary['p50_ms']:.3f} "
+          f"p95={summary['p95_ms']:.3f} p99={summary['p99_ms']:.3f} "
+          f"mean={summary['mean_ms']:.3f}")
+    print(f"  peak/average={summary['peak_to_average']:.2f}")
+    print(f"  simulated time: {cluster.loop.now:.1f} ms")
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    cluster = AuroraCluster.build(seed=args.seed)
+    db = cluster.session()
+    db.write_many({f"row{i:02d}": i for i in range(10)})
+    print(f"[t={cluster.loop.now:7.1f}] 10 rows committed; "
+          f"VCL={cluster.writer.vcl}")
+
+    cluster.failures.crash_az("az3")
+    db.write("during-az-outage", 1)
+    print(f"[t={cluster.loop.now:7.1f}] az3 down; commit still completed "
+          f"(4/6 quorum)")
+
+    cluster.failures.restore_az("az3")
+    cluster.run_for(300)
+    scls = set(cluster.segment_scls(0).values())
+    print(f"[t={cluster.loop.now:7.1f}] az3 restored; gossip converged "
+          f"SCLs={scls}")
+
+    cluster.crash_writer()
+    db = Session(cluster.writer)
+    result = db.drive(cluster.recover_writer())
+    print(f"[t={cluster.loop.now:7.1f}] writer crashed + recovered: "
+          f"VCL={result.vcl}, volume epoch="
+          f"{cluster.writer.driver.epochs.volume}")
+
+    cluster.failures.crash_node("pg0-f")
+    candidate = db.drive(cluster.replace_segment(0, "pg0-f"))
+    print(f"[t={cluster.loop.now:7.1f}] pg0-f failed and was replaced by "
+          f"{candidate} (membership epoch="
+          f"{cluster.metadata.membership(0).epoch})")
+
+    intact = all(db.get(f"row{i:02d}") == i for i in range(10))
+    print(f"[t={cluster.loop.now:7.1f}] all original rows intact: {intact}")
+    return 0 if intact else 1
+
+
+def _cmd_multiwriter(args: argparse.Namespace) -> int:
+    from repro.multiwriter import MultiWriterCluster
+
+    mw = MultiWriterCluster(
+        partition_count=args.partitions, seed=args.seed
+    )
+    session = mw.session()
+    accounts = [f"acct{i:02d}" for i in range(args.partitions * 2)]
+    for account in accounts:
+        session.write(account, 100)
+    total_before = sum(session.get(a) for a in accounts)
+    for i in range(args.transfers):
+        src = accounts[i % len(accounts)]
+        dst = accounts[(i + 1) % len(accounts)]
+        txn = session.begin()
+        session.put(txn, src, session.get(src, txn=txn) - 5)
+        session.put(txn, dst, session.get(dst, txn=txn) + 5)
+        session.commit(txn)
+    # Crash + recover every partition; the books must still balance.
+    for index in range(mw.partition_count):
+        mw.crash_partition(index)
+        session.drive(mw.recover_partition(index))
+    total_after = sum(session.get(a) for a in accounts)
+    print(f"partitions={args.partitions} transfers={args.transfers}")
+    print(f"  journal: {mw.journal.appends} appends, durable "
+          f"gsn={mw.journal.durable_gsn}")
+    print(f"  commit paths: {session.cross_partition_commits} journal / "
+          f"{session.single_partition_commits} single-partition")
+    print(f"  balance before={total_before} after all-partition "
+          f"crash+recovery={total_after} (conserved: "
+          f"{total_before == total_after})")
+    return 0 if total_before == total_after else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    cluster = AuroraCluster.build(seed=args.seed)
+    for i in range(args.replicas):
+        cluster.add_replica(f"replica-{i + 1}")
+    db = cluster.session()
+    for i in range(args.txns):
+        db.write(f"key{i:04d}", i)
+    cluster.run_for(100)
+    print(format_report(cluster_report(cluster)))
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "workload": _cmd_workload,
+    "faults": _cmd_faults,
+    "multiwriter": _cmd_multiwriter,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if getattr(args, "sub_seed", None) is not None:
+        args.seed = args.sub_seed
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

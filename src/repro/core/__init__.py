@@ -1,0 +1,81 @@
+"""Core protocol machinery -- the paper's primary contribution.
+
+Everything in this package is a *pure, deterministic* state machine with no
+knowledge of the simulator: LSN allocation, redo records and their three
+back-chains, quorums and quorum sets, epochs, the consistency-point trackers
+(SCL / PGCL / VCL / VDL / PGMRPL), commit-queue processing, crash-recovery
+computation, membership-change transitions, and read routing.
+
+The separation is deliberate (DESIGN.md, decision D1): because these classes
+are pure, the invariants in DESIGN.md section 6 can be property-tested
+directly with hypothesis, and the simulated cluster in :mod:`repro.db` /
+:mod:`repro.storage` simply wires them to message delivery.
+"""
+
+from repro.core.commit import CommitQueue
+from repro.core.consistency import (
+    PGConsistencyTracker,
+    SegmentChainTracker,
+    VolumeConsistencyTracker,
+)
+from repro.core.epochs import EpochRegistry, EpochStamp
+from repro.core.lsn import NULL_LSN, LSNAllocator, TruncationRange
+from repro.core.membership import MembershipState, ReplacementPlan
+from repro.core.quorum import (
+    Quorum,
+    QuorumAnd,
+    QuorumConfig,
+    QuorumExpr,
+    QuorumLeaf,
+    QuorumOr,
+    aurora_v6_config,
+    full_tail_config,
+    majority_config,
+    transition_config,
+)
+from repro.core.read_routing import LatencyTracker, ReadRouter
+from repro.core.records import (
+    BlockPut,
+    BlockReplace,
+    CommitPayload,
+    ControlPayload,
+    LogRecord,
+    RecordKind,
+    RedoPayload,
+)
+from repro.core.recovery import RecoveryResult, recover_volume_state
+
+__all__ = [
+    "BlockPut",
+    "BlockReplace",
+    "CommitPayload",
+    "CommitQueue",
+    "ControlPayload",
+    "EpochRegistry",
+    "EpochStamp",
+    "LatencyTracker",
+    "LogRecord",
+    "LSNAllocator",
+    "MembershipState",
+    "NULL_LSN",
+    "PGConsistencyTracker",
+    "Quorum",
+    "QuorumAnd",
+    "QuorumConfig",
+    "QuorumExpr",
+    "QuorumLeaf",
+    "QuorumOr",
+    "ReadRouter",
+    "RecordKind",
+    "RecoveryResult",
+    "RedoPayload",
+    "ReplacementPlan",
+    "SegmentChainTracker",
+    "TruncationRange",
+    "VolumeConsistencyTracker",
+    "aurora_v6_config",
+    "full_tail_config",
+    "majority_config",
+    "recover_volume_state",
+    "transition_config",
+]

@@ -1,0 +1,101 @@
+"""Epochs: volume, membership, and geometry.
+
+Epochs are the paper's substitute for leases and for consensus-based
+configuration change:
+
+- **Volume epoch** (section 2.4): incremented during crash recovery and
+  recorded in a write quorum of each protection group.  "Storage nodes will
+  not accept requests at stale volume epochs.  This boxes out old instances
+  with previously open connections ...  Aurora, rather than waiting for a
+  lease to expire, just changes the locks on the door."
+- **Membership epoch** (section 4.1): incremented with each quorum
+  membership change; "clients with stale membership epochs have their
+  requests rejected and must update membership information".
+- **Volume geometry epoch** (section 4.1): incremented with each protection
+  group added to the volume (or on a change of quorum model).
+
+Epoch checks are strictly local: a storage node compares the stamp carried
+by a request against its own registry.  Stale requests raise
+:class:`StaleEpochError`.  A *newer* stamp teaches the node the new epoch --
+the increment was durably recorded on a write quorum, and quorum overlap
+guarantees any legitimate reader of the new configuration has seen it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError, StaleEpochError
+
+
+@dataclass(frozen=True)
+class EpochStamp:
+    """The epoch triple every storage request carries."""
+
+    volume: int = 1
+    membership: int = 1
+    geometry: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.volume, self.membership, self.geometry) < 1:
+            raise ConfigurationError(f"epochs must be >= 1: {self}")
+
+    def bump_volume(self) -> "EpochStamp":
+        return replace(self, volume=self.volume + 1)
+
+    def bump_membership(self) -> "EpochStamp":
+        return replace(self, membership=self.membership + 1)
+
+    def bump_geometry(self) -> "EpochStamp":
+        return replace(self, geometry=self.geometry + 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"EpochStamp(v={self.volume}, m={self.membership}, "
+            f"g={self.geometry})"
+        )
+
+
+class EpochRegistry:
+    """A storage node's durable record of the epochs it has seen.
+
+    ``check_and_learn`` implements the validation rule applied to every
+    read, write, and gossip request.
+    """
+
+    def __init__(self, initial: EpochStamp | None = None) -> None:
+        self._current = initial if initial is not None else EpochStamp()
+        self.rejections = 0
+
+    @property
+    def current(self) -> EpochStamp:
+        return self._current
+
+    def check_and_learn(self, presented: EpochStamp) -> None:
+        """Validate a request's epoch stamp.
+
+        Raises :class:`StaleEpochError` if any component of ``presented`` is
+        behind this node's view; otherwise adopts any newer components.
+        """
+        current = self._current
+        for kind in ("volume", "membership", "geometry"):
+            have = getattr(current, kind)
+            got = getattr(presented, kind)
+            if got < have:
+                self.rejections += 1
+                raise StaleEpochError(kind, presented=got, current=have)
+        self._current = EpochStamp(
+            volume=max(current.volume, presented.volume),
+            membership=max(current.membership, presented.membership),
+            geometry=max(current.geometry, presented.geometry),
+        )
+
+    def advance(self, target: EpochStamp) -> None:
+        """Directly install newer epochs (used when applying an epoch-bump
+        write that itself carried the new stamp)."""
+        current = self._current
+        self._current = EpochStamp(
+            volume=max(current.volume, target.volume),
+            membership=max(current.membership, target.membership),
+            geometry=max(current.geometry, target.geometry),
+        )

@@ -1,0 +1,108 @@
+"""Log Sequence Number space.
+
+The paper's key invariant (section 2.1): "the Log Sequence Number (LSN)
+space is common across the database volume, monotonically increasing, and
+allocated by the database instance.  This is the key invariant that allows
+Aurora to avoid distributed consensus for most operations."
+
+:class:`LSNAllocator` is owned by the single writer instance.  Crash recovery
+"snips off the ragged edge of the log by recording a truncation range that
+annuls any log records beyond the newly computed VCL" (section 2.4, Figure 4);
+:class:`TruncationRange` models that range, and the allocator guarantees that
+post-recovery LSNs are allocated strictly above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, RecoveryError
+
+#: LSN value meaning "no record"; the back-chain of the first record of any
+#: chain (volume, segment, or block) points here.
+NULL_LSN = 0
+
+
+@dataclass(frozen=True)
+class TruncationRange:
+    """Inclusive range of LSNs annulled by crash recovery.
+
+    Any record whose LSN falls inside the range must be ignored and may be
+    physically discarded by storage nodes, "even if in-flight asynchronous
+    operations complete during the process of crash recovery".
+    """
+
+    first: int
+    last: int
+
+    def __post_init__(self) -> None:
+        if self.first <= NULL_LSN or self.last < self.first:
+            raise ConfigurationError(
+                f"invalid truncation range [{self.first}, {self.last}]"
+            )
+
+    def contains(self, lsn: int) -> bool:
+        return self.first <= lsn <= self.last
+
+    def __repr__(self) -> str:
+        return f"TruncationRange[{self.first}..{self.last}]"
+
+
+class LSNAllocator:
+    """Monotonic LSN allocator owned by the writer instance.
+
+    MTRs allocate contiguous batches so that a mini-transaction occupies a
+    dense LSN interval (section 3.3: "allocates a batch of contiguously
+    ordered LSNs").
+    """
+
+    def __init__(self, start: int = NULL_LSN + 1) -> None:
+        if start <= NULL_LSN:
+            raise ConfigurationError(f"start LSN must be > {NULL_LSN}")
+        self._next = start
+        self._truncations: list[TruncationRange] = []
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next allocation will return."""
+        return self._next
+
+    @property
+    def highest_allocated(self) -> int:
+        """Highest LSN handed out so far (NULL_LSN if none)."""
+        return self._next - 1
+
+    def allocate(self, count: int = 1) -> range:
+        """Return a dense range of ``count`` fresh LSNs."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        start = self._next
+        self._next += count
+        return range(start, start + count)
+
+    def allocate_one(self) -> int:
+        return self.allocate(1)[0]
+
+    def apply_truncation(self, truncation: TruncationRange) -> None:
+        """Record a recovery truncation and jump the allocator above it.
+
+        "New redo records after crash recovery are allocated LSNs above the
+        truncation range."
+        """
+        if truncation.last < self._next - 1 and self._truncations:
+            # Truncations must themselves march forward with the log.
+            previous = self._truncations[-1]
+            if truncation.first <= previous.last:
+                raise RecoveryError(
+                    f"truncation {truncation} overlaps earlier {previous}"
+                )
+        self._truncations.append(truncation)
+        self._next = max(self._next, truncation.last + 1)
+
+    def is_annulled(self, lsn: int) -> bool:
+        """True if ``lsn`` falls inside any recorded truncation range."""
+        return any(t.contains(lsn) for t in self._truncations)
+
+    @property
+    def truncations(self) -> tuple[TruncationRange, ...]:
+        return tuple(self._truncations)

@@ -1,0 +1,316 @@
+"""Quorums, quorum sets, and overlap verification.
+
+Section 2.1 states the two classical rules a quorum system over ``V`` copies
+must obey: the read set must overlap the write set (``Vr + Vw > V``) and
+write sets must overlap each other (``Vw > V/2``).
+
+Section 4 generalises plain ``m``-of-``n`` quorums to **quorum sets**:
+boolean combinations (AND/OR) of quorums over possibly different member
+sets.  Membership changes use them ("4/6 of ABCDEF AND 4/6 of ABCDEG"), and
+so does the cost-reduction design of section 4.2 ("write quorum is 4/6 of any
+segment OR 3/3 of full segments").
+
+Because quorum sets are arbitrary monotone boolean formulas, this module
+verifies overlap properties *exhaustively*: a write expression W and read
+expression R overlap iff there is **no** subset S of the members with
+``W.satisfied(S)`` and ``R.satisfied(members - S)``.  Member universes in
+Aurora are small (six segments, up to a dozen during multi-failure
+transitions), so the 2^n check is cheap and doubles as a machine-checked
+proof for every configuration this library ever constructs -- the paper:
+"Using Boolean logic, we can prove that each transition is correct, safe,
+and reversible".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.errors import QuorumError
+
+
+@dataclass(frozen=True)
+class Quorum:
+    """A plain ``threshold``-of-``members`` quorum."""
+
+    members: frozenset[str]
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise QuorumError("quorum must have at least one member")
+        if not 1 <= self.threshold <= len(self.members):
+            raise QuorumError(
+                f"threshold {self.threshold} out of range for "
+                f"{len(self.members)} members"
+            )
+
+    def satisfied(self, acked: AbstractSet[str]) -> bool:
+        return len(self.members & acked) >= self.threshold
+
+    def __repr__(self) -> str:
+        names = ",".join(sorted(self.members))
+        return f"{self.threshold}/{len(self.members)}({names})"
+
+
+class QuorumExpr:
+    """A monotone boolean expression over member acknowledgements."""
+
+    def satisfied(self, acked: AbstractSet[str]) -> bool:
+        raise NotImplementedError
+
+    def members(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "QuorumExpr") -> "QuorumExpr":
+        return QuorumAnd((self, other))
+
+    def __or__(self, other: "QuorumExpr") -> "QuorumExpr":
+        return QuorumOr((self, other))
+
+
+class QuorumLeaf(QuorumExpr):
+    """Wraps a plain :class:`Quorum` as an expression leaf."""
+
+    def __init__(self, quorum: Quorum) -> None:
+        self.quorum = quorum
+
+    @staticmethod
+    def of(members: Iterable[str], threshold: int) -> "QuorumLeaf":
+        return QuorumLeaf(Quorum(frozenset(members), threshold))
+
+    def satisfied(self, acked: AbstractSet[str]) -> bool:
+        return self.quorum.satisfied(acked)
+
+    def members(self) -> frozenset[str]:
+        return self.quorum.members
+
+    def __repr__(self) -> str:
+        return repr(self.quorum)
+
+
+class QuorumAnd(QuorumExpr):
+    """Satisfied when every child is satisfied."""
+
+    def __init__(self, children: Sequence[QuorumExpr]) -> None:
+        if not children:
+            raise QuorumError("AND requires at least one child")
+        self.children = tuple(children)
+
+    def satisfied(self, acked: AbstractSet[str]) -> bool:
+        return all(child.satisfied(acked) for child in self.children)
+
+    def members(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for child in self.children:
+            result |= child.members()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(c) for c in self.children) + ")"
+
+
+class QuorumOr(QuorumExpr):
+    """Satisfied when any child is satisfied."""
+
+    def __init__(self, children: Sequence[QuorumExpr]) -> None:
+        if not children:
+            raise QuorumError("OR requires at least one child")
+        self.children = tuple(children)
+
+    def satisfied(self, acked: AbstractSet[str]) -> bool:
+        return any(child.satisfied(acked) for child in self.children)
+
+    def members(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for child in self.children:
+            result |= child.members()
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(c) for c in self.children) + ")"
+
+
+#: Member universes beyond this size make the exhaustive 2^n overlap proof
+#: expensive; Aurora transitions never exceed ~8 distinct members.
+_EXHAUSTIVE_PROOF_LIMIT = 20
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """A validated (write expression, read expression) pair.
+
+    Construction runs the exhaustive overlap proof unless ``verify=False``
+    (used only by tests that deliberately build broken configs).
+    """
+
+    write_expr: QuorumExpr
+    read_expr: QuorumExpr
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_members", self.write_expr.members()
+                           | self.read_expr.members())
+
+    @property
+    def members(self) -> frozenset[str]:
+        return self._members  # type: ignore[attr-defined]
+
+    def write_satisfied(self, acked: AbstractSet[str]) -> bool:
+        return self.write_expr.satisfied(acked)
+
+    def read_satisfied(self, acked: AbstractSet[str]) -> bool:
+        return self.read_expr.satisfied(acked)
+
+    # ------------------------------------------------------------------
+    # Machine-checked overlap proofs
+    # ------------------------------------------------------------------
+    def prove_read_write_overlap(self) -> None:
+        """Raise :class:`QuorumError` unless every write quorum intersects
+        every read quorum.
+
+        Equivalent condition checked: no subset S satisfies the write
+        expression while its complement satisfies the read expression.
+        """
+        for subset, complement in self._subset_complements():
+            if self.write_expr.satisfied(subset) and self.read_expr.satisfied(
+                complement
+            ):
+                raise QuorumError(
+                    f"read/write overlap violated: write quorum {sorted(subset)} "
+                    f"is disjoint from read quorum {sorted(complement)}"
+                )
+
+    def prove_write_write_overlap(self) -> None:
+        """Raise unless any two write quorums intersect (Vw > V/2 analogue)."""
+        for subset, complement in self._subset_complements():
+            if self.write_expr.satisfied(subset) and self.write_expr.satisfied(
+                complement
+            ):
+                raise QuorumError(
+                    f"write/write overlap violated: {sorted(subset)} and "
+                    f"{sorted(complement)} are disjoint write quorums"
+                )
+
+    def prove(self) -> "QuorumConfig":
+        """Run both proofs; return self for chaining."""
+        members = sorted(self.members)
+        if len(members) > _EXHAUSTIVE_PROOF_LIMIT:
+            raise QuorumError(
+                f"refusing exhaustive proof over {len(members)} members"
+            )
+        self.prove_read_write_overlap()
+        self.prove_write_write_overlap()
+        return self
+
+    def _subset_complements(self):
+        members = sorted(self.members)
+        universe = set(members)
+        for size in range(len(members) + 1):
+            for combo in itertools.combinations(members, size):
+                subset = set(combo)
+                yield subset, universe - subset
+
+    def minimal_write_quorums(self) -> list[frozenset[str]]:
+        """All minimal member sets satisfying the write expression."""
+        return self._minimal_sets(self.write_expr)
+
+    def minimal_read_quorums(self) -> list[frozenset[str]]:
+        """All minimal member sets satisfying the read expression."""
+        return self._minimal_sets(self.read_expr)
+
+    def _minimal_sets(self, expr: QuorumExpr) -> list[frozenset[str]]:
+        members = sorted(self.members)
+        satisfying: list[frozenset[str]] = []
+        for size in range(len(members) + 1):
+            for combo in itertools.combinations(members, size):
+                candidate = frozenset(combo)
+                if expr.satisfied(candidate) and not any(
+                    existing <= candidate for existing in satisfying
+                ):
+                    satisfying.append(candidate)
+        return satisfying
+
+    def __repr__(self) -> str:
+        return (
+            f"QuorumConfig(write={self.write_expr!r}, read={self.read_expr!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Named configurations from the paper
+# ----------------------------------------------------------------------
+def majority_config(members: Iterable[str]) -> QuorumConfig:
+    """Symmetric majority quorum (e.g. the 2/3 scheme of Figure 1, left)."""
+    member_set = frozenset(members)
+    majority = len(member_set) // 2 + 1
+    leaf = QuorumLeaf.of(member_set, majority)
+    return QuorumConfig(write_expr=leaf, read_expr=leaf).prove()
+
+
+def v6_config(members: Iterable[str]) -> QuorumConfig:
+    """Aurora's V=6, Vw=4, Vr=3 quorum over six explicit members."""
+    member_set = frozenset(members)
+    if len(member_set) != 6:
+        raise QuorumError(f"v6 config requires 6 members, got {len(member_set)}")
+    return QuorumConfig(
+        write_expr=QuorumLeaf.of(member_set, 4),
+        read_expr=QuorumLeaf.of(member_set, 3),
+    ).prove()
+
+
+def aurora_v6_config(prefix: str = "seg") -> QuorumConfig:
+    """Aurora's 4/6 write / 3/6 read quorum with generated member names."""
+    return v6_config(f"{prefix}{i}" for i in range(6))
+
+
+def full_tail_config(
+    full_members: Iterable[str], tail_members: Iterable[str]
+) -> QuorumConfig:
+    """Section 4.2's cost-reducing quorum set of unlike members.
+
+    Write quorum: 4/6 of any segment OR 3/3 of full segments.
+    Read quorum: 3/6 of any segment AND 1/3 of full segments.
+    """
+    fulls = frozenset(full_members)
+    tails = frozenset(tail_members)
+    if len(fulls) != 3 or len(tails) != 3 or fulls & tails:
+        raise QuorumError(
+            "full/tail config requires 3 full + 3 disjoint tail members"
+        )
+    everyone = fulls | tails
+    write_expr = QuorumOr(
+        (QuorumLeaf.of(everyone, 4), QuorumLeaf.of(fulls, 3))
+    )
+    read_expr = QuorumAnd(
+        (QuorumLeaf.of(everyone, 3), QuorumLeaf.of(fulls, 1))
+    )
+    return QuorumConfig(write_expr=write_expr, read_expr=read_expr).prove()
+
+
+def transition_config(group_memberships: Sequence[Iterable[str]]) -> QuorumConfig:
+    """Quorum set for an in-flight membership change (section 4.1).
+
+    Given the active member groups (e.g. ``[ABCDEF, ABCDEG]`` while F is
+    suspect), the write quorum is the AND of each group's 4/6 quorum and the
+    read quorum is the OR of each group's 3/6 quorum.  The returned config is
+    proved overlapping, whatever the groups.
+    """
+    groups = [frozenset(g) for g in group_memberships]
+    if not groups:
+        raise QuorumError("transition requires at least one member group")
+    for group in groups:
+        if len(group) != 6:
+            raise QuorumError(
+                f"each transition group must have 6 members, got {len(group)}"
+            )
+    write_children = [QuorumLeaf.of(g, 4) for g in groups]
+    read_children = [QuorumLeaf.of(g, 3) for g in groups]
+    write_expr: QuorumExpr = (
+        write_children[0] if len(write_children) == 1
+        else QuorumAnd(write_children)
+    )
+    read_expr: QuorumExpr = (
+        read_children[0] if len(read_children) == 1 else QuorumOr(read_children)
+    )
+    return QuorumConfig(write_expr=write_expr, read_expr=read_expr).prove()

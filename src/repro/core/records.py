@@ -1,0 +1,230 @@
+"""Redo log records and their three back-chains.
+
+Per section 2.2 of the paper, each log record stores
+
+- the LSN of the preceding record in the **volume** (used as a fallback to
+  regenerate volume metadata, and by recovery to verify chain completeness),
+- the previous LSN for the **segment** (used by storage nodes to detect holes
+  and gossip them full), and
+- the previous LSN for the **block** being modified (used to materialize
+  individual blocks on demand).
+
+In this reproduction, "segment chain" is tracked per protection group: all
+six segments of a PG receive the same record stream, so the chain previous
+pointer is identical across them (``prev_pg_lsn``).
+
+Records carry a :class:`RedoPayload` describing a pure transformation of a
+block image.  Block images are plain ``dict`` objects; payloads never mutate
+them, they return new images -- storage keeps every version non-destructively
+until garbage collection below PGMRPL (section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.lsn import NULL_LSN
+
+
+class RecordKind(enum.Enum):
+    """Classification of redo records."""
+
+    #: A change to a data block (B-tree node, undo page, ...).
+    DATA = "data"
+    #: Transaction commit marker; its LSN is the transaction's SCN.
+    COMMIT = "commit"
+    #: Volume-level control information (e.g. truncation, epoch bump notes).
+    CONTROL = "control"
+
+
+class RedoPayload:
+    """Interface for the change carried by a DATA record.
+
+    Implementations must be pure: ``apply`` consumes an immutable view of the
+    prior block image and returns a fresh image.  This is what lets Aurora
+    run "redo log application code ... within the storage nodes" (section
+    2.2) and lets repeated application be idempotent at a given version.
+    """
+
+    def apply(self, image: Mapping[str, Any]) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BlockPut(RedoPayload):
+    """Insert or overwrite key/value entries inside a block image."""
+
+    entries: tuple[tuple[Any, Any], ...]
+
+    def apply(self, image: Mapping[str, Any]) -> dict[str, Any]:
+        new_image = dict(image)
+        for key, value in self.entries:
+            new_image[key] = value
+        return new_image
+
+
+@dataclass(frozen=True)
+class BlockDelete(RedoPayload):
+    """Remove keys from a block image (missing keys are ignored)."""
+
+    keys: tuple[Any, ...]
+
+    def apply(self, image: Mapping[str, Any]) -> dict[str, Any]:
+        new_image = dict(image)
+        for key in self.keys:
+            new_image.pop(key, None)
+        return new_image
+
+
+@dataclass(frozen=True)
+class BlockReplace(RedoPayload):
+    """Replace the whole block image.
+
+    Structural B-tree changes (splits, merges) log full after-images of the
+    touched nodes; this keeps redo application trivially idempotent.
+    """
+
+    image: tuple[tuple[str, Any], ...]
+
+    @staticmethod
+    def of(image: Mapping[str, Any]) -> "BlockReplace":
+        return BlockReplace(
+            image=tuple(sorted(image.items(), key=lambda kv: repr(kv[0])))
+        )
+
+    def apply(self, image: Mapping[str, Any]) -> dict[str, Any]:
+        return dict(self.image)
+
+
+@dataclass(frozen=True)
+class CommitPayload(RedoPayload):
+    """Payload of a COMMIT record.
+
+    Besides marking the commit, it materializes the transaction's SCN into
+    a transaction-table block (``{txn_id: scn}``), so commit status is
+    itself durable volume state -- a recovering instance or a replica can
+    learn any transaction's outcome by reading the txn-table blocks instead
+    of needing a consensus log of decisions.
+    """
+
+    txn_id: int
+    scn: int
+
+    def apply(self, image: Mapping[str, Any]) -> dict[str, Any]:
+        new_image = dict(image)
+        new_image[self.txn_id] = self.scn
+        return new_image
+
+
+@dataclass(frozen=True)
+class ControlPayload(RedoPayload):
+    """Payload of a CONTROL record."""
+
+    note: str = ""
+
+    def apply(self, image: Mapping[str, Any]) -> dict[str, Any]:
+        return dict(image)
+
+
+#: Block number used by records that touch no real block (commit / control).
+NO_BLOCK = -1
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One redo log record.
+
+    Attributes mirror the paper's description:
+
+    - ``lsn``: position in the volume-wide, writer-allocated LSN space.
+    - ``prev_volume_lsn``: back-pointer over the entire volume.
+    - ``prev_pg_lsn``: back-pointer within this record's protection group
+      (the "segment chain"); storage nodes advance SCL along it.
+    - ``prev_block_lsn``: back-pointer within the target block's history.
+    - ``block``: global block number (``NO_BLOCK`` for commit/control).
+    - ``pg_index``: protection group the record is routed to.
+    - ``mtr_id`` / ``mtr_end``: mini-transaction grouping; ``mtr_end`` marks
+      an MTR completion point, i.e. a legal VDL candidate (section 3.3).
+    - ``txn_id``: owning database transaction (0 for control records).
+    """
+
+    lsn: int
+    prev_volume_lsn: int
+    prev_pg_lsn: int
+    prev_block_lsn: int
+    block: int
+    pg_index: int
+    kind: RecordKind
+    payload: RedoPayload
+    txn_id: int = 0
+    mtr_id: int = 0
+    mtr_end: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lsn <= NULL_LSN:
+            raise ValueError(f"record LSN must be > {NULL_LSN}")
+        for name in ("prev_volume_lsn", "prev_pg_lsn", "prev_block_lsn"):
+            if getattr(self, name) >= self.lsn:
+                raise ValueError(f"{name} must precede lsn {self.lsn}")
+
+    @property
+    def is_commit(self) -> bool:
+        return self.kind is RecordKind.COMMIT
+
+    @property
+    def scn(self) -> int:
+        """System Commit Number: the LSN of the commit record."""
+        if not self.is_commit:
+            raise ValueError("SCN is only defined for commit records")
+        return self.lsn
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<LogRecord lsn={self.lsn} pg={self.pg_index} "
+            f"block={self.block} {self.kind.value}"
+            f"{' mtr_end' if self.mtr_end else ''}>"
+        )
+
+
+@dataclass(frozen=True)
+class ChainDigest:
+    """Compact chain metadata a segment reports during crash recovery.
+
+    Recovery only needs ``(lsn, prev_volume_lsn, pg_index, mtr_end)`` per
+    hot-log record to rebuild consistency points; shipping digests instead of
+    full records keeps the recovery read cheap.
+    """
+
+    lsn: int
+    prev_volume_lsn: int
+    pg_index: int
+    mtr_end: bool
+
+    @staticmethod
+    def of(record: LogRecord) -> "ChainDigest":
+        return ChainDigest(
+            lsn=record.lsn,
+            prev_volume_lsn=record.prev_volume_lsn,
+            pg_index=record.pg_index,
+            mtr_end=record.mtr_end,
+        )
+
+
+@dataclass
+class RecordBatch:
+    """A boxcar of records bound for one segment node.
+
+    The driver fills the batch until the asynchronous network operation
+    actually executes (section 2.2's jitter-free boxcar strategy).
+    """
+
+    pg_index: int
+    records: list[LogRecord] = field(default_factory=list)
+
+    def add(self, record: LogRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)

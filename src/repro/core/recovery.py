@@ -1,0 +1,194 @@
+"""Crash-recovery computation (section 2.4, Figure 4).
+
+"The time we save in the normal forward processing of commits using local
+transient state must be paid back by re-establishing consistency upon crash
+recovery."  The recovering instance must:
+
+1. reach at least a **read quorum** for each protection group,
+2. locally re-compute PGCLs and VCL "by finding read quorum consistency
+   points across SCLs",
+3. snip off the ragged edge with a **truncation range** annulling all
+   records beyond the new VCL, and
+4. increment the **volume epoch** on a write quorum of each PG so that
+   requests from pre-crash instances are boxed out.
+
+This module implements steps 1-3 as pure functions over the data a recovery
+scan collects: each responding segment's SCL plus chain digests for its
+hot-log records.  Step 4 is performed by the instance against live storage
+(see :mod:`repro.db.instance`).
+
+Why ``max(SCL)`` over a read quorum is a safe PGCL: a record acknowledged as
+durable met a write quorum; by read/write overlap, *every* read quorum
+contains at least one member whose SCL covers it, so the max can never
+understate the durable point.  Records between the true durable point and
+the max are the "ragged edge" -- present on some members, never
+acknowledged -- and recovery may legitimately either keep (if chain-complete)
+or annul them, since no client was ever told they committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.lsn import NULL_LSN, TruncationRange
+from repro.core.quorum import QuorumConfig
+from repro.core.records import ChainDigest
+from repro.errors import RecoveryError
+
+
+@dataclass(frozen=True)
+class SegmentRecoveryResponse:
+    """What one segment reports to a recovery scan.
+
+    ``gc_horizon`` is the point below which the segment's hot-log records
+    may already be garbage collected.  GC only ever runs below the
+    instance-advertised PGMRPL, which never exceeds the VDL, so every LSN
+    at or below any segment's horizon is *known volume-complete* -- it is
+    a safe baseline for the recovery chain walk even though the records
+    themselves are gone from the hot logs.
+    """
+
+    segment_id: str
+    pg_index: int
+    scl: int
+    digests: tuple[ChainDigest, ...]
+    gc_horizon: int = NULL_LSN
+
+
+@dataclass
+class RecoveryResult:
+    """The consistency state re-established by recovery."""
+
+    vcl: int
+    vdl: int
+    pg_completion_lsns: dict[int, int]
+    truncation: TruncationRange | None
+    #: Per-PG truncation point: the highest surviving LSN routed to that PG.
+    pg_truncation_points: dict[int, int] = field(default_factory=dict)
+    #: Per-PG frontier as of the recovered VDL (``f(pg, vdl)``): the
+    #: PG-local read points for post-recovery reads anchored at the VDL.
+    pg_vdl_frontiers: dict[int, int] = field(default_factory=dict)
+
+
+def recover_pg_completion(
+    pg_index: int,
+    config: QuorumConfig,
+    responses: list[SegmentRecoveryResponse],
+) -> int:
+    """Re-compute one PG's completion point from a read-quorum scan."""
+    responders = {r.segment_id for r in responses}
+    if not config.read_satisfied(responders):
+        raise RecoveryError(
+            f"PG {pg_index}: responders {sorted(responders)} do not form a "
+            f"read quorum of {config!r}"
+        )
+    return max((r.scl for r in responses), default=NULL_LSN)
+
+
+def recover_volume_state(
+    pg_configs: dict[int, QuorumConfig],
+    responses_by_pg: dict[int, list[SegmentRecoveryResponse]],
+    highest_possible_lsn: int,
+) -> RecoveryResult:
+    """Re-establish VCL/VDL and compute the truncation range.
+
+    ``highest_possible_lsn`` bounds the upper end of the truncation range;
+    any LSN the crashed instance could conceivably have allocated must fall
+    inside it so that late-arriving in-flight writes are annulled.  The
+    recovering instance derives it from the largest LSN observed in the scan
+    plus an allocation-burst margin.
+
+    The chain walk does not start at LSN 0: garbage collection legitimately
+    removes old hot-log records.  Because GC only runs below the PGMRPL
+    floor (itself never above the VDL), every LSN at or below the maximum
+    reported ``gc_horizon`` is known volume-complete -- the walk starts
+    there and the first surviving record may back-link anywhere at or below
+    it.
+    """
+    if set(pg_configs) != set(responses_by_pg):
+        raise RecoveryError(
+            "recovery scan must cover every protection group: "
+            f"configs for {sorted(pg_configs)}, responses for "
+            f"{sorted(responses_by_pg)}"
+        )
+
+    pg_completion: dict[int, int] = {}
+    for pg_index, config in pg_configs.items():
+        pg_completion[pg_index] = recover_pg_completion(
+            pg_index, config, responses_by_pg[pg_index]
+        )
+
+    baseline_vcl = max(
+        (
+            response.gc_horizon
+            for responses in responses_by_pg.values()
+            for response in responses
+        ),
+        default=NULL_LSN,
+    )
+
+    # Union the chain digests reported by any responder, keeping only
+    # records at or below their PG's recovered completion point (anything
+    # above cannot be trusted to survive).
+    digest_by_lsn: dict[int, ChainDigest] = {}
+    for responses in responses_by_pg.values():
+        for response in responses:
+            for digest in response.digests:
+                if digest.lsn <= pg_completion[digest.pg_index]:
+                    digest_by_lsn[digest.lsn] = digest
+
+    # Walk the volume back-chain forward from the baseline.  VCL is the
+    # highest LSN reachable through an unbroken chain of recovered records.
+    vcl = baseline_vcl
+    vdl = baseline_vcl
+    expected_prev: int | None = None  # first link may point <= baseline
+    for lsn in sorted(digest_by_lsn):
+        if lsn <= baseline_vcl:
+            continue
+        digest = digest_by_lsn[lsn]
+        if expected_prev is None:
+            if digest.prev_volume_lsn > baseline_vcl:
+                break  # gap right above the baseline
+        elif digest.prev_volume_lsn != expected_prev:
+            break  # gap in the volume chain: stop here
+        vcl = lsn
+        if digest.mtr_end:
+            vdl = lsn
+        expected_prev = lsn
+
+    truncation: TruncationRange | None = None
+    if highest_possible_lsn > vcl:
+        truncation = TruncationRange(first=vcl + 1, last=highest_possible_lsn)
+
+    # Per-PG truncation point: the last surviving LSN routed to each PG, so
+    # that segment chains re-anchor correctly below the annulled range.
+    # Three sources, most-authoritative last: (a) any responder SCL already
+    # at or below the VCL (covers PGs whose surviving records were GC'd
+    # from the hot logs), (b) the baseline itself when a PG's entire
+    # history sits below it, and (c) the surviving digests.
+    pg_points = {pg_index: NULL_LSN for pg_index in pg_configs}
+    pg_frontiers = {pg_index: NULL_LSN for pg_index in pg_configs}
+    for pg_index, responses in responses_by_pg.items():
+        below_vcl = [r.scl for r in responses if r.scl <= vcl]
+        horizon = max((r.gc_horizon for r in responses), default=NULL_LSN)
+        pg_points[pg_index] = max([NULL_LSN, horizon, *below_vcl])
+        pg_frontiers[pg_index] = min(pg_points[pg_index], vdl)
+    for lsn in sorted(digest_by_lsn):
+        if lsn > vcl:
+            break
+        pg_points[digest_by_lsn[lsn].pg_index] = max(
+            pg_points[digest_by_lsn[lsn].pg_index], lsn
+        )
+        if lsn <= vdl:
+            pg_frontiers[digest_by_lsn[lsn].pg_index] = max(
+                pg_frontiers[digest_by_lsn[lsn].pg_index], lsn
+            )
+
+    return RecoveryResult(
+        vcl=vcl,
+        vdl=vdl,
+        pg_completion_lsns=pg_completion,
+        truncation=truncation,
+        pg_truncation_points=pg_points,
+        pg_vdl_frontiers=pg_frontiers,
+    )

@@ -1,0 +1,42 @@
+"""The database kernel: writer instance, replicas, and their substrate.
+
+"Each database instance acts as a SQL endpoint and includes most of the
+components of a traditional database kernel (query processing, access
+methods, transactions, locking, buffer caching, and undo management).  Some
+database functions, including redo logging, materialization of data blocks,
+garbage collection, and backup/restore, are offloaded to our storage fleet."
+(section 2.1)
+
+Modules:
+
+- :mod:`repro.db.mtr` -- mini-transactions: atomic multi-block change sets.
+- :mod:`repro.db.buffer_cache` -- the buffer pool with the WAL eviction
+  invariant (a dirty block may not be discarded until its redo is durable).
+- :mod:`repro.db.locks` -- key-range row locking at the database tier.
+- :mod:`repro.db.mvcc` -- read views and version visibility (snapshot
+  isolation by LSN comparison).
+- :mod:`repro.db.txn` -- transactions, undo, and the commit/rollback flows.
+- :mod:`repro.db.btree` -- the B-tree access method whose structural
+  changes are MTR-atomic.
+- :mod:`repro.db.driver` -- the storage driver: per-PG write buffers, the
+  jitter-free boxcar, acknowledgement processing, consistency points, and
+  hedged reads.
+- :mod:`repro.db.instance` -- the single-writer database instance.
+- :mod:`repro.db.replication` / :mod:`repro.db.replica` -- physical
+  replication and read replicas.
+- :mod:`repro.db.cluster` -- one-call construction of a full simulated
+  Aurora deployment (the library's main entry point).
+"""
+
+from repro.db.cluster import AuroraCluster, ClusterConfig
+from repro.db.instance import WriterInstance
+from repro.db.replica import ReplicaInstance
+from repro.db.session import Session
+
+__all__ = [
+    "AuroraCluster",
+    "ClusterConfig",
+    "ReplicaInstance",
+    "Session",
+    "WriterInstance",
+]

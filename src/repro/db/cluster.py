@@ -1,0 +1,656 @@
+"""One-call construction and administration of a simulated Aurora cluster.
+
+:class:`AuroraCluster` wires together everything the paper describes:
+
+- a deterministic event loop, network, and failure injector,
+- three Availability Zones hosting six storage nodes per protection group
+  (two per AZ), optionally in the section-4.2 full/tail mix,
+- the storage metadata service, the simulated S3 archive,
+- a single writer instance and any number of read replicas,
+
+and exposes the administrative flows of section 4 as methods: segment
+replacement with quorum sets and membership epochs (Figure 5), volume
+growth with geometry epochs, writer crash/recovery, and replica promotion.
+
+This is the public entry point most users want::
+
+    from repro import AuroraCluster
+
+    cluster = AuroraCluster.build(seed=7)
+    db = cluster.session()
+    txn = db.begin()
+    db.put(txn, "k", "v")
+    db.commit(txn)                      # waits for 4/6 quorum durability
+    assert db.get("k") == "v"
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.membership import MembershipState, verify_transition_safety
+from repro.core.quorum import (
+    QuorumConfig,
+    QuorumLeaf,
+    full_tail_config,
+    transition_config,
+)
+from repro.db.instance import InstanceConfig, InstanceState, WriterInstance
+from repro.db.replica import ReplicaConfig, ReplicaInstance
+from repro.db.session import Session
+from repro.errors import ConfigurationError, MembershipError
+from repro.sim.events import EventLoop
+from repro.sim.failures import FailureInjector
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.storage.backup import SimulatedS3
+from repro.storage.messages import BaselineRequest, BaselineResponse, EpochWrite
+from repro.storage.metadata import SegmentPlacement, StorageMetadataService
+from repro.storage.node import StorageNode, StorageNodeConfig
+from repro.storage.segment import Segment, SegmentKind
+from repro.storage.volume import VolumeGeometry
+
+#: Slot -> AZ assignment: two segments per AZ, one full per AZ when the
+#: full/tail mix is enabled (full slots are 0, 2, 4).
+AZS = ("az1", "az2", "az3")
+FULL_SLOTS = (0, 2, 4)
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of the simulated deployment."""
+
+    seed: int = 42
+    pg_count: int = 1
+    blocks_per_pg: int = 4096
+    #: Use the section-4.2 cost-reducing mix: 3 full + 3 tail segments.
+    full_tail: bool = False
+    instance: InstanceConfig = field(default_factory=InstanceConfig)
+    replica: ReplicaConfig = field(default_factory=ReplicaConfig)
+    node: StorageNodeConfig = field(default_factory=StorageNodeConfig)
+    #: Optional network latency model overrides (defaults: see repro.sim).
+    intra_az_latency: object = None
+    cross_az_latency: object = None
+    #: Prefix for segment/writer names (lets several volumes share one
+    #: simulated network, e.g. the multi-writer extension).
+    name_prefix: str = ""
+
+
+    def __post_init__(self) -> None:
+        if self.pg_count < 1:
+            raise ConfigurationError("pg_count must be >= 1")
+
+
+class _FullTailMetadataService(StorageMetadataService):
+    """Metadata service aware of the full/tail quorum set (section 4.2).
+
+    For a stable membership the quorum config is the full/tail quorum set;
+    during a membership transition it falls back to the uniform 4/6-based
+    transition config (reads still route to full segments only, via the
+    placement kinds).
+    """
+
+    def quorum_config(self, pg_index: int) -> QuorumConfig:
+        if self.has_quorum_override(pg_index):
+            return super().quorum_config(pg_index)
+        state = self.membership(pg_index)
+        if not state.is_stable:
+            return transition_config(state.member_groups())
+        members = sorted(state.members)
+        fulls = [
+            m
+            for m in members
+            if self.placement(m).kind is SegmentKind.FULL
+        ]
+        tails = [
+            m
+            for m in members
+            if self.placement(m).kind is SegmentKind.TAIL
+        ]
+        if len(fulls) == 3 and len(tails) == 3:
+            return full_tail_config(fulls, tails)
+        return transition_config(state.member_groups())
+
+
+class AuroraCluster:
+    """A fully wired simulated Aurora deployment."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        loop: EventLoop,
+        rng: random.Random,
+        network: Network,
+        failures: FailureInjector,
+        metadata: StorageMetadataService,
+        s3: SimulatedS3,
+    ) -> None:
+        self.config = config
+        self.loop = loop
+        self.rng = rng
+        self.network = network
+        self.failures = failures
+        self.metadata = metadata
+        self.s3 = s3
+        self.nodes: dict[str, StorageNode] = {}
+        self.writer: WriterInstance | None = None
+        self.replicas: dict[str, ReplicaInstance] = {}
+        self._writer_counter = 0
+        self._candidate_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def segment_name(self, pg_index: int, slot: int, generation: int = 0) -> str:
+        base = (
+            f"{self.config.name_prefix}pg{pg_index}-"
+            f"{chr(ord('a') + slot)}"
+        )
+        return base if generation == 0 else f"{base}.{generation}"
+
+    @classmethod
+    def build(
+        cls,
+        config: ClusterConfig | None = None,
+        seed: int | None = None,
+        bootstrap: bool = True,
+        shared: tuple | None = None,
+    ) -> "AuroraCluster":
+        """Create a cluster: storage fleet + writer, ready for traffic.
+
+        Pass ``shared=(loop, network, failures, rng)`` to place this
+        volume on existing simulated infrastructure (used by the
+        multi-writer extension to co-locate several volumes); use a
+        distinct ``config.name_prefix`` per volume in that case.
+        """
+        config = config if config is not None else ClusterConfig()
+        if seed is not None:
+            config.seed = seed
+        if shared is not None:
+            loop, network, failures, rng = shared
+        else:
+            rng = random.Random(config.seed)
+            loop = EventLoop()
+            network = Network(
+                loop,
+                rng,
+                intra_az=config.intra_az_latency,
+                cross_az=config.cross_az_latency,
+            )
+            failures = FailureInjector(loop, network, rng)
+        geometry = VolumeGeometry(
+            blocks_per_pg=config.blocks_per_pg, pg_count=config.pg_count
+        )
+        metadata_cls = (
+            _FullTailMetadataService if config.full_tail
+            else StorageMetadataService
+        )
+        metadata = metadata_cls(geometry)
+        s3 = SimulatedS3()
+        cluster = cls(config, loop, rng, network, failures, metadata, s3)
+        for pg_index in range(config.pg_count):
+            cluster._create_protection_group(pg_index)
+        cluster._start_nodes()
+        cluster._create_writer(bootstrap=bootstrap)
+        return cluster
+
+    def _create_protection_group(self, pg_index: int) -> None:
+        members = []
+        for slot in range(6):
+            segment_id = self.segment_name(pg_index, slot)
+            members.append(segment_id)
+            az = AZS[slot % 3]
+            kind = (
+                SegmentKind.FULL
+                if not self.config.full_tail or slot in FULL_SLOTS
+                else SegmentKind.TAIL
+            )
+            self._create_storage_node(segment_id, pg_index, az, kind)
+        self.metadata.set_membership(
+            pg_index, MembershipState.initial(members)
+        )
+
+    def _create_storage_node(
+        self, segment_id: str, pg_index: int, az: str, kind: SegmentKind
+    ) -> StorageNode:
+        segment = Segment(segment_id, pg_index, kind)
+        node = StorageNode(
+            segment=segment,
+            metadata=self.metadata,
+            s3=self.s3,
+            rng=self.rng,
+            config=self.config.node,
+        )
+        self.network.attach(node, az=az)
+        self.failures.register_az(az, {segment_id})
+        self.nodes[segment_id] = node
+        self.metadata.place_segment(
+            SegmentPlacement(
+                segment_id=segment_id,
+                pg_index=pg_index,
+                node=segment_id,
+                az=az,
+                kind=kind,
+            )
+        )
+        node.register_peer_directory(self.nodes)
+        return node
+
+    def _start_nodes(self) -> None:
+        for node in self.nodes.values():
+            node.register_peer_directory(self.nodes)
+            node.start()
+
+    def _create_writer(self, bootstrap: bool) -> WriterInstance:
+        self._writer_counter += 1
+        writer = WriterInstance(
+            name=f"{self.config.name_prefix}writer-{self._writer_counter}",
+            metadata=self.metadata,
+            rng=self.rng,
+            config=self.config.instance,
+        )
+        self.network.attach(writer, az=AZS[0])
+        writer.start()
+        if bootstrap:
+            writer.bootstrap()
+            # The volume is only usable once the bootstrap MTR is durable
+            # (otherwise an instant crash would recover an empty volume).
+            for _ in range(200):
+                if writer.vcl >= writer.allocator.highest_allocated:
+                    break
+                self.loop.run(until=self.loop.now + 1.0)
+        self.writer = writer
+        return writer
+
+    # ------------------------------------------------------------------
+    # Client access
+    # ------------------------------------------------------------------
+    def session(self) -> Session:
+        """A client session against the writer."""
+        return Session(self.writer)
+
+    def replica_session(self, name: str) -> Session:
+        return Session(self.replicas[name])
+
+    def run_for(self, duration_ms: float) -> None:
+        """Advance simulated time (lets background activity run)."""
+        self.loop.run(until=self.loop.now + duration_ms)
+
+    def settle(self) -> None:
+        """Drain every scheduled event except self-rescheduling ticks.
+
+        Background ticks reschedule forever, so we advance in bounded
+        slices until the volume is fully durable (VCL caught up).
+        """
+        for _ in range(200):
+            if self.writer.driver.volume.lag == 0:
+                return
+            self.run_for(5.0)
+
+    # ------------------------------------------------------------------
+    # Replicas (section 3.2)
+    # ------------------------------------------------------------------
+    def add_replica(self, name: str | None = None) -> ReplicaInstance:
+        name = name or f"replica-{len(self.replicas) + 1}"
+        replica = ReplicaInstance(
+            name=name,
+            metadata=self.metadata,
+            rng=self.rng,
+            config=self.config.replica,
+        )
+        az = AZS[(1 + len(self.replicas)) % 3]
+        self.network.attach(replica, az=az)
+        replica.start()
+        writer = self.writer
+        replica.attach(
+            next_expected_lsn=writer.allocator.next_lsn,
+            vdl=writer.vdl,
+            pg_frontiers=writer.frontiers.frontier_at(writer.vdl),
+            commit_history=writer.registry.known_commits(),
+        )
+        writer.publisher.attach_replica(name)
+        self.replicas[name] = replica
+        return replica
+
+    def remove_replica(self, name: str) -> None:
+        replica = self.replicas.pop(name)
+        replica.detach()
+        if self.writer is not None:
+            self.writer.publisher.detach_replica(name)
+
+    # ------------------------------------------------------------------
+    # Writer crash / recovery / promotion
+    # ------------------------------------------------------------------
+    def crash_writer(self) -> None:
+        """Kill the writer process: ephemeral state is gone."""
+        self.writer.crash()
+        self.network.fail_node(self.writer.name)
+
+    def recover_writer(self) -> Process:
+        """Restart the crashed writer and run crash recovery."""
+        self.network.restore_node(self.writer.name)
+        process = self.writer.recover()
+        return process
+
+    def promote_replica(self, name: str) -> tuple[WriterInstance, Process]:
+        """Fail over to a replica (section 3.2).
+
+        The promoted identity gets a fresh writer instance which "only
+        needs to run a local crash recovery to align its in-memory state"
+        against the shared volume.  Returns (new_writer, recovery_process).
+        """
+        old_writer = self.writer
+        if old_writer is not None:
+            old_writer.state = InstanceState.CLOSED
+        self.remove_replica(name)
+        writer = self._create_writer(bootstrap=False)
+        process = writer.recover()
+        return writer, process
+
+    def reattach_replicas(self) -> None:
+        """Re-subscribe surviving replicas to the (new) writer's stream."""
+        writer = self.writer
+        for name, replica in self.replicas.items():
+            replica.detach()
+            replica.cache.drop_all()
+            replica.views.clear()
+            replica.attach(
+                next_expected_lsn=writer.allocator.next_lsn,
+                vdl=writer.vdl,
+                pg_frontiers=writer.frontiers.frontier_at(writer.vdl),
+                commit_history=writer.registry.known_commits(),
+            )
+            writer.publisher.attach_replica(name)
+
+    # ------------------------------------------------------------------
+    # Membership changes (section 4, Figure 5)
+    # ------------------------------------------------------------------
+    def begin_segment_replacement(
+        self, pg_index: int, failed_segment: str
+    ) -> str:
+        """Step 1 of Figure 5: add a candidate alongside the suspect member.
+
+        Creates the candidate node, installs the dual-quorum membership
+        (epoch += 1), and returns the candidate's segment id.  I/Os continue
+        throughout; the change is reversible until finalized.
+        """
+        state = self.metadata.membership(pg_index)
+        placement = self.metadata.placement(failed_segment)
+        self._candidate_counter += 1
+        slot = self._slot_of(state, failed_segment)
+        candidate_id = self.segment_name(
+            pg_index, slot, generation=self._candidate_counter
+        )
+        self._create_storage_node(
+            candidate_id, pg_index, placement.az, placement.kind
+        )
+        self.nodes[candidate_id].start()
+        new_state = state.begin_replacement(failed_segment, candidate_id)
+        verify_transition_safety(state, new_state)
+        self._install_membership(pg_index, new_state)
+        return candidate_id
+
+    def finalize_segment_replacement(
+        self, pg_index: int, failed_segment: str
+    ) -> None:
+        """Step 2 of Figure 5: the candidate is hydrated; drop the suspect."""
+        state = self.metadata.membership(pg_index)
+        slot = self._slot_of(state, failed_segment)
+        if len(state.slots[slot]) != 2:
+            raise MembershipError(
+                f"no replacement in flight for {failed_segment}"
+            )
+        new_state = state.commit_replacement(slot)
+        verify_transition_safety(state, new_state)
+        self._install_membership(pg_index, new_state)
+
+    def rollback_segment_replacement(
+        self, pg_index: int, failed_segment: str
+    ) -> None:
+        """Reverse path: the suspect came back; drop the candidate."""
+        state = self.metadata.membership(pg_index)
+        slot = self._slot_of(state, failed_segment)
+        new_state = state.rollback_replacement(slot)
+        verify_transition_safety(state, new_state)
+        self._install_membership(pg_index, new_state)
+
+    @staticmethod
+    def _slot_of(state: MembershipState, segment_id: str) -> int:
+        for slot, alternatives in enumerate(state.slots):
+            if segment_id in alternatives:
+                return slot
+        raise MembershipError(f"{segment_id!r} is not a member")
+
+    def _install_membership(
+        self, pg_index: int, new_state: MembershipState
+    ) -> None:
+        self.metadata.set_membership(pg_index, new_state)
+        driver = self.writer.driver
+        new_epochs = driver.epochs.bump_membership()
+        driver.configure_pg(pg_index)
+        # The epoch increment is itself a quorum write under the *new*
+        # membership; the returned future is intentionally fire-and-forget
+        # here -- I/Os never stall on a membership change.
+        driver.quorum_rpc(
+            pg_index,
+            lambda _m: EpochWrite(
+                pg_index=pg_index,
+                epochs=driver.epochs,
+                new_epochs=new_epochs,
+            ),
+            quorum="write",
+        )
+        driver.adopt_epochs(new_epochs)
+
+    def hydrate_segment(self, pg_index: int, candidate_id: str) -> Process:
+        """Run hydration for a replacement segment (section 4.2).
+
+        Tail repair "simply requires reading from the other members";
+        full repair copies a materialized baseline from a healthy full
+        peer first, then both catch up via the hot log and gossip.
+        """
+        return Process(self.loop, self._hydrate(pg_index, candidate_id))
+
+    def _hydrate(self, pg_index: int, candidate_id: str):
+        candidate = self.nodes[candidate_id]
+        sources = [
+            p
+            for p in self.metadata.full_segments_of_pg(pg_index)
+            if p.segment_id != candidate_id
+            and self.network.is_up(p.segment_id)
+        ]
+        if sources:
+            source = sources[0]
+            reply = yield self.network.rpc(
+                candidate_id,
+                source.segment_id,
+                BaselineRequest(
+                    from_segment=candidate_id,
+                    pg_index=pg_index,
+                    epochs=candidate.epochs.current,
+                ),
+            )
+            if isinstance(reply, BaselineResponse):
+                candidate.apply_baseline(reply)
+        # Wait until gossip closes the remaining gap to the PG's durable
+        # point, checking every few milliseconds.
+        tracker = self.writer.driver.pg_trackers[pg_index]
+        for _ in range(10_000):
+            if candidate.segment.scl >= tracker.pgcl:
+                return candidate.segment.scl
+            yield 5.0
+        raise MembershipError(
+            f"hydration of {candidate_id} did not converge"
+        )
+
+    def replace_segment(self, pg_index: int, failed_segment: str) -> Process:
+        """The full Figure 5 flow: add candidate, hydrate, finalize."""
+        return Process(
+            self.loop, self._replace(pg_index, failed_segment)
+        )
+
+    def _replace(self, pg_index: int, failed_segment: str):
+        candidate_id = self.begin_segment_replacement(
+            pg_index, failed_segment
+        )
+        yield self.hydrate_segment(pg_index, candidate_id).completion
+        self.finalize_segment_replacement(pg_index, failed_segment)
+        return candidate_id
+
+    # ------------------------------------------------------------------
+    # Heat management / planned migration (sections 1 and 4)
+    # ------------------------------------------------------------------
+    def migrate_segment(self, pg_index: int, segment_id: str) -> Process:
+        """Move a HEALTHY segment to a fresh node (heat management,
+        planned software upgrades).
+
+        Exactly the Figure 5 flow -- the paper uses the same membership
+        machinery for "unexpected failures, heat management, as well as
+        planned software upgrades" -- except the incumbent keeps serving
+        throughout and is only decommissioned after the change finalizes.
+        """
+        return Process(self.loop, self._migrate(pg_index, segment_id))
+
+    def _migrate(self, pg_index: int, segment_id: str):
+        candidate = self.begin_segment_replacement(pg_index, segment_id)
+        yield self.hydrate_segment(pg_index, candidate).completion
+        self.finalize_segment_replacement(pg_index, segment_id)
+        # Decommission the old node only now: durable state was never
+        # discarded before the quorum was fully repaired.
+        self.network.fail_node(segment_id)
+        return candidate
+
+    # ------------------------------------------------------------------
+    # Quorum-model change (section 4.1: 4/6 -> 3/4 under extended AZ loss)
+    # ------------------------------------------------------------------
+    def adopt_degraded_quorum(self, pg_index: int, lost_az: str) -> QuorumConfig:
+        """Switch a PG to a 3/4 write / 2/4 read quorum over the four
+        segments outside ``lost_az``.
+
+        "This can also be used to change the quorum model itself, for
+        example, when moving from a 4/6 write quorum to 3/4 to handle the
+        extended loss of an AZ."  The change rides the geometry epoch and
+        restores one-extra-failure write tolerance while the AZ is gone.
+        """
+        survivors = [
+            p.segment_id
+            for p in self.metadata.segments_of_pg(pg_index)
+            if p.az != lost_az
+        ]
+        if len(survivors) != 4:
+            raise ConfigurationError(
+                f"expected 4 surviving segments outside {lost_az}, got "
+                f"{len(survivors)}"
+            )
+        config = QuorumConfig(
+            write_expr=QuorumLeaf.of(survivors, 3),
+            read_expr=QuorumLeaf.of(survivors, 2),
+        ).prove()
+        self.metadata.set_quorum_override(pg_index, config)
+        self._bump_geometry_epoch(pg_index)
+        return config
+
+    def restore_standard_quorum(self, pg_index: int) -> None:
+        """The AZ came back: return to the 4/6 model (epoch bump)."""
+        self.metadata.clear_quorum_override(pg_index)
+        self._bump_geometry_epoch(pg_index)
+
+    def _bump_geometry_epoch(self, pg_index: int) -> None:
+        driver = self.writer.driver
+        new_epochs = driver.epochs.bump_geometry()
+        driver.configure_pg(pg_index)
+        driver.quorum_rpc(
+            pg_index,
+            lambda _m: EpochWrite(
+                pg_index=pg_index,
+                epochs=driver.epochs,
+                new_epochs=new_epochs,
+            ),
+            quorum="write",
+        )
+        driver.adopt_epochs(new_epochs)
+
+    # ------------------------------------------------------------------
+    # Point-in-time restore from the S3 archive (section 2.1's offloaded
+    # backup/restore)
+    # ------------------------------------------------------------------
+    @classmethod
+    def restore_from_backup(
+        cls,
+        source: "AuroraCluster",
+        as_of_ms: float | None = None,
+        seed: int | None = None,
+    ) -> "AuroraCluster":
+        """Build a brand-new cluster from the source's S3 snapshots.
+
+        Each fresh segment restores the newest snapshot taken at or before
+        ``as_of_ms`` (source simulation time; default: everything).  The
+        new writer then runs ordinary crash recovery against the restored
+        fleet -- restore IS recovery against archived state -- after which
+        gossip/hydration level out any per-segment skew.
+        """
+        config = ClusterConfig(
+            seed=seed if seed is not None else source.config.seed + 1,
+            pg_count=source.config.pg_count,
+            blocks_per_pg=source.config.blocks_per_pg,
+            full_tail=source.config.full_tail,
+        )
+        cluster = cls.build(config, bootstrap=False)
+        for segment_id, node in cluster.nodes.items():
+            best = None
+            for obj in source.s3.objects.values():
+                if obj.segment_id != segment_id:
+                    continue
+                if as_of_ms is not None and obj.taken_at > as_of_ms:
+                    continue
+                if best is None or obj.scl > best.scl:
+                    best = obj
+            if best is not None:
+                node.segment.restore_from_snapshot(best.payload)
+        process = cluster.writer.recover()
+        Session(cluster.writer).drive(process)
+        return cluster
+
+    # ------------------------------------------------------------------
+    # Volume growth (section 4.1's geometry epoch)
+    # ------------------------------------------------------------------
+    def grow_volume(self, additional_pgs: int = 1) -> None:
+        """Append protection groups and bump the geometry epoch."""
+        first_new = self.metadata.geometry.pg_count
+        self.metadata.geometry.grow(additional_pgs)
+        for pg_index in range(first_new, first_new + additional_pgs):
+            self._create_protection_group(pg_index)
+            for placement in self.metadata.segments_of_pg(pg_index):
+                self.nodes[placement.segment_id].start()
+        driver = self.writer.driver
+        new_epochs = driver.epochs.bump_geometry()
+        driver.configure_all_pgs()
+        for pg_index in range(first_new, first_new + additional_pgs):
+            driver.quorum_rpc(
+                pg_index,
+                lambda _m, pg_index=pg_index: EpochWrite(
+                    pg_index=pg_index,
+                    epochs=driver.epochs,
+                    new_epochs=new_epochs,
+                ),
+                quorum="write",
+            )
+        driver.adopt_epochs(new_epochs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nodes_of_pg(self, pg_index: int) -> list[StorageNode]:
+        return [
+            self.nodes[p.segment_id]
+            for p in self.metadata.segments_of_pg(pg_index)
+        ]
+
+    def segment_scls(self, pg_index: int) -> dict[str, int]:
+        return {
+            node.name: node.segment.scl for node in self.nodes_of_pg(pg_index)
+        }
+
+    def message_stats(self) -> dict[str, int]:
+        return dict(self.network.stats.by_type)

@@ -1,0 +1,588 @@
+"""The storage driver inside a database instance.
+
+Write path (section 2.2): "Changes to data blocks modify the image in the
+Aurora buffer cache and add the corresponding redo record to a log buffer.
+These are periodically flushed to a storage driver ...  Inside the driver,
+they are shuffled to individual write buffers for each storage node storing
+segments for the data volume.  The driver asynchronously issues writes,
+receives acknowledgments, and establishes consistency points."
+
+Boxcar strategy (the paper's jitter fix): "Aurora handles this by submitting
+the asynchronous network operation when it receives the first redo log
+record in the boxcar but continuing to fill the buffer until the network
+operation executes."  Two ablation modes are provided -- a classic
+size-or-timeout boxcar (the jittery design the paper criticises) and
+no-boxcar-at-all -- so benchmark C2 can compare all three.
+
+Read path (section 3.1): reads go to a single segment chosen from the
+driver's own durability bookkeeping, with latency tracking, occasional
+exploration, and hedging of overdue requests.  Hedging is checked whenever
+any other I/O completes ("without request timeouts by inspecting the list
+of outstanding requests when performing other I/Os") plus a coarse fallback
+sweep for idle periods.
+
+The driver also provides the quorum-RPC helpers recovery and membership
+changes are built from: scatter a request to every member, resolve once the
+responder set satisfies the read or write quorum expression.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.consistency import PGConsistencyTracker, VolumeConsistencyTracker
+from repro.core.commit import CommitQueue
+from repro.core.epochs import EpochStamp
+from repro.core.read_routing import LatencyTracker, ReadPlan, ReadRouter
+from repro.core.records import LogRecord
+from repro.errors import SegmentUnavailableError
+from repro.sim.events import EventLoop, Future
+from repro.storage.messages import (
+    ReadBlockRequest,
+    ReadBlockResponse,
+    RecoveryScanRequest,
+    RequestRejected,
+    TruncateRequest,
+    WriteAck,
+    WriteBatch,
+)
+from repro.storage.metadata import StorageMetadataService
+
+
+class BoxcarMode(enum.Enum):
+    """How the driver batches records into write buffers."""
+
+    #: The paper's design: issue the async send on the first record, keep
+    #: filling the buffer until the send executes.  No added latency, no
+    #: timeout jitter, still batches under load.
+    AURORA = "aurora"
+    #: Classic group-commit boxcar: flush at N records or after a timeout.
+    #: "Jitter is greatest under low load when the boxcar times out."
+    TIMEOUT = "timeout"
+    #: No batching: one network operation per record.
+    IMMEDIATE = "immediate"
+
+
+@dataclass
+class DriverConfig:
+    boxcar_mode: BoxcarMode = BoxcarMode.AURORA
+    #: AURORA mode: delay until the issued async network op executes (ms).
+    submit_delay: float = 0.05
+    #: TIMEOUT mode parameters.
+    boxcar_timeout: float = 4.0
+    boxcar_max_records: int = 32
+    #: Hedged-read fallback sweep period when no other I/O fires (ms).
+    hedge_sweep_interval: float = 1.0
+    #: Grace period to collect straggler responses past quorum (ms).
+    quorum_grace: float = 5.0
+    #: Hard deadline for a quorum RPC; unreachable quorum fails here (ms).
+    quorum_deadline: float = 200.0
+    explore_probability: float = 0.02
+    hedge_multiplier: float = 3.0
+
+
+@dataclass
+class DriverStats:
+    batches_sent: int = 0
+    records_sent: int = 0
+    acks_received: int = 0
+    rejections_seen: int = 0
+    reads_issued: int = 0
+    reads_completed: int = 0
+    hedges_issued: int = 0
+    explores_issued: int = 0
+    read_latencies: list[float] = field(default_factory=list)
+    #: Per-record wait between submit() and the batch leaving the driver.
+    boxcar_delays: list[float] = field(default_factory=list)
+
+
+class _PGWriteBuffer:
+    """Pending records for one protection group."""
+
+    def __init__(self) -> None:
+        self.records: list[tuple[LogRecord, float]] = []
+        self.flush_event = None  # scheduled Event or None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+@dataclass
+class _OutstandingRead:
+    block: int
+    pg_index: int
+    read_point: int
+    segment: str
+    issued_at: float
+    plan: ReadPlan
+    future: Future
+    is_hedge: bool = False
+    settled: bool = False
+    exclude: frozenset[str] = frozenset()
+
+
+class StorageDriver:
+    """Asynchronous write/read engine owned by one database instance."""
+
+    def __init__(
+        self,
+        instance_id: str,
+        loop: EventLoop,
+        send: Callable[[str, object], None],
+        rpc: Callable[[str, object], Future],
+        metadata: StorageMetadataService,
+        rng: random.Random,
+        config: DriverConfig | None = None,
+        optimistic_reads: bool = False,
+    ) -> None:
+        self.instance_id = instance_id
+        #: Replicas are not in the acknowledgement path, so they cannot
+        #: know which segments are durable; with optimistic reads the
+        #: driver targets any full segment and relies on the storage
+        #: node's read-window rejection plus retry to find a current one.
+        self.optimistic_reads = optimistic_reads
+        self.loop = loop
+        self._send = send
+        self._rpc = rpc
+        self.metadata = metadata
+        self.rng = rng
+        self.config = config if config is not None else DriverConfig()
+        self.stats = DriverStats()
+        self.epochs: EpochStamp = metadata.epochs
+        self.pg_trackers: dict[int, PGConsistencyTracker] = {}
+        self.volume = VolumeConsistencyTracker()
+        self.commit_queue = CommitQueue()
+        self.latency_tracker = LatencyTracker()
+        self.router = ReadRouter(
+            self.latency_tracker,
+            rng,
+            explore_probability=self.config.explore_probability,
+            hedge_multiplier=self.config.hedge_multiplier,
+        )
+        self._buffers: dict[int, _PGWriteBuffer] = {}
+        self._outstanding_reads: list[_OutstandingRead] = []
+        self._hedge_sweep_scheduled = False
+        #: Called with the new VCL after each advance.
+        self.on_vcl_advance: list[Callable[[int], None]] = []
+        #: Called with the new VDL after each advance.
+        self.on_vdl_advance: list[Callable[[int], None]] = []
+        #: Supplies the PGMRPL piggybacked on writes.
+        self.pgmrpl_provider: Callable[[], int] = lambda: 0
+
+    # ------------------------------------------------------------------
+    # Configuration / membership
+    # ------------------------------------------------------------------
+    def configure_pg(self, pg_index: int) -> PGConsistencyTracker:
+        """(Re)load a PG's quorum config from the metadata service."""
+        config = self.metadata.quorum_config(pg_index)
+        tracker = self.pg_trackers.get(pg_index)
+        if tracker is None:
+            tracker = PGConsistencyTracker(pg_index, config)
+            self.pg_trackers[pg_index] = tracker
+        else:
+            tracker.set_config(config)
+        return tracker
+
+    def configure_all_pgs(self) -> None:
+        for pg_index in self.metadata.pg_indexes():
+            self.configure_pg(pg_index)
+
+    def refresh_epochs(self) -> None:
+        self.epochs = self.metadata.epochs
+
+    def adopt_epochs(self, stamp: EpochStamp) -> None:
+        self.epochs = EpochStamp(
+            volume=max(self.epochs.volume, stamp.volume),
+            membership=max(self.epochs.membership, stamp.membership),
+            geometry=max(self.epochs.geometry, stamp.geometry),
+        )
+        self.metadata.record_epochs(self.epochs)
+
+    @property
+    def vcl(self) -> int:
+        return self.volume.vcl
+
+    @property
+    def vdl(self) -> int:
+        return self.volume.vdl
+
+    def members_of(self, pg_index: int) -> list[str]:
+        return sorted(self.metadata.membership(pg_index).members)
+
+    def _full_members_of(self, pg_index: int) -> set[str]:
+        return {
+            p.segment_id for p in self.metadata.full_segments_of_pg(pg_index)
+        }
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def submit(self, records: list[LogRecord]) -> None:
+        """Hand sealed MTR records to the driver (registers them for VCL
+        tracking and shards them into per-PG write buffers)."""
+        for record in records:
+            self.volume.register(record.lsn, record.pg_index, record.mtr_end)
+            buffer = self._buffers.setdefault(record.pg_index, _PGWriteBuffer())
+            buffer.records.append((record, self.loop.now))
+            self._arm_flush(record.pg_index, buffer)
+
+    def _arm_flush(self, pg_index: int, buffer: _PGWriteBuffer) -> None:
+        mode = self.config.boxcar_mode
+        if mode is BoxcarMode.IMMEDIATE:
+            self._flush(pg_index)
+            return
+        if mode is BoxcarMode.AURORA:
+            if buffer.flush_event is None:
+                buffer.flush_event = self.loop.schedule(
+                    self.config.submit_delay, self._flush, pg_index
+                )
+            return
+        # TIMEOUT mode: flush when full, else wait out the boxcar timer.
+        if len(buffer) >= self.config.boxcar_max_records:
+            if buffer.flush_event is not None:
+                buffer.flush_event.cancel()
+                buffer.flush_event = None
+            self._flush(pg_index)
+        elif buffer.flush_event is None:
+            buffer.flush_event = self.loop.schedule(
+                self.config.boxcar_timeout, self._flush, pg_index
+            )
+
+    def _flush(self, pg_index: int) -> None:
+        buffer = self._buffers.get(pg_index)
+        if buffer is None or not buffer.records:
+            if buffer is not None:
+                buffer.flush_event = None
+            return
+        records = tuple(record for record, _t in buffer.records)
+        now = self.loop.now
+        self.stats.boxcar_delays.extend(
+            now - submitted for _r, submitted in buffer.records
+        )
+        buffer.records.clear()
+        buffer.flush_event = None
+        batch = WriteBatch(
+            instance_id=self.instance_id,
+            pg_index=pg_index,
+            records=records,
+            epochs=self.epochs,
+            pgmrpl=self.pgmrpl_provider(),
+        )
+        for member in self.members_of(pg_index):
+            self._send(member, batch)
+            self.stats.batches_sent += 1
+            self.stats.records_sent += len(records)
+
+    def flush_all(self) -> None:
+        """Force every buffer out (used at commit in TIMEOUT ablations)."""
+        for pg_index in list(self._buffers):
+            self._flush(pg_index)
+
+    # ------------------------------------------------------------------
+    # Acknowledgement processing
+    # ------------------------------------------------------------------
+    def on_write_ack(self, ack: WriteAck) -> None:
+        self.stats.acks_received += 1
+        tracker = self.pg_trackers.get(ack.pg_index)
+        if tracker is None:
+            return
+        if tracker.record_ack(ack.segment_id, ack.scl):
+            vcl_advanced, vdl_advanced = self.volume.on_pgcl(
+                ack.pg_index, tracker.pgcl
+            )
+            if vcl_advanced:
+                self.commit_queue.on_vcl_advance(self.volume.vcl, self.loop.now)
+                for callback in self.on_vcl_advance:
+                    callback(self.volume.vcl)
+            if vdl_advanced:
+                for callback in self.on_vdl_advance:
+                    callback(self.volume.vdl)
+        # Any completed I/O is an opportunity to inspect outstanding reads.
+        self._inspect_outstanding_reads()
+
+    def on_rejection(self, rejection: RequestRejected) -> None:
+        self.stats.rejections_seen += 1
+        self.adopt_epochs(rejection.current_epochs)
+
+    def seed_member_scl(self, pg_index: int, segment_id: str, scl: int) -> None:
+        """Install a known SCL after recovery (from scan/truncate acks)."""
+        tracker = self.pg_trackers.get(pg_index)
+        if tracker is not None:
+            tracker.record_ack(segment_id, scl)
+            self.volume.on_pgcl(pg_index, tracker.pgcl)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def read_block(
+        self, block: int, pg_index: int, read_point: int
+    ) -> Future:
+        """Read one block at ``read_point``; resolves with
+        ``(image_dict, version_lsn)``.
+
+        Candidates are the full segments known, from ack bookkeeping, to be
+        durable through ``read_point`` -- no quorum read.
+        """
+        future = Future(self.loop)
+        self._issue_read(
+            block, pg_index, read_point, future, exclude=frozenset()
+        )
+        return future
+
+    def _read_candidates(
+        self, pg_index: int, read_point: int, exclude: frozenset[str]
+    ) -> list[str]:
+        fulls = self._full_members_of(pg_index)
+        tracker = self.pg_trackers.get(pg_index)
+        durable: frozenset[str] = frozenset()
+        if tracker is not None:
+            durable = tracker.durable_members_at(read_point)
+        candidates = durable & fulls
+        if not candidates and self.optimistic_reads:
+            candidates = frozenset(fulls)
+        return sorted(candidates - exclude)
+
+    def _issue_read(
+        self,
+        block: int,
+        pg_index: int,
+        read_point: int,
+        future: Future,
+        exclude: frozenset[str],
+    ) -> None:
+        candidates = self._read_candidates(pg_index, read_point, exclude)
+        if not candidates:
+            future.set_exception(
+                SegmentUnavailableError(
+                    f"no full segment durable through LSN {read_point} "
+                    f"in PG {pg_index}"
+                )
+            )
+            return
+        plan = self.router.plan(candidates)
+        self._dispatch_read(
+            block, pg_index, read_point, plan.primary, plan, future,
+            is_hedge=False, exclude=exclude,
+        )
+        if plan.explore is not None:
+            self.stats.explores_issued += 1
+            self._dispatch_read(
+                block, pg_index, read_point, plan.explore, plan, future,
+                is_hedge=False, exclude=exclude,
+            )
+
+    def _dispatch_read(
+        self,
+        block: int,
+        pg_index: int,
+        read_point: int,
+        segment: str,
+        plan: ReadPlan,
+        future: Future,
+        is_hedge: bool,
+        exclude: frozenset[str] = frozenset(),
+    ) -> None:
+        self.stats.reads_issued += 1
+        if is_hedge:
+            self.stats.hedges_issued += 1
+        outstanding = _OutstandingRead(
+            block=block,
+            pg_index=pg_index,
+            read_point=read_point,
+            segment=segment,
+            issued_at=self.loop.now,
+            plan=plan,
+            future=future,
+            is_hedge=is_hedge,
+            exclude=exclude,
+        )
+        self._outstanding_reads.append(outstanding)
+        request = ReadBlockRequest(
+            pg_index=pg_index,
+            block=block,
+            read_point=read_point,
+            epochs=self.epochs,
+        )
+        rpc_future = self._rpc(segment, request)
+        rpc_future.add_done_callback(
+            lambda f: self._on_read_reply(outstanding, f)
+        )
+        self._ensure_hedge_sweep()
+
+    def _on_read_reply(self, outstanding: _OutstandingRead, rpc_future: Future) -> None:
+        response = rpc_future.result()
+        latency = self.loop.now - outstanding.issued_at
+        self.latency_tracker.record(outstanding.segment, latency)
+        outstanding.settled = True
+        self._outstanding_reads = [
+            r for r in self._outstanding_reads if not r.settled
+        ]
+        if isinstance(response, RequestRejected):
+            self.on_rejection(response)
+            if not outstanding.future.done:
+                # Refresh-and-retry, per the paper's stale-epoch rule; a
+                # read-window rejection also steers the retry away from
+                # the rejecting segment.
+                self._issue_read(
+                    outstanding.block,
+                    outstanding.pg_index,
+                    outstanding.read_point,
+                    outstanding.future,
+                    exclude=outstanding.exclude | {outstanding.segment},
+                )
+            return
+        if isinstance(response, ReadBlockResponse) and not outstanding.future.done:
+            self.stats.reads_completed += 1
+            self.stats.read_latencies.append(latency)
+            outstanding.future.set_result(
+                (response.image_dict(), response.version_lsn)
+            )
+        self._inspect_outstanding_reads()
+
+    def _inspect_outstanding_reads(self) -> None:
+        """Hedge any overdue read (called on every completed I/O)."""
+        now = self.loop.now
+        for outstanding in list(self._outstanding_reads):
+            if outstanding.future.done or outstanding.is_hedge:
+                continue
+            elapsed = now - outstanding.issued_at
+            if not self.router.should_hedge(outstanding.segment, elapsed):
+                continue
+            target = self.router.hedge_target(outstanding.plan)
+            if target is None or target == outstanding.segment:
+                continue
+            # Mark so we hedge each slow read at most once.
+            outstanding.is_hedge = True
+            self._dispatch_read(
+                outstanding.block,
+                outstanding.pg_index,
+                outstanding.read_point,
+                target,
+                ReadPlan(primary=target, hedge_candidates=[]),
+                outstanding.future,
+                is_hedge=True,
+            )
+
+    def _ensure_hedge_sweep(self) -> None:
+        if self._hedge_sweep_scheduled:
+            return
+        self._hedge_sweep_scheduled = True
+        self.loop.schedule(self.config.hedge_sweep_interval, self._hedge_sweep)
+
+    def _hedge_sweep(self) -> None:
+        self._hedge_sweep_scheduled = False
+        self._outstanding_reads = [
+            r for r in self._outstanding_reads if not r.future.done
+        ]
+        if not self._outstanding_reads:
+            return
+        self._inspect_outstanding_reads()
+        self._ensure_hedge_sweep()
+
+    # ------------------------------------------------------------------
+    # Quorum RPC helpers (recovery, membership, epoch bumps)
+    # ------------------------------------------------------------------
+    def quorum_rpc(
+        self,
+        pg_index: int,
+        payload_factory: Callable[[str], object],
+        quorum: str,
+    ) -> Future:
+        """Scatter an RPC to every member of a PG; resolve with the
+        responses once the responder set satisfies the requested quorum
+        expression (``"read"`` or ``"write"``).
+
+        After quorum is reached a short grace period collects stragglers,
+        so recovery sees *every reachable* segment, not a minimal quorum
+        (see the discussion in :mod:`repro.core.membership`).
+        """
+        config = self.metadata.quorum_config(pg_index)
+        members = self.members_of(pg_index)
+        result = Future(self.loop)
+        responses: dict[str, object] = {}
+        state = {"resolve_scheduled": False}
+
+        def _maybe_resolve(final: bool) -> None:
+            if result.done:
+                return
+            responders = frozenset(responses)
+            satisfied = (
+                config.read_satisfied(responders)
+                if quorum == "read"
+                else config.write_satisfied(responders)
+            )
+            if final:
+                if satisfied:
+                    result.set_result(dict(responses))
+                else:
+                    result.set_exception(
+                        SegmentUnavailableError(
+                            f"PG {pg_index}: responders {sorted(responders)} "
+                            f"never satisfied the {quorum} quorum"
+                        )
+                    )
+                return
+            if len(responses) == len(members):
+                if satisfied:
+                    result.set_result(dict(responses))
+                return
+            if satisfied and not state["resolve_scheduled"]:
+                state["resolve_scheduled"] = True
+                self.loop.schedule(
+                    self.config.quorum_grace, _maybe_resolve, True
+                )
+
+        self.loop.schedule(self.config.quorum_deadline, _maybe_resolve, True)
+
+        for member in members:
+            future = self._rpc(member, payload_factory(member))
+
+            def _on_reply(f: Future, member=member) -> None:
+                reply = f.result()
+                if isinstance(reply, RequestRejected):
+                    self.on_rejection(reply)
+                    return
+                responses[member] = reply
+                _maybe_resolve(False)
+
+            future.add_done_callback(_on_reply)
+        return result
+
+    def scan_pg(self, pg_index: int) -> Future:
+        """Recovery scan: gather SCLs + chain digests from a read quorum."""
+        return self.quorum_rpc(
+            pg_index,
+            lambda _member: RecoveryScanRequest(
+                pg_index=pg_index, epochs=self.epochs
+            ),
+            quorum="read",
+        )
+
+    def truncate_pg(
+        self, pg_index: int, pg_point: int, truncation, new_epochs: EpochStamp
+    ) -> Future:
+        """Install a truncation range + new epochs on a write quorum."""
+        return self.quorum_rpc(
+            pg_index,
+            lambda _member: TruncateRequest(
+                pg_index=pg_index,
+                pg_point=pg_point,
+                truncation=truncation,
+                new_epochs=new_epochs,
+            ),
+            quorum="write",
+        )
+
+    # ------------------------------------------------------------------
+    # Crash support
+    # ------------------------------------------------------------------
+    def drop_transient_state(self) -> None:
+        """Crash: buffers, trackers, and outstanding I/O are all ephemeral."""
+        self._buffers.clear()
+        self._outstanding_reads.clear()
+        self.pg_trackers.clear()
+        self.volume = VolumeConsistencyTracker()
+        self.commit_queue = CommitQueue()

@@ -1,0 +1,714 @@
+"""The single-writer Aurora database instance.
+
+This actor ties everything together:
+
+- it allocates the volume-wide LSN space (section 2.1's key invariant),
+- builds MTRs over the B-tree and buffer cache, threading the three
+  back-chains into every record,
+- streams records through the storage driver and advances SCL -> PGCL ->
+  VCL/VDL purely from acknowledgement bookkeeping,
+- acknowledges commits when their SCN passes the VCL (section 2.3) with no
+  flush, no consensus, and no group-commit stall,
+- serves reads from its own durability bookkeeping (no quorum reads),
+- publishes the physical replication stream, and
+- re-establishes every consistency point from segment state at crash
+  recovery (section 2.4), bumping the volume epoch to box out its past
+  self.
+
+All public operations that may touch storage are **generator functions**;
+run them with :class:`repro.sim.Process` (or through
+:class:`repro.db.session.Session`, which does it for you).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from repro.core.consistency import MinReadPointTracker, PGFrontierHistory
+from repro.core.epochs import EpochStamp
+from repro.core.lsn import NULL_LSN, LSNAllocator, TruncationRange
+from repro.core.records import CommitPayload, LogRecord, RecordKind
+from repro.core.recovery import SegmentRecoveryResponse, recover_volume_state
+from repro.db.btree import BlockIO, BTree, leaf_rows
+from repro.db.buffer_cache import BufferCache
+from repro.db.driver import DriverConfig, StorageDriver
+from repro.db.locks import LockManager, lock_keys_for
+from repro.db.logical_replication import ChangeKind, LogicalPublisher, RowChange
+from repro.db.mtr import ChainState, MTRBuilder
+from repro.db.mvcc import (
+    TOMBSTONE,
+    ReadView,
+    ReadViewManager,
+    TransactionStatusRegistry,
+)
+from repro.db.replication import ReplicationPublisher
+from repro.db.txn import Transaction, TransactionManager
+from repro.errors import InstanceStateError
+from repro.sim.events import Future
+from repro.sim.network import Actor, Message
+from repro.sim.process import Mutex, Process
+from repro.storage.messages import (
+    GCFloorUpdate,
+    RecoveryScanResponse,
+    RequestRejected,
+    TruncateAck,
+    WriteAck,
+)
+from repro.storage.metadata import StorageMetadataService
+from repro.storage.volume import VolumeGeometry
+
+
+class InstanceState(enum.Enum):
+    NEW = "new"
+    OPEN = "open"
+    CRASHED = "crashed"
+    RECOVERING = "recovering"
+    CLOSED = "closed"
+
+
+@dataclass
+class InstanceConfig:
+    """Tunable behaviour of a database instance."""
+
+    cache_capacity: int = 100_000
+    txn_table_blocks: int = 4
+    max_leaf_rows: int = 16
+    max_internal_keys: int = 16
+    driver: DriverConfig = field(default_factory=DriverConfig)
+    #: Period between GC-floor (PGMRPL) advertisements to storage (ms).
+    gc_floor_interval: float = 50.0
+    #: LSN headroom added above the highest observed LSN when computing a
+    #: recovery truncation ceiling; must exceed any in-flight allocation.
+    recovery_margin: int = 1_000_000
+
+
+@dataclass
+class InstanceStats:
+    commits_requested: int = 0
+    commits_acknowledged: int = 0
+    commit_latencies: list[float] = field(default_factory=list)
+    rollbacks: int = 0
+    reads: int = 0
+    writes: int = 0
+    recoveries: int = 0
+    recovery_durations: list[float] = field(default_factory=list)
+    orphan_versions_purged: int = 0
+
+
+class WriterInstance(Actor, BlockIO):
+    """The writer: SQL endpoint, transaction engine, and storage client."""
+
+    #: Block 0 holds the B-tree meta; blocks 1..txn_table_blocks hold the
+    #: transaction table; the root leaf and data blocks follow.
+    META_BLOCK = 0
+
+    def __init__(
+        self,
+        name: str,
+        metadata: StorageMetadataService,
+        rng: random.Random,
+        config: InstanceConfig | None = None,
+    ) -> None:
+        Actor.__init__(self, name=name)
+        self.metadata = metadata
+        self.rng = rng
+        self.config = config if config is not None else InstanceConfig()
+        self.state = InstanceState.NEW
+        self.stats = InstanceStats()
+        # Protocol state (all ephemeral; rebuilt by recovery).
+        self.allocator = LSNAllocator()
+        self.chains = ChainState()
+        self.cache = BufferCache(self.config.cache_capacity)
+        self.locks = LockManager()
+        self.registry = TransactionStatusRegistry()
+        self.txns = TransactionManager()
+        self.views = ReadViewManager()
+        self.min_read = MinReadPointTracker()
+        self.frontiers = PGFrontierHistory()
+        self.driver: StorageDriver | None = None
+        self.publisher: ReplicationPublisher | None = None
+        #: Logical (row-level) change stream for non-Aurora subscribers.
+        self.logical = LogicalPublisher()
+        self.btree: BTree | None = None
+        self._write_mutex: Mutex | None = None
+        self._gc_floor_tick_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def geometry(self) -> VolumeGeometry:
+        return self.metadata.geometry
+
+    def pg_of_block(self, block: int) -> int:
+        return self.geometry.pg_of_block(block)
+
+    def txn_table_block(self, txn_id: int) -> int:
+        return 1 + (txn_id % self.config.txn_table_blocks)
+
+    @property
+    def root_leaf_block(self) -> int:
+        return 1 + self.config.txn_table_blocks
+
+    def start(self) -> None:
+        """Wire the driver and background ticks (after network attach)."""
+        self.driver = StorageDriver(
+            instance_id=self.name,
+            loop=self.loop,
+            send=lambda dst, payload: self.network.send(self.name, dst, payload),
+            rpc=lambda dst, payload: self.network.rpc(self.name, dst, payload),
+            metadata=self.metadata,
+            rng=self.rng,
+            config=self.config.driver,
+        )
+        self.driver.configure_all_pgs()
+        self.driver.pgmrpl_provider = self.current_pgmrpl
+        self.driver.on_vdl_advance.append(self._on_vdl_advance)
+        self.publisher = ReplicationPublisher(
+            writer_id=self.name,
+            send=lambda dst, payload: self.network.send(self.name, dst, payload),
+        )
+        self.btree = BTree(
+            io=self,
+            registry=self.registry,
+            meta_block=self.META_BLOCK,
+            max_leaf_rows=self.config.max_leaf_rows,
+            max_internal_keys=self.config.max_internal_keys,
+        )
+        self._write_mutex = Mutex(self.loop)
+        self._schedule_gc_floor_tick()
+
+    def bootstrap(self) -> None:
+        """Create an empty database (fresh volume only)."""
+        self._require(InstanceState.NEW)
+        mtr = MTRBuilder(txn_id=0)
+        self.btree.bootstrap(
+            mtr,
+            root_block=self.root_leaf_block,
+            first_free_block=self.root_leaf_block + 1,
+        )
+        self._apply_mtr(mtr)
+        self.state = InstanceState.OPEN
+
+    def _require(self, *states: InstanceState) -> None:
+        if self.state not in states:
+            raise InstanceStateError(
+                f"instance {self.name} is {self.state.value}; "
+                f"operation requires {[s.value for s in states]}"
+            )
+
+    # ------------------------------------------------------------------
+    # Consistency-point accessors
+    # ------------------------------------------------------------------
+    @property
+    def vcl(self) -> int:
+        return self.driver.vcl
+
+    @property
+    def vdl(self) -> int:
+        return self.driver.vdl
+
+    def current_pgmrpl(self) -> int:
+        return self.min_read.current()
+
+    def _on_vdl_advance(self, vdl: int) -> None:
+        self.frontiers.advance_vdl(vdl)
+        self.min_read.advance_floor(vdl)
+        self.frontiers.prune_below(self.current_pgmrpl())
+        self.cache.shrink(vdl)
+        if self.publisher is not None:
+            self.publisher.publish_vdl(vdl)
+
+    # ------------------------------------------------------------------
+    # BlockIO: reads, staged changes, block allocation
+    # ------------------------------------------------------------------
+    def read_image(self, block: int, mtr: MTRBuilder | None = None):
+        """Current image of a block: MTR overlay, cache, or storage."""
+        if mtr is not None and block in mtr.staged_images:
+            return dict(mtr.staged_images[block])
+        cached = self.cache.lookup(block)
+        if cached is not None:
+            return dict(cached.image)
+        # Cache miss: the WAL invariant guarantees every evicted block is
+        # fully durable, so the latest durable version *is* the latest.
+        read_point = self.vdl
+        pg_index = self.pg_of_block(block)
+        pg_point = self.frontiers.pg_read_point(pg_index, read_point)
+        if pg_point == NULL_LSN:
+            return {}  # no durable writes to this PG yet
+        image, version_lsn = yield self.driver.read_block(
+            block, pg_index, pg_point
+        )
+        self.cache.install(block, dict(image), version_lsn, self.vdl)
+        return dict(image)
+
+    def stage_change(self, mtr: MTRBuilder, block: int, payload) -> dict:
+        base = mtr.staged_images.get(block)
+        if base is None:
+            cached = self.cache.peek(block)
+            base = dict(cached.image) if cached is not None else {}
+        new_image = payload.apply(base)
+        mtr.staged_images[block] = new_image
+        mtr.change(block, self.pg_of_block(block), payload)
+        return dict(new_image)
+
+    def allocate_block(self, mtr: MTRBuilder):
+        from repro.core.records import BlockPut
+
+        meta = yield from self.read_image(self.META_BLOCK, mtr)
+        new_block = meta["next_block"]
+        # Growing past the current geometry requires adding protection
+        # groups (storage nodes and a geometry-epoch bump) -- an operation
+        # the cluster performs (see AuroraCluster.grow_volume); the
+        # instance itself refuses to address beyond the volume.
+        self.geometry.pg_of_block(new_block)  # raises if out of range
+        self.stage_change(
+            mtr,
+            self.META_BLOCK,
+            BlockPut(entries=(("next_block", new_block + 1),)),
+        )
+        mtr.staged_images.setdefault(new_block, {})
+        return new_block
+
+    def _apply_mtr(self, mtr: MTRBuilder) -> list[LogRecord]:
+        """Seal an MTR: allocate LSNs, absorb into cache, ship to storage."""
+        records = mtr.seal(self.allocator, self.chains)
+        for record in records:
+            self._absorb_record(record)
+        self.driver.submit(records)
+        if self.publisher is not None:
+            self.publisher.publish_mtr(records)
+        return records
+
+    def _absorb_record(self, record: LogRecord) -> None:
+        self.frontiers.record(record.lsn, record.pg_index)
+        if record.block < 0:
+            return
+        cached = self.cache.peek(record.block)
+        if cached is None:
+            self.cache.install(record.block, {}, NULL_LSN, self.vdl)
+            cached = self.cache.peek(record.block)
+        new_image = record.payload.apply(cached.image)
+        self.cache.apply_change(record.block, new_image, record.lsn)
+
+    # ------------------------------------------------------------------
+    # Read views
+    # ------------------------------------------------------------------
+    def open_view(self, txn_id: int = 0) -> ReadView:
+        """Anchor a snapshot at the current VDL (section 3.1)."""
+        view = self.views.open(read_point=self.vdl, txn_id=txn_id)
+        self.min_read.register(view.read_point)
+        return view
+
+    def close_view(self, view: ReadView) -> None:
+        self.views.close(view)
+        self.min_read.release(view.read_point)
+
+    def _view_for(self, txn: Transaction | None):
+        """(view, owned) -- reuse a transaction's view or open a statement
+        view the caller must close."""
+        if txn is None:
+            return self.open_view(), True
+        if txn.read_view is None:
+            txn.read_view = self.open_view(txn_id=txn.txn_id)
+        return txn.read_view, False
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        self._require(InstanceState.OPEN)
+        return self.txns.begin(now=self.loop.now)
+
+    def get(self, key, txn: Transaction | None = None):
+        """Generator: visible value of ``key`` (None if absent)."""
+        self._require(InstanceState.OPEN)
+        self.stats.reads += 1
+        view, owned = self._view_for(txn)
+        try:
+            found, value = yield from self.btree.get(view, key)
+        finally:
+            if owned:
+                self.close_view(view)
+        return value if found else None
+
+    def scan(self, low, high, txn: Transaction | None = None):
+        """Generator: visible (key, value) pairs in [low, high]."""
+        self._require(InstanceState.OPEN)
+        self.stats.reads += 1
+        view, owned = self._view_for(txn)
+        try:
+            results = yield from self.btree.scan(view, low, high)
+        finally:
+            if owned:
+                self.close_view(view)
+        return results
+
+    def put(self, txn: Transaction, key, value):
+        """Generator: write ``key`` within ``txn``."""
+        yield from self._write(txn, key, value)
+
+    def delete(self, txn: Transaction, key):
+        """Generator: delete ``key`` within ``txn`` (tombstone version)."""
+        yield from self._write(txn, key, TOMBSTONE)
+
+    def _write(self, txn: Transaction, key, value):
+        self._require(InstanceState.OPEN)
+        txn.require_active()
+        self.locks.acquire(txn.txn_id, key)
+        yield self._write_mutex.acquire()
+        try:
+            txn.require_active()
+            self.stats.writes += 1
+            mtr = MTRBuilder(txn_id=txn.txn_id)
+            prior = yield from self.btree.put(mtr, txn.txn_id, key, value)
+            txn.record_undo(
+                block=-1, key=key, prior_versions=tuple(prior)
+            )
+            self._apply_mtr(mtr)
+            if value == TOMBSTONE:
+                self.logical.stage(
+                    txn.txn_id, RowChange(ChangeKind.DELETE, key)
+                )
+            else:
+                self.logical.stage(
+                    txn.txn_id, RowChange(ChangeKind.UPSERT, key, value)
+                )
+        finally:
+            self._write_mutex.release()
+
+    def put_many(self, txn: Transaction, items: list[tuple]):
+        """Generator: write several keys in deterministic lock order."""
+        for key in lock_keys_for([k for k, _v in items]):
+            self.locks.acquire(txn.txn_id, key)
+        by_key = dict(items)
+        for key in lock_keys_for(list(by_key)):
+            yield from self._write(txn, key, by_key[key])
+
+    def commit(self, txn: Transaction) -> Future:
+        """Asynchronous commit (section 2.3).
+
+        Writes the commit record, enqueues the transaction keyed by its
+        SCN, and returns immediately; the future resolves with the SCN when
+        the VCL passes it.  The calling worker never stalls.
+        """
+        self._require(InstanceState.OPEN)
+        txn.require_active()
+        self.stats.commits_requested += 1
+        future = Future(self.loop)
+        if txn.is_read_only:
+            self.txns.mark_committing(txn, scn=self.vdl)
+            self._finish_commit(txn, future, started=self.loop.now)
+            return future
+        scn = self.allocator.allocate_one()
+        block = self.txn_table_block(txn.txn_id)
+        pg_index = self.pg_of_block(block)
+        prev_volume, prev_pg, prev_block = self.chains.thread(
+            scn, pg_index, block
+        )
+        record = LogRecord(
+            lsn=scn,
+            prev_volume_lsn=prev_volume,
+            prev_pg_lsn=prev_pg,
+            prev_block_lsn=prev_block,
+            block=block,
+            pg_index=pg_index,
+            kind=RecordKind.COMMIT,
+            payload=CommitPayload(txn_id=txn.txn_id, scn=scn),
+            txn_id=txn.txn_id,
+            mtr_end=True,
+        )
+        self._absorb_record(record)
+        self.registry.record_commit(txn.txn_id, scn)
+        self.txns.mark_committing(txn, scn)
+        self.driver.submit([record])
+        if self.publisher is not None:
+            self.publisher.publish_mtr([record])
+        started = self.loop.now
+        self.driver.commit_queue.enqueue(
+            scn,
+            ack=lambda: self._finish_commit(txn, future, started),
+            now=started,
+            tag=txn.txn_id,
+        )
+        return future
+
+    def _finish_commit(
+        self, txn: Transaction, future: Future, started: float
+    ) -> None:
+        if self.state is not InstanceState.OPEN:
+            return  # crashed before the ack could fire; commit is lost
+        self.txns.finish_commit(txn)
+        self.locks.release_all(txn.txn_id)
+        if txn.read_view is not None:
+            self.close_view(txn.read_view)
+            txn.read_view = None
+        self.stats.commits_acknowledged += 1
+        self.stats.commit_latencies.append(self.loop.now - started)
+        if (
+            self.publisher is not None
+            and txn.scn is not None
+            and txn.undo_log
+        ):
+            self.publisher.publish_commit(txn.txn_id, txn.scn)
+        if txn.scn is not None and txn.undo_log:
+            self.logical.publish_commit(txn.txn_id, txn.scn)
+        if not future.done:
+            future.set_result(txn.scn)
+
+    def rollback(self, txn: Transaction):
+        """Generator: undo every write of ``txn`` with compensating MTRs."""
+        self._require(InstanceState.OPEN)
+        txn.require_active()
+        self.stats.rollbacks += 1
+        if txn.undo_log:
+            yield self._write_mutex.acquire()
+            try:
+                mtr = MTRBuilder(txn_id=txn.txn_id)
+                for undo in reversed(txn.undo_log):
+                    yield from self.btree.replace_versions(
+                        mtr, undo.key, undo.prior_versions
+                    )
+                self._apply_mtr(mtr)
+            finally:
+                self._write_mutex.release()
+        self.registry.record_abort(txn.txn_id)
+        self.logical.discard(txn.txn_id)
+        if txn.read_view is not None:
+            self.close_view(txn.read_view)
+            txn.read_view = None
+        self.locks.release_all(txn.txn_id)
+        self.txns.finish_abort(txn)
+
+    # ------------------------------------------------------------------
+    # Network message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if self.state in (InstanceState.CRASHED, InstanceState.CLOSED):
+            return
+        payload = message.payload
+        if isinstance(payload, WriteAck):
+            self.driver.on_write_ack(payload)
+        elif isinstance(payload, RequestRejected):
+            self.driver.on_rejection(payload)
+
+    # ------------------------------------------------------------------
+    # Background: GC-floor advertisement
+    # ------------------------------------------------------------------
+    def _schedule_gc_floor_tick(self) -> None:
+        if self._gc_floor_tick_scheduled:
+            return
+        self._gc_floor_tick_scheduled = True
+
+        def _tick() -> None:
+            self._gc_floor_tick_scheduled = False
+            if self.state is InstanceState.OPEN:
+                self._advertise_gc_floor()
+            self._schedule_gc_floor_tick()
+
+        self.loop.schedule(self.config.gc_floor_interval, _tick)
+
+    def _advertise_gc_floor(self) -> None:
+        pgmrpl = self.current_pgmrpl()
+        if pgmrpl == NULL_LSN:
+            return
+        frontier = self.frontiers.frontier_at(pgmrpl)
+        for pg_index in self.metadata.pg_indexes():
+            pg_floor = frontier.get(pg_index, NULL_LSN)
+            if pg_floor == NULL_LSN:
+                continue
+            update = GCFloorUpdate(
+                instance_id=self.name,
+                pg_index=pg_index,
+                pgmrpl=pg_floor,
+                epochs=self.driver.epochs,
+            )
+            for member in self.driver.members_of(pg_index):
+                self.network.send(self.name, member, update)
+
+    # ------------------------------------------------------------------
+    # Crash and recovery (section 2.4)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all ephemeral state, exactly as a process kill would."""
+        self.state = InstanceState.CRASHED
+        self.cache.drop_all()
+        self.locks.clear()
+        self.txns.clear()
+        self.views.clear()
+        self.registry.clear()
+        self.driver.drop_transient_state()
+        self.logical.drop_transient_state()
+        self.min_read = MinReadPointTracker()
+        self.frontiers = PGFrontierHistory()
+        self.allocator = LSNAllocator()
+        self.chains = ChainState()
+
+    def recover(self) -> Process:
+        """Run crash recovery; returns the driving :class:`Process`."""
+        return Process(self.loop, self._recover())
+
+    def _recover(self):
+        self._require(InstanceState.CRASHED, InstanceState.NEW)
+        self.state = InstanceState.RECOVERING
+        started = self.loop.now
+        self.stats.recoveries += 1
+        self.driver.refresh_epochs()
+        self.driver.configure_all_pgs()
+
+        # 1. Reach a read quorum (and every reachable segment) per PG.
+        pg_indexes = self.metadata.pg_indexes()
+        responses_by_pg: dict[int, list[SegmentRecoveryResponse]] = {}
+        pg_configs = {}
+        for pg_index in pg_indexes:
+            replies: dict[str, RecoveryScanResponse] = (
+                yield self.driver.scan_pg(pg_index)
+            )
+            responses_by_pg[pg_index] = [
+                SegmentRecoveryResponse(
+                    segment_id=reply.segment_id,
+                    pg_index=reply.pg_index,
+                    scl=reply.scl,
+                    digests=reply.digests,
+                    gc_horizon=reply.gc_horizon,
+                )
+                for reply in replies.values()
+            ]
+            pg_configs[pg_index] = self.metadata.quorum_config(pg_index)
+
+        # 2. Locally re-compute PGCLs, VCL, VDL, and the truncation range.
+        highest_seen = max(
+            (
+                digest.lsn
+                for responses in responses_by_pg.values()
+                for response in responses
+                for digest in response.digests
+            ),
+            default=NULL_LSN,
+        )
+        result = recover_volume_state(
+            pg_configs=pg_configs,
+            responses_by_pg=responses_by_pg,
+            highest_possible_lsn=highest_seen + self.config.recovery_margin,
+        )
+
+        # 3. Snip the ragged edge and bump the volume epoch on a write
+        #    quorum of every PG ("changes the locks on the door").
+        new_epochs = self.driver.epochs.bump_volume()
+        truncation = result.truncation
+        if truncation is None:
+            truncation = TruncationRange(
+                first=result.vcl + 1,
+                last=result.vcl + self.config.recovery_margin,
+            )
+        for pg_index in pg_indexes:
+            acks: dict[str, TruncateAck] = yield self.driver.truncate_pg(
+                pg_index,
+                result.pg_truncation_points[pg_index],
+                truncation,
+                new_epochs,
+            )
+            for segment_id, ack in acks.items():
+                self.driver.seed_member_scl(pg_index, segment_id, ack.scl)
+        self.driver.adopt_epochs(new_epochs)
+
+        # 4. Re-anchor all local bookkeeping above the truncation range.
+        self.allocator = LSNAllocator()
+        self.allocator.apply_truncation(truncation)
+        self.chains.reset_to(result.vcl, result.pg_truncation_points)
+        self.driver.volume.reset(result.vcl, result.vdl)
+        self.frontiers.reset(result.vdl, result.pg_vdl_frontiers)
+        self.min_read.advance_floor(result.vdl)
+        # Seed the recovered durable points so reads can route immediately.
+        for pg_index in pg_indexes:
+            tracker = self.driver.pg_trackers[pg_index]
+            self.driver.volume.on_pgcl(pg_index, tracker.pgcl)
+
+        # 5. Reload durable transaction statuses from the txn-table blocks.
+        self.state = InstanceState.OPEN
+        for block in range(1, self.config.txn_table_blocks + 1):
+            image = yield from self.read_image(block)
+            self.registry.load_txn_table_image(image)
+        max_txn = max(self.registry.known_commits(), default=0)
+        self.txns.seed_above(max_txn)
+
+        # If the crash predated bootstrap durability the recovered volume
+        # is empty; re-create the (empty) tree so the instance is usable.
+        meta = yield from self.read_image(self.META_BLOCK)
+        if "root" not in meta:
+            mtr = MTRBuilder(txn_id=0)
+            self.btree.bootstrap(
+                mtr,
+                root_block=self.root_leaf_block,
+                first_free_block=self.root_leaf_block + 1,
+            )
+            self._apply_mtr(mtr)
+
+        # 6. "No redo replay is required ...  Undo of previously active
+        #    transactions ... can occur after the database has been opened":
+        #    purge versions of transactions that never committed.
+        purged = yield from self._purge_orphan_versions()
+        self.stats.orphan_versions_purged += purged
+        self.stats.recovery_durations.append(self.loop.now - started)
+        return result
+
+    def _purge_orphan_versions(self):
+        """Remove versions written by transactions with no durable commit."""
+        yield self._write_mutex.acquire()
+        try:
+            leaves = yield from self.btree.iterate_leaves()
+            purged = 0
+            for leaf_block, image in leaves:
+                doomed: set[int] = set()
+                for _key, versions in leaf_rows(image):
+                    for txn_id, _value in versions:
+                        if (
+                            self.registry.commit_scn(txn_id) is None
+                            and txn_id != 0
+                        ):
+                            doomed.add(txn_id)
+                if not doomed:
+                    continue
+                mtr = MTRBuilder(txn_id=0)
+                changed = self.btree.prune_leaf(
+                    mtr,
+                    leaf_block,
+                    image,
+                    purge_point=NULL_LSN,
+                    doomed_txns=frozenset(doomed),
+                )
+                if changed:
+                    self._apply_mtr(mtr)
+                    purged += changed
+            return purged
+        finally:
+            self._write_mutex.release()
+
+    # ------------------------------------------------------------------
+    # Maintenance: MVCC version purge (the undo-purge analogue)
+    # ------------------------------------------------------------------
+    def purge_old_versions(self):
+        """Generator: drop versions below the minimum active read point.
+
+        The storage-side analogue (block-version GC below PGMRPL) happens
+        on the nodes; this prunes the in-row version chains.
+        """
+        self._require(InstanceState.OPEN)
+        purge_point = self.current_pgmrpl()
+        yield self._write_mutex.acquire()
+        try:
+            leaves = yield from self.btree.iterate_leaves()
+            pruned = 0
+            for leaf_block, image in leaves:
+                mtr = MTRBuilder(txn_id=0)
+                changed = self.btree.prune_leaf(
+                    mtr, leaf_block, image, purge_point, frozenset()
+                )
+                if changed:
+                    self._apply_mtr(mtr)
+                    pruned += changed
+            return pruned
+        finally:
+            self._write_mutex.release()

@@ -1,0 +1,75 @@
+"""Row-level locking at the database tier.
+
+"Locking, transaction management, deadlocks, constraints, and other
+conditions that influence whether an operation may proceed are all resolved
+at the database tier" (section 2.3) -- storage nodes never vote.
+
+The manager implements exclusive per-key write locks with a NO-WAIT /
+immediate-abort discipline: a conflicting acquisition raises
+:class:`LockConflictError` instead of queueing.  Readers never lock
+(snapshot isolation reads versions, never current state), matching the
+paper's MVCC design.  NO-WAIT keeps the simulated writer free of deadlocks
+by construction; a wait-queue variant would change none of the storage
+protocol behaviour this library reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.errors import LockConflictError
+
+
+class LockManager:
+    """Exclusive write locks keyed by arbitrary hashable row keys."""
+
+    def __init__(self) -> None:
+        self._owners: dict[Hashable, int] = {}
+        self._held_by_txn: dict[int, set[Hashable]] = {}
+        self.conflicts = 0
+        self.acquisitions = 0
+
+    def acquire(self, txn_id: int, key: Hashable) -> None:
+        """Take the write lock on ``key`` for ``txn_id`` (re-entrant)."""
+        owner = self._owners.get(key)
+        if owner is not None and owner != txn_id:
+            self.conflicts += 1
+            raise LockConflictError(
+                f"key {key!r} is write-locked by transaction {owner}"
+            )
+        if owner is None:
+            self._owners[key] = txn_id
+            self._held_by_txn.setdefault(txn_id, set()).add(key)
+            self.acquisitions += 1
+
+    def holder(self, key: Hashable) -> int | None:
+        return self._owners.get(key)
+
+    def locks_of(self, txn_id: int) -> set[Hashable]:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    def release_all(self, txn_id: int) -> int:
+        """Drop every lock held by a finished transaction; returns count."""
+        keys = self._held_by_txn.pop(txn_id, set())
+        for key in keys:
+            if self._owners.get(key) == txn_id:
+                del self._owners[key]
+        return len(keys)
+
+    def clear(self) -> None:
+        """Crash: lock state is ephemeral instance memory."""
+        self._owners.clear()
+        self._held_by_txn.clear()
+
+    @property
+    def held_count(self) -> int:
+        return len(self._owners)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LockManager {len(self._owners)} locks held>"
+
+
+def lock_keys_for(keys: list[Any]) -> list[Any]:
+    """Deterministic lock acquisition order (avoids order-dependent
+    conflicts in multi-key transactions)."""
+    return sorted(keys, key=repr)

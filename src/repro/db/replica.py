@@ -1,0 +1,357 @@
+"""Read replicas (sections 3.2 - 3.4).
+
+A replica attaches to the same storage volume as the writer.  It consumes
+the physical replication stream and enforces the paper's three invariants:
+
+1. **Replica read views lag durability at the writer**: views anchor at
+   VDL points the writer has advertised, never ahead of them.
+2. **Structural changes apply atomically**: records arrive and apply in
+   whole MTR chunks, in LSN order, "applied only if above the VDL in the
+   writer as seen in the replica" -- i.e. a chunk is only applied once a
+   VDL update covering it arrives, so the replica never materializes
+   state the writer has not made durable.
+3. **Read views anchor to equivalent points on the writer**: the replica
+   tracks per-PG frontiers from the stream, so a view at VDL ``v`` reads
+   uncached blocks from storage at exactly ``f(pg, v)``.
+
+Redo for uncached blocks is discarded ("Redo records for uncached blocks
+can be discarded, as they can be read from the shared storage volume") --
+except transaction-table blocks, which every instance keeps warm because
+visibility depends on them.
+
+Commit visibility comes from :class:`CommitNotice` messages ("we ship
+commit notifications and maintain transaction commit history").
+
+Promotion is modelled at the cluster level: a promoted replica's identity
+is handed to a fresh :class:`WriterInstance` that runs ordinary crash
+recovery against the shared volume -- "if a commit has been marked durable
+and acknowledged to the client, there is no data loss when a replica is
+promoted to a write instance".
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+
+from repro.core.consistency import MinReadPointTracker, PGFrontierHistory
+from repro.core.lsn import NULL_LSN
+from repro.core.records import LogRecord
+from repro.db.btree import BlockIO, BTree
+from repro.db.buffer_cache import BufferCache
+from repro.db.driver import DriverConfig, StorageDriver
+from repro.db.mtr import MTRBuilder
+from repro.db.mvcc import ReadView, ReadViewManager, TransactionStatusRegistry
+from repro.db.replication import CommitNotice, MTRChunk, VDLUpdate
+from repro.errors import InstanceStateError
+from repro.sim.network import Actor, Message
+from repro.storage.messages import GCFloorUpdate, RequestRejected
+from repro.storage.metadata import StorageMetadataService
+
+
+@dataclass
+class ReplicaConfig:
+    cache_capacity: int = 100_000
+    txn_table_blocks: int = 4
+    max_leaf_rows: int = 16
+    max_internal_keys: int = 16
+    driver: DriverConfig = field(default_factory=DriverConfig)
+    gc_floor_interval: float = 50.0
+
+
+@dataclass
+class ReplicaStats:
+    chunks_received: int = 0
+    chunks_applied: int = 0
+    records_applied: int = 0
+    records_discarded: int = 0
+    commit_notices: int = 0
+    reads: int = 0
+    #: Samples of (writer_vdl_seen - applied_vdl) at each VDL update.
+    lag_samples: list[int] = field(default_factory=list)
+
+
+class ReplicaInstance(Actor, BlockIO):
+    """A read replica attached to the shared storage volume."""
+
+    META_BLOCK = 0
+
+    def __init__(
+        self,
+        name: str,
+        metadata: StorageMetadataService,
+        rng: random.Random,
+        config: ReplicaConfig | None = None,
+    ) -> None:
+        Actor.__init__(self, name=name)
+        self.metadata = metadata
+        self.rng = rng
+        self.config = config if config is not None else ReplicaConfig()
+        self.stats = ReplicaStats()
+        self.cache = BufferCache(self.config.cache_capacity)
+        self.registry = TransactionStatusRegistry()
+        self.views = ReadViewManager()
+        self.min_read = MinReadPointTracker()
+        self.frontiers = PGFrontierHistory()
+        self.driver: StorageDriver | None = None
+        self.btree: BTree | None = None
+        #: Chunks sequenced by first LSN, waiting for order or durability.
+        self._pending_chunks: list[tuple[int, MTRChunk]] = []
+        self._next_expected_lsn = NULL_LSN + 1
+        self._writer_vdl_seen = NULL_LSN
+        self._applied_vdl = NULL_LSN
+        self.online = False
+        self._gc_tick_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Wiring / attach
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.driver = StorageDriver(
+            instance_id=self.name,
+            loop=self.loop,
+            send=lambda dst, payload: self.network.send(self.name, dst, payload),
+            rpc=lambda dst, payload: self.network.rpc(self.name, dst, payload),
+            metadata=self.metadata,
+            rng=self.rng,
+            config=self.config.driver,
+            optimistic_reads=True,
+        )
+        self.driver.configure_all_pgs()
+        self.btree = BTree(
+            io=self,
+            registry=self.registry,
+            meta_block=self.META_BLOCK,
+            max_leaf_rows=self.config.max_leaf_rows,
+            max_internal_keys=self.config.max_internal_keys,
+        )
+        self._schedule_gc_tick()
+
+    def attach(
+        self,
+        next_expected_lsn: int,
+        vdl: int,
+        pg_frontiers: dict[int, int],
+        commit_history: dict[int, int],
+    ) -> None:
+        """Join the replication stream at the writer's current position.
+
+        "This approach allows Aurora customers to quickly set up and tear
+        down replicas in response to sharp demand spikes, since durable
+        state is shared" -- attaching needs only the stream cursor and the
+        commit history, never a data copy.
+        """
+        self._next_expected_lsn = next_expected_lsn
+        self._writer_vdl_seen = vdl
+        self._applied_vdl = vdl
+        self.frontiers.reset(vdl, pg_frontiers)
+        self.min_read.advance_floor(vdl)
+        for txn_id, scn in commit_history.items():
+            self.registry.record_commit(txn_id, scn)
+        self.online = True
+
+    @property
+    def applied_vdl(self) -> int:
+        return self._applied_vdl
+
+    @property
+    def replica_lag(self) -> int:
+        """LSN distance between the writer's durable point and ours."""
+        return max(0, self._writer_vdl_seen - self._applied_vdl)
+
+    def pg_of_block(self, block: int) -> int:
+        return self.metadata.geometry.pg_of_block(block)
+
+    # ------------------------------------------------------------------
+    # Replication stream intake
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not self.online:
+            return
+        if isinstance(payload, MTRChunk):
+            self._on_chunk(payload)
+        elif isinstance(payload, VDLUpdate):
+            self._on_vdl_update(payload)
+        elif isinstance(payload, CommitNotice):
+            self._on_commit_notice(payload)
+        elif isinstance(payload, RequestRejected):
+            self.driver.on_rejection(payload)
+
+    def _on_chunk(self, chunk: MTRChunk) -> None:
+        self.stats.chunks_received += 1
+        first_lsn = chunk.records[0].lsn
+        if first_lsn < self._next_expected_lsn:
+            return  # duplicate / pre-attach history
+        heapq.heappush(self._pending_chunks, (first_lsn, chunk))
+        self._drain_chunks()
+
+    def _on_vdl_update(self, update: VDLUpdate) -> None:
+        if update.vdl <= self._writer_vdl_seen:
+            return
+        self._writer_vdl_seen = update.vdl
+        self._drain_chunks()
+        self.stats.lag_samples.append(self.replica_lag)
+
+    def _on_commit_notice(self, notice: CommitNotice) -> None:
+        self.stats.commit_notices += 1
+        if self.registry.commit_scn(notice.txn_id) is None:
+            self.registry.record_commit(notice.txn_id, notice.scn)
+
+    def _drain_chunks(self) -> None:
+        """Apply sequenced chunks whose records the writer reports durable.
+
+        Invariant 2 (atomicity) comes from applying whole chunks in one
+        event; invariant 1 (lag durability) from the VDL gate.
+        """
+        while self._pending_chunks:
+            first_lsn, chunk = self._pending_chunks[0]
+            last_lsn = chunk.records[-1].lsn
+            if first_lsn != self._next_expected_lsn:
+                # Out-of-order delivery: wait for the gap to fill.  (If the
+                # writer crashed, the promoted writer re-attaches us.)
+                return
+            if last_lsn > self._writer_vdl_seen:
+                return  # not yet durable at the writer, invariant 1
+            heapq.heappop(self._pending_chunks)
+            self._apply_chunk(chunk)
+            self._next_expected_lsn = last_lsn + 1
+
+    def _apply_chunk(self, chunk: MTRChunk) -> None:
+        self.stats.chunks_applied += 1
+        last_lsn = chunk.records[-1].lsn
+        for record in chunk.records:
+            self.frontiers.record(record.lsn, record.pg_index)
+            self._apply_record(record)
+        # The chunk is durable (VDL-gated), so its end is our new VDL.
+        self._applied_vdl = last_lsn
+        self.frontiers.advance_vdl(last_lsn)
+        self.min_read.advance_floor(last_lsn)
+        self.frontiers.prune_below(self.min_read.current())
+
+    def _apply_record(self, record: LogRecord) -> None:
+        if record.block < 0:
+            return
+        keep_warm = 1 <= record.block <= self.config.txn_table_blocks
+        cached = self.cache.peek(record.block)
+        if cached is None and not keep_warm:
+            self.stats.records_discarded += 1
+            return  # uncached: discard; storage serves it on demand
+        if cached is None:
+            self.cache.install(record.block, {}, NULL_LSN, self._applied_vdl)
+            cached = self.cache.peek(record.block)
+        if record.lsn <= cached.latest_lsn:
+            return
+        new_image = record.payload.apply(cached.image)
+        self.cache.apply_change(record.block, new_image, record.lsn)
+        self.stats.records_applied += 1
+
+    # ------------------------------------------------------------------
+    # BlockIO (read-only)
+    # ------------------------------------------------------------------
+    def read_image(self, block: int, mtr: MTRBuilder | None = None):
+        if mtr is not None:
+            raise InstanceStateError("replicas are read-only")
+        cached = self.cache.lookup(block)
+        if cached is not None:
+            return dict(cached.image)
+        pg_index = self.pg_of_block(block)
+        pg_point = self.frontiers.pg_read_point(pg_index, self._applied_vdl)
+        if pg_point == NULL_LSN:
+            return {}
+        image, version_lsn = yield self.driver.read_block(
+            block, pg_index, pg_point
+        )
+        self.cache.install(block, dict(image), version_lsn, self._applied_vdl)
+        return dict(image)
+
+    def stage_change(self, mtr, block, payload):
+        raise InstanceStateError("replicas are read-only")
+
+    def allocate_block(self, mtr):
+        raise InstanceStateError("replicas are read-only")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def open_view(self) -> ReadView:
+        """Anchor a snapshot at the latest applied VDL (invariant 3)."""
+        view = self.views.open(read_point=self._applied_vdl)
+        self.min_read.register(view.read_point)
+        return view
+
+    def close_view(self, view: ReadView) -> None:
+        self.views.close(view)
+        self.min_read.release(view.read_point)
+
+    def get(self, key):
+        """Generator: visible value of ``key`` at this replica's snapshot."""
+        if not self.online:
+            raise InstanceStateError(f"replica {self.name} is not attached")
+        self.stats.reads += 1
+        view = self.open_view()
+        try:
+            found, value = yield from self.btree.get(view, key)
+        finally:
+            self.close_view(view)
+        return value if found else None
+
+    def scan(self, low, high):
+        """Generator: visible (key, value) pairs in [low, high]."""
+        if not self.online:
+            raise InstanceStateError(f"replica {self.name} is not attached")
+        self.stats.reads += 1
+        view = self.open_view()
+        try:
+            results = yield from self.btree.scan(view, low, high)
+        finally:
+            self.close_view(view)
+        return results
+
+    # ------------------------------------------------------------------
+    # Background: GC-floor advertisement (replicas hold back GC too)
+    # ------------------------------------------------------------------
+    def _schedule_gc_tick(self) -> None:
+        if self._gc_tick_scheduled:
+            return
+        self._gc_tick_scheduled = True
+
+        def _tick() -> None:
+            self._gc_tick_scheduled = False
+            if self.online:
+                self._advertise_gc_floor()
+            self._schedule_gc_tick()
+
+        self.loop.schedule(self.config.gc_floor_interval, _tick)
+
+    def _advertise_gc_floor(self) -> None:
+        pgmrpl = self.min_read.current()
+        if pgmrpl == NULL_LSN:
+            return
+        frontier = self.frontiers.frontier_at(pgmrpl)
+        for pg_index in self.metadata.pg_indexes():
+            pg_floor = frontier.get(pg_index, NULL_LSN)
+            if pg_floor == NULL_LSN:
+                continue
+            update = GCFloorUpdate(
+                instance_id=self.name,
+                pg_index=pg_index,
+                pgmrpl=pg_floor,
+                epochs=self.driver.epochs,
+            )
+            for member in self.driver.members_of(pg_index):
+                self.network.send(self.name, member, update)
+
+    # ------------------------------------------------------------------
+    # Detach / crash
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        self.online = False
+        self._pending_chunks.clear()
+
+    def on_crash(self) -> None:
+        self.online = False
+        self.cache.drop_all()
+        self.views.clear()
+        self._pending_chunks.clear()

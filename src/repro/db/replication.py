@@ -1,0 +1,106 @@
+"""Physical replication stream from the writer to its read replicas.
+
+"Aurora read replicas attach to the same storage volume as the writer
+instance.  They receive a physical redo log stream from the writer instance
+and use this to update only data blocks present in their local caches."
+(section 3.2)
+
+The stream carries three message kinds, all asynchronous and one-way:
+
+- :class:`MTRChunk` -- "log records are only shipped from the writer
+  instance in MTR chunks" (section 3.3): one sealed mini-transaction's
+  records, applied atomically at the replica.
+- :class:`VDLUpdate` -- "The writer instance sends VDL update control
+  records as part of its replication stream" (section 3.4).  Replicas may
+  only apply chunks at or below the writer's advertised VDL and anchor read
+  views at these points.
+- :class:`CommitNotice` -- "for efficiency reasons we ship commit
+  notifications and maintain transaction commit history" (section 3.4).
+
+Replication "is asynchronous" and adds "little latency ... to the write
+path": publishing is fire-and-forget sends on the simulated network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.records import LogRecord
+
+
+@dataclass(frozen=True)
+class MTRChunk:
+    """One mini-transaction's records (contiguous LSNs, last is mtr_end)."""
+
+    writer_id: str
+    records: tuple[LogRecord, ...]
+
+
+@dataclass(frozen=True)
+class VDLUpdate:
+    """The writer's current Volume Durable LSN."""
+
+    writer_id: str
+    vdl: int
+
+
+@dataclass(frozen=True)
+class CommitNotice:
+    """A transaction became durably committed (SCN passed the VCL)."""
+
+    writer_id: str
+    txn_id: int
+    scn: int
+
+
+class ReplicationPublisher:
+    """Writer-side fan-out of the replication stream."""
+
+    def __init__(
+        self, writer_id: str, send: Callable[[str, object], None]
+    ) -> None:
+        self.writer_id = writer_id
+        self._send = send
+        self._replicas: list[str] = []
+        self.chunks_published = 0
+        self.vdl_updates_published = 0
+        self.commit_notices_published = 0
+
+    @property
+    def replicas(self) -> list[str]:
+        return list(self._replicas)
+
+    def attach_replica(self, replica_id: str) -> None:
+        if replica_id not in self._replicas:
+            self._replicas.append(replica_id)
+
+    def detach_replica(self, replica_id: str) -> None:
+        if replica_id in self._replicas:
+            self._replicas.remove(replica_id)
+
+    def publish_mtr(self, records: list[LogRecord]) -> None:
+        if not self._replicas or not records:
+            return
+        chunk = MTRChunk(writer_id=self.writer_id, records=tuple(records))
+        for replica in self._replicas:
+            self._send(replica, chunk)
+        self.chunks_published += 1
+
+    def publish_vdl(self, vdl: int) -> None:
+        if not self._replicas:
+            return
+        update = VDLUpdate(writer_id=self.writer_id, vdl=vdl)
+        for replica in self._replicas:
+            self._send(replica, update)
+        self.vdl_updates_published += 1
+
+    def publish_commit(self, txn_id: int, scn: int) -> None:
+        if not self._replicas:
+            return
+        notice = CommitNotice(
+            writer_id=self.writer_id, txn_id=txn_id, scn=scn
+        )
+        for replica in self._replicas:
+            self._send(replica, notice)
+        self.commit_notices_published += 1

@@ -1,0 +1,135 @@
+"""Synchronous client session over the simulated database.
+
+The instance API is asynchronous (generators and futures) because the
+simulator is event-driven.  A :class:`Session` gives examples, tests, and
+benchmarks a comfortable synchronous surface: each call drives the event
+loop until its own result is ready, letting all background activity
+(acknowledgements, gossip, replication) interleave naturally, exactly as
+wall-clock time would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.db.instance import WriterInstance
+from repro.db.replica import ReplicaInstance
+from repro.db.txn import Transaction
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop, Future
+from repro.sim.process import Process
+
+
+class Session:
+    """A client connection to a writer or replica instance."""
+
+    def __init__(self, instance: WriterInstance | ReplicaInstance) -> None:
+        self.instance = instance
+
+    @property
+    def loop(self) -> EventLoop:
+        return self.instance.loop
+
+    # ------------------------------------------------------------------
+    # Driving machinery
+    # ------------------------------------------------------------------
+    def drive(
+        self,
+        awaitable: Future | Process | Generator,
+        max_ms: float = 60_000.0,
+    ) -> Any:
+        """Run the event loop until ``awaitable`` completes; return result.
+
+        ``max_ms`` bounds the *simulated* time spent waiting: background
+        maintenance ticks keep the event loop alive forever, so an
+        operation that can never complete (e.g. a commit with the write
+        quorum lost) would otherwise spin indefinitely.  Sixty simulated
+        seconds is several orders of magnitude beyond any healthy
+        operation in this library.
+        """
+        if isinstance(awaitable, Generator):
+            awaitable = Process(self.loop, awaitable)
+        future = (
+            awaitable.completion
+            if isinstance(awaitable, Process)
+            else awaitable
+        )
+        deadline = self.loop.now + max_ms
+        while not future.done:
+            if not self.loop.step():
+                raise SimulationError(
+                    "event loop drained before the operation completed "
+                    "(lost quorum or unreachable storage?)"
+                )
+            if self.loop.now > deadline:
+                raise SimulationError(
+                    f"operation did not complete within {max_ms} ms of "
+                    "simulated time (lost quorum or unreachable storage?)"
+                )
+        return future.result()
+
+    def spawn(self, generator: Generator) -> Process:
+        """Start an instance operation without waiting for it."""
+        return Process(self.loop, generator)
+
+    # ------------------------------------------------------------------
+    # Transactions (writer sessions only)
+    # ------------------------------------------------------------------
+    def _writer(self) -> WriterInstance:
+        if not isinstance(self.instance, WriterInstance):
+            raise SimulationError("this session is attached to a replica")
+        return self.instance
+
+    def begin(self) -> Transaction:
+        return self._writer().begin()
+
+    def put(self, txn: Transaction, key, value) -> None:
+        self.drive(self._writer().put(txn, key, value))
+
+    def delete(self, txn: Transaction, key) -> None:
+        self.drive(self._writer().delete(txn, key))
+
+    def commit(self, txn: Transaction) -> int:
+        """Commit and wait for the durable acknowledgement; returns SCN."""
+        return self.drive(self._writer().commit(txn))
+
+    def commit_async(self, txn: Transaction) -> Future:
+        """Commit without waiting (the paper's worker-thread behaviour)."""
+        return self._writer().commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        self.drive(self._writer().rollback(txn))
+
+    # ------------------------------------------------------------------
+    # Reads (writer or replica)
+    # ------------------------------------------------------------------
+    def get(self, key, txn: Transaction | None = None) -> Any:
+        if isinstance(self.instance, WriterInstance):
+            return self.drive(self.instance.get(key, txn))
+        return self.drive(self.instance.get(key))
+
+    def scan(self, low, high, txn: Transaction | None = None) -> list:
+        if isinstance(self.instance, WriterInstance):
+            return self.drive(self.instance.scan(low, high, txn))
+        return self.drive(self.instance.scan(low, high))
+
+    # ------------------------------------------------------------------
+    # One-shot convenience (auto-commit)
+    # ------------------------------------------------------------------
+    def write(self, key, value) -> int:
+        """Single-statement write transaction; returns its SCN."""
+        txn = self.begin()
+        self.put(txn, key, value)
+        return self.commit(txn)
+
+    def write_many(self, items: dict) -> int:
+        """One transaction writing several keys; returns its SCN."""
+        txn = self.begin()
+        for key in sorted(items, key=repr):
+            self.put(txn, key, items[key])
+        return self.commit(txn)
+
+    def remove(self, key) -> int:
+        txn = self.begin()
+        self.delete(txn, key)
+        return self.commit(txn)

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the Aurora reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  The sub-hierarchy mirrors the
+paper's subsystems: quorum construction, epoch fencing, storage-node request
+validation, transaction management, and recovery.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class QuorumError(ReproError):
+    """A quorum definition violates the overlap rules (Vr + Vw > V, Vw > V/2)."""
+
+
+class StaleEpochError(ReproError):
+    """A request carried an out-of-date volume, membership, or geometry epoch.
+
+    Per the paper (section 2.4 and 4.1), storage nodes reject any request at
+    a stale epoch.  The rejected caller is expected to refresh its view of the
+    epoch and retry -- "requiring just one additional request past the one
+    rejected".
+    """
+
+    def __init__(self, kind: str, presented: int, current: int) -> None:
+        super().__init__(
+            f"stale {kind} epoch: presented {presented}, current {current}"
+        )
+        self.kind = kind
+        self.presented = presented
+        self.current = current
+
+
+class MembershipError(ReproError):
+    """An illegal quorum-membership transition was requested."""
+
+
+class SegmentUnavailableError(ReproError):
+    """A storage node or segment is down or unreachable."""
+
+
+class ReadPointError(ReproError):
+    """A storage read requested an LSN outside the [PGMRPL, SCL] window."""
+
+    def __init__(self, read_point: int, low: int, high: int) -> None:
+        super().__init__(
+            f"read point {read_point} outside serveable window "
+            f"[{low}, {high}]"
+        )
+        self.read_point = read_point
+        self.low = low
+        self.high = high
+
+
+class TransactionError(ReproError):
+    """A transaction operation was invalid (e.g. use after commit)."""
+
+
+class LockConflictError(TransactionError):
+    """A lock could not be granted without blocking (deadlock avoidance)."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was aborted and must not issue further operations."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not complete (e.g. read quorum unavailable)."""
+
+
+class InstanceStateError(ReproError):
+    """The database instance is not in a state that allows the operation."""
+
+
+class VolumeGeometryError(ReproError):
+    """A block address fell outside the current volume geometry."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven incorrectly."""

@@ -1,0 +1,201 @@
+"""Multi-writer deployment: partitioned volumes + the journal.
+
+Each partition is a complete single-writer Aurora cluster (its own volume,
+quorums, recovery) sharing one simulated network; the journal orders
+cross-partition transactions.  Per-partition application of journal
+entries is serialized and gap-free: a :class:`PartitionApplier` applies
+entries strictly in GSN order, persisting the applied high-water mark in a
+reserved row so crash recovery knows exactly where to resume replay.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+from repro.db.cluster import AZS, AuroraCluster, ClusterConfig
+from repro.db.session import Session
+from repro.errors import ConfigurationError, LockConflictError
+from repro.multiwriter.journal import (
+    JOURNAL_COPIES,
+    Journal,
+    JournalEntry,
+    JournalSegment,
+)
+from repro.sim.process import Mutex, Process
+
+#: Reserved row holding each partition's applied-GSN high-water mark.
+APPLIED_GSN_KEY = "__mw_applied_gsn__"
+
+
+def partition_of(key: Hashable, partition_count: int) -> int:
+    """Stable key -> partition routing (CRC32 of the repr)."""
+    return zlib.crc32(repr(key).encode()) % partition_count
+
+
+class PartitionApplier:
+    """Serialized, gap-free application of journal entries to one partition.
+
+    ``ensure_applied(gsn)`` guarantees that every durable journal entry
+    with GSN <= gsn that involves this partition has been applied locally
+    (each as one local transaction that also advances the persisted
+    high-water mark), in GSN order, exactly once.
+    """
+
+    def __init__(self, cluster: "MultiWriterCluster", index: int) -> None:
+        self.cluster = cluster
+        self.index = index
+        self._mutex = Mutex(cluster.loop)
+        self.applied_entries = 0
+
+    def ensure_applied(
+        self, gsn: int, hint: "JournalEntry | None" = None
+    ) -> Process:
+        """Apply durable entries up to ``gsn``; ``hint`` (the entry the
+        caller just sequenced) lets the common case skip the journal
+        scan entirely."""
+        return Process(self.cluster.loop, self._ensure_applied(gsn, hint))
+
+    def _ensure_applied(self, gsn: int, hint: "JournalEntry | None" = None):
+        yield self._mutex.acquire()
+        try:
+            writer = self.cluster.partitions[self.index].writer
+            applied = yield from writer.get(APPLIED_GSN_KEY)
+            applied = applied or 0
+            if applied >= gsn:
+                return applied
+            if hint is not None and hint.gsn == applied + 1 == gsn:
+                # Fast path: the caller's own entry is the only gap.
+                yield from self._apply_entry(writer, hint)
+                return hint.gsn
+            entries: list[JournalEntry] = yield self.cluster.journal.scan_from(
+                applied
+            )
+            for entry in entries:
+                if entry.gsn > gsn:
+                    break
+                yield from self._apply_entry(writer, entry)
+                applied = entry.gsn
+            return applied
+        finally:
+            self._mutex.release()
+
+    def _apply_entry(self, writer, entry: JournalEntry):
+        """One journal entry = one local transaction (atomic, idempotent).
+
+        The transaction writes the entry's rows for this partition plus the
+        new high-water mark; a crash between journal durability and local
+        commit durability simply replays it (the versions of the failed
+        attempt are purged as orphans by ordinary recovery).
+        """
+        writes = entry.writes_for(self.index)
+        for _attempt in range(50):
+            txn = writer.begin()
+            try:
+                for key, value in writes:
+                    if value is None:
+                        yield from writer.delete(txn, key)
+                    else:
+                        yield from writer.put(txn, key, value)
+                yield from writer.put(txn, APPLIED_GSN_KEY, entry.gsn)
+            except LockConflictError:
+                yield from writer.rollback(txn)
+                yield 1.0  # back off behind the conflicting local txn
+                continue
+            yield writer.commit(txn)
+            self.applied_entries += 1
+            return
+        raise ConfigurationError(
+            f"could not apply journal entry {entry.gsn} to partition "
+            f"{self.index}: persistent lock conflicts"
+        )
+
+
+class MultiWriterCluster:
+    """N single-writer partitions + one quorum-durable journal."""
+
+    def __init__(
+        self,
+        partition_count: int = 2,
+        seed: int = 42,
+        blocks_per_pg: int = 4096,
+    ) -> None:
+        if partition_count < 1:
+            raise ConfigurationError("partition_count must be >= 1")
+        base = AuroraCluster.build(
+            ClusterConfig(
+                seed=seed,
+                blocks_per_pg=blocks_per_pg,
+                name_prefix="part0:",
+            )
+        )
+        self.loop = base.loop
+        self.network = base.network
+        self.failures = base.failures
+        self.rng = base.rng
+        self.partitions: list[AuroraCluster] = [base]
+        shared = (self.loop, self.network, self.failures, self.rng)
+        for index in range(1, partition_count):
+            self.partitions.append(
+                AuroraCluster.build(
+                    ClusterConfig(
+                        seed=seed + index,
+                        blocks_per_pg=blocks_per_pg,
+                        name_prefix=f"part{index}:",
+                    ),
+                    shared=shared,
+                )
+            )
+        # The journal's own 6-segment quorum, two per AZ.
+        segment_names = [f"journal-seg{i}" for i in range(JOURNAL_COPIES)]
+        for i, name in enumerate(segment_names):
+            segment = JournalSegment(name, self.rng)
+            self.network.attach(segment, az=AZS[i % 3])
+        self.journal = Journal("journal", segment_names)
+        self.network.attach(self.journal, az=AZS[0])
+        self.appliers = [
+            PartitionApplier(self, index)
+            for index in range(partition_count)
+        ]
+        self._txn_uid = 0
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    def partition_of(self, key: Hashable) -> int:
+        return partition_of(key, self.partition_count)
+
+    def next_txn_uid(self) -> str:
+        self._txn_uid += 1
+        return f"mw-txn-{self._txn_uid}"
+
+    def session(self) -> "MultiWriterSession":
+        from repro.multiwriter.session import MultiWriterSession
+
+        return MultiWriterSession(self)
+
+    def partition_session(self, index: int) -> Session:
+        return Session(self.partitions[index].writer)
+
+    def run_for(self, duration_ms: float) -> None:
+        self.loop.run(until=self.loop.now + duration_ms)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def crash_partition(self, index: int) -> None:
+        self.partitions[index].crash_writer()
+
+    def recover_partition(self, index: int) -> Process:
+        """Ordinary single-writer recovery, then journal catch-up replay."""
+        return Process(self.loop, self._recover_partition(index))
+
+    def _recover_partition(self, index: int):
+        cluster = self.partitions[index]
+        yield cluster.recover_writer().completion
+        # Replay any durable journal entries this partition missed.
+        applied = yield self.appliers[index].ensure_applied(
+            self.journal.durable_gsn
+        ).completion
+        return applied

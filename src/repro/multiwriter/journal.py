@@ -1,0 +1,271 @@
+"""The journal: a quorum-durable sequencer for cross-partition operations.
+
+The journal mirrors the single-writer design in miniature:
+
+- one sequencer allocates a monotonically increasing **GSN** (global
+  sequence number) per cross-partition transaction -- the multi-writer
+  analogue of the writer-allocated LSN space;
+- entries stream to six journal segments and are durable at a 4/6 quorum
+  of one-way acknowledgements -- no consensus round;
+- the sequencer's completion bookkeeping is local and ephemeral, and is
+  re-established after a sequencer crash by a read-quorum scan of the
+  journal segments (max contiguous GSN), exactly like VCL recovery.
+
+Entries carry the transaction's full write set, so a participant that
+crashed before applying an entry can replay it from the journal -- the
+Calvin-like property that makes a separate distributed commit protocol
+unnecessary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.errors import RecoveryError
+from repro.sim.events import Future
+from repro.sim.latency import LatencyModel, disk_service
+from repro.sim.network import Actor, Message
+
+#: Journal quorum shape (mirrors the data plane's V=6, Vw=4, Vr=3).
+JOURNAL_COPIES = 6
+JOURNAL_WRITE_QUORUM = 4
+JOURNAL_READ_QUORUM = 3
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One sequenced cross-partition transaction."""
+
+    gsn: int
+    txn_uid: str
+    #: partition index -> ((key, value_or_None-for-delete), ...)
+    writes: tuple[tuple[int, tuple[tuple[Hashable, Any], ...]], ...]
+
+    def partitions(self) -> list[int]:
+        return [partition for partition, _writes in self.writes]
+
+    def writes_for(self, partition: int) -> tuple[tuple[Hashable, Any], ...]:
+        for candidate, writes in self.writes:
+            if candidate == partition:
+                return writes
+        return ()
+
+
+@dataclass(frozen=True)
+class JournalAppend:
+    entry: JournalEntry
+
+
+@dataclass(frozen=True)
+class JournalAppendAck:
+    segment: str
+    gsn: int
+
+
+@dataclass(frozen=True)
+class JournalScanRequest:
+    """Sequencer recovery / participant catch-up read."""
+
+    from_gsn: int
+
+
+@dataclass(frozen=True)
+class JournalScanResponse:
+    segment: str
+    entries: tuple[JournalEntry, ...]
+
+
+class JournalSegment(Actor):
+    """One durable copy of the journal (a trivial storage node)."""
+
+    def __init__(
+        self,
+        name: str,
+        rng: random.Random,
+        disk: LatencyModel | None = None,
+    ) -> None:
+        super().__init__(name)
+        self.rng = rng
+        self.disk = disk if disk is not None else disk_service()
+        self.entries: dict[int, JournalEntry] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, JournalAppend):
+            self.entries[payload.entry.gsn] = payload.entry
+            delay = self.disk.sample(self.rng)
+            self.loop.schedule(
+                delay,
+                lambda: self.network.send(
+                    self.name,
+                    message.src,
+                    JournalAppendAck(self.name, payload.entry.gsn),
+                ),
+            )
+        elif isinstance(payload, JournalScanRequest):
+            selected = tuple(
+                self.entries[gsn]
+                for gsn in sorted(self.entries)
+                if gsn > payload.from_gsn
+            )
+            self.network.reply(
+                message, JournalScanResponse(self.name, selected)
+            )
+
+
+@dataclass
+class _PendingAppend:
+    entry: JournalEntry
+    acks: set[str] = field(default_factory=set)
+    future: Future | None = None
+
+
+class Journal(Actor):
+    """The sequencer."""
+
+    def __init__(self, name: str, segments: list[str]) -> None:
+        super().__init__(name)
+        self.segments = list(segments)
+        self._next_gsn = 1
+        self._pending: dict[int, _PendingAppend] = {}
+        #: Highest GSN known durable with all predecessors durable (the
+        #: journal's VCL analogue).
+        self.durable_gsn = 0
+        self.appends = 0
+
+    def append(
+        self,
+        txn_uid: str,
+        writes: dict[int, list[tuple[Hashable, Any]]],
+    ) -> Future:
+        """Sequence a cross-partition transaction.
+
+        Resolves with the :class:`JournalEntry` once the entry -- and every
+        entry before it -- is durable on a write quorum of journal
+        segments (the in-order rule that makes GSN replay gap-free).
+        """
+        entry = JournalEntry(
+            gsn=self._next_gsn,
+            txn_uid=txn_uid,
+            writes=tuple(
+                (partition, tuple(write_list))
+                for partition, write_list in sorted(writes.items())
+            ),
+        )
+        self._next_gsn += 1
+        self.appends += 1
+        pending = _PendingAppend(entry=entry, future=Future(self.loop))
+        self._pending[entry.gsn] = pending
+        for segment in self.segments:
+            self.network.send(self.name, segment, JournalAppend(entry))
+        return pending.future
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, JournalAppendAck):
+            pending = self._pending.get(payload.gsn)
+            if pending is None:
+                return
+            pending.acks.add(payload.segment)
+            self._advance_durability()
+
+    def _advance_durability(self) -> None:
+        """Resolve appends in GSN order as their quorums complete."""
+        while True:
+            next_gsn = self.durable_gsn + 1
+            pending = self._pending.get(next_gsn)
+            if pending is None or len(pending.acks) < JOURNAL_WRITE_QUORUM:
+                return
+            self.durable_gsn = next_gsn
+            del self._pending[next_gsn]
+            if pending.future is not None and not pending.future.done:
+                pending.future.set_result(pending.entry)
+
+    # ------------------------------------------------------------------
+    # Sequencer crash recovery (the VCL-recovery analogue)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose ephemeral sequencer state (pending appends are dropped;
+        unacknowledged cross-partition commits are lost, never half
+        applied -- their entries may exist on a minority only and are
+        superseded by re-sequencing)."""
+        self._pending.clear()
+
+    def recover(self) -> Future:
+        """Re-establish ``durable_gsn`` and ``_next_gsn`` from a read
+        quorum of journal segments.  Resolves with the recovered
+        durable GSN."""
+        future = Future(self.loop)
+        responses: dict[str, JournalScanResponse] = {}
+
+        def _on_reply(f: Future, segment: str) -> None:
+            reply = f.result()
+            if isinstance(reply, JournalScanResponse):
+                responses[segment] = reply
+            if len(responses) >= JOURNAL_READ_QUORUM and not future.done:
+                self.loop.schedule(2.0, _finish)
+
+        def _finish() -> None:
+            if future.done:
+                return
+            if len(responses) < JOURNAL_READ_QUORUM:
+                future.set_exception(
+                    RecoveryError("journal read quorum unavailable")
+                )
+                return
+            union: dict[int, JournalEntry] = {}
+            for reply in responses.values():
+                for entry in reply.entries:
+                    union[entry.gsn] = entry
+            durable = 0
+            while durable + 1 in union:
+                durable += 1
+            self.durable_gsn = durable
+            self._next_gsn = max(union, default=0) + 1
+            future.set_result(durable)
+
+        for segment in self.segments:
+            rpc = self.network.rpc(
+                self.name, segment, JournalScanRequest(from_gsn=0)
+            )
+            rpc.add_done_callback(
+                lambda f, segment=segment: _on_reply(f, segment)
+            )
+        self.loop.schedule(100.0, _finish)
+        return future
+
+    def scan_from(self, from_gsn: int) -> Future:
+        """Fetch durable entries above ``from_gsn`` (participant catch-up).
+
+        Reads a read quorum and returns the union, capped at the
+        sequencer's durable point.
+        """
+        future = Future(self.loop)
+        responses: dict[str, JournalScanResponse] = {}
+
+        def _on_reply(f: Future, segment: str) -> None:
+            reply = f.result()
+            if isinstance(reply, JournalScanResponse):
+                responses[segment] = reply
+            if len(responses) >= JOURNAL_READ_QUORUM and not future.done:
+                union: dict[int, JournalEntry] = {}
+                for resp in responses.values():
+                    for entry in resp.entries:
+                        union[entry.gsn] = entry
+                entries = [
+                    union[gsn]
+                    for gsn in sorted(union)
+                    if gsn <= self.durable_gsn
+                ]
+                future.set_result(entries)
+
+        for segment in self.segments:
+            rpc = self.network.rpc(
+                self.name, segment, JournalScanRequest(from_gsn=from_gsn)
+            )
+            rpc.add_done_callback(
+                lambda f, segment=segment: _on_reply(f, segment)
+            )
+        return future

@@ -1,0 +1,52 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substitute for the paper's physical testbed (EC2
+instances and a purpose-built storage fleet spread across three Availability
+Zones).  It provides:
+
+- :mod:`repro.sim.events` -- the event loop: a time-ordered heap of callbacks
+  with deterministic FIFO tie-breaking, plus :class:`~repro.sim.events.Future`
+  for completion signalling.
+- :mod:`repro.sim.process` -- generator-based cooperative processes that can
+  ``yield`` delays, futures, or other processes, in the style of SimPy.
+- :mod:`repro.sim.latency` -- parametric latency distributions used to model
+  network and disk service times.
+- :mod:`repro.sim.network` -- a message-passing network between named actors
+  with per-link latency, partitions, and node up/down state.
+- :mod:`repro.sim.failures` -- failure injection (node crashes, whole-AZ
+  outages, slow nodes) driven by schedules or probabilistic models.
+
+All randomness flows from a single seeded :class:`random.Random` so that any
+simulation is exactly reproducible from its seed.
+"""
+
+from repro.sim.events import Event, EventLoop, Future
+from repro.sim.failures import FailureInjector
+from repro.sim.latency import (
+    CompositeLatency,
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.sim.network import Actor, Message, Network
+from repro.sim.process import Process, sleep
+
+__all__ = [
+    "Actor",
+    "CompositeLatency",
+    "Event",
+    "EventLoop",
+    "ExponentialLatency",
+    "FailureInjector",
+    "FixedLatency",
+    "Future",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Message",
+    "Network",
+    "Process",
+    "UniformLatency",
+    "sleep",
+]

@@ -1,0 +1,239 @@
+"""Event loop and futures for the discrete-event simulator.
+
+The loop is a classic calendar queue: a binary heap of ``(time, seq,
+callback)`` entries.  ``seq`` is a monotonically increasing tie-breaker so
+that two events scheduled for the same instant fire in the order they were
+scheduled, which keeps simulations deterministic regardless of heap
+internals.
+
+Times are floats in arbitrary units; this library uses **milliseconds**
+throughout by convention (network RTTs of a fraction of a millisecond to a
+few milliseconds match the paper's intra-AZ / cross-AZ setting).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Cancellable until it has fired."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler.
+
+    Example::
+
+        loop = EventLoop()
+        loop.schedule(5.0, print, "five ms elapsed")
+        loop.run()
+        assert loop.now == 5.0
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[Event] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (milliseconds)."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now {self._now}"
+            )
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback`` at the current time (after pending events)."""
+        return self.schedule(0.0, callback, *args)
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> None:
+        """Run events until the heap drains or ``until`` is reached.
+
+        ``max_events`` is a runaway-loop backstop; exceeding it raises
+        :class:`SimulationError` rather than hanging the host.
+        """
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return
+            if not self.step():
+                break
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events} events); "
+                    "likely a scheduling loop"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self) -> None:
+        """Drain every pending event regardless of time."""
+        self.run(until=None)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Future:
+    """A one-shot container for a value that will exist later.
+
+    Futures connect asynchronous flows (quorum acknowledgements, commit
+    acks, storage reads) back to the code waiting on them.  Callbacks added
+    with :meth:`add_done_callback` run inline when the future resolves;
+    processes waiting via ``yield future`` are resumed through the same
+    mechanism.
+    """
+
+    __slots__ = ("_loop", "_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+        self._done = False
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def loop(self) -> EventLoop:
+        return self._loop
+
+    def result(self) -> Any:
+        """Return the resolved value, re-raising a stored exception."""
+        if not self._done:
+            raise SimulationError("future is not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def exception(self) -> BaseException | None:
+        if not self._done:
+            raise SimulationError("future is not resolved yet")
+        return self._exception
+
+    def set_result(self, value: Any = None) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._value = value
+        self._run_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._done:
+            raise SimulationError("future already resolved")
+        self._done = True
+        self._exception = exc
+        self._run_callbacks()
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Run ``fn(self)`` when resolved (immediately if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if not self._done:
+            return "<Future pending>"
+        if self._exception is not None:
+            return f"<Future exception={self._exception!r}>"
+        return f"<Future value={self._value!r}>"
+
+
+def gather(loop: EventLoop, futures: Iterable[Future]) -> Future:
+    """Return a future that resolves with a list of all results.
+
+    Resolves with the first exception if any input future fails.
+    """
+    futures = list(futures)
+    combined = Future(loop)
+    if not futures:
+        combined.set_result([])
+        return combined
+    remaining = [len(futures)]
+
+    def _on_done(_f: Future) -> None:
+        if combined.done:
+            return
+        if _f.exception() is not None:
+            combined.set_exception(_f.exception())  # type: ignore[arg-type]
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            combined.set_result([f.result() for f in futures])
+
+    for f in futures:
+        f.add_done_callback(_on_done)
+    return combined

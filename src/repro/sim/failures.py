@@ -1,0 +1,130 @@
+"""Failure injection for the simulated fleet.
+
+The paper's durability story is built around *correlated* failure: "it is
+insufficient to treat failures as independent.  At a minimum, it is necessary
+to consider the correlated impact of the largest unit of failure" -- in AWS,
+an Availability Zone.  The injector therefore supports three granularities:
+
+- single node crash/restart (the background noise of independent failures),
+- whole-AZ outage (the correlated event Figure 1 is about),
+- degraded ("slow" / "busy") nodes, which are not down but answer late --
+  the case the paper's read hedging and membership "suspect state" handle.
+
+Deterministic schedules (``crash_at``) serve the figure reproductions;
+stochastic MTTF/MTTR background failure (``enable_background_failures``)
+serves the durability benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+
+
+class FailureInjector:
+    """Schedules failures and repairs against a :class:`Network`."""
+
+    def __init__(
+        self, loop: EventLoop, network: Network, rng: random.Random
+    ) -> None:
+        self.loop = loop
+        self.network = network
+        self.rng = rng
+        self.log: list[tuple[float, str, str]] = []
+        self._az_members: dict[str, set[str]] = {}
+
+    def register_az(self, az: str, nodes: set[str]) -> None:
+        """Declare which nodes belong to an AZ (for whole-AZ events)."""
+        self._az_members.setdefault(az, set()).update(nodes)
+
+    def az_nodes(self, az: str) -> set[str]:
+        if az not in self._az_members:
+            raise ConfigurationError(f"unknown AZ {az!r}")
+        return set(self._az_members[az])
+
+    # ------------------------------------------------------------------
+    # Immediate operations
+    # ------------------------------------------------------------------
+    def crash_node(self, name: str) -> None:
+        self.log.append((self.loop.now, "crash", name))
+        self.network.fail_node(name)
+
+    def restore_node(self, name: str) -> None:
+        self.log.append((self.loop.now, "restore", name))
+        self.network.restore_node(name)
+
+    def crash_az(self, az: str) -> None:
+        self.log.append((self.loop.now, "crash_az", az))
+        for node in self.az_nodes(az):
+            self.network.fail_node(node)
+
+    def restore_az(self, az: str) -> None:
+        self.log.append((self.loop.now, "restore_az", az))
+        for node in self.az_nodes(az):
+            self.network.restore_node(node)
+
+    def slow_node(self, name: str, factor: float) -> None:
+        """Degrade a node: all its traffic is ``factor`` times slower."""
+        self.log.append((self.loop.now, f"slow_x{factor}", name))
+        self.network.set_latency_scale(name, factor)
+
+    def unslow_node(self, name: str) -> None:
+        self.log.append((self.loop.now, "unslow", name))
+        self.network.set_latency_scale(name, 1.0)
+
+    # ------------------------------------------------------------------
+    # Scheduled operations
+    # ------------------------------------------------------------------
+    def crash_at(
+        self, time: float, name: str, duration: float | None = None
+    ) -> None:
+        """Crash ``name`` at ``time``; restore after ``duration`` if given."""
+        self.loop.schedule_at(time, self.crash_node, name)
+        if duration is not None:
+            self.loop.schedule_at(time + duration, self.restore_node, name)
+
+    def crash_az_at(
+        self, time: float, az: str, duration: float | None = None
+    ) -> None:
+        self.loop.schedule_at(time, self.crash_az, az)
+        if duration is not None:
+            self.loop.schedule_at(time + duration, self.restore_az, az)
+
+    def slow_at(
+        self, time: float, name: str, factor: float, duration: float | None = None
+    ) -> None:
+        self.loop.schedule_at(time, self.slow_node, name, factor)
+        if duration is not None:
+            self.loop.schedule_at(time + duration, self.unslow_node, name)
+
+    # ------------------------------------------------------------------
+    # Background stochastic failures
+    # ------------------------------------------------------------------
+    def enable_background_failures(
+        self,
+        nodes: list[str],
+        mttf_ms: float,
+        mttr_ms: float,
+        horizon_ms: float,
+    ) -> None:
+        """Schedule an independent crash/repair renewal process per node.
+
+        Each node alternates exponentially-distributed up intervals (mean
+        ``mttf_ms``) and down intervals (mean ``mttr_ms``), pre-scheduled out
+        to ``horizon_ms``.  Pre-scheduling keeps runs deterministic for a
+        given seed regardless of what the protocols under test do.
+        """
+        if mttf_ms <= 0 or mttr_ms <= 0:
+            raise ConfigurationError("mttf_ms and mttr_ms must be > 0")
+        for node in nodes:
+            t = self.loop.now + self.rng.expovariate(1.0 / mttf_ms)
+            while t < horizon_ms:
+                down_for = self.rng.expovariate(1.0 / mttr_ms)
+                self.loop.schedule_at(t, self.crash_node, node)
+                restore_at = t + down_for
+                if restore_at < horizon_ms:
+                    self.loop.schedule_at(restore_at, self.restore_node, node)
+                t = restore_at + self.rng.expovariate(1.0 / mttf_ms)

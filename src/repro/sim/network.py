@@ -1,0 +1,328 @@
+"""Message-passing network between named actors.
+
+The network models the paper's deployment: nodes live in Availability Zones;
+links within an AZ are fast, links across AZs slower; nodes can crash and
+recover; AZs can fail wholesale; arbitrary partitions can be injected.
+
+Two communication styles are offered:
+
+- :meth:`Network.send` -- one-way, fire-and-forget.  This is what Aurora's
+  write path uses: the driver streams redo records and acknowledgements flow
+  back as independent one-way messages.
+- :meth:`Network.rpc` -- request/response with a :class:`Future` resolved on
+  reply.  Used for reads, gossip queries, and the consensus baselines.
+
+If either endpoint is down or the pair is partitioned at *delivery* time the
+message is silently dropped, exactly as a real network loses packets during a
+failure -- the protocols above must tolerate this (the paper, section 2.3:
+"since any given write may be lost for any reason we need to tolerate missing
+writes in the storage nodes").
+
+Message counts per payload type are tracked in :attr:`Network.stats`; the
+consensus-comparison benchmarks read them to report messages-per-commit.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.events import EventLoop, Future
+from repro.sim.latency import (
+    FixedLatency,
+    LatencyModel,
+    cross_az_link,
+    intra_az_link,
+)
+
+
+@dataclass
+class Message:
+    """A delivered network message.
+
+    ``request_id`` is non-None for RPC requests (replies carry the same id).
+    Actors answer an RPC by calling :meth:`Network.reply` with the original
+    message.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    send_time: float
+    deliver_time: float
+    request_id: int | None = None
+    is_reply: bool = False
+
+
+class Actor:
+    """Base class for network-attached components.
+
+    Subclasses override :meth:`on_message`.  Attaching an actor to the
+    network gives it ``self.network`` and ``self.loop`` handles.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.network: "Network" | None = None
+
+    @property
+    def loop(self) -> EventLoop:
+        if self.network is None:
+            raise SimulationError(f"actor {self.name} is not attached")
+        return self.network.loop
+
+    def on_message(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def on_crash(self) -> None:
+        """Hook invoked when the failure injector crashes this node."""
+
+    def on_restart(self) -> None:
+        """Hook invoked when the failure injector restores this node."""
+
+
+@dataclass
+class _NodeState:
+    az: str | None
+    actor: Actor | None = None
+    up: bool = True
+    latency_scale: float = 1.0
+
+
+@dataclass
+class NetworkStats:
+    """Counters exposed for benchmarks and assertions."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    by_type: Counter = field(default_factory=Counter)
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.messages_delivered,
+            "dropped": self.messages_dropped,
+        }
+
+
+def payload_type_name(payload: Any) -> str:
+    """Human-readable payload class name used for per-type stats."""
+    return type(payload).__name__
+
+
+class Network:
+    """The simulated network fabric."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: random.Random,
+        intra_az: LatencyModel | None = None,
+        cross_az: LatencyModel | None = None,
+        local: LatencyModel | None = None,
+    ) -> None:
+        self.loop = loop
+        self.rng = rng
+        self.intra_az = intra_az if intra_az is not None else intra_az_link()
+        self.cross_az = cross_az if cross_az is not None else cross_az_link()
+        self.local = local if local is not None else FixedLatency(0.01)
+        self.stats = NetworkStats()
+        self._nodes: dict[str, _NodeState] = {}
+        self._link_overrides: dict[tuple[str, str], LatencyModel] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self._next_request_id = 0
+        self._pending_rpcs: dict[int, Future] = {}
+        self._taps: list[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(
+        self, name: str, az: str | None = None, actor: Actor | None = None
+    ) -> None:
+        """Register a node; each name may only be added once."""
+        if name in self._nodes:
+            raise ConfigurationError(f"node {name!r} already registered")
+        self._nodes[name] = _NodeState(az=az, actor=actor)
+        if actor is not None:
+            actor.network = self
+
+    def attach(self, actor: Actor, az: str | None = None) -> None:
+        """Register ``actor`` under its own name."""
+        self.add_node(actor.name, az=az, actor=actor)
+
+    def set_actor(self, name: str, actor: Actor) -> None:
+        self._node(name).actor = actor
+        actor.network = self
+
+    def az_of(self, name: str) -> str | None:
+        return self._node(name).az
+
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    def set_link_latency(self, a: str, b: str, model: LatencyModel) -> None:
+        """Override latency for the (unordered) pair ``a``-``b``."""
+        self._link_overrides[self._pair(a, b)] = model
+
+    # ------------------------------------------------------------------
+    # Failure state
+    # ------------------------------------------------------------------
+    def is_up(self, name: str) -> bool:
+        return self._node(name).up
+
+    def fail_node(self, name: str) -> None:
+        node = self._node(name)
+        if node.up:
+            node.up = False
+            if node.actor is not None:
+                node.actor.on_crash()
+
+    def restore_node(self, name: str) -> None:
+        node = self._node(name)
+        if not node.up:
+            node.up = True
+            if node.actor is not None:
+                node.actor.on_restart()
+
+    def set_latency_scale(self, name: str, factor: float) -> None:
+        """Make every message to/from ``name`` slower by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor}")
+        self._node(name).latency_scale = factor
+
+    def partition(self, group_a: set[str], group_b: set[str]) -> None:
+        """Drop all traffic between ``group_a`` and ``group_b``."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(self._pair(a, b))
+
+    def heal_partition(self, group_a: set[str], group_b: set[str]) -> None:
+        for a in group_a:
+            for b in group_b:
+                self._partitions.discard(self._pair(a, b))
+
+    def heal_all_partitions(self) -> None:
+        self._partitions.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return self._pair(a, b) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """One-way message; silently lost if the path is unavailable."""
+        self._transmit(src, dst, payload, request_id=None, is_reply=False)
+
+    def rpc(self, src: str, dst: str, payload: Any) -> Future:
+        """Request/response; the future resolves with the reply payload.
+
+        The future never resolves if the request or reply is lost -- the
+        caller is responsible for hedging or retrying, which is faithful to
+        the paper's design (section 3.1 handles exactly this case without
+        timeouts).
+        """
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        future = Future(self.loop)
+        self._pending_rpcs[request_id] = future
+        self._transmit(src, dst, payload, request_id=request_id, is_reply=False)
+        return future
+
+    def reply(self, request: Message, payload: Any) -> None:
+        """Answer an RPC request message."""
+        if request.request_id is None:
+            raise SimulationError("cannot reply to a one-way message")
+        self._transmit(
+            request.dst,
+            request.src,
+            payload,
+            request_id=request.request_id,
+            is_reply=True,
+        )
+
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Observe every delivered message (tracing, debugging, benches)."""
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _node(self, name: str) -> _NodeState:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {name!r}") from None
+
+    @staticmethod
+    def _pair(a: str, b: str) -> frozenset[str]:
+        return frozenset((a, b))
+
+    def _latency_between(self, src: str, dst: str) -> float:
+        override = self._link_overrides.get(self._pair(src, dst))
+        if override is not None:
+            base = override.sample(self.rng)
+        elif src == dst:
+            base = self.local.sample(self.rng)
+        else:
+            src_az = self._nodes[src].az
+            dst_az = self._nodes[dst].az
+            if src_az is not None and src_az == dst_az:
+                base = self.intra_az.sample(self.rng)
+            else:
+                base = self.cross_az.sample(self.rng)
+        scale = (
+            self._nodes[src].latency_scale * self._nodes[dst].latency_scale
+        )
+        return base * scale
+
+    def _transmit(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        request_id: int | None,
+        is_reply: bool,
+    ) -> None:
+        self._node(src)  # validate src exists
+        self._node(dst)
+        self.stats.messages_sent += 1
+        self.stats.by_type[payload_type_name(payload)] += 1
+        if not self._nodes[src].up:
+            self.stats.messages_dropped += 1
+            return
+        latency = self._latency_between(src, dst)
+        message = Message(
+            src=src,
+            dst=dst,
+            payload=payload,
+            send_time=self.loop.now,
+            deliver_time=self.loop.now + latency,
+            request_id=request_id,
+            is_reply=is_reply,
+        )
+        self.loop.schedule(latency, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes[message.dst]
+        if not node.up or self.is_partitioned(message.src, message.dst):
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        for tap in self._taps:
+            tap(message)
+        if message.is_reply:
+            future = self._pending_rpcs.pop(message.request_id, None)
+            if future is not None and not future.done:
+                future.set_result(message.payload)
+            return
+        if node.actor is None:
+            raise SimulationError(
+                f"message delivered to node {message.dst!r} with no actor"
+            )
+        node.actor.on_message(message)

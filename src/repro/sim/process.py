@@ -1,0 +1,153 @@
+"""Generator-based cooperative processes for the simulator.
+
+A process is a Python generator driven by the event loop.  The generator may
+yield:
+
+- a ``float`` or ``int`` -- sleep for that many simulated milliseconds;
+- a :class:`~repro.sim.events.Future` -- suspend until it resolves; the
+  ``yield`` expression evaluates to the future's result (or re-raises its
+  exception inside the generator);
+- another :class:`Process` -- suspend until the child process finishes; the
+  ``yield`` evaluates to the child's return value.
+
+Example::
+
+    def writer(loop, storage):
+        ack = storage.write(b"record")     # returns a Future
+        result = yield ack                 # wait for the quorum ack
+        yield 1.5                          # think time
+        return result
+
+    proc = Process(loop, writer(loop, storage))
+    loop.run()
+    assert proc.finished
+
+This style keeps multi-step protocol flows (2PC rounds, recovery scans,
+hedged reads) readable as straight-line code while remaining fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop, Future
+
+
+class Process:
+    """Drives a generator to completion on an event loop."""
+
+    def __init__(self, loop: EventLoop, generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator; got "
+                f"{type(generator).__name__} (did you forget to call the "
+                "generator function?)"
+            )
+        self._loop = loop
+        self._generator = generator
+        self._completion = Future(loop)
+        loop.call_soon(self._advance, None, None)
+
+    @property
+    def completion(self) -> Future:
+        """Future resolved with the generator's return value."""
+        return self._completion
+
+    @property
+    def finished(self) -> bool:
+        return self._completion.done
+
+    def result(self) -> Any:
+        """Return value of the finished process (raises if still running)."""
+        return self._completion.result()
+
+    def _advance(self, value: Any, exception: BaseException | None) -> None:
+        if self._completion.done:
+            return
+        try:
+            if exception is not None:
+                yielded = self._generator.throw(exception)
+            else:
+                yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._completion.set_result(stop.value)
+            return
+        except Exception as exc:  # noqa: BLE001 - propagate via future
+            self._completion.set_exception(exc)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            self._loop.schedule(float(yielded), self._advance, None, None)
+        elif isinstance(yielded, Future):
+            yielded.add_done_callback(self._on_future)
+        elif isinstance(yielded, Process):
+            yielded.completion.add_done_callback(self._on_future)
+        else:
+            self._advance(
+                None,
+                SimulationError(
+                    f"process yielded unsupported value: {yielded!r}"
+                ),
+            )
+
+    def _on_future(self, future: Future) -> None:
+        exc = future.exception()
+        if exc is not None:
+            self._advance(None, exc)
+        else:
+            self._advance(future.result(), None)
+
+
+def sleep(loop: EventLoop, delay: float) -> Future:
+    """Return a future that resolves after ``delay`` ms (for non-process code)."""
+    future = Future(loop)
+    loop.schedule(delay, future.set_result, None)
+    return future
+
+
+class Mutex:
+    """A FIFO asynchronous mutex for cooperative processes.
+
+    Plays the role of the paper's block latches on the writer: operations
+    that build an MTR hold the mutex across their storage fetches so no two
+    mini-transactions interleave their structural reads and writes.
+
+    Usage inside a process generator::
+
+        yield mutex.acquire()
+        try:
+            ...
+        finally:
+            mutex.release()
+    """
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+        self._locked = False
+        self._waiters: list[Future] = []
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Future:
+        future = Future(self._loop)
+        if not self._locked:
+            self._locked = True
+            future.set_result(None)
+        else:
+            self._waiters.append(future)
+        return future
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError("mutex released while not held")
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            waiter.set_result(None)
+        else:
+            self._locked = False

@@ -1,0 +1,35 @@
+"""The simulated multi-tenant scale-out storage fleet.
+
+This package implements the storage side of the paper:
+
+- :mod:`repro.storage.page` -- non-destructive, versioned data blocks.
+- :mod:`repro.storage.segment` -- a segment: the hot log, the segment chain
+  (SCL), redo application / coalescing, reads at a point, GC, scrub, backup
+  interaction.  Segments come in *full* and *tail* flavours (section 4.2).
+- :mod:`repro.storage.messages` -- the wire protocol between database
+  instances and storage nodes.
+- :mod:`repro.storage.node` -- the storage-node actor: Figure 2's eight
+  activities (including peer-to-peer gossip hole-filling) wired to the
+  simulated network, with epoch validation on every request.
+- :mod:`repro.storage.backup` -- the simulated S3 archive.
+- :mod:`repro.storage.metadata` -- the storage metadata service: volume
+  geometry, protection-group membership, epochs.
+- :mod:`repro.storage.volume` -- volume geometry and block routing.
+"""
+
+from repro.storage.backup import SimulatedS3
+from repro.storage.metadata import StorageMetadataService
+from repro.storage.node import StorageNode
+from repro.storage.page import BlockVersionChain
+from repro.storage.segment import Segment, SegmentKind
+from repro.storage.volume import VolumeGeometry
+
+__all__ = [
+    "BlockVersionChain",
+    "Segment",
+    "SegmentKind",
+    "SimulatedS3",
+    "StorageMetadataService",
+    "StorageNode",
+    "VolumeGeometry",
+]

@@ -1,0 +1,195 @@
+"""Wire protocol between database instances and storage nodes.
+
+Every request carries an :class:`~repro.core.epochs.EpochStamp`; storage
+nodes validate it before doing anything else and answer stale requests with
+:class:`RequestRejected` so the caller can refresh and retry (section 4.1:
+"Updates of stale state are similarly simple, requiring just one additional
+request past the one rejected").
+
+All payloads are frozen dataclasses: messages in flight are immutable, so a
+buggy actor cannot mutate another's state through a shared reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.epochs import EpochStamp
+from repro.core.lsn import TruncationRange
+from repro.core.records import ChainDigest, LogRecord
+
+
+# ----------------------------------------------------------------------
+# Write path (one-way in both directions, section 2.2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WriteBatch:
+    """A boxcar of redo records for one protection group."""
+
+    instance_id: str
+    pg_index: int
+    records: tuple[LogRecord, ...]
+    epochs: EpochStamp
+    #: The sender's current PGMRPL, piggybacked to advance the GC floor.
+    pgmrpl: int
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    """Acknowledgement of a write batch; carries the segment's SCL."""
+
+    segment_id: str
+    pg_index: int
+    scl: int
+    epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class RequestRejected:
+    """A request failed epoch validation (or hit another hard error)."""
+
+    segment_id: str
+    reason: str
+    current_epochs: EpochStamp
+
+
+# ----------------------------------------------------------------------
+# Read path (RPC, section 3.1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadBlockRequest:
+    pg_index: int
+    block: int
+    read_point: int
+    epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class ReadBlockResponse:
+    segment_id: str
+    block: int
+    #: Immutable view of the block image at the read point.
+    image: tuple[tuple[str, object], ...]
+    version_lsn: int
+
+    def image_dict(self) -> dict:
+        return dict(self.image)
+
+
+# ----------------------------------------------------------------------
+# Gossip (RPC between peer segments, section 2.3)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GossipQuery:
+    """'What do you have past my SCL?'"""
+
+    from_segment: str
+    pg_index: int
+    scl: int
+    epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class GossipResponse:
+    segment_id: str
+    pg_index: int
+    scl: int
+    records: tuple[LogRecord, ...]
+    #: Database instances the responder has seen; lets a freshly restored
+    #: or hydrated peer know whom to (re-)acknowledge.
+    known_instances: tuple[str, ...] = ()
+    #: The responder's GC horizon: a peer whose SCL is below it cannot
+    #: catch up via the hot log alone and must hydrate a baseline.
+    gc_horizon: int = 0
+
+
+# ----------------------------------------------------------------------
+# Crash recovery (RPC, section 2.4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecoveryScanRequest:
+    pg_index: int
+    epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class RecoveryScanResponse:
+    segment_id: str
+    pg_index: int
+    scl: int
+    digests: tuple[ChainDigest, ...]
+    #: Records at or below this point may be GC'd from the hot log; they
+    #: are known volume-complete (see repro.core.recovery).
+    gc_horizon: int = 0
+
+
+@dataclass(frozen=True)
+class TruncateRequest:
+    """Install the recovery truncation range and the new volume epoch."""
+
+    pg_index: int
+    #: Highest surviving LSN routed to this PG.
+    pg_point: int
+    truncation: TruncationRange
+    new_epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class TruncateAck:
+    segment_id: str
+    pg_index: int
+    scl: int
+
+
+# ----------------------------------------------------------------------
+# Epoch / membership control (RPC, section 4.1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EpochWrite:
+    """Record a new epoch on a segment (counts toward the write quorum)."""
+
+    pg_index: int
+    #: Epochs the writer believes are current (validated like any request).
+    epochs: EpochStamp
+    new_epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class EpochWriteAck:
+    segment_id: str
+    epochs: EpochStamp
+
+
+# ----------------------------------------------------------------------
+# GC floor advancement (one-way, section 3.4)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GCFloorUpdate:
+    instance_id: str
+    pg_index: int
+    pgmrpl: int
+    epochs: EpochStamp
+
+
+# ----------------------------------------------------------------------
+# Hydration of a replacement segment (RPC, section 4.2)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BaselineRequest:
+    """A hydrating segment asks a healthy full peer for its baseline."""
+
+    from_segment: str
+    pg_index: int
+    epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class BaselineResponse:
+    segment_id: str
+    pg_index: int
+    #: (block, version_lsn, image) triples for the materialized baseline.
+    blocks: tuple[tuple[int, int, tuple[tuple[str, object], ...]], ...]
+    coalesced_upto: int
+    gc_horizon: int
+    scl: int
+    records: tuple[LogRecord, ...]

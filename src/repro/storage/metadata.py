@@ -1,0 +1,146 @@
+"""The storage metadata service.
+
+The paper mentions it in passing (section 2.4: "Aurora increments an epoch
+in its **storage metadata service** and records this volume epoch in a write
+quorum of each protection group").  It is the control-plane directory a
+(re)starting database instance consults to learn the volume's geometry,
+each protection group's membership, and the last known epochs -- *not* a
+consensus service, and deliberately not on any data path: every correctness
+property still rests on the epochs recorded in the storage write quorums.
+
+It also records segment placement (which storage node and AZ host each
+segment), which the failure injector and membership manager use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.epochs import EpochStamp
+from repro.core.membership import MembershipState
+from repro.core.quorum import QuorumConfig
+from repro.errors import ConfigurationError, MembershipError
+from repro.storage.segment import SegmentKind
+from repro.storage.volume import VolumeGeometry
+
+
+@dataclass
+class SegmentPlacement:
+    """Where one segment lives."""
+
+    segment_id: str
+    pg_index: int
+    node: str
+    az: str
+    kind: SegmentKind
+
+
+class StorageMetadataService:
+    """Directory of volume geometry, membership, placement, and epochs."""
+
+    def __init__(self, geometry: VolumeGeometry) -> None:
+        self.geometry = geometry
+        self._memberships: dict[int, MembershipState] = {}
+        self._placements: dict[str, SegmentPlacement] = {}
+        self._epochs = EpochStamp()
+        #: Per-PG quorum-model overrides (section 4.1: the geometry epoch
+        #: "can also be used to change the quorum model itself, for
+        #: example, when moving from a 4/6 write quorum to 3/4 to handle
+        #: the extended loss of an AZ").
+        self._quorum_overrides: dict[int, QuorumConfig] = {}
+
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> EpochStamp:
+        return self._epochs
+
+    def record_epochs(self, stamp: EpochStamp) -> None:
+        """Adopt newer epochs (components never move backwards)."""
+        self._epochs = EpochStamp(
+            volume=max(self._epochs.volume, stamp.volume),
+            membership=max(self._epochs.membership, stamp.membership),
+            geometry=max(self._epochs.geometry, stamp.geometry),
+        )
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def set_membership(self, pg_index: int, state: MembershipState) -> None:
+        existing = self._memberships.get(pg_index)
+        if existing is not None and state.epoch <= existing.epoch:
+            raise MembershipError(
+                f"membership epoch must advance: {existing.epoch} -> "
+                f"{state.epoch}"
+            )
+        self._memberships[pg_index] = state
+
+    def membership(self, pg_index: int) -> MembershipState:
+        try:
+            return self._memberships[pg_index]
+        except KeyError:
+            raise ConfigurationError(
+                f"no membership recorded for PG {pg_index}"
+            ) from None
+
+    def quorum_config(self, pg_index: int) -> QuorumConfig:
+        override = self._quorum_overrides.get(pg_index)
+        if override is not None:
+            return override
+        return self.membership(pg_index).quorum_config()
+
+    def set_quorum_override(
+        self, pg_index: int, config: QuorumConfig
+    ) -> None:
+        """Install a non-standard quorum model for one PG (proved)."""
+        config.prove()
+        self._quorum_overrides[pg_index] = config
+
+    def clear_quorum_override(self, pg_index: int) -> None:
+        self._quorum_overrides.pop(pg_index, None)
+
+    def has_quorum_override(self, pg_index: int) -> bool:
+        return pg_index in self._quorum_overrides
+
+    def pg_indexes(self) -> list[int]:
+        return sorted(self._memberships)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place_segment(self, placement: SegmentPlacement) -> None:
+        self._placements[placement.segment_id] = placement
+
+    def placement(self, segment_id: str) -> SegmentPlacement:
+        try:
+            return self._placements[segment_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no placement recorded for segment {segment_id!r}"
+            ) from None
+
+    def segments_of_pg(self, pg_index: int) -> list[SegmentPlacement]:
+        """Placements for every *current* member of the PG."""
+        members = self.membership(pg_index).members
+        return [
+            self._placements[segment_id]
+            for segment_id in sorted(members)
+            if segment_id in self._placements
+        ]
+
+    def full_segments_of_pg(self, pg_index: int) -> list[SegmentPlacement]:
+        return [
+            p
+            for p in self.segments_of_pg(pg_index)
+            if p.kind is SegmentKind.FULL
+        ]
+
+    def peers_of(self, segment_id: str) -> list[str]:
+        """Other current members of the same PG (gossip targets)."""
+        placement = self.placement(segment_id)
+        return [
+            p.segment_id
+            for p in self.segments_of_pg(placement.pg_index)
+            if p.segment_id != segment_id
+        ]

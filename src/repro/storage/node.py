@@ -1,0 +1,484 @@
+"""The storage-node actor: Figure 2 wired to the simulated network.
+
+Foreground path (the *only* latency a database write observes):
+
+1. receive redo records (:class:`WriteBatch`),
+2. append them to the update queue / hot log, and
+3. ACKnowledge back with the segment's SCL after a local disk write.
+
+Everything else happens in background ticks, each independent and crash-safe:
+
+4. GOSSIP with peers to fill chain holes,
+5. COALESCE records into data-block versions,
+6. BACKUP point-in-time snapshots to (simulated) S3,
+7. GARBAGE COLLECT hot-log records and block versions, and
+8. SCRUB checksums, repairing from a healthy peer on mismatch.
+
+Every request is epoch-validated first; stale callers get
+:class:`RequestRejected` and must refresh ("Aurora ... just changes the
+locks on the door").  The node never votes: "storage nodes do not have a
+vote in determining whether to accept a write, they must do so."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.epochs import EpochRegistry
+from repro.errors import ReadPointError, StaleEpochError
+from repro.sim.latency import LatencyModel, disk_service
+from repro.sim.network import Actor, Message
+from repro.storage.backup import SimulatedS3
+from repro.storage.messages import (
+    BaselineRequest,
+    BaselineResponse,
+    EpochWrite,
+    EpochWriteAck,
+    GCFloorUpdate,
+    GossipQuery,
+    GossipResponse,
+    ReadBlockRequest,
+    ReadBlockResponse,
+    RecoveryScanRequest,
+    RecoveryScanResponse,
+    RequestRejected,
+    TruncateAck,
+    TruncateRequest,
+    WriteAck,
+    WriteBatch,
+)
+from repro.storage.metadata import StorageMetadataService
+from repro.storage.page import BlockVersionChain
+from repro.storage.segment import Segment, SegmentKind
+
+
+@dataclass
+class StorageNodeConfig:
+    """Tunable behaviour of a storage node (times in ms)."""
+
+    disk: LatencyModel | None = None
+    gossip_interval: float = 20.0
+    coalesce_interval: float = 10.0
+    backup_interval: float = 500.0
+    gc_interval: float = 200.0
+    scrub_interval: float = 2_000.0
+    #: Records returned per gossip response (bounds message size).
+    gossip_batch_limit: int = 512
+    enable_background: bool = True
+
+    def __post_init__(self) -> None:
+        if self.disk is None:
+            self.disk = disk_service()
+
+
+class StorageNode(Actor):
+    """One simulated storage node hosting one segment.
+
+    (The real fleet multiplexes many segments per node; one-per-node keeps
+    the failure model transparent -- crashing a node crashes exactly one
+    segment -- without changing any protocol behaviour.)
+    """
+
+    def __init__(
+        self,
+        segment: Segment,
+        metadata: StorageMetadataService,
+        s3: SimulatedS3,
+        rng: random.Random,
+        config: StorageNodeConfig | None = None,
+    ) -> None:
+        super().__init__(name=segment.segment_id)
+        self.segment = segment
+        self.metadata = metadata
+        self.s3 = s3
+        self.rng = rng
+        self.config = config if config is not None else StorageNodeConfig()
+        self.epochs = EpochRegistry()
+        #: PGMRPL per database instance that has opened the volume.
+        self._instance_read_floors: dict[str, int] = {}
+        self.counters = {
+            "write_batches": 0,
+            "acks_sent": 0,
+            "rejections_sent": 0,
+            "gossip_rounds": 0,
+            "gossip_records_pulled": 0,
+            "backups_taken": 0,
+            "gc_runs": 0,
+            "scrub_runs": 0,
+            "scrub_repairs": 0,
+            "reads_answered": 0,
+        }
+        self._started = False
+        #: Directory of peer nodes for scrub repair (set by the cluster).
+        self._peer_registry: dict[str, "StorageNode"] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin background activity (call after attaching to the network)."""
+        if self._started or not self.config.enable_background:
+            self._started = True
+            return
+        self._started = True
+        self._schedule_tick(self.config.gossip_interval, self._gossip_tick)
+        self._schedule_tick(self.config.coalesce_interval, self._coalesce_tick)
+        self._schedule_tick(self.config.backup_interval, self._backup_tick)
+        self._schedule_tick(self.config.gc_interval, self._gc_tick)
+        self._schedule_tick(self.config.scrub_interval, self._scrub_tick)
+
+    def _schedule_tick(self, interval: float, tick) -> None:
+        """Reschedule ``tick`` forever with +/-20% jitter (avoids lockstep)."""
+        delay = interval * self.rng.uniform(0.8, 1.2)
+
+        def _fire() -> None:
+            if self.network is not None and self.network.is_up(self.name):
+                tick()
+            self._schedule_tick(interval, tick)
+
+        self.loop.schedule(delay, _fire)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, WriteBatch):
+            self._on_write_batch(message, payload)
+        elif isinstance(payload, ReadBlockRequest):
+            self._on_read_block(message, payload)
+        elif isinstance(payload, GossipQuery):
+            self._on_gossip_query(message, payload)
+        elif isinstance(payload, RecoveryScanRequest):
+            self._on_recovery_scan(message, payload)
+        elif isinstance(payload, TruncateRequest):
+            self._on_truncate(message, payload)
+        elif isinstance(payload, EpochWrite):
+            self._on_epoch_write(message, payload)
+        elif isinstance(payload, GCFloorUpdate):
+            self._on_gc_floor(payload)
+        elif isinstance(payload, BaselineRequest):
+            self._on_baseline(message, payload)
+        # Unknown payloads are dropped silently, like any real node.
+
+    def _check_epochs(self, message: Message, epochs) -> bool:
+        """Validate a request's stamp; reject-and-False when stale."""
+        try:
+            self.epochs.check_and_learn(epochs)
+            return True
+        except StaleEpochError as exc:
+            self.counters["rejections_sent"] += 1
+            rejection = RequestRejected(
+                segment_id=self.name,
+                reason=str(exc),
+                current_epochs=self.epochs.current,
+            )
+            if message.request_id is not None:
+                self.network.reply(message, rejection)
+            else:
+                self.network.send(self.name, message.src, rejection)
+            return False
+
+    # ------------------------------------------------------------------
+    # Foreground: writes (activities 1, 2 + ACK)
+    # ------------------------------------------------------------------
+    def _on_write_batch(self, message: Message, batch: WriteBatch) -> None:
+        if not self._check_epochs(message, batch.epochs):
+            return
+        self.counters["write_batches"] += 1
+        for record in batch.records:
+            self.segment.receive(record)
+        self._adopt_read_floor(batch.instance_id, batch.pgmrpl)
+        # The ACK leaves after the local durable write completes.
+        disk_delay = self.config.disk.sample(self.rng)
+        self.loop.schedule(disk_delay, self._send_ack, batch.instance_id)
+
+    def _send_ack(self, instance_id: str) -> None:
+        self.counters["acks_sent"] += 1
+        self.network.send(
+            self.name,
+            instance_id,
+            WriteAck(
+                segment_id=self.name,
+                pg_index=self.segment.pg_index,
+                scl=self.segment.scl,
+                epochs=self.epochs.current,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Foreground: reads
+    # ------------------------------------------------------------------
+    def _on_read_block(self, message: Message, request: ReadBlockRequest) -> None:
+        if not self._check_epochs(message, request.epochs):
+            return
+        disk_delay = self.config.disk.sample(self.rng)
+        self.loop.schedule(disk_delay, self._serve_read, message, request)
+
+    def _serve_read(self, message: Message, request: ReadBlockRequest) -> None:
+        try:
+            image = self.segment.read_block(request.block, request.read_point)
+        except ReadPointError as exc:
+            self.network.reply(
+                message,
+                RequestRejected(
+                    segment_id=self.name,
+                    reason=str(exc),
+                    current_epochs=self.epochs.current,
+                ),
+            )
+            return
+        self.counters["reads_answered"] += 1
+        self.network.reply(
+            message,
+            ReadBlockResponse(
+                segment_id=self.name,
+                block=request.block,
+                image=tuple(sorted(image.items(), key=lambda kv: repr(kv[0]))),
+                version_lsn=self.segment.block_version_lsn(
+                    request.block, request.read_point
+                ),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Background: gossip (activity 4)
+    # ------------------------------------------------------------------
+    def _gossip_tick(self) -> None:
+        peers = self.metadata.peers_of(self.name)
+        if not peers:
+            return
+        peer = self.rng.choice(peers)
+        self.counters["gossip_rounds"] += 1
+        query = GossipQuery(
+            from_segment=self.name,
+            pg_index=self.segment.pg_index,
+            scl=self.segment.scl,
+            epochs=self.epochs.current,
+        )
+        future = self.network.rpc(self.name, peer, query)
+        future.add_done_callback(self._on_gossip_reply)
+
+    def _on_gossip_reply(self, future) -> None:
+        response = future.result()
+        if not isinstance(response, GossipResponse):
+            return  # rejected: our epochs were stale; we learn via writes
+        scl_before = self.segment.scl
+        for record in response.records:
+            self.segment.receive(record, via_gossip=True)
+        self.counters["gossip_records_pulled"] += len(response.records)
+        for instance_id in response.known_instances:
+            self._instance_read_floors.setdefault(instance_id, 0)
+        if response.gc_horizon > self.segment.scl:
+            # We fell behind the peer's GC horizon: the records we are
+            # missing no longer exist in any hot log.  Hydrate a baseline
+            # from the peer instead (full repair, section 4.2).
+            request = BaselineRequest(
+                from_segment=self.name,
+                pg_index=self.segment.pg_index,
+                epochs=self.epochs.current,
+            )
+            future = self.network.rpc(self.name, response.segment_id, request)
+            future.add_done_callback(self._on_hydration_baseline)
+        if self.segment.scl > scl_before:
+            # Gossip closed a hole: proactively re-acknowledge so the
+            # database's PGCL bookkeeping learns the new SCL even when no
+            # fresh writes are flowing (e.g. after this node was restored).
+            for instance_id in self._instance_read_floors:
+                self._send_ack(instance_id)
+
+    def _on_gossip_query(self, message: Message, query: GossipQuery) -> None:
+        if not self._check_epochs(message, query.epochs):
+            return
+        records = self.segment.records_after(
+            query.scl, limit=self.config.gossip_batch_limit
+        )
+        self.network.reply(
+            message,
+            GossipResponse(
+                segment_id=self.name,
+                pg_index=self.segment.pg_index,
+                scl=self.segment.scl,
+                records=tuple(records),
+                known_instances=tuple(sorted(self._instance_read_floors)),
+                gc_horizon=self.segment.gc_horizon,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Background: coalesce (activities 3, 5)
+    # ------------------------------------------------------------------
+    def _coalesce_tick(self) -> None:
+        self.segment.coalesce()
+
+    # ------------------------------------------------------------------
+    # Background: backup (activity 6)
+    # ------------------------------------------------------------------
+    def _backup_tick(self) -> None:
+        snapshot = self.segment.snapshot_for_backup()
+        self.s3.put_snapshot(
+            segment_id=self.name,
+            pg_index=self.segment.pg_index,
+            scl=self.segment.scl,
+            taken_at=self.loop.now,
+            payload=snapshot,
+        )
+        self.segment.mark_backed_up(self.segment.scl)
+        self.counters["backups_taken"] += 1
+
+    # ------------------------------------------------------------------
+    # Background: GC (activity 7)
+    # ------------------------------------------------------------------
+    def _gc_tick(self) -> None:
+        self.counters["gc_runs"] += 1
+        self.segment.garbage_collect()
+        self.s3.collect_garbage()
+
+    def _on_gc_floor(self, update: GCFloorUpdate) -> None:
+        try:
+            self.epochs.check_and_learn(update.epochs)
+        except StaleEpochError:
+            return  # one-way message; drop
+        self._adopt_read_floor(update.instance_id, update.pgmrpl)
+
+    def _adopt_read_floor(self, instance_id: str, pgmrpl: int) -> None:
+        previous = self._instance_read_floors.get(instance_id, 0)
+        self._instance_read_floors[instance_id] = max(previous, pgmrpl)
+        self.segment.advance_gc_floor(min(self._instance_read_floors.values()))
+
+    def forget_instance(self, instance_id: str) -> None:
+        """Drop a closed instance from GC-floor accounting."""
+        self._instance_read_floors.pop(instance_id, None)
+
+    # ------------------------------------------------------------------
+    # Background: scrub (activity 8)
+    # ------------------------------------------------------------------
+    def _scrub_tick(self) -> None:
+        self.counters["scrub_runs"] += 1
+        failures = self.segment.scrub()
+        if not failures:
+            return
+        # Repair from a random healthy full peer, synchronously through the
+        # shared metadata directory (the data path itself is what matters
+        # for the protocol; scrub repair is a maintenance flow).
+        peers = self.metadata.full_segments_of_pg(self.segment.pg_index)
+        for placement in peers:
+            if placement.segment_id == self.name:
+                continue
+            peer_node = self._peer_segment(placement.segment_id)
+            if peer_node is None:
+                continue
+            repaired = self.segment.repair_scrub_failures(peer_node, failures)
+            self.counters["scrub_repairs"] += repaired
+            if repaired:
+                break
+
+    def register_peer_directory(self, directory: dict[str, "StorageNode"]) -> None:
+        """Give the node a directory of peer segments for scrub repair."""
+        self._peer_registry = directory
+
+    def _peer_segment(self, segment_id: str) -> Segment | None:
+        node = self._peer_registry.get(segment_id)
+        return node.segment if node is not None else None
+
+    # ------------------------------------------------------------------
+    # Recovery + control plane
+    # ------------------------------------------------------------------
+    def _on_recovery_scan(
+        self, message: Message, request: RecoveryScanRequest
+    ) -> None:
+        if not self._check_epochs(message, request.epochs):
+            return
+        self.network.reply(
+            message,
+            RecoveryScanResponse(
+                segment_id=self.name,
+                pg_index=self.segment.pg_index,
+                scl=self.segment.scl,
+                digests=self.segment.chain_digests(),
+                gc_horizon=self.segment.gc_horizon,
+            ),
+        )
+
+    def _on_truncate(self, message: Message, request: TruncateRequest) -> None:
+        # A truncate carries the *new* epochs; adopting them is part of
+        # applying it.  Validation only requires they not be stale.
+        if not self._check_epochs(message, request.new_epochs):
+            return
+        self.segment.truncate(request.pg_point, request.truncation)
+        self.network.reply(
+            message,
+            TruncateAck(
+                segment_id=self.name,
+                pg_index=self.segment.pg_index,
+                scl=self.segment.scl,
+            ),
+        )
+
+    def _on_epoch_write(self, message: Message, request: EpochWrite) -> None:
+        if not self._check_epochs(message, request.epochs):
+            return
+        self.epochs.advance(request.new_epochs)
+        self.network.reply(
+            message,
+            EpochWriteAck(segment_id=self.name, epochs=self.epochs.current),
+        )
+
+    def _on_baseline(self, message: Message, request: BaselineRequest) -> None:
+        if not self._check_epochs(message, request.epochs):
+            return
+        self.segment.coalesce()
+        blocks = tuple(
+            (
+                block,
+                chain.latest_lsn,
+                tuple(sorted(chain.latest_image().items(),
+                             key=lambda kv: repr(kv[0]))),
+            )
+            for block, chain in sorted(self.segment.blocks.items())
+        )
+        self.network.reply(
+            message,
+            BaselineResponse(
+                segment_id=self.name,
+                pg_index=self.segment.pg_index,
+                blocks=blocks,
+                coalesced_upto=self.segment.coalesced_upto,
+                gc_horizon=self.segment.gc_horizon,
+                scl=self.segment.scl,
+                records=tuple(self.segment.records_after(0, limit=10**9)),
+            ),
+        )
+
+    def _on_hydration_baseline(self, future) -> None:
+        reply = future.result()
+        if isinstance(reply, BaselineResponse):
+            scl_before = self.segment.scl
+            self.apply_baseline(reply)
+            if self.segment.scl > scl_before:
+                for instance_id in self._instance_read_floors:
+                    self._send_ack(instance_id)
+
+    def apply_baseline(self, response: BaselineResponse) -> int:
+        """Hydrate this node's segment from a peer's baseline response."""
+        if self.segment.kind is SegmentKind.FULL:
+            for block, version_lsn, image in response.blocks:
+                chain = self.segment.blocks.get(block)
+                if chain is None:
+                    chain = BlockVersionChain(block)
+                    self.segment.blocks[block] = chain
+                if version_lsn > chain.latest_lsn:
+                    chain.append(version_lsn, dict(image))
+            self.segment.coalesced_upto = max(
+                self.segment.coalesced_upto, response.coalesced_upto
+            )
+        self.segment.chain.rebase(response.gc_horizon)
+        self.segment.gc_horizon = max(
+            self.segment.gc_horizon, response.gc_horizon
+        )
+        copied = 0
+        for record in response.records:
+            self.segment.receive(record, via_gossip=True)
+            copied += 1
+        return copied

@@ -1,0 +1,74 @@
+"""Volume geometry: protection groups concatenated into one address space.
+
+"Protection groups are concatenated together to form a storage volume, which
+has a one to one relationship with the database instance." (section 2.1)
+
+Blocks are addressed by a single global block number; the geometry maps a
+block to its protection group by simple range partitioning.  Growing the
+volume appends protection groups and increments the **geometry epoch**
+(section 4.1): "we also use epochs to manage volume growth, using a volume
+geometry epoch that increments with each protection group added".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, VolumeGeometryError
+
+#: Paper scale: segments hold 10 GB; a 64 TB volume has 6,400 PGs and
+#: 38,400 segments.  The simulator uses far fewer blocks per PG, but the
+#: analysis module uses these constants for the durability arithmetic.
+SEGMENT_SIZE_GB = 10
+COPIES_PER_PG = 6
+
+
+@dataclass
+class VolumeGeometry:
+    """Block-to-protection-group routing for one volume."""
+
+    blocks_per_pg: int
+    pg_count: int
+    geometry_epoch: int = 1
+    growth_log: list[tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.blocks_per_pg < 1 or self.pg_count < 1:
+            raise ConfigurationError(
+                f"need blocks_per_pg >= 1 and pg_count >= 1, got "
+                f"({self.blocks_per_pg}, {self.pg_count})"
+            )
+
+    @property
+    def total_blocks(self) -> int:
+        return self.blocks_per_pg * self.pg_count
+
+    def pg_of_block(self, block: int) -> int:
+        """Protection group index owning ``block``."""
+        if not 0 <= block < self.total_blocks:
+            raise VolumeGeometryError(
+                f"block {block} outside volume of {self.total_blocks} blocks"
+            )
+        return block // self.blocks_per_pg
+
+    def blocks_of_pg(self, pg_index: int) -> range:
+        if not 0 <= pg_index < self.pg_count:
+            raise VolumeGeometryError(
+                f"PG {pg_index} outside volume of {self.pg_count} PGs"
+            )
+        start = pg_index * self.blocks_per_pg
+        return range(start, start + self.blocks_per_pg)
+
+    def grow(self, additional_pgs: int = 1) -> int:
+        """Append protection groups; returns the new geometry epoch."""
+        if additional_pgs < 1:
+            raise ConfigurationError(
+                f"additional_pgs must be >= 1, got {additional_pgs}"
+            )
+        self.pg_count += additional_pgs
+        self.geometry_epoch += 1
+        self.growth_log.append((self.geometry_epoch, self.pg_count))
+        return self.geometry_epoch
+
+    def segment_count(self) -> int:
+        return self.pg_count * COPIES_PER_PG

@@ -1,0 +1,26 @@
+"""Synthetic OLTP workload generation.
+
+Deterministic (seeded) generators producing operation streams against the
+key/value-over-B-tree schema the kernel exposes: read/write mixes, Zipfian
+hot keys, multi-statement transactions, and open/closed-loop client
+drivers for latency and jitter measurements.
+"""
+
+from repro.workloads.generator import (
+    Operation,
+    OpKind,
+    WorkloadConfig,
+    WorkloadGenerator,
+    WorkloadRunner,
+)
+from repro.workloads.profiles import PROFILES, profile
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "PROFILES",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "WorkloadRunner",
+    "profile",
+]

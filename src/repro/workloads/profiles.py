@@ -1,0 +1,70 @@
+"""Named workload profiles.
+
+Shorthand configurations mirroring the kinds of OLTP mixes the paper's
+motivation section gestures at (sysbench-style write-only and mixed loads,
+plus a hot-key contention profile).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import WorkloadConfig
+
+PROFILES: dict[str, WorkloadConfig] = {
+    # sysbench oltp_write_only-like: every statement writes.
+    "write_only": WorkloadConfig(
+        key_count=2_000,
+        write_fraction=0.98,
+        delete_fraction=0.02,
+        zipf_theta=0.4,
+        min_ops=1,
+        max_ops=4,
+    ),
+    # sysbench oltp_read_write-like mix.
+    "read_write": WorkloadConfig(
+        key_count=2_000,
+        write_fraction=0.30,
+        delete_fraction=0.02,
+        zipf_theta=0.6,
+        min_ops=2,
+        max_ops=6,
+    ),
+    # read-mostly reporting load for replica-scaling experiments.
+    "read_mostly": WorkloadConfig(
+        key_count=2_000,
+        write_fraction=0.05,
+        delete_fraction=0.00,
+        zipf_theta=0.2,
+        min_ops=1,
+        max_ops=3,
+    ),
+    # heavy skew: exercises lock conflicts and hot-block version chains.
+    "hotspot": WorkloadConfig(
+        key_count=500,
+        write_fraction=0.60,
+        delete_fraction=0.02,
+        zipf_theta=1.1,
+        min_ops=1,
+        max_ops=3,
+    ),
+    # single-statement commits at low rate: the boxcar-jitter scenario.
+    "trickle": WorkloadConfig(
+        key_count=1_000,
+        write_fraction=1.0,
+        delete_fraction=0.0,
+        zipf_theta=0.0,
+        min_ops=1,
+        max_ops=1,
+    ),
+}
+
+
+def profile(name: str) -> WorkloadConfig:
+    """Look up a named profile (raises with the available names)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload profile {name!r}; available: "
+            f"{sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import AuroraCluster, ClusterConfig
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def network(loop: EventLoop, rng: random.Random) -> Network:
+    return Network(loop, rng)
+
+
+@pytest.fixture
+def cluster() -> AuroraCluster:
+    """A small single-PG cluster with a bootstrapped writer."""
+    return AuroraCluster.build(seed=99)
+
+
+@pytest.fixture
+def multi_pg_cluster() -> AuroraCluster:
+    """Three protection groups, 16 blocks each (forces cross-PG spread)."""
+    config = ClusterConfig(pg_count=3, blocks_per_pg=16, seed=77)
+    return AuroraCluster.build(config)
+
+
+@pytest.fixture
+def full_tail_cluster() -> AuroraCluster:
+    """Single PG with the section-4.2 full/tail segment mix."""
+    config = ClusterConfig(full_tail=True, seed=55)
+    return AuroraCluster.build(config)
+
+
+def drive(cluster: AuroraCluster, awaitable):
+    """Run the cluster loop until the future/process completes."""
+    from repro.db.session import Session
+
+    return Session(cluster.writer).drive(awaitable)

@@ -1,0 +1,176 @@
+"""Deeper fault-path tests for the consensus baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines.paxos import PaxosCluster, PaxosLeader
+from repro.baselines.raft import RaftCluster, Role
+from repro.sim.events import EventLoop
+from repro.sim.network import Network
+
+
+def make_env(seed):
+    loop = EventLoop()
+    rng = random.Random(seed)
+    return loop, Network(loop, rng), rng
+
+
+class TestRaftLogRepair:
+    def test_lagging_follower_catches_up_via_backoff(self):
+        """A follower that missed entries is repaired through the
+        nextIndex backoff in AppendEntries."""
+        loop, network, rng = make_env(21)
+        raft = RaftCluster(loop, network, rng, node_count=5)
+        leader = raft.elect_first_leader()
+        laggard = next(n for n in raft.nodes if n is not leader)
+        network.fail_node(laggard.name)
+        futures = [leader.propose(f"v{i}") for i in range(8)]
+        loop.run(until=loop.now + 1_000)
+        assert all(f.done for f in futures)
+        assert len(laggard.log) == 0
+        network.restore_node(laggard.name)
+        loop.run(until=loop.now + 2_000)  # heartbeats repair the log
+        assert len(laggard.log) == len(leader.log)
+        assert laggard.commit_index >= 7
+
+    def test_old_leader_returning_steps_down(self):
+        loop, network, rng = make_env(22)
+        raft = RaftCluster(loop, network, rng, node_count=5)
+        old_leader = raft.elect_first_leader()
+        network.fail_node(old_leader.name)
+        # Wait for a new leader at a higher term.
+        new_leader = None
+        deadline = loop.now + 30_000
+        while new_leader is None and loop.now < deadline:
+            loop.run(until=loop.now + 50)
+            live = [
+                n for n in raft.nodes
+                if n.role is Role.LEADER and network.is_up(n.name)
+            ]
+            new_leader = live[0] if live else None
+        assert new_leader is not None
+        assert new_leader.term > old_leader.term
+        network.restore_node(old_leader.name)
+        loop.run(until=loop.now + 2_000)
+        assert old_leader.role is Role.FOLLOWER
+        assert old_leader.term >= new_leader.term
+
+    def test_committed_entries_survive_leader_change(self):
+        loop, network, rng = make_env(23)
+        raft = RaftCluster(loop, network, rng, node_count=5)
+        leader = raft.elect_first_leader()
+        futures = [leader.propose(f"durable{i}") for i in range(5)]
+        loop.run(until=loop.now + 1_000)
+        assert all(f.done for f in futures)
+        network.fail_node(leader.name)
+        new_leader = None
+        while new_leader is None:
+            loop.run(until=loop.now + 50)
+            live = [
+                n for n in raft.nodes
+                if n.role is Role.LEADER and network.is_up(n.name)
+            ]
+            new_leader = live[0] if live else None
+        values = [entry.value for entry in new_leader.log[:5]]
+        assert values == [f"durable{i}" for i in range(5)]
+
+
+class TestPaxosBallots:
+    def test_higher_ballot_preempts_and_nacks(self):
+        loop, network, rng = make_env(24)
+        paxos = PaxosCluster(loop, network, rng, acceptor_count=5)
+        paxos.elect()
+        loop.run_until_idle()
+        assert paxos.leader.elected
+        # A rival leader with a higher ballot takes over.
+        rival = PaxosLeader(
+            "paxos-rival",
+            [a.name for a in paxos.acceptors],
+            rng,
+            ballot=paxos.leader.ballot + 1,
+        )
+        network.attach(rival, az="az2")
+        election = rival.elect()
+        loop.run_until_idle()
+        assert election.result() is True
+        # The old leader's next accept gets NACKed and it steps down.
+        paxos.leader.propose("stale")
+        loop.run_until_idle()
+        assert not paxos.leader.elected
+
+    def test_promise_reports_prior_acceptances(self):
+        """Phase-1 promises carry previously accepted values (the safety
+        core of Paxos: a new leader must adopt them)."""
+        loop, network, rng = make_env(25)
+        paxos = PaxosCluster(loop, network, rng, acceptor_count=3)
+        paxos.elect()
+        loop.run_until_idle()
+        future = paxos.propose("chosen-before-takeover")
+        loop.run_until_idle()
+        assert future.done
+        rival = PaxosLeader(
+            "paxos-rival",
+            [a.name for a in paxos.acceptors],
+            rng,
+            ballot=paxos.leader.ballot + 1,
+        )
+        network.attach(rival, az="az3")
+        promises = []
+        original = rival._on_promise
+
+        def spy(promise):
+            promises.append(promise)
+            original(promise)
+
+        rival._on_promise = spy
+        rival.elect()
+        loop.run_until_idle()
+        assert any(
+            any(value == "chosen-before-takeover" for _s, _b, value in p.accepted)
+            for p in promises
+        )
+
+
+class TestFullTailMultiPG:
+    def test_multi_pg_full_tail_cluster_end_to_end(self):
+        from repro import AuroraCluster, ClusterConfig
+        from repro.db.session import Session
+
+        config = ClusterConfig(
+            seed=26, pg_count=2, blocks_per_pg=16, full_tail=True
+        )
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        for i in range(140):
+            db.write(f"key{i:03d}", i)
+        # Reads route only to full segments in BOTH PGs.
+        cluster.run_for(30)
+        for i in range(0, 140, 9):
+            assert db.get(f"key{i:03d}") == i
+        cluster.crash_writer()
+        process = cluster.recover_writer()
+        db = Session(cluster.writer)
+        db.drive(process)
+        assert db.get("key123") == 123
+
+    def test_replica_reads_on_full_tail_cluster(self):
+        from repro import AuroraCluster, ClusterConfig
+
+        config = ClusterConfig(seed=27, full_tail=True)
+        config.replica.cache_capacity = 8  # force storage reads
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        for i in range(60):
+            db.write(f"key{i:03d}", i)
+        cluster.run_for(30)
+        cluster.add_replica("r1")
+        rs = cluster.replica_session("r1")
+        for i in range(0, 60, 7):
+            assert rs.get(f"key{i:03d}") == i
+        # Tail segments answered no block reads.
+        from repro.storage.segment import SegmentKind
+
+        for node in cluster.nodes.values():
+            if node.segment.kind is SegmentKind.TAIL:
+                assert node.counters["reads_answered"] == 0

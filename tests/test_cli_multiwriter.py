@@ -1,0 +1,13 @@
+"""CLI test for the multiwriter command."""
+
+from repro.cli import main
+
+
+def test_multiwriter_command_conserves_balance(capsys):
+    assert main(
+        ["--seed", "9", "multiwriter", "--partitions", "2",
+         "--transfers", "6"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "conserved: True" in out
+    assert "journal:" in out

@@ -1,0 +1,78 @@
+"""Unit tests for the asynchronous commit queue (section 2.3)."""
+
+import pytest
+
+from repro.core.commit import CommitQueue
+from repro.errors import ConfigurationError
+
+
+class TestCommitQueue:
+    def test_ack_fires_when_vcl_passes_scn(self):
+        queue = CommitQueue()
+        acked = []
+        queue.enqueue(10, lambda: acked.append(10))
+        queue.enqueue(20, lambda: acked.append(20))
+        assert acked == []
+        released = queue.on_vcl_advance(15)
+        assert released == 1
+        assert acked == [10]
+        queue.on_vcl_advance(25)
+        assert acked == [10, 20]
+
+    def test_acks_fire_in_scn_order(self):
+        queue = CommitQueue()
+        acked = []
+        for scn in (30, 10, 20):
+            queue.enqueue(scn, lambda s=scn: acked.append(s))
+        queue.on_vcl_advance(100)
+        assert acked == [10, 20, 30]
+
+    def test_scn_equal_to_vcl_is_durable(self):
+        queue = CommitQueue()
+        acked = []
+        queue.enqueue(10, lambda: acked.append(10))
+        queue.on_vcl_advance(10)
+        assert acked == [10]
+
+    def test_already_durable_scn_acks_immediately(self):
+        queue = CommitQueue()
+        queue.on_vcl_advance(50)
+        acked = []
+        queue.enqueue(40, lambda: acked.append(40))
+        assert acked == [40]
+        assert queue.depth == 0
+
+    def test_vcl_never_effectively_regresses(self):
+        queue = CommitQueue()
+        acked = []
+        queue.on_vcl_advance(50)
+        queue.on_vcl_advance(30)  # stale advance: ignored
+        queue.enqueue(40, lambda: acked.append(40))
+        assert acked == [40]
+
+    def test_invalid_scn_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommitQueue().enqueue(0, lambda: None)
+
+    def test_wait_statistics(self):
+        queue = CommitQueue()
+        queue.enqueue(10, lambda: None, now=1.0)
+        queue.enqueue(20, lambda: None, now=2.0)
+        queue.on_vcl_advance(25, now=5.0)
+        assert queue.stats.acknowledged == 2
+        assert queue.stats.mean_wait == pytest.approx((4.0 + 3.0) / 2)
+        assert queue.stats.max_queue_depth == 2
+
+    def test_drain_pending_returns_tags_in_scn_order(self):
+        queue = CommitQueue()
+        queue.enqueue(30, lambda: None, tag="t30")
+        queue.enqueue(10, lambda: None, tag="t10")
+        assert queue.drain_pending() == ["t10", "t30"]
+        assert queue.depth == 0
+
+    def test_oldest_pending_scn(self):
+        queue = CommitQueue()
+        assert queue.oldest_pending_scn is None
+        queue.enqueue(12, lambda: None)
+        queue.enqueue(7, lambda: None)
+        assert queue.oldest_pending_scn == 7

@@ -1,0 +1,86 @@
+"""Unit tests for epoch stamps and the storage-node epoch registry."""
+
+import pytest
+
+from repro.core.epochs import EpochRegistry, EpochStamp
+from repro.errors import ConfigurationError, StaleEpochError
+
+
+class TestEpochStamp:
+    def test_defaults_to_all_ones(self):
+        stamp = EpochStamp()
+        assert (stamp.volume, stamp.membership, stamp.geometry) == (1, 1, 1)
+
+    def test_bumps_are_independent(self):
+        stamp = EpochStamp().bump_volume().bump_membership()
+        assert stamp.volume == 2
+        assert stamp.membership == 2
+        assert stamp.geometry == 1
+        assert stamp.bump_geometry().geometry == 2
+
+    def test_zero_epoch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EpochStamp(volume=0)
+
+    def test_immutability(self):
+        stamp = EpochStamp()
+        stamp.bump_volume()
+        assert stamp.volume == 1  # original unchanged
+
+
+class TestEpochRegistry:
+    def test_accepts_equal_epochs(self):
+        registry = EpochRegistry()
+        registry.check_and_learn(EpochStamp())
+        assert registry.rejections == 0
+
+    def test_rejects_stale_volume_epoch(self):
+        registry = EpochRegistry(EpochStamp(volume=3))
+        with pytest.raises(StaleEpochError) as excinfo:
+            registry.check_and_learn(EpochStamp(volume=2))
+        assert excinfo.value.kind == "volume"
+        assert excinfo.value.presented == 2
+        assert excinfo.value.current == 3
+        assert registry.rejections == 1
+
+    def test_rejects_stale_membership_epoch(self):
+        registry = EpochRegistry(EpochStamp(membership=5))
+        with pytest.raises(StaleEpochError):
+            registry.check_and_learn(EpochStamp(membership=4))
+
+    def test_learns_newer_epochs(self):
+        """A request carrying a newer epoch teaches the node: the increment
+        was durably recorded on a write quorum elsewhere."""
+        registry = EpochRegistry()
+        registry.check_and_learn(EpochStamp(volume=4, membership=2))
+        assert registry.current.volume == 4
+        assert registry.current.membership == 2
+        # Now the old epoch is stale here too.
+        with pytest.raises(StaleEpochError):
+            registry.check_and_learn(EpochStamp(volume=3, membership=2))
+
+    def test_mixed_stale_and_new_is_rejected(self):
+        """Any stale component rejects the request (no partial learning)."""
+        registry = EpochRegistry(EpochStamp(volume=2, membership=2))
+        with pytest.raises(StaleEpochError):
+            registry.check_and_learn(EpochStamp(volume=3, membership=1))
+        # The newer volume epoch must NOT have been adopted.
+        assert registry.current.volume == 2
+
+    def test_advance_is_monotonic_per_component(self):
+        registry = EpochRegistry(EpochStamp(volume=5))
+        registry.advance(EpochStamp(volume=2, membership=7))
+        assert registry.current.volume == 5
+        assert registry.current.membership == 7
+
+    def test_fencing_scenario(self):
+        """The paper's crash-recovery fence: a pre-crash instance with an
+        old volume epoch is boxed out after recovery bumps it."""
+        node = EpochRegistry()
+        old_instance_stamp = EpochStamp(volume=1)
+        node.check_and_learn(old_instance_stamp)  # pre-crash write: fine
+        recovered_stamp = EpochStamp(volume=2)
+        node.advance(recovered_stamp)  # recovery recorded the new epoch
+        with pytest.raises(StaleEpochError):
+            node.check_and_learn(old_instance_stamp)  # zombie boxed out
+        node.check_and_learn(recovered_stamp)  # new instance proceeds

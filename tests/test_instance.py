@@ -1,0 +1,250 @@
+"""Integration tests for the writer instance: transactions, snapshot
+isolation, locking, and the asynchronous commit pipeline."""
+
+import pytest
+
+from repro import AuroraCluster, ClusterConfig
+from repro.db.session import Session
+from repro.errors import (
+    InstanceStateError,
+    LockConflictError,
+    TransactionError,
+)
+
+
+@pytest.fixture
+def db(cluster):
+    return cluster.session()
+
+
+class TestBasicTransactions:
+    def test_put_commit_get(self, db):
+        txn = db.begin()
+        db.put(txn, "a", 1)
+        scn = db.commit(txn)
+        assert scn > 0
+        assert db.get("a") == 1
+
+    def test_multi_key_transaction(self, db):
+        txn = db.begin()
+        for i in range(5):
+            db.put(txn, f"k{i}", i)
+        db.commit(txn)
+        assert [db.get(f"k{i}") for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_delete(self, db):
+        db.write("a", 1)
+        db.remove("a")
+        assert db.get("a") is None
+
+    def test_uncommitted_writes_invisible_to_others(self, db, cluster):
+        txn = db.begin()
+        db.put(txn, "a", "pending")
+        assert db.get("a") is None  # a fresh statement view can't see it
+        assert db.get("a", txn=txn) == "pending"  # own writes visible
+        db.commit(txn)
+        assert db.get("a") == "pending"
+
+    def test_rollback_restores_prior_state(self, db):
+        db.write("a", "original")
+        txn = db.begin()
+        db.put(txn, "a", "doomed")
+        db.put(txn, "b", "also-doomed")
+        db.rollback(txn)
+        assert db.get("a") == "original"
+        assert db.get("b") is None
+
+    def test_rolled_back_txn_is_unusable(self, db):
+        txn = db.begin()
+        db.put(txn, "a", 1)
+        db.rollback(txn)
+        with pytest.raises(TransactionError):
+            db.put(txn, "a", 2)
+        with pytest.raises(TransactionError):
+            db.commit(txn)
+
+    def test_read_only_commit_is_instant(self, db):
+        db.write("a", 1)
+        txn = db.begin()
+        assert db.get("a", txn=txn) == 1
+        future = db.commit_async(txn)
+        assert future.done  # no record needed, no quorum wait
+
+    def test_scan_spans_transactions(self, db):
+        db.write_many({f"x{i:02d}": i for i in range(10)})
+        results = db.scan("x03", "x06")
+        assert results == [(f"x{i:02d}", i) for i in range(3, 7)]
+
+
+class TestSnapshotIsolation:
+    def test_repeatable_reads_within_txn(self, db):
+        db.write("a", "v1")
+        reader = db.begin()
+        assert db.get("a", txn=reader) == "v1"
+        db.write("a", "v2")  # concurrent committed write
+        assert db.get("a", txn=reader) == "v1"  # snapshot stable
+        db.commit(reader)
+        assert db.get("a") == "v2"
+
+    def test_new_statement_views_see_latest(self, db):
+        db.write("a", "v1")
+        assert db.get("a") == "v1"
+        db.write("a", "v2")
+        assert db.get("a") == "v2"
+
+    def test_snapshot_spans_scans(self, db):
+        db.write_many({"k1": 1, "k2": 2})
+        reader = db.begin()
+        assert len(db.scan("k0", "k9", txn=reader)) == 2
+        db.write("k3", 3)
+        assert len(db.scan("k0", "k9", txn=reader)) == 2
+        db.commit(reader)
+        assert len(db.scan("k0", "k9")) == 3
+
+    def test_reader_does_not_block_writer(self, db):
+        db.write("a", 1)
+        reader = db.begin()
+        db.get("a", txn=reader)
+        writer = db.begin()
+        db.put(writer, "a", 2)  # readers hold no locks
+        db.commit(writer)
+        db.commit(reader)
+
+
+class TestLocking:
+    def test_write_write_conflict(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        db.put(t1, "hot", 1)
+        with pytest.raises(LockConflictError):
+            db.put(t2, "hot", 2)
+        db.rollback(t2)
+        db.commit(t1)
+
+    def test_locks_released_at_commit(self, db):
+        t1 = db.begin()
+        db.put(t1, "hot", 1)
+        db.commit(t1)
+        t2 = db.begin()
+        db.put(t2, "hot", 2)
+        db.commit(t2)
+        assert db.get("hot") == 2
+
+    def test_locks_released_at_rollback(self, db):
+        t1 = db.begin()
+        db.put(t1, "hot", 1)
+        db.rollback(t1)
+        t2 = db.begin()
+        db.put(t2, "hot", 2)
+        db.commit(t2)
+
+
+class TestAsyncCommitPipeline:
+    def test_commit_ack_requires_scn_below_vcl(self, cluster):
+        """The commit future resolves only after the quorum catches up."""
+        db = cluster.session()
+        txn = db.begin()
+        db.put(txn, "a", 1)
+        future = db.commit_async(txn)
+        assert not future.done  # acks have not arrived yet
+        scn = db.drive(future)
+        assert cluster.writer.vcl >= scn
+
+    def test_workers_do_not_stall_on_commit(self, cluster):
+        """Many commits can be in flight at once (no group-commit stall)."""
+        db = cluster.session()
+        futures = []
+        for i in range(10):
+            txn = db.begin()
+            db.put(txn, f"k{i}", i)
+            futures.append(db.commit_async(txn))
+        in_flight = sum(1 for f in futures if not f.done)
+        assert in_flight >= 5  # most are genuinely concurrent
+        for future in futures:
+            db.drive(future)
+        assert cluster.writer.stats.commits_acknowledged >= 10
+
+    def test_acks_arrive_in_scn_order(self, cluster):
+        db = cluster.session()
+        order = []
+        for i in range(5):
+            txn = db.begin()
+            db.put(txn, f"k{i}", i)
+            future = db.commit_async(txn)
+            future.add_done_callback(
+                lambda f: order.append(f.result())
+            )
+        cluster.run_for(100)
+        assert order == sorted(order)
+        assert len(order) == 5
+
+    def test_commit_latency_tracked(self, cluster):
+        db = cluster.session()
+        db.write("a", 1)
+        assert len(cluster.writer.stats.commit_latencies) == 1
+        assert cluster.writer.stats.commit_latencies[0] > 0
+
+
+class TestWALInvariant:
+    def test_dirty_blocks_not_evictable_until_durable(self, cluster):
+        db = cluster.session()
+        txn = db.begin()
+        db.put(txn, "a", 1)
+        writer = cluster.writer
+        dirty = writer.cache.dirty_blocks(writer.vdl)
+        assert dirty  # redo still in flight
+        db.commit(txn)
+        cluster.run_for(20)
+        assert writer.cache.dirty_blocks(writer.vdl) == []
+
+
+class TestCacheMissReads:
+    def test_read_after_eviction_goes_to_storage(self):
+        config = ClusterConfig(seed=21)
+        config.instance.cache_capacity = 8  # tiny pool
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        for i in range(60):
+            db.write(f"key{i:03d}", i)
+        cluster.run_for(50)
+        reads_before = cluster.writer.driver.stats.reads_issued
+        for i in range(0, 60, 7):
+            assert db.get(f"key{i:03d}") == i
+        assert cluster.writer.driver.stats.reads_issued > reads_before
+
+    def test_tiny_cache_still_correct_under_load(self):
+        config = ClusterConfig(seed=22)
+        config.instance.cache_capacity = 6
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        expected = {}
+        for i in range(80):
+            key = f"k{i % 17:02d}"
+            db.write(key, i)
+            expected[key] = i
+        for key, value in expected.items():
+            assert db.get(key) == value
+
+
+class TestInstanceStateGuards:
+    def test_crashed_instance_refuses_operations(self, cluster):
+        db = cluster.session()
+        db.write("a", 1)
+        cluster.crash_writer()
+        with pytest.raises(InstanceStateError):
+            cluster.writer.begin()
+
+    def test_double_bootstrap_rejected(self, cluster):
+        with pytest.raises(InstanceStateError):
+            cluster.writer.bootstrap()
+
+
+class TestVersionPurge:
+    def test_purge_old_versions_collapses_history(self, cluster):
+        db = cluster.session()
+        for i in range(5):
+            db.write("hot", i)
+        cluster.run_for(100)
+        purged = db.drive(cluster.writer.purge_old_versions())
+        assert purged >= 1
+        assert db.get("hot") == 4  # latest survives

@@ -1,0 +1,78 @@
+"""Unit tests for LSN allocation and truncation ranges."""
+
+import pytest
+
+from repro.core.lsn import NULL_LSN, LSNAllocator, TruncationRange
+from repro.errors import ConfigurationError
+
+
+class TestLSNAllocator:
+    def test_starts_above_null(self):
+        allocator = LSNAllocator()
+        assert allocator.next_lsn == NULL_LSN + 1
+        assert allocator.highest_allocated == NULL_LSN
+
+    def test_allocations_are_dense_and_monotonic(self):
+        allocator = LSNAllocator()
+        first = allocator.allocate(3)
+        second = allocator.allocate(2)
+        assert list(first) == [1, 2, 3]
+        assert list(second) == [4, 5]
+        assert allocator.highest_allocated == 5
+
+    def test_allocate_one(self):
+        allocator = LSNAllocator()
+        assert allocator.allocate_one() == 1
+        assert allocator.allocate_one() == 2
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LSNAllocator().allocate(0)
+
+    def test_bad_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LSNAllocator(start=0)
+
+    def test_truncation_jumps_allocation_above_range(self):
+        allocator = LSNAllocator()
+        allocator.allocate(10)
+        allocator.apply_truncation(TruncationRange(first=8, last=500))
+        assert allocator.next_lsn == 501
+
+    def test_truncation_below_current_point_is_harmless(self):
+        allocator = LSNAllocator(start=1000)
+        allocator.apply_truncation(TruncationRange(first=5, last=20))
+        assert allocator.next_lsn == 1000
+
+    def test_is_annulled(self):
+        allocator = LSNAllocator()
+        allocator.apply_truncation(TruncationRange(first=10, last=20))
+        assert allocator.is_annulled(10)
+        assert allocator.is_annulled(20)
+        assert not allocator.is_annulled(9)
+        assert not allocator.is_annulled(21)
+
+    def test_truncations_recorded_in_order(self):
+        allocator = LSNAllocator()
+        allocator.apply_truncation(TruncationRange(first=5, last=10))
+        allocator.apply_truncation(TruncationRange(first=50, last=60))
+        assert len(allocator.truncations) == 2
+
+
+class TestTruncationRange:
+    def test_contains_is_inclusive(self):
+        truncation = TruncationRange(first=5, last=7)
+        assert truncation.contains(5)
+        assert truncation.contains(7)
+        assert not truncation.contains(4)
+        assert not truncation.contains(8)
+
+    def test_single_lsn_range(self):
+        truncation = TruncationRange(first=5, last=5)
+        assert truncation.contains(5)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruncationRange(first=0, last=5)
+        with pytest.raises(ConfigurationError):
+            TruncationRange(first=10, last=9)

@@ -1,0 +1,179 @@
+"""Unit + property tests for MVCC visibility and version pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.mvcc import (
+    TOMBSTONE,
+    ReadView,
+    ReadViewManager,
+    TransactionStatusRegistry,
+    prune_versions,
+    visible_value,
+)
+from repro.errors import TransactionError
+
+
+def registry_with(commits: dict[int, int]) -> TransactionStatusRegistry:
+    registry = TransactionStatusRegistry()
+    for txn_id, scn in commits.items():
+        registry.record_commit(txn_id, scn)
+    return registry
+
+
+class TestRegistry:
+    def test_commit_and_lookup(self):
+        registry = registry_with({1: 10})
+        assert registry.commit_scn(1) == 10
+        assert registry.commit_scn(2) is None
+
+    def test_conflicting_scn_rejected(self):
+        registry = registry_with({1: 10})
+        with pytest.raises(TransactionError):
+            registry.record_commit(1, 11)
+        registry.record_commit(1, 10)  # same SCN is idempotent
+
+    def test_commit_after_abort_rejected(self):
+        registry = TransactionStatusRegistry()
+        registry.record_abort(1)
+        with pytest.raises(TransactionError):
+            registry.record_commit(1, 5)
+        assert registry.is_aborted(1)
+
+    def test_load_txn_table_image(self):
+        registry = TransactionStatusRegistry()
+        loaded = registry.load_txn_table_image({1: 10, 2: 20, "junk": "x"})
+        assert loaded == 2
+        assert registry.commit_scn(2) == 20
+
+    def test_loaded_entries_do_not_override(self):
+        registry = registry_with({1: 10})
+        registry.load_txn_table_image({1: 999})
+        assert registry.commit_scn(1) == 10
+
+
+class TestVisibility:
+    def test_sees_committed_at_or_below_read_point(self):
+        registry = registry_with({1: 10, 2: 20})
+        versions = ((1, "old"), (2, "new"))
+        view_15 = ReadView(view_id=1, read_point=15)
+        assert visible_value(versions, view_15, registry) == (True, "old")
+        view_20 = ReadView(view_id=2, read_point=20)
+        assert visible_value(versions, view_20, registry) == (True, "new")
+
+    def test_uncommitted_versions_invisible_to_others(self):
+        registry = registry_with({1: 10})
+        versions = ((1, "committed"), (99, "in-flight"))
+        view = ReadView(view_id=1, read_point=50)
+        assert visible_value(versions, view, registry) == (True, "committed")
+
+    def test_own_writes_visible(self):
+        registry = registry_with({})
+        versions = ((7, "mine"),)
+        own = ReadView(view_id=1, read_point=0, txn_id=7)
+        other = ReadView(view_id=2, read_point=0, txn_id=8)
+        assert visible_value(versions, own, registry) == (True, "mine")
+        assert visible_value(versions, other, registry) == (False, None)
+
+    def test_tombstone_reads_as_absent(self):
+        registry = registry_with({1: 10, 2: 20})
+        versions = ((1, "v"), (2, TOMBSTONE))
+        early = ReadView(view_id=1, read_point=15)
+        late = ReadView(view_id=2, read_point=25)
+        assert visible_value(versions, early, registry) == (True, "v")
+        assert visible_value(versions, late, registry) == (False, None)
+
+    def test_empty_chain_absent(self):
+        assert visible_value((), ReadView(1, 100), registry_with({})) == (
+            False, None,
+        )
+
+    def test_snapshot_isolation_via_scn_ordering(self):
+        """A txn committing after a view opens gets an SCN above the view's
+        read point, hence stays invisible -- the LSN-order argument."""
+        registry = TransactionStatusRegistry()
+        view = ReadView(view_id=1, read_point=100)
+        # Commit happens 'later': SCN must exceed any LSN allocated before
+        # the view opened, so > 100.
+        registry.record_commit(5, 101)
+        assert visible_value(((5, "later"),), view, registry) == (False, None)
+
+
+class TestPruning:
+    def test_doomed_txn_versions_removed(self):
+        registry = registry_with({1: 10})
+        versions = ((1, "keep"), (99, "rollback-me"))
+        pruned = prune_versions(versions, 0, registry, frozenset({99}))
+        assert pruned == ((1, "keep"),)
+
+    def test_old_committed_versions_collapse_to_newest(self):
+        registry = registry_with({1: 10, 2: 20, 3: 30})
+        versions = ((1, "a"), (2, "b"), (3, "c"))
+        pruned = prune_versions(versions, 25, registry)
+        assert pruned == ((2, "b"), (3, "c"))
+
+    def test_everything_old_keeps_only_latest(self):
+        registry = registry_with({1: 10, 2: 20})
+        pruned = prune_versions(((1, "a"), (2, "b")), 99, registry)
+        assert pruned == ((2, "b"),)
+
+    def test_unknown_txn_versions_kept(self):
+        registry = registry_with({1: 10})
+        versions = ((1, "a"), (42, "pending"))
+        pruned = prune_versions(versions, 99, registry)
+        assert pruned == versions
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 8), st.integers(1, 100)),
+            max_size=10,
+            unique_by=lambda tv: tv[0],
+        ),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_pruning_preserves_visibility_at_and_above_floor(
+        self, commits, floor
+    ):
+        """Property: for any read point >= the purge floor, the pruned
+        chain resolves to exactly the same value as the original."""
+        registry = registry_with(dict(commits))
+        versions = tuple(
+            (txn_id, f"value-{txn_id}") for txn_id, _ in commits
+        )
+        pruned = prune_versions(versions, floor, registry)
+        for read_point in range(floor, 101, 7):
+            view = ReadView(view_id=1, read_point=read_point)
+            assert visible_value(pruned, view, registry) == visible_value(
+                versions, view, registry
+            )
+
+
+class TestReadViewManager:
+    def test_open_close_and_min(self):
+        manager = ReadViewManager()
+        v1 = manager.open(10)
+        v2 = manager.open(20)
+        assert manager.min_active_read_point() == 10
+        manager.close(v1)
+        assert manager.min_active_read_point() == 20
+        manager.close(v2)
+        assert manager.min_active_read_point() is None
+
+    def test_double_close_rejected(self):
+        manager = ReadViewManager()
+        view = manager.open(10)
+        manager.close(view)
+        with pytest.raises(TransactionError):
+            manager.close(view)
+
+    def test_view_ids_unique(self):
+        manager = ReadViewManager()
+        assert manager.open(1).view_id != manager.open(1).view_id
+
+    def test_clear(self):
+        manager = ReadViewManager()
+        manager.open(5)
+        manager.clear()
+        assert manager.active_count == 0

@@ -1,0 +1,98 @@
+"""Unit tests for versioned block chains."""
+
+import pytest
+
+from repro.core.lsn import NULL_LSN
+from repro.errors import ReadPointError
+from repro.storage.page import BlockVersion, BlockVersionChain, image_checksum
+
+
+class TestBlockVersionChain:
+    def test_empty_chain_serves_empty_image(self):
+        chain = BlockVersionChain(0)
+        assert chain.latest_lsn == NULL_LSN
+        assert chain.latest_image() == {}
+        assert chain.version_at(100) is None
+        assert chain.image_at(100) == {}
+
+    def test_append_and_read_latest(self):
+        chain = BlockVersionChain(0)
+        chain.append(5, {"a": 1})
+        chain.append(9, {"a": 2})
+        assert chain.latest_lsn == 9
+        assert chain.latest_image() == {"a": 2}
+
+    def test_non_monotonic_append_rejected(self):
+        chain = BlockVersionChain(0)
+        chain.append(5, {})
+        with pytest.raises(ReadPointError):
+            chain.append(5, {})
+        with pytest.raises(ReadPointError):
+            chain.append(4, {})
+
+    def test_version_at_binary_search(self):
+        chain = BlockVersionChain(0)
+        for lsn in (2, 5, 9, 14):
+            chain.append(lsn, {"lsn": lsn})
+        assert chain.version_at(1) is None
+        assert chain.version_at(2).lsn == 2
+        assert chain.version_at(8).lsn == 5
+        assert chain.version_at(9).lsn == 9
+        assert chain.version_at(100).lsn == 14
+
+    def test_images_are_copied_out(self):
+        chain = BlockVersionChain(0)
+        chain.append(1, {"a": 1})
+        image = chain.image_at(1)
+        image["a"] = 999
+        assert chain.image_at(1) == {"a": 1}
+
+    def test_gc_keeps_newest_at_or_below_floor(self):
+        chain = BlockVersionChain(0)
+        for lsn in (1, 3, 5, 7):
+            chain.append(lsn, {"lsn": lsn})
+        removed = chain.gc_below(5)
+        assert removed == 2  # versions 1 and 3
+        assert chain.version_at(5).lsn == 5
+        assert chain.version_at(6).lsn == 5  # base version retained
+        assert chain.version_at(7).lsn == 7
+
+    def test_gc_below_everything_keeps_latest(self):
+        chain = BlockVersionChain(0)
+        chain.append(1, {})
+        chain.append(2, {})
+        chain.gc_below(100)
+        assert len(chain) == 1
+        assert chain.latest_lsn == 2
+
+    def test_truncate_above_discards_annulled_versions(self):
+        chain = BlockVersionChain(0)
+        for lsn in (1, 5, 9):
+            chain.append(lsn, {"lsn": lsn})
+        removed = chain.truncate_above(5)
+        assert removed == 1
+        assert chain.latest_lsn == 5
+
+    def test_scrub_detects_corruption(self):
+        chain = BlockVersionChain(0)
+        chain.append(1, {"a": 1})
+        chain.append(2, {"a": 2})
+        assert chain.scrub() == []
+        chain.corrupt_latest()
+        assert chain.scrub() == [2]
+
+
+class TestChecksums:
+    def test_order_independent(self):
+        assert image_checksum({"a": 1, "b": 2}) == image_checksum(
+            {"b": 2, "a": 1}
+        )
+
+    def test_value_sensitive(self):
+        assert image_checksum({"a": 1}) != image_checksum({"a": 2})
+
+    def test_verify_round_trip(self):
+        version = BlockVersion.of(5, {"x": "y"})
+        assert version.verify()
+        version.image["x"] = "tampered"
+        assert not version.verify()

@@ -1,0 +1,127 @@
+"""Unit tests for read routing: latency tracking, exploration, hedging."""
+
+import random
+
+import pytest
+
+from repro.core.read_routing import LatencyTracker, ReadRouter
+from repro.errors import ConfigurationError, SegmentUnavailableError
+
+
+class TestLatencyTracker:
+    def test_first_sample_becomes_estimate(self):
+        tracker = LatencyTracker()
+        tracker.record("s0", 2.0)
+        assert tracker.expected("s0") == 2.0
+
+    def test_ewma_converges_toward_new_level(self):
+        tracker = LatencyTracker(alpha=0.5)
+        tracker.record("s0", 1.0)
+        for _ in range(10):
+            tracker.record("s0", 3.0)
+        assert 2.9 < tracker.expected("s0") <= 3.0
+
+    def test_unknown_segment_gets_optimistic_default(self):
+        tracker = LatencyTracker(initial_estimate=1.5)
+        assert tracker.expected("never-seen") == 1.5
+
+    def test_ranked_orders_fastest_first(self):
+        tracker = LatencyTracker()
+        tracker.record("slow", 9.0)
+        tracker.record("fast", 1.0)
+        tracker.record("mid", 4.0)
+        assert tracker.ranked(["slow", "fast", "mid"]) == [
+            "fast", "mid", "slow",
+        ]
+
+    def test_ranked_tie_break_is_name_stable(self):
+        tracker = LatencyTracker()
+        tracker.record("b", 1.0)
+        tracker.record("a", 1.0)
+        assert tracker.ranked(["b", "a"]) == ["a", "b"]
+
+    def test_sample_counts(self):
+        tracker = LatencyTracker()
+        tracker.record("s0", 1.0)
+        tracker.record("s0", 1.0)
+        assert tracker.sample_count("s0") == 2
+        assert tracker.sample_count("s1") == 0
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyTracker(alpha=0.0)
+
+
+class TestReadRouter:
+    def _router(self, explore=0.0, hedge=3.0):
+        tracker = LatencyTracker()
+        tracker.record("fast", 1.0)
+        tracker.record("mid", 3.0)
+        tracker.record("slow", 10.0)
+        return ReadRouter(
+            tracker,
+            random.Random(4),
+            explore_probability=explore,
+            hedge_multiplier=hedge,
+        )
+
+    def test_plan_picks_fastest_primary(self):
+        plan = self._router().plan(["slow", "mid", "fast"])
+        assert plan.primary == "fast"
+        assert plan.explore is None
+        assert plan.hedge_candidates == ["mid", "slow"]
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(SegmentUnavailableError):
+            self._router().plan([])
+
+    def test_exploration_sometimes_queries_a_peer(self):
+        router = self._router(explore=1.0)
+        plan = router.plan(["fast", "mid", "slow"])
+        assert plan.explore in ("mid", "slow")
+        assert plan.explore not in plan.hedge_candidates
+
+    def test_exploration_frequency_matches_probability(self):
+        router = self._router(explore=0.25)
+        explored = sum(
+            1
+            for _ in range(2000)
+            if router.plan(["fast", "mid"]).explore is not None
+        )
+        assert 0.20 < explored / 2000 < 0.30
+
+    def test_should_hedge_threshold(self):
+        router = self._router(hedge=3.0)
+        assert not router.should_hedge("fast", elapsed=2.9)
+        assert router.should_hedge("fast", elapsed=3.1)
+        # slower segment has more slack before hedging
+        assert not router.should_hedge("slow", elapsed=25.0)
+        assert router.should_hedge("slow", elapsed=31.0)
+
+    def test_hedge_target_is_next_fastest(self):
+        router = self._router()
+        plan = router.plan(["fast", "mid", "slow"])
+        assert router.hedge_target(plan) == "mid"
+
+    def test_hedge_target_none_without_candidates(self):
+        router = self._router()
+        plan = router.plan(["fast"])
+        assert router.hedge_target(plan) is None
+
+    def test_invalid_parameters_rejected(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ConfigurationError):
+            ReadRouter(tracker, random.Random(1), explore_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            ReadRouter(tracker, random.Random(1), hedge_multiplier=0.5)
+
+    def test_adaptive_avoidance_of_degraded_segment(self):
+        """After a segment degrades, new plans route away from it."""
+        tracker = LatencyTracker(alpha=0.5)
+        tracker.record("s0", 1.0)
+        tracker.record("s1", 2.0)
+        router = ReadRouter(tracker, random.Random(2))
+        assert router.plan(["s0", "s1"]).primary == "s0"
+        for _ in range(6):
+            tracker.record("s0", 50.0)  # s0 got busy
+        assert router.plan(["s0", "s1"]).primary == "s1"

@@ -1,0 +1,109 @@
+"""Crash recovery while a membership change is in flight.
+
+The hardest interaction in the paper's design space: the writer dies with a
+protection group in its dual-quorum state (epoch 2 of Figure 5).  The
+recovering instance loads the transition membership from the metadata
+service, must reach the transition's read quorum (OR of the groups' 3/6),
+truncate on the transition's write quorum (AND of the groups' 4/6), and the
+change itself must remain completable or reversible afterwards.
+"""
+
+import pytest
+
+from repro import AuroraCluster, ClusterConfig
+from repro.db.session import Session
+
+
+def crash_and_recover(cluster):
+    cluster.crash_writer()
+    process = cluster.recover_writer()
+    session = Session(cluster.writer)
+    session.drive(process)
+    return session
+
+
+class TestRecoveryDuringTransition:
+    def test_recovery_under_dual_membership_then_finalize(self):
+        cluster = AuroraCluster.build(ClusterConfig(seed=515))
+        db = cluster.session()
+        db.write_many({f"k{i}": i for i in range(12)})
+        cluster.failures.crash_node("pg0-f")
+        candidate = cluster.begin_segment_replacement(0, "pg0-f")
+        db.write("mid-transition", 1)
+        hydration = cluster.hydrate_segment(0, candidate)
+        db.drive(hydration)
+        # Crash the writer with the PG still in its dual-quorum state.
+        assert not cluster.metadata.membership(0).is_stable
+        db = crash_and_recover(cluster)
+        # Data intact under the transition quorum config.
+        for i in range(12):
+            assert db.get(f"k{i}") == i
+        assert db.get("mid-transition") == 1
+        # The change completes normally after recovery.
+        cluster.finalize_segment_replacement(0, "pg0-f")
+        final = cluster.metadata.membership(0)
+        assert final.is_stable
+        assert candidate in final.members
+        db.write("post-everything", 2)
+        assert db.get("post-everything") == 2
+
+    def test_recovery_under_dual_membership_then_rollback(self):
+        cluster = AuroraCluster.build(ClusterConfig(seed=516))
+        db = cluster.session()
+        db.write("seed", 0)
+        candidate = cluster.begin_segment_replacement(0, "pg0-e")
+        db.write("mid", 1)
+        db = crash_and_recover(cluster)
+        assert db.get("mid") == 1
+        # The suspect was healthy all along: reverse.
+        cluster.rollback_segment_replacement(0, "pg0-e")
+        final = cluster.metadata.membership(0)
+        assert "pg0-e" in final.members
+        assert candidate not in final.members
+        db.write("post-rollback", 2)
+        assert db.get("post-rollback") == 2
+
+    def test_durability_property_holds_mid_transition(self):
+        """Acknowledged commits issued DURING the dual-quorum phase (which
+        must meet BOTH groups' 4/6) survive a crash mid-transition."""
+        cluster = AuroraCluster.build(ClusterConfig(seed=517))
+        db = cluster.session()
+        db.write("pre", 0)
+        cluster.failures.crash_node("pg0-f")
+        cluster.begin_segment_replacement(0, "pg0-f")
+        acknowledged = {}
+        for i in range(15):
+            txn = db.begin()
+            db.put(txn, f"dual{i:02d}", i)
+            db.commit_async(txn).add_done_callback(
+                lambda f, k=f"dual{i:02d}", v=i: acknowledged.__setitem__(
+                    k, v
+                )
+            )
+        cluster.run_for(6.0)
+        assert acknowledged
+        db = crash_and_recover(cluster)
+        for key, value in acknowledged.items():
+            assert db.get(key) == value
+
+    def test_epoch_ordering_across_crash_and_transition(self):
+        """Volume and membership epochs advance independently and
+        monotonically through the interleaving."""
+        cluster = AuroraCluster.build(ClusterConfig(seed=518))
+        db = cluster.session()
+        db.write("a", 1)
+        epochs_0 = cluster.writer.driver.epochs
+        cluster.failures.crash_node("pg0-f")
+        cluster.begin_segment_replacement(0, "pg0-f")
+        epochs_1 = cluster.writer.driver.epochs
+        assert epochs_1.membership == epochs_0.membership + 1
+        db = crash_and_recover(cluster)
+        epochs_2 = cluster.writer.driver.epochs
+        assert epochs_2.volume == epochs_1.volume + 1
+        assert epochs_2.membership == epochs_1.membership
+        # Storage nodes agree once traffic flows.
+        db.write("b", 2)
+        cluster.run_for(20)
+        node = cluster.nodes["pg0-a"]
+        assert node.epochs.current.volume == epochs_2.volume
+        assert node.epochs.current.membership == epochs_2.membership

@@ -1,0 +1,208 @@
+"""Integration tests for read replicas (sections 3.2 - 3.4)."""
+
+import pytest
+
+from repro import AuroraCluster, ClusterConfig
+from repro.db.session import Session
+from repro.errors import InstanceStateError
+
+
+@pytest.fixture
+def replicated_cluster(cluster):
+    cluster.add_replica("r1")
+    return cluster
+
+
+class TestReplicationStream:
+    def test_replica_sees_committed_writes(self, replicated_cluster):
+        cluster = replicated_cluster
+        db = cluster.session()
+        db.write("a", 1)
+        cluster.run_for(20)
+        rs = cluster.replica_session("r1")
+        assert rs.get("a") == 1
+
+    def test_replica_lags_durability_not_issuance(self, replicated_cluster):
+        """Invariant 1: replica state never runs ahead of the writer's VDL."""
+        cluster = replicated_cluster
+        db = cluster.session()
+        txn = db.begin()
+        db.put(txn, "a", 1)
+        replica = cluster.replicas["r1"]
+        assert replica.applied_vdl <= cluster.writer.vdl
+        db.commit(txn)
+        cluster.run_for(20)
+        assert replica.applied_vdl <= cluster.writer.vdl
+
+    def test_uncommitted_data_invisible_on_replica(self, replicated_cluster):
+        cluster = replicated_cluster
+        db = cluster.session()
+        txn = db.begin()
+        db.put(txn, "pending", 1)
+        cluster.run_for(20)
+        rs = cluster.replica_session("r1")
+        assert rs.get("pending") is None  # no commit notice yet
+        db.commit(txn)
+        cluster.run_for(20)
+        assert rs.get("pending") == 1
+
+    def test_mtr_chunks_apply_atomically(self, replicated_cluster):
+        """Invariant 2: a split MTR never half-applies at the replica."""
+        cluster = replicated_cluster
+        db = cluster.session()
+        txn = db.begin()
+        for i in range(60):  # enough to split leaves several times
+            db.put(txn, f"key{i:02d}", i)
+        db.commit(txn)
+        cluster.run_for(50)
+        rs = cluster.replica_session("r1")
+        results = rs.scan("key00", "key99")
+        assert [v for _k, v in results] == list(range(60))
+
+    def test_replica_uses_storage_for_uncached_blocks(self, cluster):
+        """A replica attached AFTER the writes has a cold cache; its reads
+        must come from the shared volume."""
+        db = cluster.session()
+        db.write_many({f"k{i}": i for i in range(30)})
+        cluster.run_for(20)
+        replica = cluster.add_replica("late")
+        rs = cluster.replica_session("late")
+        assert rs.get("k7") == 7
+        assert replica.driver.stats.reads_issued > 0
+
+    def test_replica_lag_measured(self, replicated_cluster):
+        cluster = replicated_cluster
+        db = cluster.session()
+        for i in range(10):
+            db.write(f"k{i}", i)
+        cluster.run_for(50)
+        replica = cluster.replicas["r1"]
+        assert replica.replica_lag == 0
+        assert replica.stats.chunks_applied > 0
+
+    def test_writer_path_latency_unaffected_by_replicas(self):
+        """'There is little latency added to the write path ... since
+        replication is asynchronous': commit latency with 3 replicas is
+        within noise of commit latency with none."""
+        def mean_commit(replica_count):
+            cluster = AuroraCluster.build(ClusterConfig(seed=303))
+            for i in range(replica_count):
+                cluster.add_replica(f"r{i}")
+            db = cluster.session()
+            for i in range(30):
+                db.write(f"k{i}", i)
+            latencies = cluster.writer.stats.commit_latencies
+            return sum(latencies) / len(latencies)
+
+        without = mean_commit(0)
+        with_replicas = mean_commit(3)
+        assert with_replicas < without * 1.25
+
+    def test_replicas_are_read_only(self, replicated_cluster):
+        replica = replicated_cluster.replicas["r1"]
+        with pytest.raises(InstanceStateError):
+            replica.stage_change(None, 0, None)
+
+
+class TestSnapshotAnchoring:
+    def test_read_views_anchor_at_applied_vdl(self, replicated_cluster):
+        """Invariant 3: replica views anchor at writer-equivalent points."""
+        cluster = replicated_cluster
+        db = cluster.session()
+        db.write("a", "v1")
+        cluster.run_for(20)
+        replica = cluster.replicas["r1"]
+        view = replica.open_view()
+        assert view.read_point == replica.applied_vdl
+        replica.close_view(view)
+
+    def test_commit_history_from_notices(self, replicated_cluster):
+        cluster = replicated_cluster
+        db = cluster.session()
+        txn = db.begin()
+        db.put(txn, "a", 1)
+        scn = db.commit(txn)
+        cluster.run_for(20)
+        replica = cluster.replicas["r1"]
+        assert replica.registry.commit_scn(txn.txn_id) == scn
+
+    def test_replica_advertises_gc_floor(self, replicated_cluster):
+        cluster = replicated_cluster
+        db = cluster.session()
+        db.write("a", 1)
+        cluster.run_for(200)  # several gc-floor ticks
+        node = cluster.nodes["pg0-a"]
+        assert "r1" in node._instance_read_floors
+
+
+class TestPromotion:
+    def test_promotion_preserves_acknowledged_commits(self, cluster):
+        """'if a commit has been marked durable and acknowledged to the
+        client, there is no data loss when a replica is promoted'"""
+        cluster.add_replica("r1")
+        db = cluster.session()
+        acknowledged = {}
+        for i in range(20):
+            txn = db.begin()
+            db.put(txn, f"k{i}", i)
+            db.commit_async(txn).add_done_callback(
+                lambda f, k=f"k{i}", v=i: acknowledged.__setitem__(k, v)
+            )
+        cluster.run_for(8.0)
+        cluster.crash_writer()
+        assert acknowledged
+        new_writer, recovery = cluster.promote_replica("r1")
+        db = Session(new_writer)
+        db.drive(recovery)
+        for key, value in acknowledged.items():
+            assert db.get(key) == value
+
+    def test_promoted_writer_accepts_new_traffic(self, cluster):
+        cluster.add_replica("r1")
+        db = cluster.session()
+        db.write("before", 1)
+        cluster.crash_writer()
+        new_writer, recovery = cluster.promote_replica("r1")
+        db = Session(new_writer)
+        db.drive(recovery)
+        db.write("after", 2)
+        assert db.get("before") == 1
+        assert db.get("after") == 2
+
+    def test_surviving_replicas_reattach_to_new_writer(self, cluster):
+        cluster.add_replica("r1")
+        cluster.add_replica("r2")
+        db = cluster.session()
+        db.write("pre", 1)
+        cluster.run_for(20)
+        cluster.crash_writer()
+        new_writer, recovery = cluster.promote_replica("r1")
+        db = Session(new_writer)
+        db.drive(recovery)
+        cluster.reattach_replicas()
+        db.write("post", 2)
+        cluster.run_for(50)
+        rs = cluster.replica_session("r2")
+        assert rs.get("pre") == 1
+        assert rs.get("post") == 2
+
+
+class TestReplicaScaling:
+    def test_many_replicas_serve_reads(self, cluster):
+        for i in range(4):
+            cluster.add_replica(f"r{i}")
+        db = cluster.session()
+        db.write_many({f"k{i}": i for i in range(10)})
+        cluster.run_for(50)
+        for i in range(4):
+            rs = cluster.replica_session(f"r{i}")
+            assert rs.get("k5") == 5
+
+    def test_teardown_is_cheap(self, cluster):
+        """'quickly set up and tear down replicas ... since durable state
+        is shared': removal requires no data movement."""
+        cluster.add_replica("r1")
+        sent_before = cluster.network.stats.messages_sent
+        cluster.remove_replica("r1")
+        assert cluster.network.stats.messages_sent == sent_before
+        assert "r1" not in cluster.replicas

@@ -1,0 +1,85 @@
+"""Unit tests for the writer-side replication publisher."""
+
+from repro.core.records import BlockPut, LogRecord, RecordKind
+from repro.db.replication import (
+    CommitNotice,
+    MTRChunk,
+    ReplicationPublisher,
+    VDLUpdate,
+)
+
+
+def record(lsn):
+    return LogRecord(
+        lsn=lsn, prev_volume_lsn=lsn - 1, prev_pg_lsn=lsn - 1,
+        prev_block_lsn=0, block=0, pg_index=0, kind=RecordKind.DATA,
+        payload=BlockPut(entries=(("k", lsn),)),
+    )
+
+
+class Collector:
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, dst, payload):
+        self.sent.append((dst, payload))
+
+
+class TestReplicationPublisher:
+    def test_no_replicas_publishes_nothing(self):
+        sink = Collector()
+        publisher = ReplicationPublisher("w", sink)
+        publisher.publish_mtr([record(1)])
+        publisher.publish_vdl(1)
+        publisher.publish_commit(1, 1)
+        assert sink.sent == []
+        assert publisher.chunks_published == 0
+
+    def test_fan_out_to_every_replica(self):
+        sink = Collector()
+        publisher = ReplicationPublisher("w", sink)
+        publisher.attach_replica("r1")
+        publisher.attach_replica("r2")
+        publisher.publish_mtr([record(1), record(2)])
+        destinations = [dst for dst, _p in sink.sent]
+        assert destinations == ["r1", "r2"]
+        chunk = sink.sent[0][1]
+        assert isinstance(chunk, MTRChunk)
+        assert [r.lsn for r in chunk.records] == [1, 2]
+        assert publisher.chunks_published == 1
+
+    def test_attach_is_idempotent(self):
+        publisher = ReplicationPublisher("w", Collector())
+        publisher.attach_replica("r1")
+        publisher.attach_replica("r1")
+        assert publisher.replicas == ["r1"]
+
+    def test_detach_stops_the_stream(self):
+        sink = Collector()
+        publisher = ReplicationPublisher("w", sink)
+        publisher.attach_replica("r1")
+        publisher.detach_replica("r1")
+        publisher.detach_replica("r1")  # idempotent
+        publisher.publish_vdl(5)
+        assert sink.sent == []
+
+    def test_payload_kinds(self):
+        sink = Collector()
+        publisher = ReplicationPublisher("w", sink)
+        publisher.attach_replica("r1")
+        publisher.publish_mtr([record(1)])
+        publisher.publish_vdl(1)
+        publisher.publish_commit(9, 1)
+        kinds = [type(p) for _d, p in sink.sent]
+        assert kinds == [MTRChunk, VDLUpdate, CommitNotice]
+        vdl = sink.sent[1][1]
+        assert vdl.writer_id == "w" and vdl.vdl == 1
+        notice = sink.sent[2][1]
+        assert (notice.txn_id, notice.scn) == (9, 1)
+
+    def test_empty_mtr_not_published(self):
+        sink = Collector()
+        publisher = ReplicationPublisher("w", sink)
+        publisher.attach_replica("r1")
+        publisher.publish_mtr([])
+        assert sink.sent == []

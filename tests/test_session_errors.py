@@ -1,0 +1,159 @@
+"""Tests for the Session wrapper and the exception hierarchy."""
+
+import pytest
+
+from repro import AuroraCluster, ReproError
+from repro.db.session import Session
+from repro.errors import (
+    ConfigurationError,
+    InstanceStateError,
+    LockConflictError,
+    MembershipError,
+    QuorumError,
+    ReadPointError,
+    RecoveryError,
+    SegmentUnavailableError,
+    SimulationError,
+    StaleEpochError,
+    TransactionAbortedError,
+    TransactionError,
+    VolumeGeometryError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc_type in (
+            ConfigurationError, QuorumError, StaleEpochError,
+            MembershipError, SegmentUnavailableError, ReadPointError,
+            TransactionError, LockConflictError, TransactionAbortedError,
+            RecoveryError, InstanceStateError, VolumeGeometryError,
+            SimulationError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_lock_conflict_is_a_transaction_error(self):
+        assert issubclass(LockConflictError, TransactionError)
+
+    def test_stale_epoch_carries_structured_fields(self):
+        exc = StaleEpochError("volume", presented=1, current=3)
+        assert exc.kind == "volume"
+        assert exc.presented == 1
+        assert exc.current == 3
+        assert "stale volume epoch" in str(exc)
+
+    def test_read_point_error_carries_window(self):
+        exc = ReadPointError(5, low=10, high=20)
+        assert (exc.read_point, exc.low, exc.high) == (5, 10, 20)
+
+    def test_catch_all_at_the_boundary(self, cluster):
+        db = cluster.session()
+        t1 = db.begin()
+        t2 = db.begin()
+        db.put(t1, "k", 1)
+        with pytest.raises(ReproError):
+            db.put(t2, "k", 2)
+        db.rollback(t2)
+        db.commit(t1)
+
+
+class TestSession:
+    def test_write_helper_is_one_txn(self, cluster):
+        db = cluster.session()
+        before = cluster.writer.txns.begun
+        db.write("a", 1)
+        assert cluster.writer.txns.begun == before + 1
+        assert db.get("a") == 1
+
+    def test_write_many_is_one_txn(self, cluster):
+        db = cluster.session()
+        before = cluster.writer.txns.begun
+        db.write_many({"a": 1, "b": 2, "c": 3})
+        assert cluster.writer.txns.begun == before + 1
+        assert db.scan("a", "c") == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_remove_helper(self, cluster):
+        db = cluster.session()
+        db.write("a", 1)
+        db.remove("a")
+        assert db.get("a") is None
+
+    def test_replica_session_rejects_writes(self, cluster):
+        cluster.add_replica("r1")
+        rs = cluster.replica_session("r1")
+        with pytest.raises(SimulationError):
+            rs.begin()
+        with pytest.raises(SimulationError):
+            rs.write("a", 1)
+
+    def test_drive_detects_stalled_simulation(self):
+        """Losing the write quorum makes commit undrivable: the session
+        reports a stall instead of hanging."""
+        cluster = AuroraCluster.build(seed=95)
+        db = cluster.session()
+        for name in ("pg0-a", "pg0-b", "pg0-c"):
+            cluster.failures.crash_node(name)
+        txn = db.begin()
+        with pytest.raises(SimulationError, match="quorum|unreachable"):
+            db.put(txn, "k", 1)
+            db.commit(txn)
+
+    def test_spawn_runs_in_background(self, cluster):
+        db = cluster.session()
+        process = db.spawn(cluster.writer.get("missing"))
+        assert not process.finished
+        cluster.run_for(5)
+        assert process.finished
+        assert process.result() is None
+
+    def test_commit_async_returns_unresolved_future(self, cluster):
+        db = cluster.session()
+        txn = db.begin()
+        db.put(txn, "a", 1)
+        future = db.commit_async(txn)
+        assert not future.done
+        assert db.drive(future) > 0
+
+
+class TestWriterStorageConnectivity:
+    def test_writer_partitioned_from_two_segments_still_commits(self):
+        cluster = AuroraCluster.build(seed=96)
+        db = cluster.session()
+        cluster.network.partition(
+            {cluster.writer.name}, {"pg0-e", "pg0-f"}
+        )
+        db.write("during-partition", 1)  # 4/6 reachable
+        assert db.get("during-partition") == 1
+
+    def test_partition_healed_segments_catch_up_by_gossip(self):
+        cluster = AuroraCluster.build(seed=97)
+        db = cluster.session()
+        cluster.network.partition({cluster.writer.name}, {"pg0-f"})
+        db.write_many({f"k{i}": i for i in range(8)})
+        lagging = cluster.nodes["pg0-f"].segment.scl
+        assert lagging < max(cluster.segment_scls(0).values())
+        cluster.network.heal_all_partitions()
+        cluster.run_for(400)
+        scls = set(cluster.segment_scls(0).values())
+        assert len(scls) == 1  # converged
+
+    def test_writer_fully_partitioned_from_storage_stalls_cleanly(self):
+        cluster = AuroraCluster.build(seed=98)
+        db = cluster.session()
+        db.write("pre", 0)
+        cluster.network.partition(
+            {cluster.writer.name},
+            {f"pg0-{c}" for c in "abcdef"},
+        )
+        txn = db.begin()
+        db.put(txn, "stuck", 1)
+        future = db.commit_async(txn)
+        cluster.run_for(300)
+        assert not future.done
+        cluster.network.heal_all_partitions()
+        # The records were dropped at the partition; the driver does not
+        # retransmit (writes are fire-and-forget) -- but the record itself
+        # reached NO segment, so gossip cannot heal it either.  The commit
+        # stays pending; this is the correct conservative outcome and the
+        # client never got a false acknowledgement.
+        assert db.get("pre") == 0

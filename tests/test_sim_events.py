@@ -1,0 +1,172 @@
+"""Unit tests for the event loop and futures."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop, Future, gather
+
+
+class TestEventLoop:
+    def test_starts_at_time_zero(self):
+        assert EventLoop().now == 0.0
+
+    def test_runs_scheduled_callback_at_its_time(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, fired.append, "a")
+        loop.run()
+        assert fired == ["a"]
+        assert loop.now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, fired.append, "late")
+        loop.schedule(1.0, fired.append, "early")
+        loop.schedule(2.0, fired.append, "middle")
+        loop.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in range(10):
+            loop.schedule(1.0, fired.append, tag)
+        loop.run()
+        assert fired == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, fired.append, "no")
+        loop.schedule(2.0, fired.append, "yes")
+        event.cancel()
+        loop.run()
+        assert fired == ["yes"]
+
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "a")
+        loop.schedule(10.0, fired.append, "b")
+        loop.run(until=5.0)
+        assert fired == ["a"]
+        assert loop.now == 5.0
+        loop.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_advances_clock_even_with_no_events(self):
+        loop = EventLoop()
+        loop.run(until=42.0)
+        assert loop.now == 42.0
+
+    def test_callbacks_can_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.schedule(1.0, chain, n + 1)
+
+        loop.schedule(1.0, chain, 0)
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+        assert loop.now == 4.0
+
+    def test_event_budget_backstop(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(SimulationError, match="event budget"):
+            loop.run(max_events=1000)
+
+    def test_pending_counts_uncancelled(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending == 2
+        event.cancel()
+        assert loop.pending == 1
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+
+class TestFuture:
+    def test_resolves_with_value(self):
+        loop = EventLoop()
+        future = Future(loop)
+        future.set_result(42)
+        assert future.done
+        assert future.result() == 42
+
+    def test_result_before_resolution_raises(self):
+        future = Future(EventLoop())
+        with pytest.raises(SimulationError):
+            future.result()
+
+    def test_double_resolution_rejected(self):
+        future = Future(EventLoop())
+        future.set_result(1)
+        with pytest.raises(SimulationError):
+            future.set_result(2)
+
+    def test_exception_propagates_through_result(self):
+        future = Future(EventLoop())
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            future.result()
+
+    def test_callback_fires_on_resolution(self):
+        future = Future(EventLoop())
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        assert seen == []
+        future.set_result("x")
+        assert seen == ["x"]
+
+    def test_callback_added_after_resolution_fires_immediately(self):
+        future = Future(EventLoop())
+        future.set_result("x")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        assert seen == ["x"]
+
+
+class TestGather:
+    def test_gathers_all_results_in_order(self):
+        loop = EventLoop()
+        futures = [Future(loop) for _ in range(3)]
+        combined = gather(loop, futures)
+        futures[2].set_result("c")
+        futures[0].set_result("a")
+        assert not combined.done
+        futures[1].set_result("b")
+        assert combined.result() == ["a", "b", "c"]
+
+    def test_empty_gather_resolves_immediately(self):
+        loop = EventLoop()
+        assert gather(loop, []).result() == []
+
+    def test_first_exception_wins(self):
+        loop = EventLoop()
+        futures = [Future(loop) for _ in range(2)]
+        combined = gather(loop, futures)
+        futures[0].set_exception(RuntimeError("bad"))
+        with pytest.raises(RuntimeError, match="bad"):
+            combined.result()

@@ -1,0 +1,129 @@
+"""Unit tests for the failure injector."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.events import EventLoop
+from repro.sim.failures import FailureInjector
+from repro.sim.network import Actor, Network
+
+
+class Dummy(Actor):
+    def on_message(self, message):
+        pass
+
+
+@pytest.fixture
+def setup():
+    loop = EventLoop()
+    rng = random.Random(9)
+    network = Network(loop, rng)
+    injector = FailureInjector(loop, network, rng)
+    for i in range(6):
+        network.attach(Dummy(f"n{i}"), az=f"az{i % 3 + 1}")
+    injector.register_az("az1", {"n0", "n3"})
+    injector.register_az("az2", {"n1", "n4"})
+    injector.register_az("az3", {"n2", "n5"})
+    return loop, network, injector
+
+
+class TestImmediateOps:
+    def test_crash_and_restore_node(self, setup):
+        _loop, network, injector = setup
+        injector.crash_node("n0")
+        assert not network.is_up("n0")
+        injector.restore_node("n0")
+        assert network.is_up("n0")
+
+    def test_crash_az_takes_both_members_down(self, setup):
+        _loop, network, injector = setup
+        injector.crash_az("az2")
+        assert not network.is_up("n1")
+        assert not network.is_up("n4")
+        assert network.is_up("n0")
+        injector.restore_az("az2")
+        assert network.is_up("n1") and network.is_up("n4")
+
+    def test_unknown_az_rejected(self, setup):
+        _loop, _network, injector = setup
+        with pytest.raises(ConfigurationError):
+            injector.crash_az("az9")
+
+    def test_slow_and_unslow(self, setup):
+        _loop, network, injector = setup
+        injector.slow_node("n2", 5.0)
+        assert network._node("n2").latency_scale == 5.0
+        injector.unslow_node("n2")
+        assert network._node("n2").latency_scale == 1.0
+
+    def test_log_records_events_with_time(self, setup):
+        loop, _network, injector = setup
+        loop.run(until=3.0)
+        injector.crash_node("n0")
+        assert injector.log == [(3.0, "crash", "n0")]
+
+
+class TestScheduledOps:
+    def test_crash_at_with_duration(self, setup):
+        loop, network, injector = setup
+        injector.crash_at(10.0, "n0", duration=5.0)
+        loop.run(until=12.0)
+        assert not network.is_up("n0")
+        loop.run(until=16.0)
+        assert network.is_up("n0")
+
+    def test_crash_az_at(self, setup):
+        loop, network, injector = setup
+        injector.crash_az_at(10.0, "az1", duration=5.0)
+        loop.run(until=11.0)
+        assert not network.is_up("n0") and not network.is_up("n3")
+        loop.run(until=20.0)
+        assert network.is_up("n0") and network.is_up("n3")
+
+    def test_slow_at_with_duration(self, setup):
+        loop, network, injector = setup
+        injector.slow_at(5.0, "n1", factor=4.0, duration=5.0)
+        loop.run(until=6.0)
+        assert network._node("n1").latency_scale == 4.0
+        loop.run(until=11.0)
+        assert network._node("n1").latency_scale == 1.0
+
+
+class TestBackgroundFailures:
+    def test_alternates_up_and_down(self, setup):
+        loop, network, injector = setup
+        injector.enable_background_failures(
+            ["n0"], mttf_ms=50.0, mttr_ms=10.0, horizon_ms=10_000.0
+        )
+        crashes = sum(1 for _t, kind, _n in injector.log if kind == "crash")
+        loop.run(until=10_000.0)
+        crashes = sum(1 for _t, kind, _n in injector.log if kind == "crash")
+        restores = sum(
+            1 for _t, kind, _n in injector.log if kind == "restore"
+        )
+        assert crashes > 10  # roughly 10k/60 cycles
+        assert crashes - restores in (0, 1)
+
+    def test_invalid_rates_rejected(self, setup):
+        _loop, _network, injector = setup
+        with pytest.raises(ConfigurationError):
+            injector.enable_background_failures(
+                ["n0"], mttf_ms=0, mttr_ms=1, horizon_ms=10
+            )
+
+    def test_deterministic_for_seed(self):
+        logs = []
+        for _ in range(2):
+            loop = EventLoop()
+            rng = random.Random(33)
+            network = Network(loop, rng)
+            network.attach(Dummy("n0"))
+            injector = FailureInjector(loop, network, rng)
+            injector.enable_background_failures(
+                ["n0"], mttf_ms=100.0, mttr_ms=20.0, horizon_ms=5_000.0
+            )
+            loop.run(until=5_000.0)
+            logs.append(list(injector.log))
+        assert logs[0] == logs[1]

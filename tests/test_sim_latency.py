@@ -1,0 +1,131 @@
+"""Unit tests for the latency distributions."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    CompositeLatency,
+    ExponentialLatency,
+    FixedLatency,
+    LogNormalLatency,
+    ScaledLatency,
+    UniformLatency,
+    cross_az_link,
+    disk_service,
+    intra_az_link,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestFixedLatency:
+    def test_always_the_same(self, rng):
+        model = FixedLatency(1.5)
+        assert all(model.sample(rng) == 1.5 for _ in range(10))
+        assert model.mean() == 1.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedLatency(-0.1)
+
+
+class TestUniformLatency:
+    def test_samples_within_bounds(self, rng):
+        model = UniformLatency(1.0, 2.0)
+        for _ in range(200):
+            assert 1.0 <= model.sample(rng) <= 2.0
+
+    def test_mean(self):
+        assert UniformLatency(1.0, 3.0).mean() == 2.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(2.0, 1.0)
+
+
+class TestExponentialLatency:
+    def test_never_below_base(self, rng):
+        model = ExponentialLatency(base=0.5, tail_mean=1.0)
+        assert all(model.sample(rng) >= 0.5 for _ in range(200))
+
+    def test_zero_tail_degenerates_to_fixed(self, rng):
+        model = ExponentialLatency(base=0.7, tail_mean=0.0)
+        assert model.sample(rng) == 0.7
+
+    def test_empirical_mean_close_to_analytic(self, rng):
+        model = ExponentialLatency(base=1.0, tail_mean=2.0)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert abs(sum(samples) / len(samples) - model.mean()) < 0.1
+
+
+class TestLogNormalLatency:
+    def test_positive_samples(self, rng):
+        model = LogNormalLatency(median=1.0, sigma=0.5)
+        assert all(model.sample(rng) > 0 for _ in range(200))
+
+    def test_median_roughly_holds(self, rng):
+        model = LogNormalLatency(median=2.0, sigma=0.4)
+        samples = sorted(model.sample(rng) for _ in range(20_000))
+        empirical_median = samples[len(samples) // 2]
+        assert abs(empirical_median - 2.0) < 0.1
+
+    def test_mean_exceeds_median(self):
+        model = LogNormalLatency(median=1.0, sigma=0.8)
+        assert model.mean() > 1.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalLatency(median=0.0, sigma=0.5)
+
+
+class TestCompositeLatency:
+    def test_mixture_mean(self):
+        model = CompositeLatency(
+            fast=FixedLatency(1.0), slow=FixedLatency(11.0),
+            slow_probability=0.1,
+        )
+        assert model.mean() == pytest.approx(2.0)
+
+    def test_slow_fraction_roughly_matches(self, rng):
+        model = CompositeLatency(
+            fast=FixedLatency(1.0), slow=FixedLatency(100.0),
+            slow_probability=0.05,
+        )
+        slow = sum(
+            1 for _ in range(20_000) if model.sample(rng) == 100.0
+        )
+        assert 0.03 < slow / 20_000 < 0.07
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeLatency(FixedLatency(1), FixedLatency(2), 1.5)
+
+
+class TestScaledLatency:
+    def test_scales_samples_and_mean(self, rng):
+        model = ScaledLatency(FixedLatency(2.0), factor=3.0)
+        assert model.sample(rng) == 6.0
+        assert model.mean() == 6.0
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScaledLatency(FixedLatency(1.0), factor=0.0)
+
+
+class TestDefaults:
+    def test_cross_az_slower_than_intra_az(self):
+        assert cross_az_link().mean() > intra_az_link().mean()
+
+    def test_disk_fastest(self):
+        assert disk_service().mean() < intra_az_link().mean()
+
+    def test_determinism_under_same_seed(self):
+        model = LogNormalLatency(median=1.0, sigma=0.5)
+        a = [model.sample(random.Random(3)) for _ in range(5)]
+        b = [model.sample(random.Random(3)) for _ in range(5)]
+        assert a == b

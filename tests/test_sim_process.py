@@ -1,0 +1,167 @@
+"""Unit tests for generator processes and the async mutex."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop, Future
+from repro.sim.process import Mutex, Process, sleep
+
+
+class TestProcess:
+    def test_delay_yields_advance_time(self):
+        loop = EventLoop()
+
+        def worker():
+            yield 5.0
+            yield 2.5
+            return loop.now
+
+        process = Process(loop, worker())
+        loop.run()
+        assert process.result() == 7.5
+
+    def test_future_yield_returns_its_value(self):
+        loop = EventLoop()
+        future = Future(loop)
+
+        def worker():
+            value = yield future
+            return value * 2
+
+        process = Process(loop, worker())
+        loop.schedule(3.0, future.set_result, 21)
+        loop.run()
+        assert process.result() == 42
+
+    def test_future_exception_raises_inside_generator(self):
+        loop = EventLoop()
+        future = Future(loop)
+        caught = []
+
+        def worker():
+            try:
+                yield future
+            except ValueError as exc:
+                caught.append(str(exc))
+            return "survived"
+
+        process = Process(loop, worker())
+        loop.schedule(1.0, future.set_exception, ValueError("inner"))
+        loop.run()
+        assert process.result() == "survived"
+        assert caught == ["inner"]
+
+    def test_nested_process_yield(self):
+        loop = EventLoop()
+
+        def child():
+            yield 2.0
+            return "child-done"
+
+        def parent():
+            result = yield Process(loop, child())
+            return f"parent saw {result}"
+
+        process = Process(loop, parent())
+        loop.run()
+        assert process.result() == "parent saw child-done"
+
+    def test_yield_from_delegation(self):
+        loop = EventLoop()
+
+        def inner():
+            yield 1.0
+            return 10
+
+        def outer():
+            value = yield from inner()
+            yield 1.0
+            return value + 1
+
+        process = Process(loop, outer())
+        loop.run()
+        assert process.result() == 11
+        assert loop.now == 2.0
+
+    def test_generator_exception_lands_in_completion(self):
+        loop = EventLoop()
+
+        def worker():
+            yield 1.0
+            raise RuntimeError("worker failed")
+
+        process = Process(loop, worker())
+        loop.run()
+        with pytest.raises(RuntimeError, match="worker failed"):
+            process.result()
+
+    def test_unsupported_yield_value_fails_process(self):
+        loop = EventLoop()
+
+        def worker():
+            yield "not-a-valid-yield"
+
+        process = Process(loop, worker())
+        loop.run()
+        with pytest.raises(SimulationError, match="unsupported"):
+            process.result()
+
+    def test_non_generator_rejected(self):
+        with pytest.raises(SimulationError, match="generator"):
+            Process(EventLoop(), lambda: None)
+
+    def test_sleep_helper(self):
+        loop = EventLoop()
+        future = sleep(loop, 4.0)
+        loop.run()
+        assert future.done
+        assert loop.now == 4.0
+
+
+class TestMutex:
+    def test_uncontended_acquire_is_immediate(self):
+        loop = EventLoop()
+        mutex = Mutex(loop)
+        assert mutex.acquire().done
+        assert mutex.locked
+
+    def test_waiters_resume_in_fifo_order(self):
+        loop = EventLoop()
+        mutex = Mutex(loop)
+        order = []
+
+        def worker(tag, hold_ms):
+            yield mutex.acquire()
+            order.append(f"{tag}-in")
+            yield hold_ms
+            order.append(f"{tag}-out")
+            mutex.release()
+
+        Process(loop, worker("a", 5.0))
+        Process(loop, worker("b", 1.0))
+        Process(loop, worker("c", 1.0))
+        loop.run()
+        assert order == ["a-in", "a-out", "b-in", "b-out", "c-in", "c-out"]
+
+    def test_release_without_hold_rejected(self):
+        with pytest.raises(SimulationError):
+            Mutex(EventLoop()).release()
+
+    def test_critical_sections_never_interleave(self):
+        loop = EventLoop()
+        mutex = Mutex(loop)
+        inside = [0]
+        max_inside = [0]
+
+        def worker():
+            yield mutex.acquire()
+            inside[0] += 1
+            max_inside[0] = max(max_inside[0], inside[0])
+            yield 1.0
+            inside[0] -= 1
+            mutex.release()
+
+        for _ in range(8):
+            Process(loop, worker())
+        loop.run()
+        assert max_inside[0] == 1

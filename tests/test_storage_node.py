@@ -1,0 +1,310 @@
+"""Integration tests for storage-node actors on the simulated network."""
+
+import random
+
+import pytest
+
+from repro.core.epochs import EpochStamp
+from repro.core.lsn import TruncationRange
+from repro.core.records import BlockPut, LogRecord, RecordKind
+from repro.sim.events import EventLoop
+from repro.sim.latency import FixedLatency
+from repro.sim.network import Actor, Network
+from repro.storage.backup import SimulatedS3
+from repro.storage.messages import (
+    BaselineRequest,
+    BaselineResponse,
+    EpochWrite,
+    EpochWriteAck,
+    GCFloorUpdate,
+    GossipQuery,
+    GossipResponse,
+    ReadBlockRequest,
+    ReadBlockResponse,
+    RecoveryScanRequest,
+    RecoveryScanResponse,
+    RequestRejected,
+    TruncateRequest,
+    WriteAck,
+    WriteBatch,
+)
+from repro.storage.metadata import SegmentPlacement, StorageMetadataService
+from repro.storage.node import StorageNode, StorageNodeConfig
+from repro.storage.segment import Segment, SegmentKind
+from repro.storage.volume import VolumeGeometry
+from repro.core.membership import MembershipState
+
+
+class FakeInstance(Actor):
+    def __init__(self, name="db"):
+        super().__init__(name)
+        self.acks = []
+        self.rejections = []
+
+    def on_message(self, message):
+        if isinstance(message.payload, WriteAck):
+            self.acks.append(message.payload)
+        elif isinstance(message.payload, RequestRejected):
+            self.rejections.append(message.payload)
+
+
+def build_fleet(node_count=6, background=False):
+    loop = EventLoop()
+    rng = random.Random(17)
+    network = Network(
+        loop, rng, intra_az=FixedLatency(0.2), cross_az=FixedLatency(0.8)
+    )
+    geometry = VolumeGeometry(blocks_per_pg=64, pg_count=1)
+    metadata = StorageMetadataService(geometry)
+    s3 = SimulatedS3()
+    names = [f"seg{i}" for i in range(node_count)]
+    metadata.set_membership(0, MembershipState.initial(names))
+    nodes = {}
+    config = StorageNodeConfig(
+        disk=FixedLatency(0.05), enable_background=background
+    )
+    for i, name in enumerate(names):
+        segment = Segment(name, 0)
+        node = StorageNode(segment, metadata, s3, rng, config)
+        network.attach(node, az=f"az{i % 3 + 1}")
+        metadata.place_segment(
+            SegmentPlacement(name, 0, name, f"az{i % 3 + 1}",
+                             SegmentKind.FULL)
+        )
+        nodes[name] = node
+    for node in nodes.values():
+        node.register_peer_directory(nodes)
+        node.start()
+    instance = FakeInstance()
+    network.attach(instance, az="az1")
+    return loop, network, metadata, nodes, instance
+
+
+def make_record(lsn, prev_pg, block=0):
+    return LogRecord(
+        lsn=lsn, prev_volume_lsn=lsn - 1, prev_pg_lsn=prev_pg,
+        prev_block_lsn=0, block=block, pg_index=0, kind=RecordKind.DATA,
+        payload=BlockPut(entries=(("k", lsn),)),
+    )
+
+
+def batch(records, epochs=None, pgmrpl=0):
+    return WriteBatch(
+        instance_id="db", pg_index=0, records=tuple(records),
+        epochs=epochs or EpochStamp(), pgmrpl=pgmrpl,
+    )
+
+
+class TestWritePath:
+    def test_write_batch_acked_with_scl(self):
+        loop, network, _m, nodes, instance = build_fleet()
+        network.send("db", "seg0", batch([make_record(1, 0), make_record(2, 1)]))
+        loop.run()
+        assert len(instance.acks) == 1
+        ack = instance.acks[0]
+        assert ack.segment_id == "seg0"
+        assert ack.scl == 2
+
+    def test_ack_carries_gapped_scl(self):
+        loop, network, _m, nodes, instance = build_fleet()
+        network.send("db", "seg0", batch([make_record(3, 2)]))  # hole at 1-2
+        loop.run()
+        assert instance.acks[0].scl == 0
+
+    def test_stale_epoch_write_rejected(self):
+        loop, network, _m, nodes, instance = build_fleet()
+        nodes["seg0"].epochs.advance(EpochStamp(volume=3))
+        network.send("db", "seg0", batch([make_record(1, 0)]))
+        loop.run()
+        assert instance.acks == []
+        assert len(instance.rejections) == 1
+        assert instance.rejections[0].current_epochs.volume == 3
+        assert nodes["seg0"].segment.hot_log_size == 0
+
+    def test_newer_epoch_teaches_the_node(self):
+        loop, network, _m, nodes, instance = build_fleet()
+        network.send(
+            "db", "seg0",
+            batch([make_record(1, 0)], epochs=EpochStamp(volume=5)),
+        )
+        loop.run()
+        assert nodes["seg0"].epochs.current.volume == 5
+        assert len(instance.acks) == 1
+
+    def test_pgmrpl_piggyback_advances_gc_floor(self):
+        loop, network, _m, nodes, _i = build_fleet()
+        network.send("db", "seg0", batch([make_record(1, 0)], pgmrpl=1))
+        loop.run()
+        assert nodes["seg0"].segment.gc_floor == 1
+
+    def test_gc_floor_is_min_across_instances(self):
+        loop, network, _m, nodes, _i = build_fleet()
+        node = nodes["seg0"]
+        stamp = EpochStamp()
+        network.send("db", "seg0",
+                     GCFloorUpdate("inst-a", 0, 10, stamp))
+        loop.run()
+        assert node.segment.gc_floor == 10
+        network.send("db", "seg0",
+                     GCFloorUpdate("inst-b", 0, 4, stamp))
+        loop.run()
+        assert node.segment.gc_floor == 10  # monotonic; min governs future
+        node.forget_instance("inst-b")
+
+
+class TestReadPath:
+    def _written_fleet(self):
+        loop, network, m, nodes, instance = build_fleet()
+        records = [make_record(1, 0), make_record(2, 1)]
+        network.send("db", "seg0", batch(records))
+        loop.run()
+        return loop, network, nodes, instance
+
+    def test_read_block_round_trip(self):
+        loop, network, nodes, _i = self._written_fleet()
+        future = network.rpc(
+            "db", "seg0",
+            ReadBlockRequest(pg_index=0, block=0, read_point=2,
+                             epochs=EpochStamp()),
+        )
+        loop.run()
+        response = future.result()
+        assert isinstance(response, ReadBlockResponse)
+        assert response.image_dict() == {"k": 2}
+        assert response.version_lsn == 2
+
+    def test_read_outside_window_rejected(self):
+        loop, network, nodes, _i = self._written_fleet()
+        future = network.rpc(
+            "db", "seg0",
+            ReadBlockRequest(pg_index=0, block=0, read_point=9,
+                             epochs=EpochStamp()),
+        )
+        loop.run()
+        assert isinstance(future.result(), RequestRejected)
+
+
+class TestGossip:
+    def test_gossip_query_returns_missing_records(self):
+        loop, network, _m, nodes, _i = build_fleet()
+        network.send("db", "seg0",
+                     batch([make_record(1, 0), make_record(2, 1)]))
+        loop.run()
+        future = network.rpc(
+            "db", "seg0",
+            GossipQuery(from_segment="seg1", pg_index=0, scl=0,
+                        epochs=EpochStamp()),
+        )
+        loop.run()
+        response = future.result()
+        assert isinstance(response, GossipResponse)
+        assert [r.lsn for r in response.records] == [1, 2]
+
+    def test_background_gossip_heals_a_lagging_node(self):
+        loop, network, _m, nodes, _i = build_fleet(background=True)
+        # seg5 misses the writes (down), others receive them.
+        network.fail_node("seg5")
+        records = [make_record(i, i - 1) for i in range(1, 6)]
+        for name in list(nodes)[:5]:
+            network.send("db", name, batch(records))
+        loop.run(until=50.0)
+        network.restore_node("seg5")
+        loop.run(until=600.0)
+        assert nodes["seg5"].segment.scl == 5
+        assert nodes["seg5"].counters["gossip_records_pulled"] >= 5
+
+
+class TestControlPlane:
+    def test_recovery_scan_returns_digests(self):
+        loop, network, _m, nodes, _i = build_fleet()
+        network.send("db", "seg0",
+                     batch([make_record(1, 0), make_record(2, 1)]))
+        loop.run()
+        future = network.rpc(
+            "db", "seg0",
+            RecoveryScanRequest(pg_index=0, epochs=EpochStamp()),
+        )
+        loop.run()
+        response = future.result()
+        assert isinstance(response, RecoveryScanResponse)
+        assert response.scl == 2
+        assert [d.lsn for d in response.digests] == [1, 2]
+
+    def test_truncate_installs_epoch_and_clamps(self):
+        loop, network, _m, nodes, _i = build_fleet()
+        network.send("db", "seg0",
+                     batch([make_record(1, 0), make_record(2, 1),
+                            make_record(3, 2)]))
+        loop.run()
+        future = network.rpc(
+            "db", "seg0",
+            TruncateRequest(
+                pg_index=0, pg_point=2,
+                truncation=TruncationRange(first=3, last=50),
+                new_epochs=EpochStamp(volume=2),
+            ),
+        )
+        loop.run()
+        ack = future.result()
+        assert ack.scl == 2
+        assert nodes["seg0"].epochs.current.volume == 2
+        # Old-epoch writers are now boxed out.
+        network.send("db", "seg0", batch([make_record(51, 2)]))
+        loop.run()
+        assert nodes["seg0"].segment.scl == 2
+
+    def test_epoch_write_round_trip(self):
+        loop, network, _m, nodes, _i = build_fleet()
+        future = network.rpc(
+            "db", "seg0",
+            EpochWrite(pg_index=0, epochs=EpochStamp(),
+                       new_epochs=EpochStamp(membership=2)),
+        )
+        loop.run()
+        ack = future.result()
+        assert isinstance(ack, EpochWriteAck)
+        assert ack.epochs.membership == 2
+
+    def test_baseline_request_for_hydration(self):
+        loop, network, _m, nodes, _i = build_fleet()
+        network.send("db", "seg0",
+                     batch([make_record(1, 0), make_record(2, 1)]))
+        loop.run()
+        future = network.rpc(
+            "db", "seg0",
+            BaselineRequest(from_segment="fresh", pg_index=0,
+                            epochs=EpochStamp()),
+        )
+        loop.run()
+        response = future.result()
+        assert isinstance(response, BaselineResponse)
+        assert response.scl == 2
+        assert len(response.records) == 2
+        assert response.blocks[0][0] == 0  # block number
+
+
+class TestBackgroundMaintenance:
+    def test_backup_and_gc_ticks(self):
+        loop, network, _m, nodes, _i = build_fleet(background=True)
+        records = [make_record(i, i - 1) for i in range(1, 4)]
+        for name in nodes:
+            network.send("db", name, batch(records, pgmrpl=3))
+        loop.run(until=2_000.0)
+        node = nodes["seg0"]
+        assert node.counters["backups_taken"] >= 1
+        assert node.segment.backed_up_upto == 3
+        assert node.counters["gc_runs"] >= 1
+        assert node.segment.hot_log_size == 0  # fully GC'd
+
+    def test_scrub_repairs_injected_corruption(self):
+        loop, network, _m, nodes, _i = build_fleet(background=True)
+        records = [make_record(i, i - 1) for i in range(1, 4)]
+        for name in nodes:
+            network.send("db", name, batch(records))
+        loop.run(until=100.0)
+        node = nodes["seg0"]
+        node.segment.coalesce()
+        node.segment.blocks[0].corrupt_latest()
+        loop.run(until=6_000.0)
+        assert node.counters["scrub_repairs"] >= 1
+        assert node.segment.scrub() == []
