@@ -1,0 +1,17 @@
+# Convenience targets; PYTHONPATH=src mirrors the tier-1 verify command.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test audit bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The audit gate: the full tier-1 suite, then a 20-seed chaos sweep with
+# the runtime invariant auditor armed (see docs/AUDIT.md).  Exits nonzero
+# if any test fails or any seed reports an invariant violation.
+audit: test
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

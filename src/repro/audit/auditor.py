@@ -1,0 +1,459 @@
+"""The runtime invariant auditor.
+
+The auditor is a passive observer: protocol components expose optional
+``audit_probe`` attributes (``None`` by default -- the hook sites cost one
+attribute load when unarmed) and, when armed, report every state transition
+here.  The auditor re-checks the paper's safety argument on each event and
+records a named :class:`AuditViolation` whenever an invariant breaks,
+instead of raising mid-protocol -- a broken invariant must not change the
+schedule it is observing.
+
+Invariant names are part of the public contract (tests and the CLI report
+key off them):
+
+``scl-monotonic``
+    A segment's SCL only moves forward through chain advance / rebase;
+    only an explicit crash-recovery truncation may lower it (section 3.1).
+``scl-truncate-durable``
+    A recovery truncation's annulment window ``(pg_point, range.last]``
+    never covers the PG's proven durable point (section 3.3: the ragged
+    edge above VCL is annulled, never data below a write-quorum-complete
+    LSN).  Durable points *above* the window belong to a post-recovery
+    writer generation and survive a late-delivered truncation untouched.
+``pgcl-monotonic``
+    PGCL never regresses within a writer generation (section 2.2).
+``vcl-monotonic`` / ``vdl-monotonic``
+    Volume points never regress within a writer generation (section 2.2).
+``vdl-le-vcl``
+    VDL trails VCL at an MTR boundary, never exceeds it (section 2.2).
+``commit-ack-durable``
+    A commit is acknowledged only once its SCN is durable: SCN <= VCL and
+    SCN <= VDL at ack time (sections 2.2, 3.2).
+``durable-commit-lost``
+    Crash recovery re-establishes volume points at or above every
+    acknowledged commit SCN (section 3.3 / Figure 5: read/write overlap
+    guarantees the recovered VCL covers all durable writes).
+``quorum-overlap``
+    Every active :class:`~repro.core.quorum.QuorumConfig` -- including the
+    mixed quorum sets installed during membership transitions -- proves
+    read/write and write/write intersection (sections 2.1, 4.1).
+``epoch-monotonic``
+    Epoch stamps adopted by any party never move a component backwards
+    (section 2.4).
+``stale-epoch-accepted``
+    A request carrying an epoch below the current one must be rejected,
+    never serviced (section 2.4).
+``membership-epoch``
+    A membership transition strictly increases the membership epoch
+    (section 4.2 / Figure 6).
+``geometry-epoch``
+    Volume growth strictly increases the geometry epoch (section 4.3).
+``replica-read-above-vdl`` / ``replica-apply-above-vdl``
+    A read replica never exposes a read view -- nor applies redo -- above
+    the VDL advertised by the writer (section 2.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import QuorumError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.epochs import EpochStamp
+    from repro.core.membership import MembershipState
+    from repro.core.quorum import QuorumConfig
+    from repro.sim.events import EventLoop
+
+
+class AuditError(AssertionError):
+    """Raised by :meth:`Auditor.assert_clean` when violations were found."""
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One broken invariant, with enough context to reproduce it."""
+
+    invariant: str
+    subject: str
+    detail: str
+    at: float
+    #: Snapshot of the trailing protocol events when the violation fired.
+    tail: tuple[str, ...] = field(default=(), compare=False)
+
+    def __str__(self) -> str:
+        return (
+            f"[t={self.at:.3f}] {self.invariant}: {self.subject} -- "
+            f"{self.detail}"
+        )
+
+
+class Auditor:
+    """Collects protocol events and checks every safety invariant.
+
+    The auditor never raises from a hook: violations accumulate in
+    :attr:`violations` and the run continues, so a single broken invariant
+    yields a full report rather than a truncated schedule.  Call
+    :meth:`assert_clean` (tests) or inspect :attr:`violations` (CLI).
+    """
+
+    def __init__(self, tail_size: int = 64) -> None:
+        self.violations: list[AuditViolation] = []
+        self.events_seen = 0
+        self._tail: deque[str] = deque(maxlen=tail_size)
+        self._loop: EventLoop | None = None
+        # Watermarks.  Per-owner state is cleared when that owner crashes
+        # (a fresh writer generation restarts its trackers); the durable
+        # facts -- per-PG durable points and the acked-commit high water --
+        # survive crashes, because durability does.
+        self._scl: dict[str, int] = {}
+        self._pgcl: dict[tuple[str, int], int] = {}
+        self._vcl: dict[str, int] = {}
+        self._vdl: dict[str, int] = {}
+        self._epochs: dict[str, "EpochStamp"] = {}
+        self._segment_pg: dict[str, int] = {}
+        self._pg_durable: dict[int, int] = {}
+        self._max_geometry_epoch = 0
+        self._max_acked_scn = 0
+        self.commit_acks = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind_loop(self, loop: "EventLoop") -> None:
+        """Attach the simulator clock so events/violations are timestamped."""
+        self._loop = loop
+
+    def register_segment(self, segment_id: str, pg_index: int) -> None:
+        """Teach the auditor which PG a segment serves (for truncation
+        checks against that PG's durable point)."""
+        self._segment_pg[segment_id] = pg_index
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def event_tail(self) -> list[str]:
+        return list(self._tail)
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            lines = [f"{len(self.violations)} invariant violation(s):"]
+            lines += [f"  {v}" for v in self.violations]
+            lines.append("event tail:")
+            lines += [f"  {e}" for e in self._tail]
+            raise AuditError("\n".join(lines))
+
+    def flag(self, invariant: str, subject: str, detail: str) -> None:
+        """Record a violation (also the entry point for external checkers
+        such as the chaos runner's client-side read validation)."""
+        violation = AuditViolation(
+            invariant=invariant,
+            subject=subject,
+            detail=detail,
+            at=self._now(),
+            tail=tuple(self._tail),
+        )
+        self.violations.append(violation)
+        self._record(f"VIOLATION {invariant} {subject}: {detail}")
+
+    def _now(self) -> float:
+        return self._loop.now if self._loop is not None else 0.0
+
+    def _record(self, text: str) -> None:
+        self.events_seen += 1
+        self._tail.append(f"[t={self._now():.3f}] {text}")
+
+    # ------------------------------------------------------------------
+    # Hook: segment chains (SCL)
+    # ------------------------------------------------------------------
+    def on_scl(self, owner: str, old: int, new: int, reason: str) -> None:
+        self._record(f"scl {owner} {old}->{new} ({reason})")
+        floor = self._scl.get(owner, old)
+        if new < floor:
+            self.flag(
+                "scl-monotonic",
+                owner,
+                f"SCL moved {floor} -> {new} via {reason}; only an "
+                f"explicit truncation may lower an SCL",
+            )
+        self._scl[owner] = max(floor, new)
+
+    def on_scl_truncate(
+        self, owner: str, to_lsn: int, old: int, new: int,
+        last: int | None = None,
+    ) -> None:
+        self._record(f"scl-truncate {owner} {old}->{new} (target {to_lsn})")
+        pg = self._segment_pg.get(owner)
+        if pg is not None:
+            durable = self._pg_durable.get(pg, 0)
+            # Only the window (to_lsn, last] is annulled; a durable point
+            # above `last` lives in a post-recovery generation and survives
+            # a late-delivered truncation untouched.
+            if to_lsn < durable and (last is None or durable <= last):
+                self.flag(
+                    "scl-truncate-durable",
+                    owner,
+                    f"truncation window ({to_lsn}, "
+                    f"{'inf' if last is None else last}] covers PG {pg}'s "
+                    f"durable point {durable}: committed data destroyed",
+                )
+        # Truncation legitimately lowers the SCL; rebase the watermark.
+        self._scl[owner] = new
+
+    # ------------------------------------------------------------------
+    # Hook: PG consistency (PGCL, quorum configs)
+    # ------------------------------------------------------------------
+    def on_pgcl(self, owner: str, pg_index: int, old: int, new: int) -> None:
+        self._record(f"pgcl {owner} pg{pg_index} {old}->{new}")
+        key = (owner, pg_index)
+        floor = self._pgcl.get(key, old)
+        if new < floor:
+            self.flag(
+                "pgcl-monotonic",
+                f"{owner}/pg{pg_index}",
+                f"PGCL moved {floor} -> {new}",
+            )
+        self._pgcl[key] = max(floor, new)
+        durable = self._pg_durable.get(pg_index, 0)
+        self._pg_durable[pg_index] = max(durable, new)
+
+    def on_quorum_config(
+        self, owner: str, pg_index: int, config: "QuorumConfig"
+    ) -> None:
+        self._record(
+            f"quorum-config {owner} pg{pg_index} "
+            f"members={len(config.members)} proven={config.is_proven}"
+        )
+        try:
+            config.prove()
+        except QuorumError as exc:
+            self.flag(
+                "quorum-overlap",
+                f"{owner}/pg{pg_index}",
+                f"active config {config!r} fails its overlap proof: {exc}",
+            )
+
+    # ------------------------------------------------------------------
+    # Hook: volume points (VCL / VDL)
+    # ------------------------------------------------------------------
+    def on_volume_points(
+        self,
+        owner: str,
+        old_vcl: int,
+        old_vdl: int,
+        new_vcl: int,
+        new_vdl: int,
+        reason: str,
+    ) -> None:
+        self._record(
+            f"volume {owner} vcl {old_vcl}->{new_vcl} "
+            f"vdl {old_vdl}->{new_vdl} ({reason})"
+        )
+        if new_vdl > new_vcl:
+            self.flag(
+                "vdl-le-vcl",
+                owner,
+                f"VDL {new_vdl} exceeds VCL {new_vcl} ({reason})",
+            )
+        if reason == "reset":
+            # Crash recovery installs fresh points.  They may regress
+            # relative to the lost generation's uncommitted tail, but never
+            # below an acknowledged commit (section 3.3).
+            if new_vcl < self._max_acked_scn:
+                self.flag(
+                    "durable-commit-lost",
+                    owner,
+                    f"recovered VCL {new_vcl} is below acknowledged "
+                    f"commit SCN {self._max_acked_scn}",
+                )
+            if new_vdl < self._max_acked_scn:
+                self.flag(
+                    "durable-commit-lost",
+                    owner,
+                    f"recovered VDL {new_vdl} is below acknowledged "
+                    f"commit SCN {self._max_acked_scn}",
+                )
+            self._vcl[owner] = new_vcl
+            self._vdl[owner] = new_vdl
+            return
+        vcl_floor = self._vcl.get(owner, old_vcl)
+        if new_vcl < vcl_floor:
+            self.flag(
+                "vcl-monotonic", owner, f"VCL moved {vcl_floor} -> {new_vcl}"
+            )
+        vdl_floor = self._vdl.get(owner, old_vdl)
+        if new_vdl < vdl_floor:
+            self.flag(
+                "vdl-monotonic", owner, f"VDL moved {vdl_floor} -> {new_vdl}"
+            )
+        self._vcl[owner] = max(vcl_floor, new_vcl)
+        self._vdl[owner] = max(vdl_floor, new_vdl)
+
+    # ------------------------------------------------------------------
+    # Hook: commit acknowledgements
+    # ------------------------------------------------------------------
+    def on_commit_ack(self, owner: str, scn: int, vcl: int) -> None:
+        self._record(f"commit-ack {owner} scn={scn} vcl={vcl}")
+        self.commit_acks += 1
+        if scn > vcl:
+            self.flag(
+                "commit-ack-durable",
+                owner,
+                f"commit SCN {scn} acknowledged at VCL {vcl}",
+            )
+        vdl = self._vdl.get(owner)
+        if vdl is not None and scn > vdl:
+            self.flag(
+                "commit-ack-durable",
+                owner,
+                f"commit SCN {scn} acknowledged above VDL {vdl}",
+            )
+        self._max_acked_scn = max(self._max_acked_scn, scn)
+
+    # ------------------------------------------------------------------
+    # Hook: epochs
+    # ------------------------------------------------------------------
+    def on_epoch_change(
+        self, owner: str, old: "EpochStamp", new: "EpochStamp"
+    ) -> None:
+        self._record(f"epoch {owner} {old} -> {new}")
+        floor = self._epochs.get(owner, old)
+        if (
+            new.volume < floor.volume
+            or new.membership < floor.membership
+            or new.geometry < floor.geometry
+        ):
+            self.flag(
+                "epoch-monotonic",
+                owner,
+                f"epoch stamp regressed: {floor} -> {new}",
+            )
+            self._epochs[owner] = new
+            return
+        self._epochs[owner] = new
+
+    def on_stale_epoch(
+        self,
+        owner: str,
+        kind: str,
+        presented: int,
+        current: int,
+        rejected: bool = True,
+    ) -> None:
+        self._record(
+            f"stale-epoch {owner} {kind} presented={presented} "
+            f"current={current} rejected={rejected}"
+        )
+        if not rejected:
+            self.flag(
+                "stale-epoch-accepted",
+                owner,
+                f"serviced a request at {kind} epoch {presented} "
+                f"while current epoch is {current}",
+            )
+
+    # ------------------------------------------------------------------
+    # Hook: membership and geometry
+    # ------------------------------------------------------------------
+    def on_membership_transition(
+        self, before: "MembershipState", after: "MembershipState"
+    ) -> None:
+        self._record(
+            f"membership epoch {before.epoch}->{after.epoch} "
+            f"members={sorted(after.members)}"
+        )
+        if after.epoch <= before.epoch:
+            self.flag(
+                "membership-epoch",
+                "membership",
+                f"membership epoch did not advance: {before.epoch} -> "
+                f"{after.epoch}",
+            )
+        try:
+            after.quorum_config().prove()
+        except QuorumError as exc:
+            self.flag(
+                "quorum-overlap",
+                "membership",
+                f"post-transition quorum config fails overlap proof: {exc}",
+            )
+
+    def on_geometry_growth(
+        self, old_epoch: int, new_epoch: int, pg_count: int
+    ) -> None:
+        self._record(
+            f"geometry epoch {old_epoch}->{new_epoch} pgs={pg_count}"
+        )
+        # The watermark spans calls: a growth whose epoch does not clear
+        # every epoch previously observed re-used a stamp (section 4.1).
+        floor = max(old_epoch, self._max_geometry_epoch)
+        if new_epoch <= floor:
+            self.flag(
+                "geometry-epoch",
+                "volume",
+                f"geometry epoch did not advance past {floor}: "
+                f"{old_epoch} -> {new_epoch}",
+            )
+        self._max_geometry_epoch = max(floor, new_epoch)
+
+    # ------------------------------------------------------------------
+    # Hook: replicas
+    # ------------------------------------------------------------------
+    def on_replica_view(
+        self, owner: str, read_point: int, writer_vdl_seen: int
+    ) -> None:
+        self._record(
+            f"replica-view {owner} read_point={read_point} "
+            f"vdl_seen={writer_vdl_seen}"
+        )
+        if read_point > writer_vdl_seen:
+            self.flag(
+                "replica-read-above-vdl",
+                owner,
+                f"read view anchored at {read_point} above the writer's "
+                f"advertised VDL {writer_vdl_seen}",
+            )
+
+    def on_replica_apply(
+        self, owner: str, applied_vdl: int, writer_vdl_seen: int
+    ) -> None:
+        self._record(
+            f"replica-apply {owner} applied={applied_vdl} "
+            f"vdl_seen={writer_vdl_seen}"
+        )
+        if applied_vdl > writer_vdl_seen:
+            self.flag(
+                "replica-apply-above-vdl",
+                owner,
+                f"applied redo to {applied_vdl} above the writer's "
+                f"advertised VDL {writer_vdl_seen}",
+            )
+
+    # ------------------------------------------------------------------
+    # Hook: lifecycle
+    # ------------------------------------------------------------------
+    def on_instance_crash(self, owner: str) -> None:
+        """A database instance crashed: its in-memory trackers restart, so
+        per-generation watermarks reset.  Durable facts are kept."""
+        self._record(f"instance-crash {owner}")
+        self._vcl.pop(owner, None)
+        self._vdl.pop(owner, None)
+        for key in [k for k in self._pgcl if k[0] == owner]:
+            del self._pgcl[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Auditor events={self.events_seen} "
+            f"violations={len(self.violations)}>"
+        )
+
+
+def format_violations(violations: Iterable[AuditViolation]) -> str:
+    return "\n".join(str(v) for v in violations)

@@ -1,0 +1,426 @@
+"""Chaos-driven audit runs: workload + seeded faults + armed auditor.
+
+:func:`run_audit` builds a small cluster, arms an
+:class:`~repro.audit.auditor.Auditor` on every protocol component, installs
+a seeded :class:`~repro.sim.chaos.ChaosSchedule`, and drives a mixed
+read/write workload (including writer crash/recovery cycles and a
+membership change) through the turbulence.  The result is an
+:class:`AuditReport`: zero violations means every safety invariant held on
+every state transition of the run.
+
+On top of the protocol-level invariants, the runner keeps a client-side
+model of acknowledged commits and flags ``client-read-consistency`` when a
+read returns a value that was never possibly committed, or loses a value
+whose commit was acknowledged -- the end-to-end "no committed write lost"
+check of section 3.3, observed from the client's chair.
+
+Everything is reproducible from the seed: the cluster build, the chaos
+schedule, and the workload all derive their randomness from it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.audit.auditor import Auditor, AuditViolation
+from repro.db.cluster import AuroraCluster, ClusterConfig
+from repro.db.instance import InstanceState
+from repro.errors import (
+    LockConflictError,
+    MembershipError,
+    ReproError,
+    SimulationError,
+)
+from repro.sim.chaos import ChaosSchedule
+
+
+@dataclass
+class AuditRunConfig:
+    """Shape of one audit run (everything derives from ``seed``)."""
+
+    seed: int = 7
+    steps: int = 1000
+    replicas: int = 1
+    keys: int = 24
+    tail_size: int = 48
+    #: Simulated ms allowed per client operation before it is counted as
+    #: an availability error (chaos makes timeouts normal, not fatal).
+    op_timeout_ms: float = 2500.0
+    #: Crash + recover the writer every N steps (0 = derived from steps).
+    writer_crash_every: int = 0
+    #: Run a live segment replacement mid-run (skipped on tiny runs).
+    membership_change: bool = True
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit run."""
+
+    seed: int
+    steps: int
+    sim_time_ms: float
+    chaos_events: int
+    commit_acks: int
+    availability_errors: int
+    writer_recoveries: int
+    protocol_events: int
+    violations: list[AuditViolation] = field(default_factory=list)
+    event_tail: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"audit run: seed={self.seed} steps={self.steps} "
+            f"sim_time={self.sim_time_ms:.0f}ms",
+            f"  chaos events:        {self.chaos_events}",
+            f"  commit acks:         {self.commit_acks}",
+            f"  writer recoveries:   {self.writer_recoveries}",
+            f"  availability errors: {self.availability_errors}",
+            f"  protocol events:     {self.protocol_events}",
+            f"  violations:          {len(self.violations)}",
+        ]
+        if self.violations:
+            lines.append("")
+            lines.append(f"VIOLATIONS (reproduce with --seed {self.seed}):")
+            for violation in self.violations:
+                lines.append(f"  {violation.invariant}: {violation.subject}")
+                lines.append(f"    {violation.detail}")
+            lines.append("")
+            lines.append("event log tail:")
+            for event in self.event_tail:
+                lines.append(f"  {event}")
+        return "\n".join(lines)
+
+
+def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
+    """Run a seeded chaos workload with the invariant auditor armed."""
+    cfg = config if config is not None else AuditRunConfig()
+    cluster = AuroraCluster.build(
+        config=ClusterConfig(seed=cfg.seed), seed=cfg.seed
+    )
+    auditor = Auditor(tail_size=cfg.tail_size)
+    cluster.arm_auditor(auditor)
+    for _ in range(cfg.replicas):
+        cluster.add_replica()
+    cluster.run_for(10.0)  # let replicas settle before the storm
+
+    horizon_ms = max(4000.0, cfg.steps * 4.0)
+    schedule = ChaosSchedule.generate(
+        seed=cfg.seed,
+        nodes=sorted(cluster.nodes),
+        azs={az: cluster.failures.az_nodes(az)
+             for az in ("az1", "az2", "az3")},
+        horizon_ms=horizon_ms,
+    )
+    schedule.install(cluster.failures)
+
+    runner = _WorkloadRunner(cluster, auditor, cfg)
+    runner.run()
+
+    return AuditReport(
+        seed=cfg.seed,
+        steps=cfg.steps,
+        sim_time_ms=cluster.loop.now,
+        chaos_events=len(schedule),
+        commit_acks=auditor.commit_acks,
+        availability_errors=runner.availability_errors,
+        writer_recoveries=runner.recoveries,
+        protocol_events=auditor.events_seen,
+        violations=list(auditor.violations),
+        event_tail=auditor.event_tail,
+    )
+
+
+class _WorkloadRunner:
+    """Drives the mixed workload and maintains the client-side model."""
+
+    def __init__(
+        self, cluster: AuroraCluster, auditor: Auditor, cfg: AuditRunConfig
+    ) -> None:
+        self.cluster = cluster
+        self.auditor = auditor
+        self.cfg = cfg
+        self.rng = random.Random(cfg.seed * 7919 + 13)
+        self.session = cluster.session()
+        self.availability_errors = 0
+        self.recoveries = 0
+        #: key -> last value whose commit was acknowledged.
+        self.committed: dict[str, str] = {}
+        #: key -> every value that may have been durably committed (acked
+        #: commits, plus writes whose commit outcome the client never saw).
+        self.history: dict[str, set[str]] = {}
+        #: keys a delete was ever attempted on (exempt from None-checks).
+        self.deleted: set[str] = set()
+        #: unresolved commit futures: (future, {key: value}).
+        self.pending: list[tuple[object, dict[str, str]]] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        cfg = self.cfg
+        crash_every = cfg.writer_crash_every or max(150, cfg.steps // 4)
+        membership_step = (
+            cfg.steps // 2
+            if cfg.membership_change and cfg.steps >= 300
+            else None
+        )
+        for step in range(cfg.steps):
+            self._harvest_pending()
+            if step > 0 and step % crash_every == 0:
+                self._crash_and_recover()
+            if membership_step is not None and step == membership_step:
+                self._membership_change()
+            self._one_op(step)
+            self.cluster.run_for(self.rng.uniform(0.5, 2.5))
+        # Let in-flight chaos and acks drain, then harvest final acks.
+        self.cluster.run_for(500.0)
+        self._harvest_pending()
+
+    # ------------------------------------------------------------------
+    # Client-side model upkeep
+    # ------------------------------------------------------------------
+    def _harvest_pending(self) -> None:
+        still = []
+        for future, writes in self.pending:
+            if not future.done:
+                still.append((future, writes))
+                continue
+            try:
+                future.result()
+            except ReproError:
+                continue  # commit failed outright; nothing became durable
+            for key, value in writes.items():
+                self.committed[key] = value
+                self.history.setdefault(key, set()).add(value)
+        self.pending = still
+
+    def _note_uncertain(self, writes: dict[str, str]) -> None:
+        """A write batch whose commit outcome is unknown: each value may or
+        may not be durable, so reads returning it are legitimate."""
+        for key, value in writes.items():
+            self.history.setdefault(key, set()).add(value)
+
+    def _check_read(self, key: str, value, replica: bool) -> None:
+        if key in self.deleted:
+            return
+        seen = self.history.get(key, set())
+        if value is None:
+            if not replica and key in self.committed:
+                self.auditor.flag(
+                    "client-read-consistency",
+                    key,
+                    f"writer read returned None but commit of "
+                    f"{self.committed[key]!r} was acknowledged",
+                )
+            return
+        if value not in seen:
+            where = "replica" if replica else "writer"
+            self.auditor.flag(
+                "client-read-consistency",
+                key,
+                f"{where} read returned {value!r}, which was never "
+                f"written ({len(seen)} known candidate values)",
+            )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def _one_op(self, step: int) -> None:
+        writer = self.cluster.writer
+        if writer.state is not InstanceState.OPEN:
+            self._crash_and_recover()
+            return
+        roll = self.rng.random()
+        try:
+            if roll < 0.40:
+                self._op_put(step)
+            elif roll < 0.50:
+                self._op_multi_put(step)
+            elif roll < 0.75:
+                self._op_get()
+            elif roll < 0.80:
+                self._op_scan()
+            elif roll < 0.85:
+                self._op_delete(step)
+            elif roll < 0.90:
+                self._op_rollback(step)
+            else:
+                self._op_replica_get()
+        except LockConflictError:
+            self.availability_errors += 1
+        except SimulationError:
+            self.availability_errors += 1
+        except ReproError:
+            self.availability_errors += 1
+
+    def _key(self) -> str:
+        return f"k{self.rng.randrange(self.cfg.keys):03d}"
+
+    def _drive(self, awaitable):
+        return self.session.drive(awaitable, max_ms=self.cfg.op_timeout_ms)
+
+    def _abandon(self, txn) -> None:
+        """Best-effort rollback so a failed op does not pin locks forever
+        (NO-WAIT locking would otherwise starve the key until the next
+        writer crash clears the lock table)."""
+        try:
+            self._drive(self.cluster.writer.rollback(txn))
+        except ReproError:
+            pass
+
+    def _commit(self, txn, writes: dict[str, str]) -> None:
+        writer = self.cluster.writer
+        future = writer.commit(txn)
+        self.pending.append((future, writes))
+        try:
+            self._drive(future)
+        except SimulationError:
+            # Timed out under chaos; _harvest_pending resolves it later.
+            self._note_uncertain(writes)
+            self.availability_errors += 1
+
+    def _op_put(self, step: int) -> None:
+        writer = self.cluster.writer
+        key, value = self._key(), f"v{step}"
+        txn = writer.begin()
+        try:
+            self._drive(writer.put(txn, key, value))
+        except ReproError:
+            self._note_uncertain({key: value})
+            self._abandon(txn)
+            raise
+        self._commit(txn, {key: value})
+
+    def _op_multi_put(self, step: int) -> None:
+        writer = self.cluster.writer
+        writes = {
+            self._key(): f"m{step}.{i}" for i in range(self.rng.randint(2, 4))
+        }
+        txn = writer.begin()
+        try:
+            for key in sorted(writes):
+                self._drive(writer.put(txn, key, writes[key]))
+        except ReproError:
+            self._note_uncertain(writes)
+            self._abandon(txn)
+            raise
+        self._commit(txn, writes)
+
+    def _op_get(self) -> None:
+        key = self._key()
+        value = self._drive(self.cluster.writer.get(key))
+        self._check_read(key, value, replica=False)
+
+    def _op_scan(self) -> None:
+        low, high = sorted((self._key(), self._key()))
+        self._drive(self.cluster.writer.scan(low, high))
+
+    def _op_delete(self, step: int) -> None:
+        writer = self.cluster.writer
+        key = self._key()
+        self.deleted.add(key)
+        txn = writer.begin()
+        try:
+            self._drive(writer.delete(txn, key))
+        except ReproError:
+            self._abandon(txn)
+            raise
+        future = writer.commit(txn)
+        try:
+            self._drive(future)
+        except SimulationError:
+            self.availability_errors += 1
+
+    def _op_rollback(self, step: int) -> None:
+        writer = self.cluster.writer
+        key, value = self._key(), f"r{step}"
+        txn = writer.begin()
+        # Whatever happens, the value may reach storage buffers before the
+        # rollback lands; never flag a read that returns it.
+        self._note_uncertain({key: value})
+        try:
+            self._drive(writer.put(txn, key, value))
+        except ReproError:
+            self._abandon(txn)
+            raise
+        self._drive(writer.rollback(txn))
+
+    def _op_replica_get(self) -> None:
+        if not self.cluster.replicas:
+            self._op_get()
+            return
+        name = self.rng.choice(sorted(self.cluster.replicas))
+        replica_session = self.cluster.replica_session(name)
+        key = self._key()
+        value = replica_session.drive(
+            self.cluster.replicas[name].get(key),
+            max_ms=self.cfg.op_timeout_ms,
+        )
+        self._check_read(key, value, replica=True)
+
+    # ------------------------------------------------------------------
+    # Writer crash / recovery under chaos
+    # ------------------------------------------------------------------
+    def _crash_and_recover(self) -> None:
+        cluster = self.cluster
+        if cluster.writer.state is InstanceState.OPEN:
+            cluster.crash_writer()
+        # Commit futures from the dead generation never resolve; their
+        # values stay in `history` (recovery may still surface them if the
+        # commit record was durable before the crash).
+        for _future, writes in self.pending:
+            self._note_uncertain(writes)
+        self.pending = []
+        self.recoveries += 1
+        process = cluster.recover_writer()
+        for _attempt in range(60):
+            try:
+                self.session.drive(process, max_ms=2000.0)
+                break
+            except SimulationError:
+                continue  # recovery still in flight; keep driving it
+            except ReproError:
+                # Recovery failed (read quorum unreachable mid-chaos).
+                # Wait for faults to heal, then start a fresh recovery.
+                self.availability_errors += 1
+                cluster.writer.state = InstanceState.CRASHED
+                cluster.run_for(250.0)
+                process = cluster.recover_writer()
+        if cluster.writer.state is not InstanceState.OPEN:
+            raise SimulationError(
+                f"writer never recovered (seed {self.cfg.seed})"
+            )
+        if cluster.replicas:
+            cluster.reattach_replicas()
+
+    # ------------------------------------------------------------------
+    # Membership change under chaos (Figure 5 under fire)
+    # ------------------------------------------------------------------
+    def _membership_change(self) -> None:
+        cluster = self.cluster
+        if cluster.writer.state is not InstanceState.OPEN:
+            return
+        state = cluster.metadata.membership(0)
+        if not state.is_stable:
+            return  # a previous attempt is still in flight
+        candidates = [
+            node_id
+            for alts in state.slots
+            for node_id in alts
+            if cluster.network.is_up(node_id)
+        ]
+        if not candidates:
+            return
+        target = self.rng.choice(sorted(candidates))
+        cluster.failures.crash_node(target)
+        try:
+            self.session.drive(
+                cluster.replace_segment(0, target), max_ms=20_000.0
+            )
+        except (SimulationError, MembershipError, ReproError):
+            # Replacement stalled under chaos; the dual-quorum membership
+            # is legal indefinitely, so leave it and carry on.
+            self.availability_errors += 1

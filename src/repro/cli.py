@@ -6,7 +6,9 @@ Commands:
 - ``workload``  -- run a named OLTP profile and print latency statistics;
 - ``faults``    -- a guided failure tour: AZ outage, crash recovery,
   membership change, each with before/after consistency points;
-- ``report``    -- build a cluster, run brief traffic, dump the report.
+- ``report``    -- build a cluster, run brief traffic, dump the report;
+- ``audit-run`` -- seeded chaos schedule + runtime invariant auditor;
+  exits nonzero with a violation report if any safety invariant broke.
 
 Every command is deterministic given ``--seed``.
 """
@@ -78,6 +80,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--txns", type=int, default=30)
     report.add_argument("--replicas", type=int, default=1)
+
+    audit = sub.add_parser(
+        "audit-run",
+        help="chaos workload with the runtime invariant auditor armed",
+        parents=[seed_parent],
+    )
+    audit.add_argument("--steps", type=int, default=2000)
+    audit.add_argument("--replicas", type=int, default=1)
+    audit.add_argument(
+        "--tail", type=int, default=48,
+        help="protocol events kept for the violation report tail",
+    )
+    audit.add_argument(
+        "--sweep", type=int, default=0, metavar="N",
+        help="run N consecutive seeds starting at --seed (CI sweeps)",
+    )
     return parser
 
 
@@ -199,12 +217,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit_run(args: argparse.Namespace) -> int:
+    from repro.audit import AuditRunConfig, run_audit
+
+    seeds = (
+        range(args.seed, args.seed + args.sweep)
+        if args.sweep > 0
+        else [args.seed]
+    )
+    failed = 0
+    for seed in seeds:
+        report = run_audit(AuditRunConfig(
+            seed=seed,
+            steps=args.steps,
+            replicas=args.replicas,
+            tail_size=args.tail,
+        ))
+        print(report.render())
+        if not report.ok:
+            failed += 1
+        if args.sweep > 0:
+            print()
+    if args.sweep > 0:
+        print(f"sweep: {len(seeds) - failed}/{len(seeds)} seeds clean")
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "workload": _cmd_workload,
     "faults": _cmd_faults,
     "multiwriter": _cmd_multiwriter,
     "report": _cmd_report,
+    "audit-run": _cmd_audit_run,
 }
 
 

@@ -60,6 +60,10 @@ class CommitQueue:
         self._seq = 0
         self._last_vcl = 0
         self.stats = CommitStats()
+        #: Optional :class:`repro.audit.Auditor` observer (zero-cost when
+        #: unattached); ``audit_owner`` labels events (the instance id).
+        self.audit_probe = None
+        self.audit_owner = ""
 
     def enqueue(
         self,
@@ -79,6 +83,10 @@ class CommitQueue:
         self.stats.enqueued += 1
         if scn <= self._last_vcl:
             self.stats.acknowledged += 1
+            if self.audit_probe is not None:
+                self.audit_probe.on_commit_ack(
+                    self.audit_owner, scn, self._last_vcl
+                )
             ack()
             return
         entry = _PendingCommit(
@@ -102,6 +110,10 @@ class CommitQueue:
             released += 1
             self.stats.acknowledged += 1
             self.stats.total_wait += max(0.0, now - entry.enqueued_at)
+            if self.audit_probe is not None:
+                self.audit_probe.on_commit_ack(
+                    self.audit_owner, entry.scn, self._last_vcl
+                )
             entry.ack()
         return released
 

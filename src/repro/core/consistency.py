@@ -47,6 +47,10 @@ class SegmentChainTracker:
         #: successor map: prev_pg_lsn -> lsn, for records above the SCL.
         self._pending: dict[int, int] = {}
         self._max_received = baseline
+        #: Optional :class:`repro.audit.Auditor` observer (zero-cost when
+        #: unattached); ``audit_owner`` labels events (the segment id).
+        self.audit_probe = None
+        self.audit_owner = ""
 
     @property
     def scl(self) -> int:
@@ -68,7 +72,11 @@ class SegmentChainTracker:
             return False  # duplicate of an already-complete record
         self._max_received = max(self._max_received, lsn)
         self._pending[prev_pg_lsn] = lsn
-        return self._advance()
+        old = self._scl
+        advanced = self._advance()
+        if advanced and self.audit_probe is not None:
+            self.audit_probe.on_scl(self.audit_owner, old, self._scl, "chain")
+        return advanced
 
     def _advance(self) -> bool:
         advanced = False
@@ -87,6 +95,7 @@ class SegmentChainTracker:
         """
         if baseline <= self._scl:
             return False
+        old = self._scl
         self._scl = baseline
         self._max_received = max(self._max_received, baseline)
         self._pending = {
@@ -101,18 +110,37 @@ class SegmentChainTracker:
             successor = self._pending.pop(spanning[0])
             self._pending[baseline] = successor
         self._advance()
+        if self.audit_probe is not None:
+            self.audit_probe.on_scl(
+                self.audit_owner, old, self._scl, "rebase"
+            )
         return True
 
-    def truncate(self, to_lsn: int) -> None:
-        """Annul everything above ``to_lsn`` (crash-recovery truncation)."""
+    def truncate(self, to_lsn: int, last: int | None = None) -> None:
+        """Annul the window ``(to_lsn, last]`` (crash-recovery truncation).
+
+        ``last`` is the upper end of the recovery truncation range.  LSNs
+        above it were allocated by a *post-recovery* writer generation (the
+        allocator jumps above the range) and must survive: a TruncateRequest
+        delivered late — to a segment that was unreachable during recovery —
+        must not destroy records the segment has since received from the new
+        generation.  ``last=None`` annuls everything above ``to_lsn``.
+        """
+        old = self._scl
         self._pending = {
             prev: lsn
             for prev, lsn in self._pending.items()
-            if lsn <= to_lsn and prev < to_lsn
+            if (lsn <= to_lsn and prev < to_lsn)
+            or (last is not None and lsn > last)
         }
-        self._scl = min(self._scl, to_lsn)
-        self._max_received = min(self._max_received, to_lsn)
+        if last is None or self._scl <= last:
+            self._scl = min(self._scl, to_lsn)
+        self._max_received = max([self._scl, *self._pending.values()])
         self._advance()
+        if self.audit_probe is not None:
+            self.audit_probe.on_scl_truncate(
+                self.audit_owner, to_lsn, old, self._scl, last
+            )
 
     def pending_count(self) -> int:
         return len(self._pending)
@@ -129,11 +157,21 @@ class PGConsistencyTracker:
     never moves it backwards.
     """
 
-    def __init__(self, pg_index: int, config: QuorumConfig) -> None:
+    def __init__(
+        self,
+        pg_index: int,
+        config: QuorumConfig,
+        audit_probe=None,
+        audit_owner: str = "",
+    ) -> None:
         self.pg_index = pg_index
         self._config = config
         self._member_scls: dict[str, int] = {m: NULL_LSN for m in config.members}
         self._pgcl = NULL_LSN
+        self.audit_probe = audit_probe
+        self.audit_owner = audit_owner
+        if audit_probe is not None:
+            audit_probe.on_quorum_config(audit_owner, pg_index, config)
 
     @property
     def pgcl(self) -> int:
@@ -150,6 +188,10 @@ class PGConsistencyTracker:
     def set_config(self, config: QuorumConfig) -> None:
         """Install a new quorum configuration (membership change)."""
         self._config = config
+        if self.audit_probe is not None:
+            self.audit_probe.on_quorum_config(
+                self.audit_owner, self.pg_index, config
+            )
         for member in config.members:
             self._member_scls.setdefault(member, NULL_LSN)
         # Forget members no longer referenced by any quorum expression.
@@ -181,7 +223,12 @@ class PGConsistencyTracker:
             if self._config.write_satisfied(durable_at):
                 best = candidate
         if best > self._pgcl:
+            old = self._pgcl
             self._pgcl = best
+            if self.audit_probe is not None:
+                self.audit_probe.on_pgcl(
+                    self.audit_owner, self.pg_index, old, best
+                )
             return True
         return False
 
@@ -219,6 +266,8 @@ class VolumeConsistencyTracker:
         self._vcl = NULL_LSN
         self._vdl = NULL_LSN
         self._last_registered = NULL_LSN
+        self.audit_probe = None
+        self.audit_owner = ""
 
     @property
     def vcl(self) -> int:
@@ -243,7 +292,14 @@ class VolumeConsistencyTracker:
         if pgcl <= self._pgcls.get(pg_index, NULL_LSN):
             return (False, False)
         self._pgcls[pg_index] = pgcl
-        return self._advance()
+        old_vcl, old_vdl = self._vcl, self._vdl
+        advanced = self._advance()
+        if advanced[0] and self.audit_probe is not None:
+            self.audit_probe.on_volume_points(
+                self.audit_owner, old_vcl, old_vdl, self._vcl, self._vdl,
+                "ack",
+            )
+        return advanced
 
     def _advance(self) -> tuple[bool, bool]:
         vcl_advanced = False
@@ -261,12 +317,27 @@ class VolumeConsistencyTracker:
         return (vcl_advanced, vdl_advanced)
 
     def reset(self, vcl: int, vdl: int | None = None) -> None:
-        """Install recovered consistency points after crash recovery."""
+        """Install recovered consistency points after crash recovery.
+
+        ``vdl`` defaults to ``vcl`` (a recovery that truncated the volume
+        at an MTR boundary).  A ``vdl`` above ``vcl`` is never legal --
+        VDL is by definition the last MTR completion *below* VCL.
+        """
+        if vdl is not None and vdl > vcl:
+            raise ConfigurationError(
+                f"recovered VDL {vdl} may not exceed recovered VCL {vcl}"
+            )
+        old_vcl, old_vdl = self._vcl, self._vdl
         self._chain.clear()
         self._pgcls.clear()
         self._vcl = vcl
         self._vdl = vdl if vdl is not None else vcl
         self._last_registered = max(self._last_registered, vcl)
+        if self.audit_probe is not None:
+            self.audit_probe.on_volume_points(
+                self.audit_owner, old_vcl, old_vdl, self._vcl, self._vdl,
+                "reset",
+            )
 
     @property
     def lag(self) -> int:

@@ -66,6 +66,10 @@ class EpochRegistry:
     def __init__(self, initial: EpochStamp | None = None) -> None:
         self._current = initial if initial is not None else EpochStamp()
         self.rejections = 0
+        #: Optional :class:`repro.audit.Auditor` observer (zero-cost when
+        #: unattached); ``audit_owner`` labels events (the node name).
+        self.audit_probe = None
+        self.audit_owner = ""
 
     @property
     def current(self) -> EpochStamp:
@@ -83,12 +87,20 @@ class EpochRegistry:
             got = getattr(presented, kind)
             if got < have:
                 self.rejections += 1
+                if self.audit_probe is not None:
+                    self.audit_probe.on_stale_epoch(
+                        self.audit_owner, kind, got, have, rejected=True
+                    )
                 raise StaleEpochError(kind, presented=got, current=have)
         self._current = EpochStamp(
             volume=max(current.volume, presented.volume),
             membership=max(current.membership, presented.membership),
             geometry=max(current.geometry, presented.geometry),
         )
+        if self._current != current and self.audit_probe is not None:
+            self.audit_probe.on_epoch_change(
+                self.audit_owner, current, self._current
+            )
 
     def advance(self, target: EpochStamp) -> None:
         """Directly install newer epochs (used when applying an epoch-bump
@@ -99,3 +111,7 @@ class EpochRegistry:
             membership=max(current.membership, target.membership),
             geometry=max(current.geometry, target.geometry),
         )
+        if self._current != current and self.audit_probe is not None:
+            self.audit_probe.on_epoch_change(
+                self.audit_owner, current, self._current
+            )

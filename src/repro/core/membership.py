@@ -173,7 +173,7 @@ class MembershipState:
 
 
 def verify_transition_safety(
-    before: MembershipState, after: MembershipState
+    before: MembershipState, after: MembershipState, audit_probe=None
 ) -> None:
     """Prove a transition is safe in the paper's sense.
 
@@ -198,7 +198,13 @@ def verify_transition_safety(
     "we do not discard any durable state until back to a fully repaired
     quorum".  Within each configuration, read/write overlap is proved by
     :meth:`~repro.core.quorum.QuorumConfig.prove` at construction.
+
+    When an ``audit_probe`` (:class:`repro.audit.Auditor`) is given, the
+    transition is reported *before* the checks run, so the auditor flags
+    an unsafe transition independently of the exceptions raised here.
     """
+    if audit_probe is not None:
+        audit_probe.on_membership_transition(before, after)
     if after.epoch <= before.epoch:
         raise MembershipError(
             f"epoch must increase: {before.epoch} -> {after.epoch}"

@@ -151,6 +151,16 @@ class QuorumConfig:
     def __post_init__(self) -> None:
         object.__setattr__(self, "_members", self.write_expr.members()
                            | self.read_expr.members())
+        object.__setattr__(self, "_proven", False)
+
+    @property
+    def is_proven(self) -> bool:
+        """True once :meth:`prove` has succeeded for this config.
+
+        The runtime auditor re-proves every config it sees installed; the
+        cache makes that re-check a flag test instead of a 2^n sweep.
+        """
+        return self._proven  # type: ignore[attr-defined]
 
     @property
     def members(self) -> frozenset[str]:
@@ -193,7 +203,9 @@ class QuorumConfig:
                 )
 
     def prove(self) -> "QuorumConfig":
-        """Run both proofs; return self for chaining."""
+        """Run both proofs (cached once successful); return self."""
+        if self._proven:  # type: ignore[attr-defined]
+            return self
         members = sorted(self.members)
         if len(members) > _EXHAUSTIVE_PROOF_LIMIT:
             raise QuorumError(
@@ -201,6 +213,7 @@ class QuorumConfig:
             )
         self.prove_read_write_overlap()
         self.prove_write_write_overlap()
+        object.__setattr__(self, "_proven", True)
         return self
 
     def _subset_complements(self):

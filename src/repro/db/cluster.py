@@ -138,6 +138,8 @@ class AuroraCluster:
         self.replicas: dict[str, ReplicaInstance] = {}
         self._writer_counter = 0
         self._candidate_counter = 0
+        #: Optional :class:`repro.audit.Auditor`; see :meth:`arm_auditor`.
+        self.auditor = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -235,6 +237,8 @@ class AuroraCluster:
             )
         )
         node.register_peer_directory(self.nodes)
+        if self.auditor is not None:
+            node.attach_audit_probe(self.auditor)
         return node
 
     def _start_nodes(self) -> None:
@@ -252,6 +256,8 @@ class AuroraCluster:
         )
         self.network.attach(writer, az=AZS[0])
         writer.start()
+        if self.auditor is not None:
+            writer.driver.attach_audit_probe(self.auditor)
         if bootstrap:
             writer.bootstrap()
             # The volume is only usable once the bootstrap MTR is durable
@@ -262,6 +268,26 @@ class AuroraCluster:
                 self.loop.run(until=self.loop.now + 1.0)
         self.writer = writer
         return writer
+
+    # ------------------------------------------------------------------
+    # Invariant auditing
+    # ------------------------------------------------------------------
+    def arm_auditor(self, auditor) -> None:
+        """Attach a :class:`repro.audit.Auditor` to every protocol
+        component: current writer, storage nodes, replicas, and geometry.
+        Components created later (candidates, promoted writers, new
+        replicas) are armed automatically.
+        """
+        self.auditor = auditor
+        auditor.bind_loop(self.loop)
+        self.metadata.geometry.audit_probe = auditor
+        if self.writer is not None:
+            self.writer.driver.attach_audit_probe(auditor)
+        for node in self.nodes.values():
+            node.attach_audit_probe(auditor)
+        for replica in self.replicas.values():
+            replica.audit_probe = auditor
+            replica.driver.attach_audit_probe(auditor)
 
     # ------------------------------------------------------------------
     # Client access
@@ -302,6 +328,9 @@ class AuroraCluster:
         az = AZS[(1 + len(self.replicas)) % 3]
         self.network.attach(replica, az=az)
         replica.start()
+        if self.auditor is not None:
+            replica.audit_probe = self.auditor
+            replica.driver.attach_audit_probe(self.auditor)
         writer = self.writer
         replica.attach(
             next_expected_lsn=writer.allocator.next_lsn,
@@ -387,7 +416,7 @@ class AuroraCluster:
         )
         self.nodes[candidate_id].start()
         new_state = state.begin_replacement(failed_segment, candidate_id)
-        verify_transition_safety(state, new_state)
+        verify_transition_safety(state, new_state, audit_probe=self.auditor)
         self._install_membership(pg_index, new_state)
         return candidate_id
 
@@ -402,7 +431,7 @@ class AuroraCluster:
                 f"no replacement in flight for {failed_segment}"
             )
         new_state = state.commit_replacement(slot)
-        verify_transition_safety(state, new_state)
+        verify_transition_safety(state, new_state, audit_probe=self.auditor)
         self._install_membership(pg_index, new_state)
 
     def rollback_segment_replacement(
@@ -412,7 +441,7 @@ class AuroraCluster:
         state = self.metadata.membership(pg_index)
         slot = self._slot_of(state, failed_segment)
         new_state = state.rollback_replacement(slot)
-        verify_transition_safety(state, new_state)
+        verify_transition_safety(state, new_state, audit_probe=self.auditor)
         self._install_membership(pg_index, new_state)
 
     @staticmethod

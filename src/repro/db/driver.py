@@ -155,6 +155,10 @@ class StorageDriver:
         self.pg_trackers: dict[int, PGConsistencyTracker] = {}
         self.volume = VolumeConsistencyTracker()
         self.commit_queue = CommitQueue()
+        #: Optional :class:`repro.audit.Auditor` observer.  The driver owns
+        #: it (rather than the trackers alone) because crash handling
+        #: replaces the trackers wholesale; see :meth:`attach_audit_probe`.
+        self.audit_probe = None
         self.latency_tracker = LatencyTracker()
         self.router = ReadRouter(
             self.latency_tracker,
@@ -180,11 +184,31 @@ class StorageDriver:
         config = self.metadata.quorum_config(pg_index)
         tracker = self.pg_trackers.get(pg_index)
         if tracker is None:
-            tracker = PGConsistencyTracker(pg_index, config)
+            tracker = PGConsistencyTracker(
+                pg_index,
+                config,
+                audit_probe=self.audit_probe,
+                audit_owner=self.instance_id,
+            )
             self.pg_trackers[pg_index] = tracker
         else:
             tracker.set_config(config)
         return tracker
+
+    def attach_audit_probe(self, probe) -> None:
+        """Arm a :class:`repro.audit.Auditor` on every tracker this driver
+        owns, now and across crash-time recreation."""
+        self.audit_probe = probe
+        self.volume.audit_probe = probe
+        self.volume.audit_owner = self.instance_id
+        self.commit_queue.audit_probe = probe
+        self.commit_queue.audit_owner = self.instance_id
+        for tracker in self.pg_trackers.values():
+            tracker.audit_probe = probe
+            tracker.audit_owner = self.instance_id
+            probe.on_quorum_config(
+                self.instance_id, tracker.pg_index, tracker.config
+            )
 
     def configure_all_pgs(self) -> None:
         for pg_index in self.metadata.pg_indexes():
@@ -194,11 +218,16 @@ class StorageDriver:
         self.epochs = self.metadata.epochs
 
     def adopt_epochs(self, stamp: EpochStamp) -> None:
+        old = self.epochs
         self.epochs = EpochStamp(
-            volume=max(self.epochs.volume, stamp.volume),
-            membership=max(self.epochs.membership, stamp.membership),
-            geometry=max(self.epochs.geometry, stamp.geometry),
+            volume=max(old.volume, stamp.volume),
+            membership=max(old.membership, stamp.membership),
+            geometry=max(old.geometry, stamp.geometry),
         )
+        if self.epochs != old and self.audit_probe is not None:
+            self.audit_probe.on_epoch_change(
+                self.instance_id, old, self.epochs
+            )
         self.metadata.record_epochs(self.epochs)
 
     @property
@@ -586,3 +615,12 @@ class StorageDriver:
         self.pg_trackers.clear()
         self.volume = VolumeConsistencyTracker()
         self.commit_queue = CommitQueue()
+        if self.audit_probe is not None:
+            # Re-arm the fresh trackers: the probe outlives the crash even
+            # though the per-generation tracker objects do not.
+            probe = self.audit_probe
+            probe.on_instance_crash(self.instance_id)
+            self.volume.audit_probe = probe
+            self.volume.audit_owner = self.instance_id
+            self.commit_queue.audit_probe = probe
+            self.commit_queue.audit_owner = self.instance_id

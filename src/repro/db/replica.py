@@ -103,6 +103,9 @@ class ReplicaInstance(Actor, BlockIO):
         self._applied_vdl = NULL_LSN
         self.online = False
         self._gc_tick_scheduled = False
+        #: Optional :class:`repro.audit.Auditor` observer (zero-cost when
+        #: unattached).
+        self.audit_probe = None
 
     # ------------------------------------------------------------------
     # Wiring / attach
@@ -226,6 +229,10 @@ class ReplicaInstance(Actor, BlockIO):
             self._apply_record(record)
         # The chunk is durable (VDL-gated), so its end is our new VDL.
         self._applied_vdl = last_lsn
+        if self.audit_probe is not None:
+            self.audit_probe.on_replica_apply(
+                self.name, self._applied_vdl, self._writer_vdl_seen
+            )
         self.frontiers.advance_vdl(last_lsn)
         self.min_read.advance_floor(last_lsn)
         self.frontiers.prune_below(self.min_read.current())
@@ -278,6 +285,10 @@ class ReplicaInstance(Actor, BlockIO):
     def open_view(self) -> ReadView:
         """Anchor a snapshot at the latest applied VDL (invariant 3)."""
         view = self.views.open(read_point=self._applied_vdl)
+        if self.audit_probe is not None:
+            self.audit_probe.on_replica_view(
+                self.name, view.read_point, self._writer_vdl_seen
+            )
         self.min_read.register(view.read_point)
         return view
 

@@ -1,0 +1,226 @@
+"""Seeded chaos schedules: reproducible randomized failure scenarios.
+
+A :class:`ChaosSchedule` composes the four failure granularities of
+:class:`~repro.sim.failures.FailureInjector` -- node crashes, whole-AZ
+outages, degraded (slow) nodes, and network partitions -- into a
+deterministic event list generated from a seed.  The same seed over the
+same fleet always yields the same schedule, so any invariant violation the
+:class:`repro.audit.Auditor` reports is reproducible from its seed alone
+(``python -m repro audit-run --seed N``).
+
+Generation is shaped to keep the scenario *survivable* rather than fair:
+
+- every event has a bounded duration, so quorum always eventually returns;
+- at most one AZ outage is in flight at a time (the paper's fault model:
+  "AZ+1" is the design point, not "AZ+AZ");
+- events never overlap on the same target, keeping crash/restore pairs
+  well-nested and the injector log easy to read.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.failures import FailureInjector
+
+#: Event kinds, in the order the generator attempts them.
+CRASH_NODE = "crash_node"
+CRASH_AZ = "crash_az"
+SLOW_NODE = "slow_node"
+PARTITION = "partition"
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: ``kind`` applied to ``target`` at ``at`` for
+    ``duration`` milliseconds (``factor`` is the slowdown for SLOW_NODE)."""
+
+    at: float
+    duration: float
+    kind: str
+    target: str
+    factor: float = 1.0
+
+    def __str__(self) -> str:
+        extra = f" x{self.factor:g}" if self.kind == SLOW_NODE else ""
+        return (
+            f"t={self.at:8.1f}ms {self.kind:<10} {self.target}"
+            f" for {self.duration:.0f}ms{extra}"
+        )
+
+
+@dataclass
+class ChaosConfig:
+    """Intensity knobs for schedule generation (rates are per-millisecond
+    expectations scaled by the horizon)."""
+
+    node_crash_period_ms: float = 700.0
+    az_outage_period_ms: float = 2500.0
+    slow_period_ms: float = 900.0
+    partition_period_ms: float = 1600.0
+    min_duration_ms: float = 40.0
+    max_duration_ms: float = 350.0
+    min_slow_factor: float = 3.0
+    max_slow_factor: float = 12.0
+
+
+class ChaosSchedule:
+    """A deterministic, seed-reproducible list of fault events."""
+
+    def __init__(
+        self, seed: int, horizon_ms: float, events: list[ChaosEvent]
+    ) -> None:
+        self.seed = seed
+        self.horizon_ms = horizon_ms
+        self.events = sorted(events, key=lambda e: (e.at, e.target))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        nodes: list[str],
+        azs: dict[str, set[str]],
+        horizon_ms: float,
+        config: ChaosConfig | None = None,
+    ) -> "ChaosSchedule":
+        """Generate a schedule over ``nodes`` grouped into ``azs``.
+
+        Uses a private ``random.Random(seed)`` so the schedule depends on
+        nothing but the seed and the fleet shape.
+        """
+        if horizon_ms <= 0:
+            raise ConfigurationError("horizon_ms must be > 0")
+        if not nodes:
+            raise ConfigurationError("chaos needs at least one node")
+        cfg = config if config is not None else ChaosConfig()
+        rng = random.Random(seed)
+        events: list[ChaosEvent] = []
+        #: target -> list of (start, end) busy intervals, to keep events
+        #: on the same target from overlapping.
+        busy: dict[str, list[tuple[float, float]]] = {}
+
+        def overlaps(target: str, start: float, end: float) -> bool:
+            return any(
+                s < end and start < e for s, e in busy.get(target, [])
+            )
+
+        def reserve(target: str, start: float, end: float) -> None:
+            busy.setdefault(target, []).append((start, end))
+
+        def place(count: int, pick) -> None:
+            for _ in range(count):
+                for _attempt in range(8):
+                    event = pick()
+                    if event is None:
+                        continue
+                    end = event.at + event.duration
+                    if end >= horizon_ms:
+                        continue
+                    if overlaps(event.target, event.at, end):
+                        continue
+                    reserve(event.target, event.at, end)
+                    events.append(event)
+                    break
+
+        def duration() -> float:
+            return rng.uniform(cfg.min_duration_ms, cfg.max_duration_ms)
+
+        def start_time(d: float) -> float:
+            # Leave a tail of one max duration so the run can settle.
+            latest = horizon_ms - d - cfg.max_duration_ms
+            if latest <= 0:
+                return -1.0
+            return rng.uniform(0.0, latest)
+
+        def pick_node_crash() -> ChaosEvent | None:
+            d = duration()
+            at = start_time(d)
+            if at < 0:
+                return None
+            return ChaosEvent(at, d, CRASH_NODE, rng.choice(nodes))
+
+        az_names = sorted(azs)
+
+        def pick_az_outage() -> ChaosEvent | None:
+            if not az_names:
+                return None
+            d = duration()
+            at = start_time(d)
+            if at < 0:
+                return None
+            # Serialize AZ outages: reserve a shared pseudo-target too.
+            if overlaps("__az__", at, at + d):
+                return None
+            event = ChaosEvent(at, d, CRASH_AZ, rng.choice(az_names))
+            reserve("__az__", at, at + d)
+            return event
+
+        def pick_slow() -> ChaosEvent | None:
+            d = duration()
+            at = start_time(d)
+            if at < 0:
+                return None
+            factor = rng.uniform(cfg.min_slow_factor, cfg.max_slow_factor)
+            return ChaosEvent(
+                at, d, SLOW_NODE, rng.choice(nodes), factor=round(factor, 1)
+            )
+
+        def pick_partition() -> ChaosEvent | None:
+            d = duration()
+            at = start_time(d)
+            if at < 0:
+                return None
+            return ChaosEvent(at, d, PARTITION, rng.choice(nodes))
+
+        place(max(1, int(horizon_ms / cfg.node_crash_period_ms)),
+              pick_node_crash)
+        place(int(horizon_ms / cfg.az_outage_period_ms), pick_az_outage)
+        place(max(1, int(horizon_ms / cfg.slow_period_ms)), pick_slow)
+        place(int(horizon_ms / cfg.partition_period_ms), pick_partition)
+        return cls(seed=seed, horizon_ms=horizon_ms, events=events)
+
+    def install(self, injector: FailureInjector) -> int:
+        """Schedule every event on the injector's loop; returns the count.
+
+        Event times are *relative*: an event at ``at`` fires ``at``
+        milliseconds after install time (schedules are generated on a
+        ``[0, horizon)`` timeline, independent of where the simulation
+        clock happens to be).  Partition events isolate the target node
+        from every *other* node the injector knows about (all registered
+        AZ members).
+        """
+        base = injector.loop.now
+        everyone: set[str] = set()
+        for az in list(injector._az_members):
+            everyone |= injector.az_nodes(az)
+        for event in self.events:
+            at = base + event.at
+            if event.kind == CRASH_NODE:
+                injector.crash_at(at, event.target, event.duration)
+            elif event.kind == CRASH_AZ:
+                injector.crash_az_at(at, event.target, event.duration)
+            elif event.kind == SLOW_NODE:
+                injector.slow_at(
+                    at, event.target, event.factor, event.duration
+                )
+            elif event.kind == PARTITION:
+                others = everyone - {event.target}
+                if others:
+                    injector.partition_at(
+                        at, event.target, others, event.duration
+                    )
+            else:  # pragma: no cover - generator only emits known kinds
+                raise ConfigurationError(f"unknown chaos kind {event.kind!r}")
+        return len(self.events)
+
+    def describe(self) -> str:
+        header = (
+            f"chaos schedule seed={self.seed} horizon={self.horizon_ms:.0f}ms "
+            f"events={len(self.events)}"
+        )
+        return "\n".join([header] + [f"  {e}" for e in self.events])
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -3,16 +3,29 @@
 The paper's durability story is built around *correlated* failure: "it is
 insufficient to treat failures as independent.  At a minimum, it is necessary
 to consider the correlated impact of the largest unit of failure" -- in AWS,
-an Availability Zone.  The injector therefore supports three granularities:
+an Availability Zone.  The injector therefore supports four granularities:
 
 - single node crash/restart (the background noise of independent failures),
 - whole-AZ outage (the correlated event Figure 1 is about),
 - degraded ("slow" / "busy") nodes, which are not down but answer late --
-  the case the paper's read hedging and membership "suspect state" handle.
+  the case the paper's read hedging and membership "suspect state" handle,
+- network partitions isolating a node from the rest of the fleet.
 
 Deterministic schedules (``crash_at``) serve the figure reproductions;
 stochastic MTTF/MTTR background failure (``enable_background_failures``)
-serves the durability benchmarks.
+serves the durability benchmarks; :class:`repro.sim.chaos.ChaosSchedule`
+composes all of them into seeded randomized scenarios.
+
+**Manual intervention vs. background schedules.**  Background failures are
+pre-scheduled at enable time (keeping runs deterministic for a given seed),
+which historically meant a node manually restored mid-schedule -- e.g. via
+``restore_az`` after a staged outage -- could be immediately re-crashed or
+resurrected by a stale pre-scheduled event.  Every node now carries a
+*failure generation*; manual crash/restore operations bump it, and each
+background event captures the generation current when it was scheduled and
+becomes a no-op if the node's generation has moved on.  Call
+``enable_background_failures`` again to resume background noise for a
+manually-touched node.
 """
 
 from __future__ import annotations
@@ -35,6 +48,9 @@ class FailureInjector:
         self.rng = rng
         self.log: list[tuple[float, str, str]] = []
         self._az_members: dict[str, set[str]] = {}
+        #: Per-node failure generation; bumped by every *manual* crash or
+        #: restore so stale pre-scheduled background events cancel.
+        self._generations: dict[str, int] = {}
 
     def register_az(self, az: str, nodes: set[str]) -> None:
         """Declare which nodes belong to an AZ (for whole-AZ events)."""
@@ -45,25 +61,35 @@ class FailureInjector:
             raise ConfigurationError(f"unknown AZ {az!r}")
         return set(self._az_members[az])
 
+    def generation_of(self, name: str) -> int:
+        return self._generations.get(name, 0)
+
+    def _bump(self, name: str) -> None:
+        self._generations[name] = self._generations.get(name, 0) + 1
+
     # ------------------------------------------------------------------
     # Immediate operations
     # ------------------------------------------------------------------
     def crash_node(self, name: str) -> None:
+        self._bump(name)
         self.log.append((self.loop.now, "crash", name))
         self.network.fail_node(name)
 
     def restore_node(self, name: str) -> None:
+        self._bump(name)
         self.log.append((self.loop.now, "restore", name))
         self.network.restore_node(name)
 
     def crash_az(self, az: str) -> None:
         self.log.append((self.loop.now, "crash_az", az))
         for node in self.az_nodes(az):
+            self._bump(node)
             self.network.fail_node(node)
 
     def restore_az(self, az: str) -> None:
         self.log.append((self.loop.now, "restore_az", az))
         for node in self.az_nodes(az):
+            self._bump(node)
             self.network.restore_node(node)
 
     def slow_node(self, name: str, factor: float) -> None:
@@ -74,6 +100,15 @@ class FailureInjector:
     def unslow_node(self, name: str) -> None:
         self.log.append((self.loop.now, "unslow", name))
         self.network.set_latency_scale(name, 1.0)
+
+    def partition_node(self, name: str, others: set[str]) -> None:
+        """Isolate ``name`` from ``others`` (both directions drop)."""
+        self.log.append((self.loop.now, "partition", name))
+        self.network.partition({name}, set(others))
+
+    def heal_node_partition(self, name: str, others: set[str]) -> None:
+        self.log.append((self.loop.now, "heal_partition", name))
+        self.network.heal_partition({name}, set(others))
 
     # ------------------------------------------------------------------
     # Scheduled operations
@@ -100,6 +135,19 @@ class FailureInjector:
         if duration is not None:
             self.loop.schedule_at(time + duration, self.unslow_node, name)
 
+    def partition_at(
+        self,
+        time: float,
+        name: str,
+        others: set[str],
+        duration: float | None = None,
+    ) -> None:
+        self.loop.schedule_at(time, self.partition_node, name, set(others))
+        if duration is not None:
+            self.loop.schedule_at(
+                time + duration, self.heal_node_partition, name, set(others)
+            )
+
     # ------------------------------------------------------------------
     # Background stochastic failures
     # ------------------------------------------------------------------
@@ -116,15 +164,37 @@ class FailureInjector:
         ``mttf_ms``) and down intervals (mean ``mttr_ms``), pre-scheduled out
         to ``horizon_ms``.  Pre-scheduling keeps runs deterministic for a
         given seed regardless of what the protocols under test do.
+
+        The whole pre-scheduled sequence for a node is tied to that node's
+        current failure generation: a manual ``crash_node`` / ``restore_node``
+        / ``crash_az`` / ``restore_az`` touching the node invalidates its
+        remaining background events (see module docstring).
         """
         if mttf_ms <= 0 or mttr_ms <= 0:
             raise ConfigurationError("mttf_ms and mttr_ms must be > 0")
         for node in nodes:
+            generation = self.generation_of(node)
             t = self.loop.now + self.rng.expovariate(1.0 / mttf_ms)
             while t < horizon_ms:
                 down_for = self.rng.expovariate(1.0 / mttr_ms)
-                self.loop.schedule_at(t, self.crash_node, node)
+                self.loop.schedule_at(
+                    t, self._background_crash, node, generation
+                )
                 restore_at = t + down_for
                 if restore_at < horizon_ms:
-                    self.loop.schedule_at(restore_at, self.restore_node, node)
+                    self.loop.schedule_at(
+                        restore_at, self._background_restore, node, generation
+                    )
                 t = restore_at + self.rng.expovariate(1.0 / mttf_ms)
+
+    def _background_crash(self, name: str, generation: int) -> None:
+        if self.generation_of(name) != generation:
+            return  # stale: the node was manually touched since scheduling
+        self.log.append((self.loop.now, "crash", name))
+        self.network.fail_node(name)
+
+    def _background_restore(self, name: str, generation: int) -> None:
+        if self.generation_of(name) != generation:
+            return  # stale: the node was manually touched since scheduling
+        self.log.append((self.loop.now, "restore", name))
+        self.network.restore_node(name)

@@ -113,6 +113,16 @@ class StorageNode(Actor):
         #: Directory of peer nodes for scrub repair (set by the cluster).
         self._peer_registry: dict[str, "StorageNode"] = {}
 
+    def attach_audit_probe(self, probe) -> None:
+        """Arm a :class:`repro.audit.Auditor`: the node's epoch registry and
+        segment chain report every transition (no-op cost when unarmed)."""
+        self.epochs.audit_probe = probe
+        self.epochs.audit_owner = self.name
+        chain = self.segment.chain
+        chain.audit_probe = probe
+        chain.audit_owner = self.name
+        probe.register_segment(self.name, self.segment.pg_index)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

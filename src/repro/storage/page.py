@@ -106,9 +106,19 @@ class BlockVersionChain:
         self._versions = self._versions[keep_from:]
         return removed
 
-    def truncate_above(self, lsn: int) -> int:
-        """Discard versions above ``lsn`` (recovery annulment); returns count."""
-        kept = [v for v in self._versions if v.lsn <= lsn]
+    def truncate_above(self, lsn: int, last: int | None = None) -> int:
+        """Discard versions in ``(lsn, last]`` (recovery annulment).
+
+        Versions above ``last`` were materialized from a post-recovery
+        writer generation and survive a late-delivered truncation;
+        ``last=None`` discards everything above ``lsn``.  Returns the
+        number of versions removed.
+        """
+        kept = [
+            v
+            for v in self._versions
+            if v.lsn <= lsn or (last is not None and v.lsn > last)
+        ]
         removed = len(self._versions) - len(kept)
         self._versions = kept
         return removed

@@ -217,17 +217,21 @@ class Segment:
         chain is clamped there so post-recovery records re-link cleanly.
         """
         self.truncations.append(truncation)
+        # Annul only the window (pg_point, truncation.last].  LSNs above the
+        # range belong to post-recovery writer generations (the allocator
+        # jumps above it): a TruncateRequest delivered late, to a segment
+        # that was unreachable while recovery ran, must not destroy records
+        # gossiped in from the new generation since.
         doomed = [
-            lsn
-            for lsn in self.hot_log
-            if lsn > pg_point or truncation.contains(lsn)
+            lsn for lsn in self.hot_log if pg_point < lsn <= truncation.last
         ]
         for lsn in doomed:
             del self.hot_log[lsn]
-        self.chain.truncate(pg_point)
+        self.chain.truncate(pg_point, truncation.last)
         for chain in self.blocks.values():
-            chain.truncate_above(pg_point)
-        self.coalesced_upto = min(self.coalesced_upto, pg_point)
+            chain.truncate_above(pg_point, truncation.last)
+        if self.chain.scl <= truncation.last:
+            self.coalesced_upto = min(self.coalesced_upto, pg_point)
         return len(doomed)
 
     # ------------------------------------------------------------------

@@ -31,6 +31,8 @@ class VolumeGeometry:
     pg_count: int
     geometry_epoch: int = 1
     growth_log: list[tuple[int, int]] = field(default_factory=list)
+    #: Optional :class:`repro.audit.Auditor` observer (zero-cost when None).
+    audit_probe: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.blocks_per_pg < 1 or self.pg_count < 1:
@@ -65,9 +67,14 @@ class VolumeGeometry:
             raise ConfigurationError(
                 f"additional_pgs must be >= 1, got {additional_pgs}"
             )
+        old_epoch = self.geometry_epoch
         self.pg_count += additional_pgs
         self.geometry_epoch += 1
         self.growth_log.append((self.geometry_epoch, self.pg_count))
+        if self.audit_probe is not None:
+            self.audit_probe.on_geometry_growth(
+                old_epoch, self.geometry_epoch, self.pg_count
+            )
         return self.geometry_epoch
 
     def segment_count(self) -> int:

@@ -75,6 +75,28 @@ class TestSegmentChainTracker:
         assert chain.offer(10, 2)
         assert chain.scl == 10
 
+    def test_truncate_window_relinks_new_generation_pending(self):
+        chain = SegmentChainTracker()
+        chain.offer(1, 0)
+        chain.offer(2, 1)        # dead-generation record, inside the window
+        chain.offer(101, 1)      # post-recovery record, above the window
+        assert chain.scl == 2
+        chain.truncate(1, last=100)
+        # The window (1, 100] is annulled; the new-generation record
+        # relinks through the surviving anchor.
+        assert chain.scl == 101
+        assert chain.max_received == 101
+
+    def test_truncate_window_is_noop_past_new_generation_scl(self):
+        chain = SegmentChainTracker()
+        chain.offer(1, 0)
+        chain.offer(5, 3)        # dead-generation stray, never chained
+        chain.offer(101, 1)      # already chain-complete in the new gen
+        assert chain.scl == 101
+        chain.truncate(1, last=100)  # late-delivered truncation
+        assert chain.scl == 101      # not regressed
+        assert chain.pending_count() == 0  # the stray was annulled
+
     def test_rebase_jumps_forward(self):
         chain = SegmentChainTracker()
         chain.offer(9, 7)  # above the hydration baseline
@@ -204,6 +226,61 @@ class TestVolumeConsistencyTracker:
         assert volume.vcl == 50
         assert volume.vdl == 48
         assert volume.lag == 0
+
+    def test_reset_vdl_defaults_to_vcl(self):
+        volume = VolumeConsistencyTracker()
+        volume.reset(vcl=7)
+        assert volume.vcl == 7
+        assert volume.vdl == 7
+
+    def test_reset_rejects_vdl_above_vcl(self):
+        # VDL is by definition the last MTR completion at or below VCL;
+        # a recovery handing in the opposite ordering is a caller bug.
+        volume = VolumeConsistencyTracker()
+        with pytest.raises(ConfigurationError):
+            volume.reset(vcl=5, vdl=7)
+
+    def test_reset_below_current_points_is_allowed(self):
+        # Recovery may truncate the uncommitted tail of a dead generation:
+        # the recovered points can sit below where the old generation's
+        # trackers had advanced (loss above VCL is legal, section 3.3).
+        volume = VolumeConsistencyTracker()
+        for lsn in (1, 2, 3):
+            volume.register(lsn, 0, True)
+        volume.on_pgcl(0, 3)
+        assert volume.vcl == 3
+        volume.reset(vcl=2, vdl=2)
+        assert (volume.vcl, volume.vdl) == (2, 2)
+        assert volume.lag == 0
+
+    def test_reset_keeps_registration_high_water(self):
+        # The LSN allocator does not rewind on recovery: re-registering an
+        # LSN from the dead generation must still be rejected even when
+        # the recovered VCL is lower.
+        volume = VolumeConsistencyTracker()
+        for lsn in (1, 2, 3):
+            volume.register(lsn, 0, True)
+        volume.reset(vcl=1)
+        with pytest.raises(ConfigurationError):
+            volume.register(3, 0, True)
+        volume.register(4, 0, True)  # fresh LSNs continue fine
+        assert volume.lag == 1
+
+    def test_reset_discards_in_flight_mtr_tail(self):
+        # An open MTR (no mtr_end yet) straddling the crash: the recovered
+        # chain is cleared, and stale PGCL echoes from the old generation
+        # cannot resurrect the annulled tail.
+        volume = VolumeConsistencyTracker()
+        volume.register(1, 0, True)
+        volume.register(2, 0, False)
+        volume.register(3, 1, False)  # MTR still open at crash time
+        volume.on_pgcl(0, 2)
+        assert (volume.vcl, volume.vdl) == (2, 1)
+        volume.reset(vcl=1, vdl=1)
+        assert volume.lag == 0
+        assert volume.on_pgcl(0, 3) == (False, False)
+        assert volume.on_pgcl(1, 3) == (False, False)
+        assert (volume.vcl, volume.vdl) == (1, 1)
 
     @given(
         st.lists(

@@ -73,6 +73,15 @@ class TestBlockVersionChain:
         assert removed == 1
         assert chain.latest_lsn == 5
 
+    def test_truncate_above_window_preserves_new_generation(self):
+        chain = BlockVersionChain(0)
+        for lsn in (1, 5, 101):
+            chain.append(lsn, {"lsn": lsn})
+        removed = chain.truncate_above(1, last=100)
+        assert removed == 1          # only the version inside (1, 100]
+        assert chain.latest_lsn == 101
+        assert len(chain) == 2
+
     def test_scrub_detects_corruption(self):
         chain = BlockVersionChain(0)
         chain.append(1, {"a": 1})

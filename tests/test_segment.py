@@ -183,6 +183,23 @@ class TestTruncation:
         assert segment.stats["annulled_refused"] == 1
         # The recovered writer's records (above the range) still chain.
         assert segment.receive(record(101, 3))
+
+    def test_late_truncation_preserves_new_generation_records(self):
+        """A TruncateRequest landing on a segment that was unreachable
+        during recovery — after the segment has already received records
+        from the post-recovery writer generation — annuls only its window,
+        never the new generation's durable data."""
+        segment = Segment("s", 0)
+        fill(segment, 3)
+        segment.receive(record(5, 4))    # dead-generation in-flight stray
+        segment.receive(record(101, 3))  # new generation, above the range
+        assert segment.scl == 101
+        segment.coalesce()
+        dropped = segment.truncate(3, TruncationRange(first=4, last=100))
+        assert dropped == 1              # only the stray inside (3, 100]
+        assert segment.scl == 101        # not regressed
+        assert 101 in segment.hot_log
+        assert segment.blocks[0].latest_lsn == 101
         assert segment.scl == 101
 
 

@@ -127,3 +127,118 @@ class TestBackgroundFailures:
             loop.run(until=5_000.0)
             logs.append(list(injector.log))
         assert logs[0] == logs[1]
+
+
+class TestStaleBackgroundEvents:
+    """Manual intervention invalidates pre-scheduled background events.
+
+    The historical bug: ``restore_az`` after a staged outage left the
+    node at the mercy of stale background crash/restore events scheduled
+    before the intervention, which could immediately re-crash it (or
+    resurrect a deliberately-downed node).  Failure generations fix it.
+    """
+
+    def test_manual_restore_cancels_pending_background_events(self, setup):
+        loop, network, injector = setup
+        injector.enable_background_failures(
+            ["n0"], mttf_ms=30.0, mttr_ms=500.0, horizon_ms=5_000.0
+        )
+        # Run until a background crash lands.
+        for _ in range(5_000):
+            if not network.is_up("n0"):
+                break
+            loop.step()
+        assert not network.is_up("n0")
+        injector.restore_node("n0")  # operator intervention
+        marker = len(injector.log)
+        loop.run(until=5_000.0)
+        # No stale background crash (nor stale restore) touches n0 again.
+        stale = [
+            (t, kind)
+            for t, kind, name in injector.log[marker:]
+            if name == "n0"
+        ]
+        assert stale == []
+        assert network.is_up("n0")
+
+    def test_restore_az_cancels_background_events_for_members(self, setup):
+        loop, network, injector = setup
+        injector.enable_background_failures(
+            ["n0", "n3"], mttf_ms=40.0, mttr_ms=400.0, horizon_ms=4_000.0
+        )
+        loop.run(until=100.0)
+        injector.crash_az("az1")
+        assert not network.is_up("n0") and not network.is_up("n3")
+        injector.restore_az("az1")
+        marker = len(injector.log)
+        loop.run(until=4_000.0)
+        stale = [
+            (t, kind, name)
+            for t, kind, name in injector.log[marker:]
+            if name in ("n0", "n3")
+        ]
+        assert stale == []  # every remaining background event was stale
+        assert network.is_up("n0") and network.is_up("n3")
+
+    def test_generation_bumps_on_manual_ops_only(self, setup):
+        loop, _network, injector = setup
+        assert injector.generation_of("n0") == 0
+        injector.crash_node("n0")
+        injector.restore_node("n0")
+        assert injector.generation_of("n0") == 2
+        injector.enable_background_failures(
+            ["n0"], mttf_ms=20.0, mttr_ms=20.0, horizon_ms=1_000.0
+        )
+        loop.run(until=1_000.0)
+        # Background crash/restore pairs do NOT bump the generation --
+        # otherwise each pair would invalidate its own successor.
+        assert injector.generation_of("n0") == 2
+        crashes = sum(
+            1 for _t, kind, name in injector.log
+            if name == "n0" and kind == "crash"
+        )
+        assert crashes > 5  # the schedule kept running to the horizon
+
+    def test_reenable_resumes_background_noise_after_intervention(self, setup):
+        loop, network, injector = setup
+        injector.enable_background_failures(
+            ["n1"], mttf_ms=30.0, mttr_ms=30.0, horizon_ms=2_000.0
+        )
+        loop.run(until=500.0)
+        injector.crash_node("n1")
+        injector.restore_node("n1")
+        marker = len(injector.log)
+        injector.enable_background_failures(
+            ["n1"], mttf_ms=30.0, mttr_ms=30.0, horizon_ms=2_000.0
+        )
+        loop.run(until=2_000.0)
+        resumed = [
+            kind for _t, kind, name in injector.log[marker:] if name == "n1"
+        ]
+        assert "crash" in resumed  # fresh schedule is live again
+
+
+class TestPartitions:
+    def test_partition_node_cuts_both_directions(self, setup):
+        _loop, network, injector = setup
+        injector.partition_node("n0", {"n1", "n2"})
+        assert network.is_partitioned("n0", "n1")
+        assert network.is_partitioned("n1", "n0")
+        assert not network.is_partitioned("n0", "n3")
+        injector.heal_node_partition("n0", {"n1", "n2"})
+        assert not network.is_partitioned("n0", "n1")
+
+    def test_partition_at_with_duration(self, setup):
+        loop, network, injector = setup
+        injector.partition_at(50.0, "n0", {"n1"}, duration=100.0)
+        loop.run(until=60.0)
+        assert network.is_partitioned("n0", "n1")
+        loop.run(until=200.0)
+        assert not network.is_partitioned("n0", "n1")
+
+    def test_partition_logged(self, setup):
+        loop, _network, injector = setup
+        injector.partition_node("n5", {"n0"})
+        injector.heal_node_partition("n5", {"n0"})
+        kinds = [kind for _t, kind, name in injector.log if name == "n5"]
+        assert kinds == ["partition", "heal_partition"]
