@@ -18,11 +18,12 @@ from repro.analysis.availability import (
     quorum_availability_under_az_failure,
 )
 from repro.analysis.cost import CostModel
-from repro.analysis.durability import DurabilityModel
+from repro.analysis.durability import DurabilityModel, model_from_observed_mttr
 
 __all__ = [
     "CostModel",
     "DurabilityModel",
+    "model_from_observed_mttr",
     "az_failure_survival",
     "quorum_availability",
     "quorum_availability_under_az_failure",

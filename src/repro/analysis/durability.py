@@ -160,3 +160,30 @@ class DurabilityModel:
         """Expected number of repair windows until one PG breaks reads."""
         p = self.p_read_quorum_loss()
         return math.inf if p == 0 else 1.0 / p
+
+
+def model_from_observed_mttr(
+    mean_mttr_ms: float,
+    segment_mttf_hours: float = 10_000.0,
+    az_failures_per_year: float = 0.5,
+) -> DurabilityModel:
+    """A :class:`DurabilityModel` whose repair window is a *measured* MTTR.
+
+    The paper *assumes* "a 10 second window to detect and repair a segment
+    failure"; the self-healing control plane measures the window it
+    actually achieves (failure to finalized replacement, see
+    :class:`repro.repair.RepairRecord`).  Feeding the observed mean back
+    in closes the loop: the AZ+1 quorum-loss probabilities below are then
+    statements about the system as built, not about an assumption.
+
+    Simulated milliseconds are treated as real milliseconds -- the
+    simulator's latency scales are modelled on real datacenter numbers, so
+    the conversion is direct.
+    """
+    if mean_mttr_ms <= 0:
+        raise ConfigurationError("mean_mttr_ms must be > 0")
+    return DurabilityModel(
+        segment_mttf_hours=segment_mttf_hours,
+        repair_window_s=mean_mttr_ms / 1000.0,
+        az_failures_per_year=az_failures_per_year,
+    )

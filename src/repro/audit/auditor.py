@@ -51,6 +51,20 @@ key off them):
 ``replica-read-above-vdl`` / ``replica-apply-above-vdl``
     A read replica never exposes a read view -- nor applies redo -- above
     the VDL advertised by the writer (section 2.3).
+``repair-available-quorum``
+    A repair transition never reduces an available quorum: if the live
+    members satisfied the write quorum before the step, they still do
+    after it (section 4's "I/Os continue throughout").
+``repair-epoch``
+    Every repair transition (begin / finalize / rollback) strictly
+    increases the membership epoch (Figure 5).
+``repair-rollback-membership``
+    Rolling back a replacement restores the exact prior slot structure --
+    the change really was "reversible until the point it is finalized".
+``repair-hydration-watermark``
+    A replacement is finalized only once the candidate's SCL covers the
+    PG's proven durable point: no acknowledged write is lost by dropping
+    the incumbent (section 4.2's hydration requirement).
 """
 
 from __future__ import annotations
@@ -383,6 +397,93 @@ class Auditor:
                 "quorum-overlap",
                 "membership",
                 f"post-transition quorum config fails overlap proof: {exc}",
+            )
+
+    # ------------------------------------------------------------------
+    # Hook: autonomous repair (Figure 5 driven by the repair planner)
+    # ------------------------------------------------------------------
+    def on_repair_transition(
+        self,
+        pg_index: int,
+        stage: str,
+        before: "MembershipState",
+        after: "MembershipState",
+        up_members: frozenset,
+    ) -> None:
+        """One step of an autonomous repair, with the live-member set as
+        observed when the step was taken."""
+        self._record(
+            f"repair-{stage} pg{pg_index} epoch {before.epoch}->"
+            f"{after.epoch} up={sorted(up_members)}"
+        )
+        if after.epoch <= before.epoch:
+            self.flag(
+                "repair-epoch",
+                f"pg{pg_index}/{stage}",
+                f"repair step did not advance the membership epoch: "
+                f"{before.epoch} -> {after.epoch}",
+            )
+        live_before = up_members & before.members
+        live_after = up_members & after.members
+        if before.quorum_config().write_satisfied(
+            live_before
+        ) and not after.quorum_config().write_satisfied(live_after):
+            self.flag(
+                "repair-available-quorum",
+                f"pg{pg_index}/{stage}",
+                f"live members {sorted(live_before)} satisfied the write "
+                f"quorum before the step but {sorted(live_after)} do not "
+                f"after it: the repair reduced an available quorum",
+            )
+
+    def on_repair_rollback(
+        self,
+        pg_index: int,
+        transitional: "MembershipState",
+        restored: "MembershipState",
+    ) -> None:
+        self._record(
+            f"repair-rollback-check pg{pg_index} epoch {restored.epoch}"
+        )
+        # Exactly one slot may change, and it must collapse from
+        # (incumbent, candidate) back to (incumbent,): the membership
+        # before the begin step, restored bit-for-bit.
+        diffs = [
+            i
+            for i, (t, r) in enumerate(
+                zip(transitional.slots, restored.slots)
+            )
+            if t != r
+        ]
+        ok = (
+            len(diffs) == 1
+            and len(transitional.slots[diffs[0]]) == 2
+            and restored.slots[diffs[0]]
+            == transitional.slots[diffs[0]][:1]
+        )
+        if not ok:
+            self.flag(
+                "repair-rollback-membership",
+                f"pg{pg_index}",
+                f"rollback produced {restored.slots} from "
+                f"{transitional.slots}: prior membership not restored",
+            )
+
+    def on_repair_finalize(
+        self, pg_index: int, candidate_id: str, candidate_scl: int
+    ) -> None:
+        self._record(
+            f"repair-finalize pg{pg_index} {candidate_id} "
+            f"scl={candidate_scl}"
+        )
+        durable = self._pg_durable.get(pg_index, 0)
+        if candidate_scl < durable:
+            self.flag(
+                "repair-hydration-watermark",
+                f"pg{pg_index}/{candidate_id}",
+                f"replacement finalized at SCL {candidate_scl}, below PG "
+                f"{pg_index}'s durable point {durable}: acked writes would "
+                f"be lost with the incumbent",
             )
 
     def on_geometry_growth(

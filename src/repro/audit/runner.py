@@ -32,6 +32,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.repair.metrics import ROLLED_BACK, RepairSummary
 from repro.sim.chaos import ChaosSchedule
 
 
@@ -51,6 +52,20 @@ class AuditRunConfig:
     writer_crash_every: int = 0
     #: Run a live segment replacement mid-run (skipped on tiny runs).
     membership_change: bool = True
+    #: Arm the self-healing control plane (health monitor + repair
+    #: planner).  With healing on, the mid-run membership change becomes a
+    #: *permanent* segment crash that the healer must detect and repair.
+    heal: bool = True
+    #: Stochastic MTTF/MTTR background node failures on top of the chaos
+    #: schedule (the fleet-wide churn the healer runs against).
+    background_failures: bool = True
+    background_mttf_ms: float = 3500.0
+    background_mttr_ms: float = 150.0
+    #: Plant a false-positive repair mid-run: isolate a healthy segment
+    #: until it is confirmed dead, then let it return mid-hydration and
+    #: require the planner to roll the transition back (skipped on tiny
+    #: runs or when healing is off).
+    plant_false_positive: bool = True
 
 
 @dataclass
@@ -67,10 +82,23 @@ class AuditReport:
     protocol_events: int
     violations: list[AuditViolation] = field(default_factory=list)
     event_tail: list[str] = field(default_factory=list)
+    #: Self-healing telemetry (None when the healer was not armed).
+    repairs: RepairSummary | None = None
+    health_counters: dict = field(default_factory=dict)
+    #: Confirmed-dead segments left unrepaired at run end (active or
+    #: stalled records, or a PG still in a dual membership).
+    unrepaired: int = 0
+    #: Planted false positive: None = not planted, True = the transition
+    #: rolled back as required, False = it did not.
+    planted_rollback_ok: bool | None = None
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return (
+            not self.violations
+            and self.unrepaired == 0
+            and self.planted_rollback_ok is not False
+        )
 
     def render(self) -> str:
         lines = [
@@ -83,6 +111,23 @@ class AuditReport:
             f"  protocol events:     {self.protocol_events}",
             f"  violations:          {len(self.violations)}",
         ]
+        if self.repairs is not None:
+            lines += self.repairs.render_lines()
+            lines.append(
+                f"  health verdicts:     "
+                f"suspected={self.health_counters.get('suspected', 0)} "
+                f"confirmed={self.health_counters.get('confirmed_dead', 0)} "
+                f"false_pos={self.health_counters.get('false_positives', 0)}"
+            )
+            if self.unrepaired:
+                lines.append(
+                    f"  UNREPAIRED segments: {self.unrepaired}"
+                )
+            if self.planted_rollback_ok is not None:
+                verdict = "ok" if self.planted_rollback_ok else "FAILED"
+                lines.append(
+                    f"  planted false pos:   rollback {verdict}"
+                )
         if self.violations:
             lines.append("")
             lines.append(f"VIOLATIONS (reproduce with --seed {self.seed}):")
@@ -104,6 +149,8 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
     )
     auditor = Auditor(tail_size=cfg.tail_size)
     cluster.arm_auditor(auditor)
+    if cfg.heal:
+        cluster.arm_healer()
     for _ in range(cfg.replicas):
         cluster.add_replica()
     cluster.run_for(10.0)  # let replicas settle before the storm
@@ -117,9 +164,25 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         horizon_ms=horizon_ms,
     )
     schedule.install(cluster.failures)
+    if cfg.background_failures:
+        cluster.failures.enable_background_failures(
+            sorted(cluster.nodes),
+            mttf_ms=cfg.background_mttf_ms,
+            mttr_ms=cfg.background_mttr_ms,
+            horizon_ms=cluster.loop.now + horizon_ms,
+        )
 
     runner = _WorkloadRunner(cluster, auditor, cfg)
     runner.run()
+
+    repairs = None
+    health_counters: dict = {}
+    unrepaired = 0
+    if cfg.heal:
+        runner.settle_repairs()
+        repairs = cluster.healer.summary()
+        health_counters = dict(cluster.health.counters)
+        unrepaired = _count_unrepaired(cluster)
 
     return AuditReport(
         seed=cfg.seed,
@@ -132,7 +195,37 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         protocol_events=auditor.events_seen,
         violations=list(auditor.violations),
         event_tail=auditor.event_tail,
+        repairs=repairs,
+        health_counters=health_counters,
+        unrepaired=unrepaired,
+        planted_rollback_ok=runner.planted_rollback_ok,
     )
+
+
+def _count_unrepaired(cluster: AuroraCluster) -> int:
+    """Confirmed failures the healer failed to resolve by run end:
+    records still in flight, protection groups parked in a dual
+    membership, and members the monitor still holds confirmed-dead.
+    (A ``stalled`` record alone does not count: its retry record covers
+    the same segment.)"""
+    from repro.repair.health import SegmentHealth
+    from repro.repair.metrics import ACTIVE
+
+    open_records = sum(
+        1 for r in cluster.healer.records if r.outcome == ACTIVE
+    )
+    unstable_pgs = sum(
+        1
+        for pg_index in cluster.metadata.pg_indexes()
+        if not cluster.metadata.membership(pg_index).is_stable
+    )
+    dead_members = sum(
+        1
+        for pg_index in cluster.metadata.pg_indexes()
+        for member in cluster.metadata.membership(pg_index).members
+        if cluster.health.state_of(member) is SegmentHealth.DEAD
+    )
+    return open_records + unstable_pgs + dead_members
 
 
 class _WorkloadRunner:
@@ -157,6 +250,9 @@ class _WorkloadRunner:
         self.deleted: set[str] = set()
         #: unresolved commit futures: (future, {key: value}).
         self.pending: list[tuple[object, dict[str, str]]] = []
+        #: Outcome of the planted false-positive scenario (None = never
+        #: planted).
+        self.planted_rollback_ok: bool | None = None
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -167,17 +263,84 @@ class _WorkloadRunner:
             if cfg.membership_change and cfg.steps >= 300
             else None
         )
+        plant_step = (
+            cfg.steps // 3
+            if cfg.plant_false_positive and cfg.heal and cfg.steps >= 300
+            else None
+        )
         for step in range(cfg.steps):
             self._harvest_pending()
             if step > 0 and step % crash_every == 0:
                 self._crash_and_recover()
             if membership_step is not None and step == membership_step:
                 self._membership_change()
+            if plant_step is not None and step == plant_step:
+                self._plant_false_positive()
             self._one_op(step)
             self.cluster.run_for(self.rng.uniform(0.5, 2.5))
         # Let in-flight chaos and acks drain, then harvest final acks.
         self.cluster.run_for(500.0)
         self._harvest_pending()
+
+    def settle_repairs(self) -> None:
+        """Keep the simulation rolling until the healer drains.
+
+        Background faults all heal (chaos durations are bounded, the
+        background renewal process stops at its horizon), so every
+        outstanding repair converges given time.  The client keeps issuing
+        light traffic so acks continue feeding the health monitor.
+        """
+        cluster = self.cluster
+        healer = cluster.healer
+        monitor = cluster.health
+        for spin in range(4000):
+            if healer.idle and not self._dead_members(monitor):
+                break
+            cluster.run_for(25.0)
+            if spin % 40 == 0:
+                self._keepalive(spin)
+        self.cluster.run_for(200.0)
+        self._harvest_pending()
+
+    def _dead_members(self, monitor) -> bool:
+        from repro.repair.health import SegmentHealth
+
+        metadata = self.cluster.metadata
+        return any(
+            monitor.state_of(member) is SegmentHealth.DEAD
+            for pg_index in metadata.pg_indexes()
+            for member in metadata.membership(pg_index).members
+        )
+
+    def _keepalive(self, step: int) -> None:
+        """One cheap write so liveness signals keep flowing while the
+        healer settles (segments only ack when there is traffic)."""
+        writer = self.cluster.writer
+        if writer.state is not InstanceState.OPEN:
+            try:
+                self._crash_and_recover()
+            except ReproError:
+                pass
+            return
+        key, value = self._key(), f"keep{step}.{self.rng.randrange(1000)}"
+        try:
+            txn = writer.begin()
+        except ReproError:
+            self.availability_errors += 1
+            return
+        try:
+            self._drive(writer.put(txn, key, value))
+        except ReproError:
+            # The value may have reached storage buffers; same uncertainty
+            # bookkeeping as the regular put op.
+            self._note_uncertain({key: value})
+            self._abandon(txn)
+            self.availability_errors += 1
+            return
+        try:
+            self._commit(txn, {key: value})
+        except ReproError:
+            self.availability_errors += 1
 
     # ------------------------------------------------------------------
     # Client-side model upkeep
@@ -191,7 +354,12 @@ class _WorkloadRunner:
             try:
                 future.result()
             except ReproError:
-                continue  # commit failed outright; nothing became durable
+                # The commit was rejected, but its redo may still have
+                # reached a write quorum first (an epoch bump from a
+                # concurrent repair can fail the future after the records
+                # landed): the values are uncertain, not absent.
+                self._note_uncertain(writes)
+                continue
             for key, value in writes.items():
                 self.committed[key] = value
                 self.history.setdefault(key, set()).add(value)
@@ -206,8 +374,11 @@ class _WorkloadRunner:
     def _check_read(self, key: str, value, replica: bool) -> None:
         if key in self.deleted:
             return
-        seen = self.history.get(key, set())
         if value is None:
+            # Deliberately NOT harvesting first: a commit that resolved
+            # while this read was in flight postdates the read's snapshot,
+            # so a None result must be judged against the model as of the
+            # read's start.
             if not replica and key in self.committed:
                 self.auditor.flag(
                     "client-read-consistency",
@@ -216,6 +387,11 @@ class _WorkloadRunner:
                     f"{self.committed[key]!r} was acknowledged",
                 )
             return
+        # The converse race: a pending commit may have resolved during the
+        # read's own drive, making its value legitimately visible before
+        # the per-step harvest recorded it.  Fold it in before judging.
+        self._harvest_pending()
+        seen = self.history.get(key, set())
         if value not in seen:
             where = "replica" if replica else "writer"
             self.auditor.flag(
@@ -279,6 +455,10 @@ class _WorkloadRunner:
             self._drive(future)
         except SimulationError:
             # Timed out under chaos; _harvest_pending resolves it later.
+            self._note_uncertain(writes)
+            self.availability_errors += 1
+        except ReproError:
+            # Rejected -- but possibly after the redo reached a quorum.
             self._note_uncertain(writes)
             self.availability_errors += 1
 
@@ -416,6 +596,12 @@ class _WorkloadRunner:
             return
         target = self.rng.choice(sorted(candidates))
         cluster.failures.crash_node(target)
+        if self.cfg.heal:
+            # Manual crashes bump the failure generation, cancelling any
+            # pre-scheduled background restore: the segment is down for
+            # good.  The healer must now detect it, confirm it dead, and
+            # drive Figure 5 on its own -- no operator-driven replacement.
+            return
         try:
             self.session.drive(
                 cluster.replace_segment(0, target), max_ms=20_000.0
@@ -424,3 +610,88 @@ class _WorkloadRunner:
             # Replacement stalled under chaos; the dual-quorum membership
             # is legal indefinitely, so leave it and carry on.
             self.availability_errors += 1
+
+    # ------------------------------------------------------------------
+    # Planted false positive (grey failure that comes back mid-repair)
+    # ------------------------------------------------------------------
+    def _plant_false_positive(self) -> None:
+        """Isolate a healthy segment until the healer starts replacing it,
+        then let it return and require the transition to roll back.
+
+        The incumbent is partitioned (not crashed): its durable state is
+        intact the whole time, exactly the paper's "network problem"
+        false-positive scenario.  The candidate is slowed so hydration
+        cannot win the race against the returning incumbent.
+        """
+        from repro.repair.metrics import ACTIVE
+
+        cluster = self.cluster
+        healer = cluster.healer
+        state = cluster.metadata.membership(0)
+        if not state.is_stable or healer.active_repair(0) is not None:
+            return  # needs a quiet PG; skip rather than entangle repairs
+        up = sorted(
+            m for m in state.members if cluster.network.is_up(m)
+        )
+        if not up:
+            return
+        target = self.rng.choice(up)
+        # Bump the target's failure generation (cancelling pre-scheduled
+        # background events) so nothing crashes it for real: the scenario
+        # needs the segment to *return*.
+        cluster.failures.restore_node(target)
+        others = (
+            set(cluster.nodes)
+            | {cluster.writer.name}
+            | set(cluster.replicas)
+        ) - {target}
+        # Pre-partition the name the replacement candidate will get (the
+        # partition table is keyed by name, so it can be installed before
+        # the node exists).  The candidate then cannot hydrate, which
+        # removes the race between hydration finishing and the incumbent
+        # returning: the rollback path is the only way out.
+        predicted = cluster.segment_name(
+            0,
+            state.slot_of(target),
+            generation=cluster._candidate_counter + 1,
+        )
+        cluster.failures.partition_node(predicted, others)
+        cluster.failures.partition_node(target, others - {predicted})
+        record = None
+        for spin in range(1500):
+            record = next(
+                (
+                    r
+                    for r in healer.records
+                    if r.segment_id == target
+                    and r.outcome == ACTIVE
+                    and r.candidate_id is not None
+                ),
+                None,
+            )
+            if record is not None:
+                break
+            cluster.run_for(5.0)
+            if spin % 60 == 0:
+                self._keepalive(spin)
+        if record is None:
+            cluster.failures.heal_node_partition(target, others - {predicted})
+            cluster.failures.heal_node_partition(predicted, others)
+            self.planted_rollback_ok = False
+            return
+        if record.candidate_id != predicted:
+            # Another repair consumed the predicted name; isolate the
+            # actual candidate instead (best effort against the race).
+            cluster.failures.partition_node(record.candidate_id, others)
+        # The incumbent "returns": heal its partition and let its acks and
+        # gossip revive it in the monitor.
+        cluster.failures.heal_node_partition(target, others - {predicted})
+        for spin in range(1500):
+            if record.outcome != ACTIVE:
+                break
+            cluster.run_for(5.0)
+            if spin % 60 == 0:
+                self._keepalive(spin)
+        for isolated in {predicted, record.candidate_id}:
+            cluster.failures.heal_node_partition(isolated, others)
+        self.planted_rollback_ok = record.outcome == ROLLED_BACK

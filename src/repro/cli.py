@@ -96,6 +96,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sweep", type=int, default=0, metavar="N",
         help="run N consecutive seeds starting at --seed (CI sweeps)",
     )
+    audit.add_argument(
+        "--no-heal", action="store_true",
+        help="disable the self-healing control plane (health monitor + "
+             "repair planner)",
+    )
+    audit.add_argument(
+        "--no-background", action="store_true",
+        help="disable stochastic MTTF/MTTR background node failures",
+    )
+    audit.add_argument(
+        "--mttf", type=float, default=3500.0, metavar="MS",
+        help="background failure MTTF in simulated ms",
+    )
+    audit.add_argument(
+        "--mttr", type=float, default=150.0, metavar="MS",
+        help="background failure MTTR in simulated ms",
+    )
     return parser
 
 
@@ -226,20 +243,40 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
         else [args.seed]
     )
     failed = 0
+    mttrs: list[float] = []
     for seed in seeds:
         report = run_audit(AuditRunConfig(
             seed=seed,
             steps=args.steps,
             replicas=args.replicas,
             tail_size=args.tail,
+            heal=not args.no_heal,
+            background_failures=not args.no_background,
+            background_mttf_ms=args.mttf,
+            background_mttr_ms=args.mttr,
         ))
         print(report.render())
         if not report.ok:
             failed += 1
+        if report.repairs is not None and report.repairs.mean_mttr_ms:
+            mttrs.append(report.repairs.mean_mttr_ms)
         if args.sweep > 0:
             print()
     if args.sweep > 0:
         print(f"sweep: {len(seeds) - failed}/{len(seeds)} seeds clean")
+        if mttrs:
+            from repro.analysis import model_from_observed_mttr
+
+            mean_mttr = sum(mttrs) / len(mttrs)
+            model = model_from_observed_mttr(mean_mttr)
+            print(
+                f"observed repair window: {mean_mttr:.0f}ms mean across "
+                f"{len(mttrs)} seeds with repairs"
+            )
+            print(
+                f"  AZ+1 read-quorum-loss probability per window at that "
+                f"MTTR: {model.p_read_quorum_loss():.3e}"
+            )
     return 1 if failed else 0
 
 

@@ -399,6 +399,15 @@ class PGFrontierHistory:
                 "read views must anchor at observed VDL values"
             ) from None
 
+    def knows(self, read_point: int) -> bool:
+        """True when a frontier snapshot exists for ``read_point``.
+
+        A read view can outlive a :meth:`reset` (replica re-attach after a
+        writer failover); its anchor then belongs to the previous stream
+        generation and has no snapshot here.
+        """
+        return read_point in self._history
+
     def pg_read_point(self, pg_index: int, read_point: int) -> int:
         """``f(pg, read_point)``: the PG-local equivalent of a global point."""
         return self.frontier_at(read_point).get(pg_index, NULL_LSN)
@@ -461,6 +470,11 @@ class MinReadPointTracker:
     def advance_floor(self, lsn: int) -> None:
         """Move the idle fallback forward (typically to the current VDL)."""
         self._floor = max(self._floor, lsn)
+
+    def clear_active(self) -> None:
+        """Crash: every open view died with the instance; the floor (a
+        durable fact) survives."""
+        self._active.clear()
 
     def current(self) -> int:
         """The PGMRPL this instance should advertise.

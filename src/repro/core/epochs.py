@@ -49,6 +49,15 @@ class EpochStamp:
     def bump_geometry(self) -> "EpochStamp":
         return replace(self, geometry=self.geometry + 1)
 
+    def merge(self, other: "EpochStamp") -> "EpochStamp":
+        """Component-wise maximum: the adopt rule every party applies when
+        it learns a newer stamp (components never move backwards)."""
+        return EpochStamp(
+            volume=max(self.volume, other.volume),
+            membership=max(self.membership, other.membership),
+            geometry=max(self.geometry, other.geometry),
+        )
+
     def __repr__(self) -> str:
         return (
             f"EpochStamp(v={self.volume}, m={self.membership}, "
@@ -92,11 +101,7 @@ class EpochRegistry:
                         self.audit_owner, kind, got, have, rejected=True
                     )
                 raise StaleEpochError(kind, presented=got, current=have)
-        self._current = EpochStamp(
-            volume=max(current.volume, presented.volume),
-            membership=max(current.membership, presented.membership),
-            geometry=max(current.geometry, presented.geometry),
-        )
+        self._current = current.merge(presented)
         if self._current != current and self.audit_probe is not None:
             self.audit_probe.on_epoch_change(
                 self.audit_owner, current, self._current
@@ -106,11 +111,7 @@ class EpochRegistry:
         """Directly install newer epochs (used when applying an epoch-bump
         write that itself carried the new stamp)."""
         current = self._current
-        self._current = EpochStamp(
-            volume=max(current.volume, target.volume),
-            membership=max(current.membership, target.membership),
-            geometry=max(current.geometry, target.geometry),
-        )
+        self._current = current.merge(target)
         if self._current != current and self.audit_probe is not None:
             self.audit_probe.on_epoch_change(
                 self.audit_owner, current, self._current

@@ -106,6 +106,13 @@ class MembershipState:
             if len(alts) == 2
         )
 
+    def slot_of(self, segment_id: str) -> int:
+        """The slot holding ``segment_id`` (incumbent or candidate)."""
+        for slot, alternatives in enumerate(self.slots):
+            if segment_id in alternatives:
+                return slot
+        raise MembershipError(f"{segment_id!r} is not a member")
+
     def member_groups(self) -> list[frozenset[str]]:
         """The cartesian expansion of slot alternatives (Figure 5's groups)."""
         return [

@@ -140,6 +140,9 @@ class AuroraCluster:
         self._candidate_counter = 0
         #: Optional :class:`repro.audit.Auditor`; see :meth:`arm_auditor`.
         self.auditor = None
+        #: Optional self-healing control plane; see :meth:`arm_healer`.
+        self.health = None
+        self.healer = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -236,14 +239,14 @@ class AuroraCluster:
                 kind=kind,
             )
         )
-        node.register_peer_directory(self.nodes)
         if self.auditor is not None:
             node.attach_audit_probe(self.auditor)
+        if self.health is not None:
+            node.health_probe = self.health
         return node
 
     def _start_nodes(self) -> None:
         for node in self.nodes.values():
-            node.register_peer_directory(self.nodes)
             node.start()
 
     def _create_writer(self, bootstrap: bool) -> WriterInstance:
@@ -258,6 +261,8 @@ class AuroraCluster:
         writer.start()
         if self.auditor is not None:
             writer.driver.attach_audit_probe(self.auditor)
+        if self.health is not None:
+            writer.driver.health_probe = self.health
         if bootstrap:
             writer.bootstrap()
             # The volume is only usable once the bootstrap MTR is durable
@@ -288,6 +293,33 @@ class AuroraCluster:
         for replica in self.replicas.values():
             replica.audit_probe = auditor
             replica.driver.attach_audit_probe(auditor)
+
+    # ------------------------------------------------------------------
+    # Self-healing (failure detection + autonomous Figure 5 repairs)
+    # ------------------------------------------------------------------
+    def arm_healer(
+        self, health_config=None, repair_config=None
+    ) -> tuple:
+        """Attach the self-healing control plane.
+
+        Wires a :class:`repro.repair.HealthMonitor` as the health probe of
+        the writer's driver and every storage node (components created
+        later -- candidates, promoted writers -- are wired automatically),
+        starts its sweep, and subscribes a
+        :class:`repro.repair.RepairPlanner` that drives Figure 5 for every
+        confirmed-dead segment.  Returns ``(monitor, planner)``.
+        """
+        from repro.repair import HealthMonitor, RepairPlanner
+
+        monitor = HealthMonitor(self.loop, self.metadata, health_config)
+        self.health = monitor
+        if self.writer is not None:
+            self.writer.driver.health_probe = monitor
+        for node in self.nodes.values():
+            node.health_probe = monitor
+        monitor.start()
+        self.healer = RepairPlanner(self, monitor, repair_config)
+        return monitor, self.healer
 
     # ------------------------------------------------------------------
     # Client access
@@ -503,10 +535,13 @@ class AuroraCluster:
             if isinstance(reply, BaselineResponse):
                 candidate.apply_baseline(reply)
         # Wait until gossip closes the remaining gap to the PG's durable
-        # point, checking every few milliseconds.
-        tracker = self.writer.driver.pg_trackers[pg_index]
+        # point, checking every few milliseconds.  The tracker is re-read
+        # each round: a writer crash mid-hydration replaces the driver's
+        # in-memory trackers.
         for _ in range(10_000):
-            if candidate.segment.scl >= tracker.pgcl:
+            tracker = self.writer.driver.pg_trackers.get(pg_index)
+            target = tracker.pgcl if tracker is not None else 0
+            if candidate.segment.scl >= target:
                 return candidate.segment.scl
             yield 5.0
         raise MembershipError(

@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.core.consistency import PGConsistencyTracker, VolumeConsistencyTracker
@@ -82,6 +83,12 @@ class DriverConfig:
     quorum_deadline: float = 200.0
     explore_probability: float = 0.02
     hedge_multiplier: float = 3.0
+    #: Resubmit rejected write batches under the adopted epochs, so a
+    #: single stale-epoch race costs one extra request instead of
+    #: stranding records until gossip refills them (section 4.1).
+    resubmit_on_rejection: bool = True
+    #: Unacknowledged batches retained per segment for resubmission.
+    unacked_retain: int = 64
 
 
 @dataclass
@@ -90,6 +97,7 @@ class DriverStats:
     records_sent: int = 0
     acks_received: int = 0
     rejections_seen: int = 0
+    batches_resubmitted: int = 0
     reads_issued: int = 0
     reads_completed: int = 0
     hedges_issued: int = 0
@@ -159,6 +167,13 @@ class StorageDriver:
         #: it (rather than the trackers alone) because crash handling
         #: replaces the trackers wholesale; see :meth:`attach_audit_probe`.
         self.audit_probe = None
+        #: Optional :class:`repro.repair.HealthMonitor` observer: acks,
+        #: rejections, read replies, and hedge escalations feed its passive
+        #: per-segment liveness signals (``None`` = one attribute load).
+        self.health_probe = None
+        #: Per-segment ring of recently sent, not-yet-acknowledged batches
+        #: (fuel for resubmission after a stale-epoch rejection).
+        self._unacked: dict[str, deque[WriteBatch]] = {}
         self.latency_tracker = LatencyTracker()
         self.router = ReadRouter(
             self.latency_tracker,
@@ -219,11 +234,7 @@ class StorageDriver:
 
     def adopt_epochs(self, stamp: EpochStamp) -> None:
         old = self.epochs
-        self.epochs = EpochStamp(
-            volume=max(old.volume, stamp.volume),
-            membership=max(old.membership, stamp.membership),
-            geometry=max(old.geometry, stamp.geometry),
-        )
+        self.epochs = old.merge(stamp)
         if self.epochs != old and self.audit_probe is not None:
             self.audit_probe.on_epoch_change(
                 self.instance_id, old, self.epochs
@@ -304,6 +315,12 @@ class StorageDriver:
             self._send(member, batch)
             self.stats.batches_sent += 1
             self.stats.records_sent += len(records)
+            if self.config.resubmit_on_rejection:
+                queue = self._unacked.get(member)
+                if queue is None:
+                    queue = deque(maxlen=self.config.unacked_retain)
+                    self._unacked[member] = queue
+                queue.append(batch)
 
     def flush_all(self) -> None:
         """Force every buffer out (used at commit in TIMEOUT ablations)."""
@@ -315,6 +332,14 @@ class StorageDriver:
     # ------------------------------------------------------------------
     def on_write_ack(self, ack: WriteAck) -> None:
         self.stats.acks_received += 1
+        if self.health_probe is not None:
+            self.health_probe.note_ack(ack.segment_id)
+        queue = self._unacked.get(ack.segment_id)
+        if queue:
+            # Everything at or below the acked SCL is durable on that
+            # segment; retained batches covered by it are dead weight.
+            while queue and queue[0].records[-1].lsn <= ack.scl:
+                queue.popleft()
         tracker = self.pg_trackers.get(ack.pg_index)
         if tracker is None:
             return
@@ -334,7 +359,30 @@ class StorageDriver:
 
     def on_rejection(self, rejection: RequestRejected) -> None:
         self.stats.rejections_seen += 1
+        if self.health_probe is not None:
+            # A rejection is negative protocol evidence but *positive*
+            # liveness evidence: the segment is up and talking.
+            self.health_probe.note_rejection(rejection.segment_id)
+        before = self.epochs
         self.adopt_epochs(rejection.current_epochs)
+        if not self.config.resubmit_on_rejection or self.epochs == before:
+            # Nothing newer was adopted (e.g. a read-window rejection):
+            # resending the same stamp would only bounce again.
+            return
+        queue = self._unacked.get(rejection.segment_id)
+        if not queue:
+            return
+        # "Updates of stale state ... requiring just one additional request
+        # past the one rejected": re-stamp the retained batches with the
+        # adopted epochs and resend.  Segment receive is idempotent, so a
+        # batch that actually landed before the epoch bump is harmless.
+        pending = list(queue)
+        queue.clear()
+        for batch in pending:
+            restamped = replace(batch, epochs=self.epochs)
+            self._send(rejection.segment_id, restamped)
+            queue.append(restamped)
+            self.stats.batches_resubmitted += 1
 
     def seed_member_scl(self, pg_index: int, segment_id: str, scl: int) -> None:
         """Install a known SCL after recovery (from scan/truncate acks)."""
@@ -449,6 +497,10 @@ class StorageDriver:
         self._outstanding_reads = [
             r for r in self._outstanding_reads if not r.settled
         ]
+        if self.health_probe is not None and not isinstance(
+            response, RequestRejected
+        ):
+            self.health_probe.note_alive(outstanding.segment)
         if isinstance(response, RequestRejected):
             self.on_rejection(response)
             if not outstanding.future.done:
@@ -485,6 +537,8 @@ class StorageDriver:
                 continue
             # Mark so we hedge each slow read at most once.
             outstanding.is_hedge = True
+            if self.health_probe is not None:
+                self.health_probe.note_hedge(outstanding.segment)
             self._dispatch_read(
                 outstanding.block,
                 outstanding.pg_index,
@@ -612,6 +666,7 @@ class StorageDriver:
         """Crash: buffers, trackers, and outstanding I/O are all ephemeral."""
         self._buffers.clear()
         self._outstanding_reads.clear()
+        self._unacked.clear()
         self.pg_trackers.clear()
         self.volume = VolumeConsistencyTracker()
         self.commit_queue = CommitQueue()

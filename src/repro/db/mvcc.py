@@ -191,6 +191,9 @@ class ReadViewManager:
         self._active[view.view_id] = view
         return view
 
+    def is_open(self, view: ReadView) -> bool:
+        return view.view_id in self._active
+
     def close(self, view: ReadView) -> None:
         if view.view_id not in self._active:
             raise TransactionError(f"view {view.view_id} is not open")

@@ -293,6 +293,11 @@ class ReplicaInstance(Actor, BlockIO):
         return view
 
     def close_view(self, view: ReadView) -> None:
+        if not self.views.is_open(view):
+            # The view was already discarded wholesale (a crash cleared
+            # the manager while this read was in flight); there is nothing
+            # left to release.
+            return
         self.views.close(view)
         self.min_read.release(view.read_point)
 
@@ -338,7 +343,12 @@ class ReplicaInstance(Actor, BlockIO):
 
     def _advertise_gc_floor(self) -> None:
         pgmrpl = self.min_read.current()
-        if pgmrpl == NULL_LSN:
+        if pgmrpl == NULL_LSN or not self.frontiers.knows(pgmrpl):
+            # A view opened before a writer failover can still be draining;
+            # its anchor belongs to the previous stream generation, whose
+            # history :meth:`attach` reset.  Holding the advertisement back
+            # is safe (GC merely waits); advertising a floor from the wrong
+            # generation would not be.
             return
         frontier = self.frontiers.frontier_at(pgmrpl)
         for pg_index in self.metadata.pg_indexes():
@@ -365,4 +375,5 @@ class ReplicaInstance(Actor, BlockIO):
         self.online = False
         self.cache.drop_all()
         self.views.clear()
+        self.min_read.clear_active()
         self._pending_chunks.clear()

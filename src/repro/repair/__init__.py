@@ -1,0 +1,40 @@
+"""Self-healing control plane: failure detection and repair orchestration.
+
+The paper treats membership changes as routine: "the most common reason
+for a quorum membership change is a suspected failed segment" and the
+Figure 5 machinery makes the change "reversible until the point it is
+finalized".  This package closes the loop the paper leaves to the
+operator: a :class:`HealthMonitor` turns passive signals into
+suspect/confirmed-dead verdicts, and a :class:`RepairPlanner` drives the
+Figure 5 flow autonomously -- including the rollback path when a suspect
+turns out to have been merely slow.
+"""
+
+from repro.repair.health import HealthConfig, HealthMonitor, SegmentHealth
+from repro.repair.metrics import (
+    ABORTED,
+    ACTIVE,
+    REPLACED,
+    ROLLED_BACK,
+    STALLED,
+    RepairRecord,
+    RepairSummary,
+    summarize_repairs,
+)
+from repro.repair.planner import RepairConfig, RepairPlanner
+
+__all__ = [
+    "ABORTED",
+    "ACTIVE",
+    "REPLACED",
+    "ROLLED_BACK",
+    "STALLED",
+    "HealthConfig",
+    "HealthMonitor",
+    "RepairConfig",
+    "RepairPlanner",
+    "RepairRecord",
+    "RepairSummary",
+    "SegmentHealth",
+    "summarize_repairs",
+]

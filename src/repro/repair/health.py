@@ -1,0 +1,285 @@
+"""Passive per-segment failure detection for the repair control plane.
+
+The paper never polls storage nodes with a dedicated heartbeat: "quorums
+help to mitigate the performance variability of individual disks and
+nodes", and membership changes begin when a segment *"is suspected to have
+failed"* from the signals the system already produces.  The monitor infers
+health the same way, from three passive streams:
+
+- **acknowledgement staleness** -- the writer's driver reports every
+  :class:`~repro.storage.messages.WriteAck` (and every read reply and
+  rejection: a rejection is stale-epoch evidence, but it proves the
+  segment alive);
+- **gossip evidence** -- peer storage nodes report both replies (alive)
+  and unanswered gossip RPCs (timeouts);
+- **hedged-read escalations** -- a segment the read router repeatedly
+  hedges away from is grey: alive but slow.
+
+Silence is judged *relative to the freshest liveness signal in the same
+protection group*, not against wall-clock: when the writer crashes (or the
+whole fleet partitions), every segment goes quiet together, the PG's
+freshness frontier stops advancing, and nobody is suspected -- mass
+silence is indistinguishable from observer failure and must not trigger
+churn.  A segment is only suspected when it is silent *while its peers are
+heard from*.
+
+The state machine per segment is ``HEALTHY -> SUSPECT -> DEAD`` with
+hysteresis in both directions:
+
+- HEALTHY -> SUSPECT on relative silence beyond ``suspect_silence_ms``,
+  or on a burst of hedges/gossip timeouts (grey failure);
+- SUSPECT -> HEALTHY the moment any liveness signal arrives (and by decay
+  when a hedge burst subsides while acks keep flowing);
+- SUSPECT -> DEAD only after ``confirm_after_ms`` of *continued* ack
+  silence -- a grey segment that keeps acknowledging writes can live in
+  SUSPECT forever without ever being confirmed dead;
+- DEAD -> HEALTHY when the segment is heard from again (the false-positive
+  path Figure 5 is designed to survive).  Each false positive doubles that
+  segment's future confirmation timeout (capped), so a flapping segment
+  stops causing repair churn -- the configurable backoff the issue asks
+  for.
+
+The monitor is part of the repair control plane, like the storage metadata
+service: deliberately not on any data path, and correctness never depends
+on it (a wrong verdict only triggers a reversible membership change).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import EventLoop
+    from repro.storage.metadata import StorageMetadataService
+
+
+class SegmentHealth(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class HealthConfig:
+    """Detection knobs (times in simulated ms).
+
+    Defaults are tuned against the chaos sweep: transient faults (the
+    chaos generator bounds event durations at ~350 ms) mostly come back
+    inside ``suspect_silence_ms + confirm_after_ms``, so only genuinely
+    extended outages graduate to DEAD and trigger a repair.
+    """
+
+    #: Monitor sweep interval.  Fixed (never jittered): the monitor draws
+    #: nothing from the shared simulation RNG, so arming it does not
+    #: perturb seeded schedules.
+    tick_interval_ms: float = 25.0
+    #: Relative silence before a segment becomes SUSPECT.
+    suspect_silence_ms: float = 150.0
+    #: Continued silence in SUSPECT before confirming DEAD.
+    confirm_after_ms: float = 450.0
+    #: Hedge/timeout burst window and thresholds for grey suspicion.
+    burst_window_ms: float = 250.0
+    hedge_suspect_count: int = 4
+    timeout_suspect_count: int = 3
+    #: Per-segment confirmation backoff after a false positive.
+    false_positive_backoff: float = 2.0
+    max_confirm_ms: float = 8_000.0
+
+
+@dataclass
+class _SegmentState:
+    state: SegmentHealth = SegmentHealth.HEALTHY
+    suspect_since: float = 0.0
+    #: Current confirmation timeout (grows on false positives).
+    confirm_ms: float = 0.0
+    hedges: deque = field(default_factory=deque)
+    timeouts: deque = field(default_factory=deque)
+
+
+class HealthMonitor:
+    """Aggregates passive liveness signals into per-segment verdicts.
+
+    Signal producers hold this as a ``health_probe`` attribute (same
+    pattern as the auditor's ``audit_probe``); consumers subscribe to
+    :attr:`on_confirmed_dead` / :attr:`on_recovered`.
+    """
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        metadata: "StorageMetadataService",
+        config: HealthConfig | None = None,
+    ) -> None:
+        self.loop = loop
+        self.metadata = metadata
+        self.config = config if config is not None else HealthConfig()
+        #: Fired with ``(segment_id, last_alive_at, confirmed_at)`` when a
+        #: suspect is confirmed dead.
+        self.on_confirmed_dead: list[Callable[[str, float, float], None]] = []
+        #: Fired with ``(segment_id,)`` when a DEAD segment is heard from
+        #: again (false positive; the planner rolls back).
+        self.on_recovered: list[Callable[[str], None]] = []
+        self.events: list[tuple[float, str, str]] = []
+        self.counters = {
+            "suspected": 0,
+            "confirmed_dead": 0,
+            "false_positives": 0,
+            "recovered_suspects": 0,
+        }
+        self._last_alive: dict[str, float] = {}
+        self._states: dict[str, _SegmentState] = {}
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.loop.schedule(self.config.tick_interval_ms, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def state_of(self, segment_id: str) -> SegmentHealth:
+        entry = self._states.get(segment_id)
+        return entry.state if entry is not None else SegmentHealth.HEALTHY
+
+    def last_alive(self, segment_id: str) -> float | None:
+        return self._last_alive.get(segment_id)
+
+    # ------------------------------------------------------------------
+    # Signal intake (producers: driver acks/reads, node gossip)
+    # ------------------------------------------------------------------
+    def note_ack(self, segment_id: str) -> None:
+        self._alive(segment_id)
+
+    def note_alive(self, segment_id: str) -> None:
+        self._alive(segment_id)
+
+    def note_rejection(self, segment_id: str) -> None:
+        # Stale-epoch evidence, but the segment answered: it is alive.
+        self._alive(segment_id)
+
+    def note_peer_alive(self, segment_id: str) -> None:
+        self._alive(segment_id)
+
+    def note_hedge(self, segment_id: str) -> None:
+        entry = self._states.get(segment_id)
+        if entry is not None:
+            entry.hedges.append(self.loop.now)
+
+    def note_peer_timeout(self, segment_id: str) -> None:
+        entry = self._states.get(segment_id)
+        if entry is not None:
+            entry.timeouts.append(self.loop.now)
+
+    def _alive(self, segment_id: str) -> None:
+        now = self.loop.now
+        self._last_alive[segment_id] = now
+        entry = self._states.get(segment_id)
+        if entry is None:
+            return
+        if entry.state is SegmentHealth.SUSPECT:
+            entry.state = SegmentHealth.HEALTHY
+            self.counters["recovered_suspects"] += 1
+            self._log("suspect-recovered", segment_id)
+        elif entry.state is SegmentHealth.DEAD:
+            entry.state = SegmentHealth.HEALTHY
+            self.counters["false_positives"] += 1
+            # Cried wolf: require longer confirmation next time.
+            entry.confirm_ms = min(
+                entry.confirm_ms * self.config.false_positive_backoff,
+                self.config.max_confirm_ms,
+            )
+            self._log("false-positive-return", segment_id)
+            for callback in list(self.on_recovered):
+                callback(segment_id)
+
+    # ------------------------------------------------------------------
+    # The sweep
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.loop.now
+        cfg = self.config
+        for pg_index in self.metadata.pg_indexes():
+            members = self.metadata.membership(pg_index).members
+            self._track_membership(pg_index, members, now)
+            freshest = max(self._last_alive[m] for m in members)
+            for segment_id in members:
+                self._judge(segment_id, freshest, now)
+        self.loop.schedule(cfg.tick_interval_ms, self._tick)
+
+    def _track_membership(
+        self, pg_index: int, members: frozenset, now: float
+    ) -> None:
+        for segment_id in members:
+            if segment_id not in self._states:
+                # Grace period: a newly tracked member (bootstrap, or a
+                # candidate mid-hydration) starts provisionally alive.
+                self._last_alive.setdefault(segment_id, now)
+                entry = _SegmentState(confirm_ms=self.config.confirm_after_ms)
+                self._states[segment_id] = entry
+        for segment_id in [
+            s
+            for s, _e in self._states.items()
+            if s not in members
+            and self.metadata.placement(s).pg_index == pg_index
+        ]:
+            # Replaced (or rolled-back candidate): stop judging it.
+            del self._states[segment_id]
+
+    def _prune(self, times: deque, now: float) -> int:
+        horizon = now - self.config.burst_window_ms
+        while times and times[0] < horizon:
+            times.popleft()
+        return len(times)
+
+    def _judge(self, segment_id: str, freshest: float, now: float) -> None:
+        cfg = self.config
+        entry = self._states[segment_id]
+        silence = freshest - self._last_alive[segment_id]
+        hedges = self._prune(entry.hedges, now)
+        timeouts = self._prune(entry.timeouts, now)
+        if entry.state is SegmentHealth.HEALTHY:
+            if (
+                silence > cfg.suspect_silence_ms
+                or hedges >= cfg.hedge_suspect_count
+                or timeouts >= cfg.timeout_suspect_count
+            ):
+                entry.state = SegmentHealth.SUSPECT
+                entry.suspect_since = now
+                self.counters["suspected"] += 1
+                self._log("suspected", segment_id)
+        elif entry.state is SegmentHealth.SUSPECT:
+            if (
+                silence <= cfg.suspect_silence_ms
+                and hedges < cfg.hedge_suspect_count
+                and timeouts < cfg.timeout_suspect_count
+            ):
+                # Grey burst subsided while acks kept flowing.
+                entry.state = SegmentHealth.HEALTHY
+                self.counters["recovered_suspects"] += 1
+                self._log("suspect-decayed", segment_id)
+            elif (
+                silence > cfg.suspect_silence_ms
+                and now - entry.suspect_since >= entry.confirm_ms
+            ):
+                # Confirmation always requires *ack* silence: a slow but
+                # acknowledging segment never graduates past SUSPECT.
+                entry.state = SegmentHealth.DEAD
+                self.counters["confirmed_dead"] += 1
+                self._log("confirmed-dead", segment_id)
+                failed_at = self._last_alive[segment_id]
+                for callback in list(self.on_confirmed_dead):
+                    callback(segment_id, failed_at, now)
+        # DEAD: stays dead until a liveness signal revives it (_alive).
+
+    def _log(self, event: str, segment_id: str) -> None:
+        self.events.append((self.loop.now, event, segment_id))

@@ -1,0 +1,125 @@
+"""Repair telemetry: per-repair records and MTTR aggregation.
+
+The paper's AZ+1 durability argument hinges on a *window*: "Assuming a 10
+second window to detect and repair a segment failure, it would require two
+independent segment failures as well as an AZ failure in the same 10 second
+period to lose the ability to repair a quorum."  The planner stamps every
+phase of every repair so runs can report the windows they actually
+achieved -- detection latency (failure -> confirmed dead) and MTTR
+(failure -> quorum fully re-replicated) -- and feed them back into
+:class:`repro.analysis.durability.DurabilityModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Repair outcomes (``RepairRecord.outcome``).
+ACTIVE = "active"  #: orchestration still in flight
+REPLACED = "replaced"  #: Figure 5 ran to finalize; candidate is the member
+ROLLED_BACK = "rolled_back"  #: incumbent returned first; transition reversed
+ABORTED = "aborted"  #: preconditions vanished before begin (no transition)
+STALLED = "stalled"  #: budget exhausted mid-transition (dual quorum stays)
+
+
+@dataclass
+class RepairRecord:
+    """One confirmed-dead segment's journey through the repair pipeline.
+
+    All timestamps are simulated milliseconds.  ``failed_at`` is the last
+    moment the segment was provably alive (the monitor's last liveness
+    signal), so ``mttr_ms`` measures the full exposure window the
+    durability model cares about, not just orchestration time.
+    """
+
+    pg_index: int
+    segment_id: str
+    failed_at: float
+    confirmed_at: float
+    candidate_id: str | None = None
+    began_at: float | None = None
+    finished_at: float | None = None
+    outcome: str = ACTIVE
+    hydration_attempts: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def detection_ms(self) -> float:
+        """Failure to confirmed-dead (the monitor's reaction time)."""
+        return self.confirmed_at - self.failed_at
+
+    @property
+    def mttr_ms(self) -> float | None:
+        """Failure to finalized replacement (None unless ``replaced``)."""
+        if self.outcome != REPLACED or self.finished_at is None:
+            return None
+        return self.finished_at - self.failed_at
+
+    def __str__(self) -> str:
+        window = (
+            f" mttr={self.mttr_ms:.0f}ms" if self.mttr_ms is not None else ""
+        )
+        return (
+            f"repair pg{self.pg_index} {self.segment_id}"
+            f" -> {self.candidate_id or '?'} [{self.outcome}]"
+            f" detect={self.detection_ms:.0f}ms{window}"
+        )
+
+
+@dataclass
+class RepairSummary:
+    """Aggregated repair statistics for one run (or one sweep seed)."""
+
+    confirmed: int = 0
+    replaced: int = 0
+    rolled_back: int = 0
+    aborted: int = 0
+    stalled: int = 0
+    active: int = 0
+    mean_detection_ms: float | None = None
+    mean_mttr_ms: float | None = None
+    max_mttr_ms: float | None = None
+
+    def render_lines(self) -> list[str]:
+        lines = [
+            f"  repairs confirmed:   {self.confirmed} "
+            f"(replaced={self.replaced} rolled_back={self.rolled_back} "
+            f"aborted={self.aborted} stalled={self.stalled} "
+            f"active={self.active})",
+        ]
+        if self.mean_detection_ms is not None:
+            lines.append(
+                f"  detection latency:   {self.mean_detection_ms:.0f}ms mean"
+            )
+        if self.mean_mttr_ms is not None:
+            lines.append(
+                f"  MTTR:                {self.mean_mttr_ms:.0f}ms mean / "
+                f"{self.max_mttr_ms:.0f}ms max"
+            )
+        return lines
+
+
+def summarize_repairs(records: list[RepairRecord]) -> RepairSummary:
+    """Roll a run's :class:`RepairRecord` list up into a summary."""
+    summary = RepairSummary(confirmed=len(records))
+    for record in records:
+        if record.outcome == REPLACED:
+            summary.replaced += 1
+        elif record.outcome == ROLLED_BACK:
+            summary.rolled_back += 1
+        elif record.outcome == ABORTED:
+            summary.aborted += 1
+        elif record.outcome == STALLED:
+            summary.stalled += 1
+        else:
+            summary.active += 1
+    if records:
+        summary.mean_detection_ms = sum(
+            r.detection_ms for r in records
+        ) / len(records)
+    mttrs = [r.mttr_ms for r in records if r.mttr_ms is not None]
+    if mttrs:
+        summary.mean_mttr_ms = sum(mttrs) / len(mttrs)
+        summary.max_mttr_ms = max(mttrs)
+    return summary

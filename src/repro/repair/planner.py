@@ -1,0 +1,378 @@
+"""Quorum-set repair orchestration: Figure 5, driven end to end.
+
+When the :class:`~repro.repair.health.HealthMonitor` confirms a segment
+dead, the planner runs the paper's membership-change protocol over the
+simulated message layer:
+
+1. **begin** -- add a candidate next to the suspect (the cluster picks a
+   node in the incumbent's AZ, preserving the two-per-AZ spread the AZ+1
+   durability argument depends on); membership epoch bumps, the dual
+   quorum set is installed, I/Os continue;
+2. **hydrate** -- baseline copy from a healthy full peer (RPC with
+   timeout + exponential backoff; sources are retried in deterministic
+   order), then gossip closes the gap to the PG's durable watermark;
+3. **finalize** -- once the candidate's SCL reaches the watermark floor,
+   commit the replacement (epoch bumps again) -- or
+4. **rollback** -- if the monitor hears from the incumbent first, reverse
+   the transition (epoch bumps; the exact prior membership is restored)
+   and decommission the candidate.
+
+Design points that keep this safe under further chaos:
+
+- **Per-PG serialization.**  One repair in flight per protection group;
+  further confirmed deaths queue behind it.  A second failure (or an AZ
+  outage) mid-transition therefore never drives the membership machinery
+  past the dual-quorum shapes :func:`verify_transition_safety` proves --
+  and the dual quorum itself still tolerates it, exactly the property
+  section 4 claims for Figure 5's intermediate state.
+- **Monotonic watermark floor.**  Finalize requires the candidate's SCL
+  to reach the highest durable point (PGCL) the planner has *ever*
+  observed for the PG, not the current tracker value: a writer crash
+  resets in-memory trackers to zero, and finalizing against that would
+  drop a member that still backs acked writes.
+- **Bounded everything.**  Baseline RPCs poll in small slices rather than
+  blocking on the future (a lost message would otherwise hang the repair
+  forever); the whole repair has a budget, after which it parks as
+  ``stalled`` with the dual quorum still installed -- safe, merely
+  unfinished, and retried when the monitor confirms the segment again.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import MembershipError
+from repro.repair.metrics import (
+    ABORTED,
+    REPLACED,
+    ROLLED_BACK,
+    STALLED,
+    RepairRecord,
+    RepairSummary,
+    summarize_repairs,
+)
+from repro.sim.process import Process
+from repro.storage.messages import BaselineRequest, BaselineResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.cluster import AuroraCluster
+    from repro.repair.health import HealthMonitor
+
+
+@dataclass
+class RepairConfig:
+    """Orchestration knobs (times in simulated ms)."""
+
+    #: Hydration/rollback poll granularity.
+    poll_ms: float = 5.0
+    #: Per-attempt baseline RPC timeout, and retry backoff bounds.
+    baseline_timeout_ms: float = 60.0
+    backoff_base_ms: float = 20.0
+    backoff_cap_ms: float = 160.0
+    #: Total budget per repair before parking it as ``stalled``.
+    max_repair_ms: float = 20_000.0
+
+
+class RepairPlanner:
+    """Subscribes to the health monitor and drives Figure 5 repairs."""
+
+    def __init__(
+        self,
+        cluster: "AuroraCluster",
+        monitor: "HealthMonitor",
+        config: RepairConfig | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.monitor = monitor
+        self.config = config if config is not None else RepairConfig()
+        #: Every repair ever confirmed, in confirmation order.
+        self.records: list[RepairRecord] = []
+        self.counters = {
+            "started": 0,
+            "replaced": 0,
+            "rolled_back": 0,
+            "aborted": 0,
+            "stalled": 0,
+        }
+        self._active: dict[int, RepairRecord] = {}
+        self._queued: dict[int, deque[RepairRecord]] = {}
+        #: DEAD segments the monitor heard from again (rollback triggers).
+        self._returned: set[str] = set()
+        #: Highest durable PGCL ever observed per PG (survives writer
+        #: crashes, which reset the live trackers).
+        self._floor: dict[int, int] = {}
+        monitor.on_confirmed_dead.append(self._on_confirmed_dead)
+        monitor.on_recovered.append(self._on_recovered)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        return not self._active and not any(self._queued.values())
+
+    def active_repair(self, pg_index: int) -> RepairRecord | None:
+        return self._active.get(pg_index)
+
+    def summary(self) -> RepairSummary:
+        return summarize_repairs(self.records)
+
+    # ------------------------------------------------------------------
+    # Monitor callbacks
+    # ------------------------------------------------------------------
+    def _on_confirmed_dead(
+        self, segment_id: str, failed_at: float, confirmed_at: float
+    ) -> None:
+        try:
+            pg_index = self.cluster.metadata.pg_of(segment_id)
+        except Exception:
+            return
+        record = RepairRecord(
+            pg_index=pg_index,
+            segment_id=segment_id,
+            failed_at=failed_at,
+            confirmed_at=confirmed_at,
+        )
+        self.records.append(record)
+        if pg_index in self._active:
+            # One transition at a time per PG: the dual quorum already in
+            # flight tolerates this second failure; repair it next.
+            record.notes.append("queued behind active repair")
+            self._queued.setdefault(pg_index, deque()).append(record)
+            return
+        self._start(record)
+
+    def _on_recovered(self, segment_id: str) -> None:
+        self._returned.add(segment_id)
+
+    # ------------------------------------------------------------------
+    # Orchestration
+    # ------------------------------------------------------------------
+    def _start(self, record: RepairRecord) -> None:
+        self._active[record.pg_index] = record
+        self._returned.discard(record.segment_id)
+        self.counters["started"] += 1
+        Process(self.cluster.loop, self._repair(record))
+
+    def _finish(self, record: RepairRecord, outcome: str) -> None:
+        record.outcome = outcome
+        record.finished_at = self.cluster.loop.now
+        self.counters[outcome] = self.counters.get(outcome, 0) + 1
+        self._returned.discard(record.segment_id)
+        self._active.pop(record.pg_index, None)
+        if outcome in (STALLED, ABORTED):
+            # The monitor only fires on the SUSPECT -> DEAD edge, so a
+            # segment whose repair ran out of budget (or could not begin)
+            # would otherwise stay dead forever.  Requeue it while it is
+            # still a confirmed-dead member; a retry resumes any
+            # in-flight dual membership.
+            from repro.repair.health import SegmentHealth
+
+            if self.monitor.state_of(
+                record.segment_id
+            ) is SegmentHealth.DEAD and self.cluster.metadata.is_current_member(
+                record.segment_id
+            ):
+                retry = RepairRecord(
+                    pg_index=record.pg_index,
+                    segment_id=record.segment_id,
+                    failed_at=record.failed_at,
+                    confirmed_at=record.confirmed_at,
+                )
+                retry.notes.append("retry after stalled attempt")
+                self.records.append(retry)
+                self._queued.setdefault(record.pg_index, deque()).append(
+                    retry
+                )
+        queue = self._queued.get(record.pg_index)
+        if queue and record.pg_index not in self._active:
+            self._start(queue.popleft())
+
+    def _update_floor(self, pg_index: int) -> int:
+        writer = self.cluster.writer
+        if writer is not None:
+            tracker = writer.driver.pg_trackers.get(pg_index)
+            if tracker is not None:
+                current = self._floor.get(pg_index, 0)
+                self._floor[pg_index] = max(current, tracker.pgcl)
+        return self._floor.get(pg_index, 0)
+
+    def _repair(self, record: RepairRecord):
+        cluster = self.cluster
+        cfg = self.config
+        pg_index = record.pg_index
+        segment_id = record.segment_id
+        from repro.repair.health import SegmentHealth
+
+        # Preconditions may have vanished between confirmation and start
+        # (a queued record's subject can recover, or another flow may
+        # already have replaced it).
+        if not cluster.metadata.is_current_member(segment_id):
+            record.notes.append("no longer a member at start")
+            self._finish(record, ABORTED)
+            return
+        if self.monitor.state_of(segment_id) is not SegmentHealth.DEAD:
+            record.notes.append("recovered before repair began")
+            self._finish(record, ABORTED)
+            return
+
+        deadline = cluster.loop.now + cfg.max_repair_ms
+        before = cluster.metadata.membership(pg_index)
+
+        # -- Step 1: begin (epoch bump, dual quorum installed) ----------
+        slot = before.slot_of(segment_id)
+        alternatives = before.slots[slot]
+        if len(alternatives) == 2 and alternatives[0] == segment_id:
+            # A dual membership for this segment is already installed
+            # (a prior attempt stalled, or an operator began the change):
+            # adopt the in-flight candidate instead of beginning again.
+            candidate_id = alternatives[1]
+            record.notes.append(f"resumed in-flight candidate {candidate_id}")
+            after = before
+        else:
+            while True:
+                try:
+                    candidate_id = cluster.begin_segment_replacement(
+                        pg_index, segment_id
+                    )
+                    break
+                except MembershipError as exc:
+                    # Another transition (e.g. an operator-driven
+                    # migration) holds the slot machinery; back off and
+                    # retry.
+                    record.notes.append(f"begin deferred: {exc}")
+                    if cluster.loop.now >= deadline:
+                        self._finish(record, ABORTED)
+                        return
+                    yield cfg.backoff_cap_ms
+            after = cluster.metadata.membership(pg_index)
+            self._notify_transition(pg_index, "begin", before, after)
+        record.candidate_id = candidate_id
+        record.began_at = cluster.loop.now
+
+        # -- Step 2: hydrate (baseline + gossip catch-up) ---------------
+        backoff = cfg.backoff_base_ms
+        baseline_done = False
+        while True:
+            if segment_id in self._returned:
+                yield from self._rollback(record, after)
+                return
+            if cluster.loop.now >= deadline:
+                record.notes.append("budget exhausted mid-hydration")
+                self._finish(record, STALLED)
+                return
+            floor = self._update_floor(pg_index)
+            candidate = cluster.nodes[candidate_id]
+            if baseline_done and candidate.segment.scl >= floor:
+                break
+            if not baseline_done:
+                record.hydration_attempts += 1
+                reply = yield from self._baseline_rpc(
+                    pg_index, candidate_id, record
+                )
+                if isinstance(reply, BaselineResponse):
+                    candidate.apply_baseline(reply)
+                    baseline_done = True
+                else:
+                    yield backoff
+                    backoff = min(backoff * 2, cfg.backoff_cap_ms)
+            else:
+                yield cfg.poll_ms
+
+        # -- Step 3: finalize (epoch bump, suspect dropped) -------------
+        if segment_id in self._returned:
+            yield from self._rollback(record, after)
+            return
+        pre_final = cluster.metadata.membership(pg_index)
+        cluster.finalize_segment_replacement(pg_index, segment_id)
+        final = cluster.metadata.membership(pg_index)
+        self._notify_transition(pg_index, "finalize", pre_final, final)
+        self._notify_finalize(
+            pg_index, candidate_id, cluster.nodes[candidate_id].segment.scl
+        )
+        self._finish(record, REPLACED)
+
+    def _rollback(self, record: RepairRecord, transitional) -> object:
+        """The incumbent returned first: reverse the transition."""
+        cluster = self.cluster
+        pg_index = record.pg_index
+        current = cluster.metadata.membership(pg_index)
+        cluster.rollback_segment_replacement(pg_index, record.segment_id)
+        restored = cluster.metadata.membership(pg_index)
+        self._notify_transition(pg_index, "rollback", current, restored)
+        auditor = cluster.auditor
+        if auditor is not None and hasattr(auditor, "on_repair_rollback"):
+            auditor.on_repair_rollback(pg_index, transitional, restored)
+        # Decommission the half-hydrated candidate; its durable state was
+        # never the only copy of anything.
+        if record.candidate_id is not None:
+            cluster.network.fail_node(record.candidate_id)
+        record.notes.append("incumbent returned; transition reversed")
+        self._finish(record, ROLLED_BACK)
+        return
+        yield  # pragma: no cover - makes this a generator for yield-from
+
+    def _baseline_rpc(self, pg_index: int, candidate_id: str, record):
+        """One baseline attempt against the first healthy full source.
+
+        Polls the future in small slices: a lost request or reply must
+        not hang the repair (lost-message futures never resolve).
+        """
+        cluster = self.cluster
+        cfg = self.config
+        sources = [
+            p.segment_id
+            for p in cluster.metadata.full_segments_of_pg(pg_index)
+            if p.segment_id != candidate_id
+            and p.segment_id != record.segment_id
+            and cluster.network.is_up(p.segment_id)
+        ]
+        if not sources:
+            record.notes.append("no live baseline source")
+            return None
+        source = sorted(sources)[0]
+        candidate = cluster.nodes[candidate_id]
+        future = cluster.network.rpc(
+            candidate_id,
+            source,
+            BaselineRequest(
+                from_segment=candidate_id,
+                pg_index=pg_index,
+                epochs=candidate.epochs.current,
+            ),
+        )
+        waited = 0.0
+        while not future.done and waited < cfg.baseline_timeout_ms:
+            yield cfg.poll_ms
+            waited += cfg.poll_ms
+        if not future.done:
+            record.notes.append(f"baseline from {source} timed out")
+            return None
+        return future.result()
+
+    # ------------------------------------------------------------------
+    # Auditor notifications
+    # ------------------------------------------------------------------
+    def _live_members(self, members) -> frozenset:
+        network = self.cluster.network
+        return frozenset(m for m in members if network.is_up(m))
+
+    def _notify_transition(self, pg_index, stage, before, after) -> None:
+        auditor = self.cluster.auditor
+        if auditor is None or not hasattr(auditor, "on_repair_transition"):
+            return
+        auditor.on_repair_transition(
+            pg_index,
+            stage,
+            before,
+            after,
+            self._live_members(before.members | after.members),
+        )
+
+    def _notify_finalize(self, pg_index, candidate_id, scl) -> None:
+        auditor = self.cluster.auditor
+        if auditor is None or not hasattr(auditor, "on_repair_finalize"):
+            return
+        auditor.on_repair_finalize(pg_index, candidate_id, scl)

@@ -133,7 +133,11 @@ class Network:
         self.stats = NetworkStats()
         self._nodes: dict[str, _NodeState] = {}
         self._link_overrides: dict[tuple[str, str], LatencyModel] = {}
-        self._partitions: set[frozenset[str]] = set()
+        # Partitioned name-pairs, refcounted: independent injectors (a
+        # chaos schedule and a planted scenario, say) may partition
+        # overlapping pairs, and one healing must not un-partition the
+        # other's still-active isolation.
+        self._partitions: dict[frozenset[str], int] = {}
         self._next_request_id = 0
         self._pending_rpcs: dict[int, Future] = {}
         self._taps: list[Callable[[Message], None]] = []
@@ -199,12 +203,18 @@ class Network:
         """Drop all traffic between ``group_a`` and ``group_b``."""
         for a in group_a:
             for b in group_b:
-                self._partitions.add(self._pair(a, b))
+                pair = self._pair(a, b)
+                self._partitions[pair] = self._partitions.get(pair, 0) + 1
 
     def heal_partition(self, group_a: set[str], group_b: set[str]) -> None:
         for a in group_a:
             for b in group_b:
-                self._partitions.discard(self._pair(a, b))
+                pair = self._pair(a, b)
+                count = self._partitions.get(pair, 0)
+                if count > 1:
+                    self._partitions[pair] = count - 1
+                elif count == 1:
+                    del self._partitions[pair]
 
     def heal_all_partitions(self) -> None:
         self._partitions.clear()

@@ -172,6 +172,32 @@ class GCFloorUpdate:
 
 
 # ----------------------------------------------------------------------
+# Scrub repair (RPC between peer segments, section 2.3's "peer-to-peer
+# repair of damaged blocks" running over the same network as everything
+# else -- it experiences latency, partitions, and crashes like any flow)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScrubRepairRequest:
+    """A scrubbing segment asks a peer for clean copies of corrupt
+    ``(block, version_lsn)`` pairs."""
+
+    from_segment: str
+    pg_index: int
+    failures: tuple[tuple[int, int], ...]
+    epochs: EpochStamp
+
+
+@dataclass(frozen=True)
+class ScrubRepairResponse:
+    """Clean ``(block, version_lsn, image)`` triples; only versions the
+    responder holds *and* that verify against their own checksum."""
+
+    segment_id: str
+    pg_index: int
+    versions: tuple[tuple[int, int, tuple[tuple[str, object], ...]], ...]
+
+
+# ----------------------------------------------------------------------
 # Hydration of a replacement segment (RPC, section 4.2)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

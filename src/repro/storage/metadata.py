@@ -58,11 +58,7 @@ class StorageMetadataService:
 
     def record_epochs(self, stamp: EpochStamp) -> None:
         """Adopt newer epochs (components never move backwards)."""
-        self._epochs = EpochStamp(
-            volume=max(self._epochs.volume, stamp.volume),
-            membership=max(self._epochs.membership, stamp.membership),
-            geometry=max(self._epochs.geometry, stamp.geometry),
-        )
+        self._epochs = self._epochs.merge(stamp)
 
     # ------------------------------------------------------------------
     # Membership
@@ -135,6 +131,19 @@ class StorageMetadataService:
             for p in self.segments_of_pg(pg_index)
             if p.kind is SegmentKind.FULL
         ]
+
+    def pg_of(self, segment_id: str) -> int:
+        """The protection group a (current or former) segment serves."""
+        return self.placement(segment_id).pg_index
+
+    def is_current_member(self, segment_id: str) -> bool:
+        """True when the segment appears in its PG's current membership
+        (candidates in flight count; replaced incumbents do not)."""
+        try:
+            pg_index = self.pg_of(segment_id)
+        except ConfigurationError:
+            return False
+        return segment_id in self.membership(pg_index).members
 
     def peers_of(self, segment_id: str) -> list[str]:
         """Other current members of the same PG (gossip targets)."""

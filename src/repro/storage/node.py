@@ -43,6 +43,8 @@ from repro.storage.messages import (
     RecoveryScanRequest,
     RecoveryScanResponse,
     RequestRejected,
+    ScrubRepairRequest,
+    ScrubRepairResponse,
     TruncateAck,
     TruncateRequest,
     WriteAck,
@@ -65,6 +67,9 @@ class StorageNodeConfig:
     scrub_interval: float = 2_000.0
     #: Records returned per gossip response (bounds message size).
     gossip_batch_limit: int = 512
+    #: A gossip RPC unanswered after this long is reported to the health
+    #: monitor (when one is attached) as negative evidence about the peer.
+    gossip_timeout_ms: float = 60.0
     enable_background: bool = True
 
     def __post_init__(self) -> None:
@@ -110,8 +115,11 @@ class StorageNode(Actor):
             "reads_answered": 0,
         }
         self._started = False
-        #: Directory of peer nodes for scrub repair (set by the cluster).
-        self._peer_registry: dict[str, "StorageNode"] = {}
+        #: Optional :class:`repro.repair.HealthMonitor` observer.  Peer
+        #: liveness evidence from gossip (replies, queries, timeouts) is
+        #: reported here; ``None`` costs one attribute load, exactly like
+        #: ``audit_probe``.
+        self.health_probe = None
 
     def attach_audit_probe(self, probe) -> None:
         """Arm a :class:`repro.audit.Auditor`: the node's epoch registry and
@@ -170,6 +178,8 @@ class StorageNode(Actor):
             self._on_gc_floor(payload)
         elif isinstance(payload, BaselineRequest):
             self._on_baseline(message, payload)
+        elif isinstance(payload, ScrubRepairRequest):
+            self._on_scrub_request(message, payload)
         # Unknown payloads are dropped silently, like any real node.
 
     def _check_epochs(self, message: Message, epochs) -> bool:
@@ -269,9 +279,23 @@ class StorageNode(Actor):
         )
         future = self.network.rpc(self.name, peer, query)
         future.add_done_callback(self._on_gossip_reply)
+        if self.health_probe is not None:
+            self.loop.schedule(
+                self.config.gossip_timeout_ms,
+                self._report_gossip_timeout, peer, future,
+            )
+
+    def _report_gossip_timeout(self, peer: str, future) -> None:
+        if not future.done and self.health_probe is not None:
+            self.health_probe.note_peer_timeout(peer)
 
     def _on_gossip_reply(self, future) -> None:
         response = future.result()
+        if self.health_probe is not None:
+            # Any reply -- including a rejection -- proves the peer alive.
+            segment_id = getattr(response, "segment_id", None)
+            if segment_id is not None:
+                self.health_probe.note_peer_alive(segment_id)
         if not isinstance(response, GossipResponse):
             return  # rejected: our epochs were stale; we learn via writes
         scl_before = self.segment.scl
@@ -299,6 +323,9 @@ class StorageNode(Actor):
                 self._send_ack(instance_id)
 
     def _on_gossip_query(self, message: Message, query: GossipQuery) -> None:
+        if self.health_probe is not None:
+            # A query reaching us proves the querier alive, member or not.
+            self.health_probe.note_peer_alive(query.from_segment)
         if not self._check_epochs(message, query.epochs):
             return
         records = self.segment.records_after(
@@ -369,28 +396,52 @@ class StorageNode(Actor):
         failures = self.segment.scrub()
         if not failures:
             return
-        # Repair from a random healthy full peer, synchronously through the
-        # shared metadata directory (the data path itself is what matters
-        # for the protocol; scrub repair is a maintenance flow).
-        peers = self.metadata.full_segments_of_pg(self.segment.pg_index)
-        for placement in peers:
-            if placement.segment_id == self.name:
-                continue
-            peer_node = self._peer_segment(placement.segment_id)
-            if peer_node is None:
-                continue
-            repaired = self.segment.repair_scrub_failures(peer_node, failures)
-            self.counters["scrub_repairs"] += repaired
-            if repaired:
-                break
+        # Repair from a full peer over the network, like every other flow:
+        # the request experiences latency, partitions, and crashes, and an
+        # unlucky round simply retries at the next scrub interval.
+        peers = sorted(
+            p.segment_id
+            for p in self.metadata.full_segments_of_pg(self.segment.pg_index)
+            if p.segment_id != self.name
+        )
+        if not peers:
+            return
+        peer = self.rng.choice(peers)
+        request = ScrubRepairRequest(
+            from_segment=self.name,
+            pg_index=self.segment.pg_index,
+            failures=tuple(failures),
+            epochs=self.epochs.current,
+        )
+        future = self.network.rpc(self.name, peer, request)
+        future.add_done_callback(self._on_scrub_reply)
+
+    def _on_scrub_reply(self, future) -> None:
+        reply = future.result()
+        if not isinstance(reply, ScrubRepairResponse):
+            return  # rejected or unexpected; retry at the next scrub tick
+        self.counters["scrub_repairs"] += self.segment.apply_scrub_versions(
+            reply.versions
+        )
+
+    def _on_scrub_request(
+        self, message: Message, request: ScrubRepairRequest
+    ) -> None:
+        if not self._check_epochs(message, request.epochs):
+            return
+        self.network.reply(
+            message,
+            ScrubRepairResponse(
+                segment_id=self.name,
+                pg_index=self.segment.pg_index,
+                versions=self.segment.collect_scrub_versions(request.failures),
+            ),
+        )
 
     def register_peer_directory(self, directory: dict[str, "StorageNode"]) -> None:
-        """Give the node a directory of peer segments for scrub repair."""
-        self._peer_registry = directory
-
-    def _peer_segment(self, segment_id: str) -> Segment | None:
-        node = self._peer_registry.get(segment_id)
-        return node.segment if node is not None else None
+        """Deprecated no-op, kept for API compatibility: scrub repair is
+        now routed through the simulated network via the metadata service's
+        placement directory, not an in-process object registry."""
 
     # ------------------------------------------------------------------
     # Recovery + control plane

@@ -31,7 +31,7 @@ from repro.core.consistency import SegmentChainTracker
 from repro.core.lsn import NULL_LSN, TruncationRange
 from repro.core.records import NO_BLOCK, ChainDigest, LogRecord
 from repro.errors import ConfigurationError, ReadPointError
-from repro.storage.page import BlockVersionChain
+from repro.storage.page import BlockVersionChain, image_checksum
 
 
 class SegmentKind(enum.Enum):
@@ -320,25 +320,59 @@ class Segment:
         self.stats["scrub_failures"] += len(failures)
         return failures
 
+    def collect_scrub_versions(
+        self, failures: Iterable[tuple[int, int]]
+    ) -> tuple[tuple[int, int, tuple[tuple[str, object], ...]], ...]:
+        """Clean copies of the requested ``(block, lsn)`` versions, for a
+        peer's :class:`~repro.storage.messages.ScrubRepairResponse`.
+
+        Versions this segment holds corrupt (or not at all) are omitted --
+        never propagate a bad image to the requester.
+        """
+        out = []
+        for block, lsn in failures:
+            chain = self.blocks.get(block)
+            if chain is None:
+                continue
+            version = chain.version_at(lsn)
+            if version is None or version.lsn != lsn or not version.verify():
+                continue
+            out.append((
+                block,
+                lsn,
+                tuple(sorted(version.image.items(), key=lambda kv: repr(kv[0]))),
+            ))
+        return tuple(out)
+
+    def apply_scrub_versions(
+        self,
+        versions: Iterable[tuple[int, int, Iterable[tuple[str, object]]]],
+    ) -> int:
+        """Overwrite local corrupt versions with a peer's clean images;
+        returns the number of versions repaired."""
+        repaired = 0
+        for block, lsn, image in versions:
+            chain = self.blocks.get(block)
+            if chain is None:
+                continue
+            for version in chain._versions:  # noqa: SLF001 - repair path
+                if version.lsn == lsn:
+                    version.image = dict(image)
+                    version.checksum = image_checksum(version.image)
+                    repaired += 1
+        return repaired
+
     def repair_scrub_failures(
         self, authoritative: "Segment", failures: Iterable[tuple[int, int]]
     ) -> int:
-        """Re-fetch corrupted versions from a healthy peer; returns count."""
-        repaired = 0
-        for block, lsn in failures:
-            peer_chain = authoritative.blocks.get(block)
-            local_chain = self.blocks.get(block)
-            if peer_chain is None or local_chain is None:
-                continue
-            peer_version = peer_chain.version_at(lsn)
-            if peer_version is None or peer_version.lsn != lsn:
-                continue
-            for version in local_chain._versions:  # noqa: SLF001 - repair path
-                if version.lsn == lsn:
-                    version.image = dict(peer_version.image)
-                    version.checksum = peer_version.checksum
-                    repaired += 1
-        return repaired
+        """Re-fetch corrupted versions from a healthy peer; returns count.
+
+        In-process convenience (tests, offline tooling); the storage node's
+        scrub tick uses the same collect/apply pair over the network.
+        """
+        return self.apply_scrub_versions(
+            authoritative.collect_scrub_versions(failures)
+        )
 
     # ------------------------------------------------------------------
     # Hydration (membership repair, section 4.2)

@@ -143,3 +143,73 @@ class TestVolumeGrowth:
             if node.segment.hot_log_size
         }
         assert len(used_pgs) >= 2
+
+
+class TestFalsePositiveRepair:
+    """Figure 5's reversibility, driven by the autonomous control plane:
+    a suspect that returns mid-hydration must be rolled back to, with no
+    acknowledged commit lost (satellite of the self-healing tentpole)."""
+
+    def _pump(self, cluster, db, predicate, max_steps=800):
+        for step in range(max_steps):
+            if predicate():
+                return True
+            if step % 10 == 0:
+                db.write(f"fp-pump{step:04d}", step)
+            cluster.run_for(10.0)
+        return predicate()
+
+    def test_suspect_returns_mid_hydration_rolls_back(self):
+        from repro.audit import Auditor
+        from repro.repair.metrics import ACTIVE, ROLLED_BACK
+
+        cluster = AuroraCluster.build(seed=101)
+        auditor = Auditor()
+        cluster.arm_auditor(auditor)
+        monitor, planner = cluster.arm_healer()
+        db = cluster.session()
+        acked = {f"acked{i:02d}": i for i in range(15)}
+        for key, value in acked.items():
+            db.write(key, value)
+
+        target = "pg0-e"
+        members_before = cluster.metadata.membership(0).members
+        others = (set(cluster.nodes) | {cluster.writer.name}) - {target}
+        # Pin the (deterministically named) future candidate behind a
+        # partition so hydration cannot win the race against the
+        # incumbent's return.
+        predicted = cluster.segment_name(
+            0,
+            cluster.metadata.membership(0).slot_of(target),
+            generation=cluster._candidate_counter + 1,
+        )
+        cluster.failures.partition_node(predicted, others)
+        cluster.failures.partition_node(target, others - {predicted})
+
+        assert self._pump(
+            cluster,
+            db,
+            lambda: planner.active_repair(0) is not None
+            and planner.active_repair(0).candidate_id is not None,
+        ), "monitor never confirmed the partitioned segment dead"
+        record = planner.active_repair(0)
+        assert not cluster.metadata.membership(0).is_stable
+
+        # Acked commits issued while the dual membership is installed
+        # must survive the rollback too.
+        for i in range(5):
+            db.write(f"dual{i}", i)
+            acked[f"dual{i}"] = i
+
+        cluster.failures.heal_node_partition(target, others - {predicted})
+        assert self._pump(cluster, db, lambda: record.outcome != ACTIVE)
+
+        assert record.outcome == ROLLED_BACK
+        final = cluster.metadata.membership(0)
+        assert final.is_stable
+        assert final.members == members_before
+        assert monitor.counters["false_positives"] >= 1
+        cluster.failures.heal_node_partition(predicted, others)
+        for key, value in acked.items():
+            assert db.get(key) == value
+        auditor.assert_clean()

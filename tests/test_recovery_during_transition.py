@@ -107,3 +107,98 @@ class TestRecoveryDuringTransition:
         node = cluster.nodes["pg0-a"]
         assert node.epochs.current.volume == epochs_2.volume
         assert node.epochs.current.membership == epochs_2.membership
+
+
+class TestHealerAcrossWriterCrash:
+    """The autonomous repair pipeline interleaved with writer recovery."""
+
+    def _pump(self, cluster, db, predicate, max_steps=800):
+        for step in range(max_steps):
+            if predicate():
+                return True
+            if step % 10 == 0:
+                db.write(f"hpump{step:04d}", step)
+            cluster.run_for(10.0)
+        return predicate()
+
+    def test_repair_survives_writer_crash_mid_hydration(self):
+        """The planner's watermark floor is monotonic: a writer crash
+        resets the live PGCL trackers, but the repair must still finalize
+        against the highest durable point ever observed."""
+        from repro.audit import Auditor
+        from repro.repair.metrics import REPLACED
+
+        cluster = AuroraCluster.build(ClusterConfig(seed=519))
+        auditor = Auditor()
+        cluster.arm_auditor(auditor)
+        monitor, planner = cluster.arm_healer()
+        db = cluster.session()
+        acked = {f"k{i:02d}": i for i in range(12)}
+        for key, value in acked.items():
+            db.write(key, value)
+
+        cluster.failures.crash_node("pg0-f")
+        assert self._pump(
+            cluster, db, lambda: planner.active_repair(0) is not None
+        ), "repair never started"
+
+        # Writer dies with the repair somewhere in flight (dual quorum or
+        # hydration); recovery must not break the transition.
+        db = crash_and_recover(cluster)
+
+        assert self._pump(
+            cluster,
+            db,
+            lambda: any(r.outcome == REPLACED for r in planner.records),
+        ), f"repair never finalized after recovery: {planner.records}"
+        final = cluster.metadata.membership(0)
+        assert final.is_stable
+        assert "pg0-f" not in final.members
+        for key, value in acked.items():
+            assert db.get(key) == value
+        auditor.assert_clean()
+
+    def test_rollback_state_survives_writer_crash(self):
+        """False-positive rollback, then a writer crash: the restored
+        membership and every acked commit persist through recovery."""
+        from repro.audit import Auditor
+        from repro.repair.metrics import ACTIVE, ROLLED_BACK
+
+        cluster = AuroraCluster.build(ClusterConfig(seed=520))
+        auditor = Auditor()
+        cluster.arm_auditor(auditor)
+        monitor, planner = cluster.arm_healer()
+        db = cluster.session()
+        acked = {f"k{i:02d}": i for i in range(10)}
+        for key, value in acked.items():
+            db.write(key, value)
+
+        target = "pg0-d"
+        members_before = cluster.metadata.membership(0).members
+        others = (set(cluster.nodes) | {cluster.writer.name}) - {target}
+        predicted = cluster.segment_name(
+            0,
+            cluster.metadata.membership(0).slot_of(target),
+            generation=cluster._candidate_counter + 1,
+        )
+        cluster.failures.partition_node(predicted, others)
+        cluster.failures.partition_node(target, others - {predicted})
+        assert self._pump(
+            cluster,
+            db,
+            lambda: planner.active_repair(0) is not None
+            and planner.active_repair(0).candidate_id is not None,
+        )
+        record = planner.active_repair(0)
+        cluster.failures.heal_node_partition(target, others - {predicted})
+        assert self._pump(cluster, db, lambda: record.outcome != ACTIVE)
+        assert record.outcome == ROLLED_BACK
+        cluster.failures.heal_node_partition(predicted, others)
+
+        db = crash_and_recover(cluster)
+        final = cluster.metadata.membership(0)
+        assert final.is_stable
+        assert final.members == members_before
+        for key, value in acked.items():
+            assert db.get(key) == value
+        auditor.assert_clean()
