@@ -18,11 +18,20 @@ from repro.analysis.availability import (
     quorum_availability_under_az_failure,
 )
 from repro.analysis.cost import CostModel
-from repro.analysis.durability import DurabilityModel, model_from_observed_mttr
+from repro.analysis.durability import (
+    C7_WINDOW_S,
+    DurabilityModel,
+    FleetDurabilityReport,
+    fleet_durability,
+    model_from_observed_mttr,
+)
 
 __all__ = [
+    "C7_WINDOW_S",
     "CostModel",
     "DurabilityModel",
+    "FleetDurabilityReport",
+    "fleet_durability",
     "model_from_observed_mttr",
     "az_failure_survival",
     "quorum_availability",

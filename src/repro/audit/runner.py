@@ -33,7 +33,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.repair.metrics import ROLLED_BACK, RepairSummary
-from repro.sim.chaos import ChaosSchedule
+from repro.sim.chaos import ChaosSchedule, fleet_chaos_config
 
 
 @dataclass
@@ -66,6 +66,41 @@ class AuditRunConfig:
     #: require the planner to roll the transition back (skipped on tiny
     #: runs or when healing is off).
     plant_false_positive: bool = True
+    #: Protection groups in the simulated volume (fleet mode raises this
+    #: so many per-PG repairs can run concurrently).
+    pg_count: int = 1
+    #: Fleet storm: permanently kill one segment in each of this many
+    #: *distinct* non-zero PGs mid-run; the healer must repair them all
+    #: concurrently (per-PG serialization allows cross-PG concurrency).
+    fleet_kills: int = 0
+    #: Also kill a second member of the first storm PG shortly after, so
+    #: the sweep exercises same-PG queueing under fleet load.
+    fleet_double_fault: bool = False
+    #: Use the correlated-AZ-burst chaos profile (see
+    #: :func:`repro.sim.chaos.fleet_chaos_config`).
+    az_bursts: bool = False
+    #: Fail the run unless this many repairs were observed in flight at
+    #: once (0 disables the gate).
+    min_concurrent_repairs: int = 0
+    #: Modeled baseline bulk-copy time per repair (see
+    #: :attr:`repro.repair.RepairConfig.baseline_transfer_ms`).  Fleet
+    #: mode sets this so repair duration is realistic relative to the
+    #: detection spread -- in the real system the ~10GB segment copy
+    #: dominates the window, which is exactly why simultaneous failures
+    #: produce many overlapping repairs.
+    repair_transfer_ms: float = 0.0
+
+    def as_fleet(self) -> "AuditRunConfig":
+        """Switch this config to the fleet-scale shape: a 10-PG volume,
+        a 9-PG kill storm with a same-PG double fault, correlated AZ
+        bursts, and the >= 8 concurrent-repair gate."""
+        self.pg_count = max(self.pg_count, 10)
+        self.fleet_kills = max(self.fleet_kills, 9)
+        self.fleet_double_fault = True
+        self.az_bursts = True
+        self.min_concurrent_repairs = max(self.min_concurrent_repairs, 8)
+        self.repair_transfer_ms = max(self.repair_transfer_ms, 750.0)
+        return self
 
 
 @dataclass
@@ -91,6 +126,10 @@ class AuditReport:
     #: Planted false positive: None = not planted, True = the transition
     #: rolled back as required, False = it did not.
     planted_rollback_ok: bool | None = None
+    #: Fleet storm bookkeeping: segments permanently killed by the storm,
+    #: and the concurrency gate (None = gate off).
+    fleet_kills: int = 0
+    concurrency_ok: bool | None = None
 
     @property
     def ok(self) -> bool:
@@ -98,6 +137,7 @@ class AuditReport:
             not self.violations
             and self.unrepaired == 0
             and self.planted_rollback_ok is not False
+            and self.concurrency_ok is not False
         )
 
     def render(self) -> str:
@@ -128,6 +168,17 @@ class AuditReport:
                 lines.append(
                     f"  planted false pos:   rollback {verdict}"
                 )
+            if self.fleet_kills:
+                lines.append(
+                    f"  fleet storm:         {self.fleet_kills} segments "
+                    f"killed across distinct PGs"
+                )
+            if self.concurrency_ok is not None:
+                verdict = "ok" if self.concurrency_ok else "FAILED"
+                lines.append(
+                    f"  concurrency gate:    {verdict} "
+                    f"(peak {self.repairs.peak_concurrent})"
+                )
         if self.violations:
             lines.append("")
             lines.append(f"VIOLATIONS (reproduce with --seed {self.seed}):")
@@ -145,12 +196,19 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
     """Run a seeded chaos workload with the invariant auditor armed."""
     cfg = config if config is not None else AuditRunConfig()
     cluster = AuroraCluster.build(
-        config=ClusterConfig(seed=cfg.seed), seed=cfg.seed
+        config=ClusterConfig(seed=cfg.seed, pg_count=cfg.pg_count),
+        seed=cfg.seed,
     )
     auditor = Auditor(tail_size=cfg.tail_size)
     cluster.arm_auditor(auditor)
     if cfg.heal:
-        cluster.arm_healer()
+        from repro.repair import RepairConfig
+
+        cluster.arm_healer(
+            repair_config=RepairConfig(
+                baseline_transfer_ms=cfg.repair_transfer_ms
+            )
+        )
     for _ in range(cfg.replicas):
         cluster.add_replica()
     cluster.run_for(10.0)  # let replicas settle before the storm
@@ -162,6 +220,7 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         azs={az: cluster.failures.az_nodes(az)
              for az in ("az1", "az2", "az3")},
         horizon_ms=horizon_ms,
+        config=fleet_chaos_config() if cfg.az_bursts else None,
     )
     schedule.install(cluster.failures)
     if cfg.background_failures:
@@ -178,11 +237,16 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
     repairs = None
     health_counters: dict = {}
     unrepaired = 0
+    concurrency_ok = None
     if cfg.heal:
         runner.settle_repairs()
         repairs = cluster.healer.summary()
         health_counters = dict(cluster.health.counters)
         unrepaired = _count_unrepaired(cluster)
+        if cfg.min_concurrent_repairs > 0:
+            concurrency_ok = (
+                repairs.peak_concurrent >= cfg.min_concurrent_repairs
+            )
 
     return AuditReport(
         seed=cfg.seed,
@@ -199,6 +263,8 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         health_counters=health_counters,
         unrepaired=unrepaired,
         planted_rollback_ok=runner.planted_rollback_ok,
+        fleet_kills=len(runner.fleet_killed),
+        concurrency_ok=concurrency_ok,
     )
 
 
@@ -253,6 +319,8 @@ class _WorkloadRunner:
         #: Outcome of the planted false-positive scenario (None = never
         #: planted).
         self.planted_rollback_ok: bool | None = None
+        #: Segments permanently killed by the fleet storm.
+        self.fleet_killed: list[str] = []
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -268,6 +336,19 @@ class _WorkloadRunner:
             if cfg.plant_false_positive and cfg.heal and cfg.steps >= 300
             else None
         )
+        # After the planted false positive resolves (it blocks until the
+        # rollback lands), so the storm's candidate churn cannot race the
+        # plant's candidate-name prediction.
+        storm_step = (
+            cfg.steps * 3 // 5
+            if cfg.fleet_kills > 0 and cfg.heal
+            else None
+        )
+        double_step = (
+            min(cfg.steps - 1, storm_step + max(20, cfg.steps // 10))
+            if storm_step is not None and cfg.fleet_double_fault
+            else None
+        )
         for step in range(cfg.steps):
             self._harvest_pending()
             if step > 0 and step % crash_every == 0:
@@ -276,6 +357,10 @@ class _WorkloadRunner:
                 self._membership_change()
             if plant_step is not None and step == plant_step:
                 self._plant_false_positive()
+            if storm_step is not None and step == storm_step:
+                self._fleet_storm()
+            if double_step is not None and step == double_step:
+                self._fleet_double_fault()
             self._one_op(step)
             self.cluster.run_for(self.rng.uniform(0.5, 2.5))
         # Let in-flight chaos and acks drain, then harvest final acks.
@@ -595,13 +680,14 @@ class _WorkloadRunner:
         if not candidates:
             return
         target = self.rng.choice(sorted(candidates))
-        cluster.failures.crash_node(target)
         if self.cfg.heal:
-            # Manual crashes bump the failure generation, cancelling any
-            # pre-scheduled background restore: the segment is down for
-            # good.  The healer must now detect it, confirm it dead, and
-            # drive Figure 5 on its own -- no operator-driven replacement.
+            # Condemn (not merely crash) the segment: a chaos-schedule AZ
+            # restore must not resurrect it -- it is down for good.  The
+            # healer must now detect it, confirm it dead, and drive
+            # Figure 5 on its own, no operator-driven replacement.
+            cluster.failures.condemn_node(target)
             return
+        cluster.failures.crash_node(target)
         try:
             self.session.drive(
                 cluster.replace_segment(0, target), max_ms=20_000.0
@@ -610,6 +696,56 @@ class _WorkloadRunner:
             # Replacement stalled under chaos; the dual-quorum membership
             # is legal indefinitely, so leave it and carry on.
             self.availability_errors += 1
+
+    # ------------------------------------------------------------------
+    # Fleet storm: simultaneous permanent kills across distinct PGs
+    # ------------------------------------------------------------------
+    def _fleet_storm(self) -> None:
+        """Permanently kill one member in each of ``fleet_kills`` distinct
+        non-zero PGs at the same instant.
+
+        The victims are *condemned*: every later restore -- including a
+        chaos-schedule AZ recovery sweeping over them -- is a no-op, so
+        these segments are down for good and the healer must drive a full
+        Figure 5 repair for every one of them.  PG 0 is left out -- it
+        already hosts the mid-run membership change and the planted false
+        positive.
+        """
+        cluster = self.cluster
+        pgs = [p for p in cluster.metadata.pg_indexes() if p != 0]
+        for pg_index in pgs:
+            if len(self.fleet_killed) >= self.cfg.fleet_kills:
+                break
+            state = cluster.metadata.membership(pg_index)
+            if not state.is_stable:
+                continue  # a repair is already in flight here; next PG
+            up = sorted(
+                m for m in state.members if cluster.network.is_up(m)
+            )
+            if not up:
+                continue
+            target = self.rng.choice(up)
+            cluster.failures.condemn_node(target)
+            self.fleet_killed.append(target)
+
+    def _fleet_double_fault(self) -> None:
+        """A second permanent kill in the first storm PG: the healer must
+        queue it behind the in-flight repair (per-PG serialization)."""
+        cluster = self.cluster
+        if not self.fleet_killed:
+            return
+        pg_index = cluster.metadata.pg_of(self.fleet_killed[0])
+        state = cluster.metadata.membership(pg_index)
+        up = sorted(
+            m
+            for m in state.members
+            if cluster.network.is_up(m) and m not in self.fleet_killed
+        )
+        if not up:
+            return
+        target = self.rng.choice(up)
+        cluster.failures.condemn_node(target)
+        self.fleet_killed.append(target)
 
     # ------------------------------------------------------------------
     # Planted false positive (grey failure that comes back mid-repair)
@@ -640,23 +776,31 @@ class _WorkloadRunner:
         # background events) so nothing crashes it for real: the scenario
         # needs the segment to *return*.
         cluster.failures.restore_node(target)
-        others = (
-            set(cluster.nodes)
-            | {cluster.writer.name}
-            | set(cluster.replicas)
-        ) - {target}
-        # Pre-partition the name the replacement candidate will get (the
-        # partition table is keyed by name, so it can be installed before
-        # the node exists).  The candidate then cannot hydrate, which
+        # Quarantine (not pairwise-partition) the target and the names
+        # its replacement candidate could get: a quarantine also drops
+        # traffic with nodes created *later* -- a concurrent repair's
+        # candidate would otherwise gossip with the target and keep
+        # reviving it in the monitor, so it could never be confirmed
+        # dead.  The quarantined candidate then cannot hydrate, which
         # removes the race between hydration finishing and the incumbent
-        # returning: the rollback path is the only way out.
-        predicted = cluster.segment_name(
-            0,
-            state.slot_of(target),
-            generation=cluster._candidate_counter + 1,
-        )
-        cluster.failures.partition_node(predicted, others)
-        cluster.failures.partition_node(target, others - {predicted})
+        # returning: the rollback path is the only way out.  Candidate
+        # names are slot-specific but draw generations from a
+        # cluster-wide counter, and concurrent repairs can consume
+        # generations between this prediction and our begin -- so
+        # reserve a window of future generations.  Only a candidate for
+        # *this* slot can ever match these names, so the reservations
+        # are inert for every other repair.
+        predictions = {
+            cluster.segment_name(
+                0,
+                state.slot_of(target),
+                generation=cluster._candidate_counter + 1 + drift,
+            )
+            for drift in range(6)
+        }
+        for predicted in predictions:
+            cluster.failures.quarantine_node(predicted, allow={target})
+        cluster.failures.quarantine_node(target, allow=predictions)
         record = None
         for spin in range(1500):
             record = next(
@@ -675,23 +819,26 @@ class _WorkloadRunner:
             if spin % 60 == 0:
                 self._keepalive(spin)
         if record is None:
-            cluster.failures.heal_node_partition(target, others - {predicted})
-            cluster.failures.heal_node_partition(predicted, others)
+            cluster.failures.lift_quarantine(target)
+            for predicted in predictions:
+                cluster.failures.lift_quarantine(predicted)
             self.planted_rollback_ok = False
             return
-        if record.candidate_id != predicted:
-            # Another repair consumed the predicted name; isolate the
+        if record.candidate_id not in predictions:
+            # The counter drifted past the reserved window; isolate the
             # actual candidate instead (best effort against the race).
-            cluster.failures.partition_node(record.candidate_id, others)
-        # The incumbent "returns": heal its partition and let its acks and
-        # gossip revive it in the monitor.
-        cluster.failures.heal_node_partition(target, others - {predicted})
+            cluster.failures.quarantine_node(
+                record.candidate_id, allow={target}
+            )
+        # The incumbent "returns": lift its quarantine and let its acks
+        # and gossip revive it in the monitor.
+        cluster.failures.lift_quarantine(target)
         for spin in range(1500):
             if record.outcome != ACTIVE:
                 break
             cluster.run_for(5.0)
             if spin % 60 == 0:
                 self._keepalive(spin)
-        for isolated in {predicted, record.candidate_id}:
-            cluster.failures.heal_node_partition(isolated, others)
+        for isolated in predictions | {record.candidate_id}:
+            cluster.failures.lift_quarantine(isolated)
         self.planted_rollback_ok = record.outcome == ROLLED_BACK

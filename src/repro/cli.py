@@ -113,6 +113,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--mttr", type=float, default=150.0, metavar="MS",
         help="background failure MTTR in simulated ms",
     )
+    audit.add_argument(
+        "--fleet", action="store_true",
+        help="fleet mode: 10-PG volume, a 9-PG permanent kill storm with "
+             "a same-PG double fault, correlated AZ failure bursts, and "
+             "the >=8 concurrent-repair gate; the sweep footer reports "
+             "detection/MTTR distributions and achieved durability vs "
+             "the paper's C7 window",
+    )
+    audit.add_argument(
+        "--pgs", type=int, default=0, metavar="N",
+        help="override the protection-group count (default: 1, or 10 "
+             "with --fleet)",
+    )
     return parser
 
 
@@ -236,6 +249,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_audit_run(args: argparse.Namespace) -> int:
     from repro.audit import AuditRunConfig, run_audit
+    from repro.repair.metrics import RepairSummary
 
     seeds = (
         range(args.seed, args.seed + args.sweep)
@@ -243,9 +257,9 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
         else [args.seed]
     )
     failed = 0
-    mttrs: list[float] = []
+    fleet = RepairSummary()
     for seed in seeds:
-        report = run_audit(AuditRunConfig(
+        config = AuditRunConfig(
             seed=seed,
             steps=args.steps,
             replicas=args.replicas,
@@ -254,29 +268,36 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
             background_failures=not args.no_background,
             background_mttf_ms=args.mttf,
             background_mttr_ms=args.mttr,
-        ))
+        )
+        if args.fleet:
+            config.as_fleet()
+        if args.pgs > 0:
+            config.pg_count = args.pgs
+        report = run_audit(config)
         print(report.render())
         if not report.ok:
             failed += 1
-        if report.repairs is not None and report.repairs.mean_mttr_ms:
-            mttrs.append(report.repairs.mean_mttr_ms)
+        if report.repairs is not None:
+            fleet.merge(report.repairs)
         if args.sweep > 0:
             print()
     if args.sweep > 0:
         print(f"sweep: {len(seeds) - failed}/{len(seeds)} seeds clean")
-        if mttrs:
-            from repro.analysis import model_from_observed_mttr
+        if fleet.resolution.count:
+            from repro.analysis import fleet_durability
 
-            mean_mttr = sum(mttrs) / len(mttrs)
-            model = model_from_observed_mttr(mean_mttr)
-            print(
-                f"observed repair window: {mean_mttr:.0f}ms mean across "
-                f"{len(mttrs)} seeds with repairs"
+            durability = fleet_durability(
+                # Every terminal outcome counts: judging the window only
+                # by finalized repairs would be survivorship-biased.
+                fleet.resolution.samples,
+                detection_samples_ms=fleet.detection.samples,
             )
             print(
-                f"  AZ+1 read-quorum-loss probability per window at that "
-                f"MTTR: {model.p_read_quorum_loss():.3e}"
+                f"fleet repair telemetry across {len(seeds)} seeds "
+                f"(peak {fleet.peak_concurrent} concurrent PG repairs):"
             )
+            for line in durability.render_lines():
+                print(line)
     return 1 if failed else 0
 
 

@@ -17,8 +17,11 @@ from repro.repair.metrics import (
     REPLACED,
     ROLLED_BACK,
     STALLED,
+    TERMINAL_OUTCOMES,
+    LatencyStats,
     RepairRecord,
     RepairSummary,
+    percentile,
     summarize_repairs,
 )
 from repro.repair.planner import RepairConfig, RepairPlanner
@@ -29,12 +32,15 @@ __all__ = [
     "REPLACED",
     "ROLLED_BACK",
     "STALLED",
+    "TERMINAL_OUTCOMES",
     "HealthConfig",
     "HealthMonitor",
+    "LatencyStats",
     "RepairConfig",
     "RepairPlanner",
     "RepairRecord",
     "RepairSummary",
     "SegmentHealth",
+    "percentile",
     "summarize_repairs",
 ]

@@ -8,10 +8,19 @@ phase of every repair so runs can report the windows they actually
 achieved -- detection latency (failure -> confirmed dead) and MTTR
 (failure -> quorum fully re-replicated) -- and feed them back into
 :class:`repro.analysis.durability.DurabilityModel`.
+
+Durability is a tail phenomenon, so the summary keeps full **distributions**
+(:class:`LatencyStats`: mean/p50/p95/max over the raw samples), not just
+means.  And because a fleet-wide MTTR estimate built only from finalized
+repairs is survivorship-biased -- the repairs that stalled or rolled back
+are exactly the ones that left the quorum exposed longest -- every
+*terminal* outcome (``replaced``, ``rolled_back``, ``aborted``,
+``stalled``) also lands in a separate resolution distribution.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
@@ -21,6 +30,60 @@ REPLACED = "replaced"  #: Figure 5 ran to finalize; candidate is the member
 ROLLED_BACK = "rolled_back"  #: incumbent returned first; transition reversed
 ABORTED = "aborted"  #: preconditions vanished before begin (no transition)
 STALLED = "stalled"  #: budget exhausted mid-transition (dual quorum stays)
+
+#: Outcomes that end a record's journey (everything except ``active``).
+TERMINAL_OUTCOMES = frozenset({REPLACED, ROLLED_BACK, ABORTED, STALLED})
+
+
+def percentile(samples: list[float], q: float) -> float | None:
+    """Nearest-rank percentile of ``samples`` (q in [0, 100])."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = math.ceil((q / 100.0) * len(ordered)) - 1
+    return ordered[max(0, min(rank, len(ordered) - 1))]
+
+
+@dataclass
+class LatencyStats:
+    """A latency distribution: raw samples plus the summary points the
+    durability model consumes (means hide the tail that loses quorums)."""
+
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float | None:
+        if not self.samples:
+            return None
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def p50(self) -> float | None:
+        return percentile(self.samples, 50)
+
+    @property
+    def p95(self) -> float | None:
+        return percentile(self.samples, 95)
+
+    @property
+    def max(self) -> float | None:
+        return max(self.samples) if self.samples else None
+
+    def merge(self, other: "LatencyStats") -> None:
+        """Fold another distribution in (sweep-level aggregation)."""
+        self.samples.extend(other.samples)
+
+    def describe(self) -> str:
+        if not self.samples:
+            return "no samples"
+        return (
+            f"mean={self.mean:.0f}ms p50={self.p50:.0f}ms "
+            f"p95={self.p95:.0f}ms max={self.max:.0f}ms (n={self.count})"
+        )
 
 
 @dataclass
@@ -56,6 +119,19 @@ class RepairRecord:
             return None
         return self.finished_at - self.failed_at
 
+    @property
+    def resolution_ms(self) -> float | None:
+        """Failure to *any* terminal outcome.
+
+        Stalled and rolled-back attempts resolve too -- later, usually --
+        and leaving them out of the fleet MTTR picture would make the
+        achieved repair window look better than it was (survivorship
+        bias).  None while the record is still ``active``.
+        """
+        if self.outcome not in TERMINAL_OUTCOMES or self.finished_at is None:
+            return None
+        return self.finished_at - self.failed_at
+
     def __str__(self) -> str:
         window = (
             f" mttr={self.mttr_ms:.0f}ms" if self.mttr_ms is not None else ""
@@ -77,9 +153,42 @@ class RepairSummary:
     aborted: int = 0
     stalled: int = 0
     active: int = 0
-    mean_detection_ms: float | None = None
-    mean_mttr_ms: float | None = None
-    max_mttr_ms: float | None = None
+    #: Most repairs simultaneously in flight (distinct PGs; per-PG
+    #: serialization keeps same-PG records from ever overlapping).
+    peak_concurrent: int = 0
+    detection: LatencyStats = field(default_factory=LatencyStats)
+    mttr: LatencyStats = field(default_factory=LatencyStats)
+    #: Failure -> terminal outcome for every resolved record, including
+    #: stalled and rolled-back attempts (no survivorship bias).
+    resolution: LatencyStats = field(default_factory=LatencyStats)
+
+    # Backward-compatible scalar views.
+    @property
+    def mean_detection_ms(self) -> float | None:
+        return self.detection.mean
+
+    @property
+    def mean_mttr_ms(self) -> float | None:
+        return self.mttr.mean
+
+    @property
+    def max_mttr_ms(self) -> float | None:
+        return self.mttr.max
+
+    def merge(self, other: "RepairSummary") -> None:
+        """Fold another seed's summary in (fleet sweep aggregation)."""
+        self.confirmed += other.confirmed
+        self.replaced += other.replaced
+        self.rolled_back += other.rolled_back
+        self.aborted += other.aborted
+        self.stalled += other.stalled
+        self.active += other.active
+        self.peak_concurrent = max(
+            self.peak_concurrent, other.peak_concurrent
+        )
+        self.detection.merge(other.detection)
+        self.mttr.merge(other.mttr)
+        self.resolution.merge(other.resolution)
 
     def render_lines(self) -> list[str]:
         lines = [
@@ -88,16 +197,45 @@ class RepairSummary:
             f"aborted={self.aborted} stalled={self.stalled} "
             f"active={self.active})",
         ]
-        if self.mean_detection_ms is not None:
+        if self.peak_concurrent:
             lines.append(
-                f"  detection latency:   {self.mean_detection_ms:.0f}ms mean"
+                f"  concurrent repairs:  {self.peak_concurrent} peak "
+                f"(distinct PGs)"
             )
-        if self.mean_mttr_ms is not None:
+        if self.detection.count:
             lines.append(
-                f"  MTTR:                {self.mean_mttr_ms:.0f}ms mean / "
-                f"{self.max_mttr_ms:.0f}ms max"
+                f"  detection latency:   {self.detection.describe()}"
+            )
+        if self.mttr.count:
+            lines.append(f"  MTTR (replaced):     {self.mttr.describe()}")
+        if self.resolution.count:
+            lines.append(
+                f"  resolution (all):    {self.resolution.describe()}"
             )
         return lines
+
+
+def _peak_concurrent(records: list[RepairRecord]) -> int:
+    """Max number of simultaneously in-flight repairs.
+
+    A repair occupies ``[began_at, finished_at)``; an unfinished record
+    stays open to the end.  Departures sort before arrivals at equal
+    times: a repair that starts the instant another ends did not overlap
+    it.
+    """
+    points: list[tuple[float, int]] = []
+    for record in records:
+        if record.began_at is None:
+            continue  # never installed a transition (aborted pre-begin)
+        points.append((record.began_at, 1))
+        if record.finished_at is not None:
+            points.append((record.finished_at, -1))
+    points.sort(key=lambda p: (p[0], p[1]))
+    peak = current = 0
+    for _at, delta in points:
+        current += delta
+        peak = max(peak, current)
+    return peak
 
 
 def summarize_repairs(records: list[RepairRecord]) -> RepairSummary:
@@ -114,12 +252,10 @@ def summarize_repairs(records: list[RepairRecord]) -> RepairSummary:
             summary.stalled += 1
         else:
             summary.active += 1
-    if records:
-        summary.mean_detection_ms = sum(
-            r.detection_ms for r in records
-        ) / len(records)
-    mttrs = [r.mttr_ms for r in records if r.mttr_ms is not None]
-    if mttrs:
-        summary.mean_mttr_ms = sum(mttrs) / len(mttrs)
-        summary.max_mttr_ms = max(mttrs)
+        summary.detection.samples.append(record.detection_ms)
+        if record.mttr_ms is not None:
+            summary.mttr.samples.append(record.mttr_ms)
+        if record.resolution_ms is not None:
+            summary.resolution.samples.append(record.resolution_ms)
+    summary.peak_concurrent = _peak_concurrent(records)
     return summary

@@ -54,7 +54,11 @@ from repro.repair.metrics import (
     summarize_repairs,
 )
 from repro.sim.process import Process
-from repro.storage.messages import BaselineRequest, BaselineResponse
+from repro.storage.messages import (
+    BaselineRequest,
+    BaselineResponse,
+    RequestRejected,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.cluster import AuroraCluster
@@ -71,6 +75,13 @@ class RepairConfig:
     baseline_timeout_ms: float = 60.0
     backoff_base_ms: float = 20.0
     backoff_cap_ms: float = 160.0
+    #: Modeled bulk-copy time for the baseline snapshot.  The simulated
+    #: baseline is a few records, but the thing it stands for is a ~10GB
+    #: segment copy that dominates the paper's 10-second repair window;
+    #: pacing it keeps repair duration realistic relative to detection
+    #: spread (0 keeps the copy instantaneous).  The wait is sliced so a
+    #: returning incumbent still triggers rollback mid-transfer.
+    baseline_transfer_ms: float = 0.0
     #: Total budget per repair before parking it as ``stalled``.
     max_repair_ms: float = 20_000.0
 
@@ -255,6 +266,8 @@ class RepairPlanner:
         # -- Step 2: hydrate (baseline + gossip catch-up) ---------------
         backoff = cfg.backoff_base_ms
         baseline_done = False
+        pending_baseline: BaselineResponse | None = None
+        transfer_done_at = 0.0
         while True:
             if segment_id in self._returned:
                 yield from self._rollback(record, after)
@@ -267,14 +280,31 @@ class RepairPlanner:
             candidate = cluster.nodes[candidate_id]
             if baseline_done and candidate.segment.scl >= floor:
                 break
-            if not baseline_done:
+            if pending_baseline is not None:
+                # Bulk copy in flight: wait it out in poll slices so the
+                # rollback and deadline checks above stay responsive.
+                if cluster.loop.now >= transfer_done_at:
+                    candidate.apply_baseline(pending_baseline)
+                    pending_baseline = None
+                    baseline_done = True
+                else:
+                    yield min(
+                        cfg.poll_ms, transfer_done_at - cluster.loop.now
+                    )
+            elif not baseline_done:
                 record.hydration_attempts += 1
                 reply = yield from self._baseline_rpc(
                     pg_index, candidate_id, record
                 )
                 if isinstance(reply, BaselineResponse):
-                    candidate.apply_baseline(reply)
-                    baseline_done = True
+                    if cfg.baseline_transfer_ms > 0:
+                        pending_baseline = reply
+                        transfer_done_at = (
+                            cluster.loop.now + cfg.baseline_transfer_ms
+                        )
+                    else:
+                        candidate.apply_baseline(reply)
+                        baseline_done = True
                 else:
                     yield backoff
                     backoff = min(backoff * 2, cfg.backoff_cap_ms)
@@ -350,7 +380,19 @@ class RepairPlanner:
         if not future.done:
             record.notes.append(f"baseline from {source} timed out")
             return None
-        return future.result()
+        reply = future.result()
+        if isinstance(reply, RequestRejected):
+            # The source is ahead of the candidate's epoch view (epoch
+            # bumps ride write traffic, and a quiet PG delivers none).
+            # The rejection carries the source's current stamp exactly so
+            # the requester can refresh; without adopting it the retry
+            # loop would re-present the same stale stamp forever.
+            candidate.epochs.advance(reply.current_epochs)
+            note = f"baseline epochs refreshed from {source}"
+            if note not in record.notes:
+                record.notes.append(note)
+            return None
+        return reply
 
     # ------------------------------------------------------------------
     # Auditor notifications

@@ -64,6 +64,25 @@ class ChaosConfig:
     max_duration_ms: float = 350.0
     min_slow_factor: float = 3.0
     max_slow_factor: float = 12.0
+    #: Correlated AZ failure bursts: a whole-AZ outage plus simultaneous
+    #: node crashes *outside* that AZ -- the paper's scary case, where an
+    #: AZ failure lands on a fleet that already has degraded quorums.
+    #: 0 disables bursts (the default schedule stays unchanged).
+    az_burst_period_ms: float = 0.0
+    #: Nodes outside the failed AZ crashed alongside each burst.
+    az_burst_fanout: int = 3
+
+
+def fleet_chaos_config() -> ChaosConfig:
+    """The fleet-mode profile: correlated AZ bursts on top of (slightly
+    thinned) independent noise, tuned for many-PG clusters where the
+    burst itself already takes down two segments of every PG."""
+    return ChaosConfig(
+        node_crash_period_ms=1100.0,
+        az_outage_period_ms=4000.0,
+        az_burst_period_ms=2200.0,
+        az_burst_fanout=3,
+    )
 
 
 class ChaosSchedule:
@@ -174,11 +193,43 @@ class ChaosSchedule:
                 return None
             return ChaosEvent(at, d, PARTITION, rng.choice(nodes))
 
+        def place_az_burst() -> None:
+            """One correlated burst: an AZ outage and ``az_burst_fanout``
+            node crashes outside that AZ, all starting together.  Burst
+            events are composed from the existing kinds, so ``install``
+            needs no new machinery."""
+            if not az_names:
+                return
+            d = duration()
+            at = start_time(d)
+            if at < 0:
+                return
+            if overlaps("__az__", at, at + d):
+                return
+            az = rng.choice(az_names)
+            reserve("__az__", at, at + d)
+            events.append(ChaosEvent(at, d, CRASH_AZ, az))
+            outside = sorted(set(nodes) - azs.get(az, set()))
+            if not outside:
+                return
+            victims = rng.sample(
+                outside, min(cfg.az_burst_fanout, len(outside))
+            )
+            for victim in victims:
+                vd = duration()
+                if at + vd >= horizon_ms or overlaps(victim, at, at + vd):
+                    continue
+                reserve(victim, at, at + vd)
+                events.append(ChaosEvent(at, vd, CRASH_NODE, victim))
+
         place(max(1, int(horizon_ms / cfg.node_crash_period_ms)),
               pick_node_crash)
         place(int(horizon_ms / cfg.az_outage_period_ms), pick_az_outage)
         place(max(1, int(horizon_ms / cfg.slow_period_ms)), pick_slow)
         place(int(horizon_ms / cfg.partition_period_ms), pick_partition)
+        if cfg.az_burst_period_ms > 0:
+            for _ in range(max(1, int(horizon_ms / cfg.az_burst_period_ms))):
+                place_az_burst()
         return cls(seed=seed, horizon_ms=horizon_ms, events=events)
 
     def install(self, injector: FailureInjector) -> int:

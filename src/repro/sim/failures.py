@@ -51,6 +51,9 @@ class FailureInjector:
         #: Per-node failure generation; bumped by every *manual* crash or
         #: restore so stale pre-scheduled background events cancel.
         self._generations: dict[str, int] = {}
+        #: Permanently decommissioned nodes: every restore (manual,
+        #: AZ-wide, or background) is a no-op for them.
+        self._condemned: set[str] = set()
 
     def register_az(self, az: str, nodes: set[str]) -> None:
         """Declare which nodes belong to an AZ (for whole-AZ events)."""
@@ -76,9 +79,25 @@ class FailureInjector:
         self.network.fail_node(name)
 
     def restore_node(self, name: str) -> None:
+        if name in self._condemned:
+            return
         self._bump(name)
         self.log.append((self.loop.now, "restore", name))
         self.network.restore_node(name)
+
+    def condemn_node(self, name: str) -> None:
+        """Permanently decommission ``name``: crash it now and make every
+        future restore -- manual, AZ-wide, or background -- a no-op.
+
+        A plain :meth:`crash_node` only cancels *pre-scheduled background*
+        restores (via the generation bump); a chaos schedule's
+        ``restore_az`` or ``restore_node`` event landing later would still
+        resurrect the node.  Condemnation models an unrecoverable host
+        loss: the AZ can come back without that disk coming back with it.
+        """
+        self._condemned.add(name)
+        self.log.append((self.loop.now, "condemn", name))
+        self.crash_node(name)
 
     def crash_az(self, az: str) -> None:
         self.log.append((self.loop.now, "crash_az", az))
@@ -89,6 +108,8 @@ class FailureInjector:
     def restore_az(self, az: str) -> None:
         self.log.append((self.loop.now, "restore_az", az))
         for node in self.az_nodes(az):
+            if node in self._condemned:
+                continue
             self._bump(node)
             self.network.restore_node(node)
 
@@ -109,6 +130,17 @@ class FailureInjector:
     def heal_node_partition(self, name: str, others: set[str]) -> None:
         self.log.append((self.loop.now, "heal_partition", name))
         self.network.heal_partition({name}, set(others))
+
+    def quarantine_node(self, name: str, allow: set[str] = frozenset()) -> None:
+        """Drop all traffic to/from ``name`` except ``allow`` -- unlike
+        :meth:`partition_node`, this also covers peers created after the
+        quarantine is installed."""
+        self.log.append((self.loop.now, "quarantine", name))
+        self.network.quarantine(name, allow)
+
+    def lift_quarantine(self, name: str) -> None:
+        self.log.append((self.loop.now, "lift_quarantine", name))
+        self.network.lift_quarantine(name)
 
     # ------------------------------------------------------------------
     # Scheduled operations
@@ -194,6 +226,8 @@ class FailureInjector:
         self.network.fail_node(name)
 
     def _background_restore(self, name: str, generation: int) -> None:
+        if name in self._condemned:
+            return
         if self.generation_of(name) != generation:
             return  # stale: the node was manually touched since scheduling
         self.log.append((self.loop.now, "restore", name))

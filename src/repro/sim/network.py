@@ -138,6 +138,11 @@ class Network:
         # overlapping pairs, and one healing must not un-partition the
         # other's still-active isolation.
         self._partitions: dict[frozenset[str], int] = {}
+        # Quarantined names: all traffic to/from the name is dropped
+        # except peers in its allowlist.  Unlike a pairwise partition, a
+        # quarantine also covers nodes *added after* it is installed --
+        # the hole a snapshot-of-peers partition cannot close.
+        self._quarantines: dict[str, frozenset[str]] = {}
         self._next_request_id = 0
         self._pending_rpcs: dict[int, Future] = {}
         self._taps: list[Callable[[Message], None]] = []
@@ -221,6 +226,28 @@ class Network:
 
     def is_partitioned(self, a: str, b: str) -> bool:
         return self._pair(a, b) in self._partitions
+
+    def quarantine(self, name: str, allow: set[str] = frozenset()) -> None:
+        """Drop all traffic to/from ``name`` except peers in ``allow``.
+
+        Covers peers that do not exist yet: ``name`` is just a key, so a
+        quarantine can isolate a node from members the cluster will only
+        create later (candidates, recovered writers), which a pairwise
+        :meth:`partition` against a snapshot of current nodes cannot.
+        """
+        self._quarantines[name] = frozenset(allow)
+
+    def lift_quarantine(self, name: str) -> None:
+        self._quarantines.pop(name, None)
+
+    def is_quarantined(self, a: str, b: str) -> bool:
+        if a == b:
+            return False  # a node always reaches itself
+        for us, peer in ((a, b), (b, a)):
+            allow = self._quarantines.get(us)
+            if allow is not None and peer not in allow:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Messaging
@@ -320,7 +347,11 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes[message.dst]
-        if not node.up or self.is_partitioned(message.src, message.dst):
+        if (
+            not node.up
+            or self.is_partitioned(message.src, message.dst)
+            or self.is_quarantined(message.src, message.dst)
+        ):
             self.stats.messages_dropped += 1
             return
         self.stats.messages_delivered += 1

@@ -231,3 +231,32 @@ class TestCostModel:
         mixed = measure(True)
         assert mixed["block_bytes"] < all_full["block_bytes"]
         assert mixed["amplification"] < all_full["amplification"]
+
+
+class TestFleetDurability:
+    def test_fast_repairs_meet_c7(self):
+        from repro.analysis import fleet_durability
+
+        report = fleet_durability([1200.0, 1500.0, 900.0], [550.0, 600.0])
+        assert report.meets_c7
+        assert report.samples == 3
+        assert report.max_ms == 1500.0
+        # A shorter observed window can only lower the loss probability.
+        assert report.p_loss_mean < report.p_loss_c7
+        assert report.p_loss_mean <= report.p_loss_p95 <= report.p_loss_max
+        assert report.detection is not None
+        assert report.detection.max_ms == 600.0
+
+    def test_tail_beyond_c7_flags_exceeded(self):
+        from repro.analysis import fleet_durability
+
+        report = fleet_durability([1000.0, 2000.0, 60_000.0])
+        assert not report.meets_c7
+        assert report.p_loss_max > report.p_loss_c7
+        assert "EXCEEDED" in "\n".join(report.render_lines())
+
+    def test_needs_positive_samples(self):
+        from repro.analysis import fleet_durability
+
+        with pytest.raises(ConfigurationError):
+            fleet_durability([0.0, -5.0])

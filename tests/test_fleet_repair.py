@@ -1,0 +1,394 @@
+"""Adaptive health cadence + fleet-scale repair campaigns.
+
+Covers the flap-storm fixes and the fleet harness:
+
+- the sparse-traffic regression: the adaptive monitor must cut the
+  suspect/recover transition count by >= 10x versus the legacy
+  fixed-constant monitor on the same replay;
+- adaptive thresholds tracking observed cadence (floor under dense
+  traffic, stretched under sparse, clamped at the ceiling);
+- PG-wide quiet suppresses both suspicion and confirmation (workload
+  idle must not kill anybody);
+- detection still works under sparse traffic (slower, never never);
+- hedge/timeout history is bounded on intake, not only on tick;
+- terminal outcomes (stalled / rolled back) land in the resolution
+  distribution so fleet MTTR is not survivorship-biased;
+- >= 8 concurrent per-PG repairs plus a same-PG double fault on a live
+  10-PG cluster, with per-PG serialization, monotonic watermark floors,
+  and the four audited repair invariants all holding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AuroraCluster
+from repro.audit import Auditor
+from repro.db.cluster import ClusterConfig
+from repro.repair import (
+    REPLACED,
+    ROLLED_BACK,
+    STALLED,
+    HealthConfig,
+    HealthMonitor,
+    LatencyStats,
+    RepairConfig,
+    SegmentHealth,
+    percentile,
+)
+from repro.repair.metrics import RepairRecord, RepairSummary, summarize_repairs
+from repro.sim.events import EventLoop
+
+MEMBERS = [f"pg0-{c}" for c in "abcdef"]
+
+
+class _FakeMembership:
+    def __init__(self, members):
+        self.members = frozenset(members)
+
+
+class _FakePlacement:
+    def __init__(self, pg_index):
+        self.pg_index = pg_index
+
+
+class _FakeMetadata:
+    def __init__(self, members):
+        self._members = list(members)
+
+    def pg_indexes(self):
+        return [0]
+
+    def membership(self, pg_index):
+        return _FakeMembership(self._members)
+
+    def placement(self, segment_id):
+        return _FakePlacement(0)
+
+
+def _monitor(**overrides):
+    loop = EventLoop()
+    monitor = HealthMonitor(
+        loop, _FakeMetadata(MEMBERS), HealthConfig(**overrides)
+    )
+    monitor.start()
+    return loop, monitor
+
+
+def _sparse_round_robin(loop, monitor, until, period_ms=100.0):
+    """One ack every ``period_ms``, rotating through the members: each
+    segment is heard from only every ``period_ms * len(MEMBERS)`` ms --
+    the keepalive-starved traffic shape that used to storm."""
+    i = 0
+    while loop.now < until:
+        loop.run(until=loop.now + period_ms)
+        monitor.note_ack(MEMBERS[i % len(MEMBERS)])
+        i += 1
+
+
+def _transitions(monitor) -> int:
+    return (
+        monitor.counters["suspected"]
+        + monitor.counters["recovered_suspects"]
+    )
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: the flap-storm regression
+# ----------------------------------------------------------------------
+class TestSparseTrafficRegression:
+    def test_flap_storm_suppressed_10x(self):
+        # Same sparse replay against both monitors.  The legacy
+        # fixed-constant monitor flaps every member once per rotation
+        # (hundreds of transitions); the adaptive one must stay quiet.
+        legacy_loop, legacy = _monitor(adaptive=False)
+        _sparse_round_robin(legacy_loop, legacy, until=30_000.0)
+        adaptive_loop, adaptive = _monitor()
+        _sparse_round_robin(adaptive_loop, adaptive, until=30_000.0)
+
+        assert _transitions(legacy) >= 100, (
+            f"replay no longer reproduces the storm: {legacy.counters}"
+        )
+        assert _transitions(adaptive) < 10, adaptive.counters
+        assert _transitions(adaptive) * 10 <= _transitions(legacy)
+        # And neither monitor killed anyone: every member kept speaking.
+        assert legacy.counters["confirmed_dead"] == 0
+        assert adaptive.counters["confirmed_dead"] == 0
+
+    def test_adaptive_threshold_tracks_cadence(self):
+        loop, monitor = _monitor()
+        cfg = monitor.config
+        # Dense traffic: every member acked every 25 ms -> thresholds sit
+        # at their floors, detection stays as fast as the legacy monitor.
+        t = 0.0
+        while t < 1_000.0:
+            t += 25.0
+            loop.run(until=t)
+            for member in MEMBERS:
+                monitor.note_ack(member)
+        assert monitor.suspect_threshold_ms("pg0-a") == pytest.approx(
+            cfg.suspect_silence_ms
+        )
+        assert monitor.confirm_window_ms("pg0-a") == pytest.approx(
+            cfg.confirm_after_ms
+        )
+        # Sparse traffic stretches both, up to the configured ceilings.
+        _sparse_round_robin(loop, monitor, until=10_000.0, period_ms=200.0)
+        assert (
+            monitor.suspect_threshold_ms("pg0-a") > cfg.suspect_silence_ms
+        )
+        assert monitor.confirm_window_ms("pg0-a") > cfg.confirm_after_ms
+        assert (
+            monitor.suspect_threshold_ms("pg0-a")
+            <= cfg.max_suspect_silence_ms
+        )
+        assert monitor.confirm_window_ms("pg0-a") <= cfg.max_confirm_ms
+
+    def test_quiet_pg_suspends_confirmation(self):
+        # A member goes silent long enough to be suspected, then the
+        # *whole* PG goes quiet (workload idle).  The frontier is stale:
+        # confirming the suspect would be judging the observer, not the
+        # segment.  The legacy monitor kills it; adaptive must not.
+        outcomes = {}
+        for adaptive in (False, True):
+            loop, monitor = _monitor(adaptive=adaptive)
+            peers = [m for m in MEMBERS if m != "pg0-f"]
+            t = 0.0
+            while t < 500.0:  # everyone healthy, dense
+                t += 25.0
+                loop.run(until=t)
+                for member in MEMBERS:
+                    monitor.note_ack(member)
+            while t < 800.0:  # pg0-f silent while peers are heard
+                t += 25.0
+                loop.run(until=t)
+                for member in peers:
+                    monitor.note_ack(member)
+            assert monitor.state_of("pg0-f") is SegmentHealth.SUSPECT
+            loop.run(until=t + 10_000.0)  # total silence: workload idle
+            outcomes[adaptive] = monitor.counters["confirmed_dead"]
+            if adaptive:
+                assert monitor.state_of("pg0-f") is SegmentHealth.SUSPECT
+        assert outcomes[False] == 1  # the bug this PR fixes
+        assert outcomes[True] == 0
+
+    def test_dead_segment_still_detected_under_sparse_traffic(self):
+        # Adaptive hysteresis must not turn into blindness: a member that
+        # stops speaking while its peers keep the sparse cadence is still
+        # confirmed dead -- later than under dense traffic, but surely.
+        loop, monitor = _monitor()
+        deaths = []
+        monitor.on_confirmed_dead.append(
+            lambda seg, failed_at, now: deaths.append(seg)
+        )
+        _sparse_round_robin(loop, monitor, until=5_000.0)
+        peers = [m for m in MEMBERS if m != "pg0-f"]
+        i = 0
+        while loop.now < 40_000.0 and not deaths:
+            loop.run(until=loop.now + 100.0)
+            monitor.note_ack(peers[i % len(peers)])
+            i += 1
+        assert deaths == ["pg0-f"]
+        assert monitor.state_of("pg0-f") is SegmentHealth.DEAD
+        for peer in peers:
+            assert monitor.state_of(peer) is not SegmentHealth.DEAD
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: bounded signal history
+# ----------------------------------------------------------------------
+class TestBoundedBurstHistory:
+    def test_hedge_and_timeout_history_pruned_on_intake(self):
+        loop, monitor = _monitor()
+        loop.run(until=50.0)  # let the first tick create segment states
+        entry = monitor._states["pg0-f"]
+        window = monitor.config.burst_window_ms
+        monitor.stop()  # no more sweeps: intake must prune by itself
+        t = loop.now
+        for _ in range(400):
+            t += 50.0
+            loop.run(until=t)
+            monitor.note_hedge("pg0-f")
+            monitor.note_peer_timeout("pg0-f")
+            bound = window / 50.0 + 1
+            assert len(entry.hedges) <= bound
+            assert len(entry.timeouts) <= bound
+        # 400 signals went in; only the burst window's worth remains.
+        assert len(entry.hedges) <= window / 50.0 + 1
+        assert entry.hedges[0] >= loop.now - window
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: no survivorship bias in fleet MTTR
+# ----------------------------------------------------------------------
+class TestResolutionDistributions:
+    def _record(self, segment, outcome, finished_at):
+        record = RepairRecord(
+            pg_index=0, segment_id=segment, failed_at=100.0,
+            confirmed_at=600.0,
+        )
+        record.began_at = 610.0
+        record.finished_at = finished_at
+        record.outcome = outcome
+        return record
+
+    def test_terminal_outcomes_land_in_resolution(self):
+        replaced = self._record("pg0-a", REPLACED, 1_100.0)
+        rolled = self._record("pg0-b", ROLLED_BACK, 2_100.0)
+        stalled = self._record("pg0-c", STALLED, 20_100.0)
+        summary = summarize_repairs([replaced, rolled, stalled])
+        # MTTR stays replacement-only...
+        assert summary.mttr.samples == [1_000.0]
+        # ...but resolution sees every terminal outcome: the stalled
+        # attempt is the tail that a finalized-only view would hide.
+        assert sorted(summary.resolution.samples) == [
+            1_000.0, 2_000.0, 20_000.0,
+        ]
+        assert summary.resolution.max == pytest.approx(20_000.0)
+        assert rolled.mttr_ms is None
+        assert rolled.resolution_ms == pytest.approx(2_000.0)
+        assert stalled.resolution_ms == pytest.approx(20_000.0)
+
+    def test_active_records_have_no_resolution(self):
+        active = RepairRecord(
+            pg_index=0, segment_id="pg0-a", failed_at=100.0,
+            confirmed_at=600.0,
+        )
+        assert active.resolution_ms is None
+        summary = summarize_repairs([active])
+        assert summary.resolution.count == 0
+        assert summary.active == 1
+
+    def test_percentiles_and_merge(self):
+        stats = LatencyStats(samples=[float(v) for v in range(1, 101)])
+        assert stats.p50 == pytest.approx(50.0)
+        assert stats.p95 == pytest.approx(95.0)
+        assert stats.max == pytest.approx(100.0)
+        assert percentile([], 95) is None
+        other = LatencyStats(samples=[500.0])
+        stats.merge(other)
+        assert stats.count == 101
+        assert stats.max == pytest.approx(500.0)
+
+    def test_summary_merge_aggregates_fleet(self):
+        a = summarize_repairs(
+            [self._record("pg0-a", REPLACED, 1_100.0)]
+        )
+        b = summarize_repairs(
+            [self._record("pg0-b", STALLED, 9_100.0)]
+        )
+        fleet = RepairSummary()
+        fleet.merge(a)
+        fleet.merge(b)
+        assert fleet.confirmed == 2
+        assert fleet.replaced == 1
+        assert fleet.stalled == 1
+        assert fleet.resolution.count == 2
+        assert fleet.resolution.max == pytest.approx(9_000.0)
+
+    def test_peak_concurrent_counts_overlap(self):
+        # a overlaps b; c starts the instant a ends (no overlap with a).
+        a = self._record("pg0-a", REPLACED, 1_000.0)
+        b = self._record("pg0-b", REPLACED, 1_500.0)
+        c = self._record("pg0-c", REPLACED, 2_000.0)
+        a.began_at, b.began_at, c.began_at = 600.0, 900.0, 1_000.0
+        summary = summarize_repairs([a, b, c])
+        assert summary.peak_concurrent == 2
+
+
+# ----------------------------------------------------------------------
+# Satellite 4: fleet-scale campaign on a live cluster
+# ----------------------------------------------------------------------
+class TestFleetScaleRepairs:
+    def test_concurrent_pg_repairs_with_same_pg_double_fault(self):
+        cluster = AuroraCluster.build(
+            config=ClusterConfig(seed=11, pg_count=10), seed=11
+        )
+        auditor = Auditor()
+        cluster.arm_auditor(auditor)
+        # A modeled bulk-copy time keeps each repair in flight long
+        # enough for the storm's repairs to genuinely overlap.
+        monitor, planner = cluster.arm_healer(
+            repair_config=RepairConfig(baseline_transfer_ms=400.0)
+        )
+        session = cluster.session()
+        for i in range(30):
+            session.write(f"seed{i:03d}", i)
+        cluster.run_for(500.0)
+
+        # The storm: one permanent kill in each of PGs 1..8, plus a
+        # second member of PG 1 (the same-PG double fault).
+        killed: list[str] = []
+        for pg_index in range(1, 9):
+            members = sorted(cluster.metadata.membership(pg_index).members)
+            target = members[-1]
+            cluster.failures.crash_node(target)
+            killed.append(target)
+        double = sorted(
+            m
+            for m in cluster.metadata.membership(1).members
+            if m not in killed
+        )[0]
+        cluster.failures.crash_node(double)
+        killed.append(double)
+
+        floors: dict[int, list[int]] = {}
+        for step in range(2_500):
+            done = sum(
+                1 for r in planner.records if r.outcome == REPLACED
+            )
+            if done >= len(killed) and planner.idle:
+                break
+            if step % 5 == 0:
+                try:
+                    session.write(f"k{step:04d}", step)
+                except Exception:
+                    pass  # chaos-free run, but commits can still time out
+            cluster.run_for(10.0)
+            for pg_index, floor in planner._floor.items():
+                floors.setdefault(pg_index, []).append(floor)
+
+        summary = planner.summary()
+        replaced = [r for r in planner.records if r.outcome == REPLACED]
+        assert len(replaced) >= len(killed), (
+            f"storm not fully repaired: {summary.render_lines()}"
+        )
+        assert {r.segment_id for r in replaced} >= set(killed)
+
+        # The concurrency the fleet gate demands: >= 8 distinct-PG
+        # repairs genuinely in flight at once.
+        assert summary.peak_concurrent >= 8, summary.render_lines()
+
+        # Per-PG serialization: within a PG, repairs never overlap.
+        by_pg: dict[int, list] = {}
+        for record in planner.records:
+            if record.began_at is not None:
+                by_pg.setdefault(record.pg_index, []).append(record)
+        for records in by_pg.values():
+            records.sort(key=lambda r: r.began_at)
+            for earlier, later in zip(records, records[1:]):
+                assert earlier.finished_at is not None
+                assert later.began_at >= earlier.finished_at
+        # The double fault queued behind the in-flight PG-1 repair.
+        pg1 = [r for r in planner.records if r.pg_index == 1]
+        assert len(pg1) >= 2
+        assert any(
+            "queued" in note for r in pg1 for note in r.notes
+        )
+
+        # Monotonic watermark floors: the finalize floor per PG never
+        # moved backwards at any point during the campaign.
+        assert floors
+        for pg_index, series in floors.items():
+            assert all(
+                a <= b for a, b in zip(series, series[1:])
+            ), f"floor regressed for pg{pg_index}"
+
+        # Every membership is stable again, no victim is a member, and
+        # the four audited repair invariants all held.
+        for pg_index in range(10):
+            state = cluster.metadata.membership(pg_index)
+            assert state.is_stable
+            assert not (set(killed) & set(state.members))
+        assert all(session.get(f"seed{i:03d}") == i for i in range(30))
+        auditor.assert_clean()

@@ -242,3 +242,36 @@ class TestPartitions:
         injector.heal_node_partition("n5", {"n0"})
         kinds = [kind for _t, kind, name in injector.log if name == "n5"]
         assert kinds == ["partition", "heal_partition"]
+
+
+class TestCondemn:
+    def test_condemned_node_ignores_every_restore(self, setup):
+        _loop, network, injector = setup
+        injector.condemn_node("n0")
+        assert not network.is_up("n0")
+        injector.restore_node("n0")
+        assert not network.is_up("n0")
+        injector.restore_az("az1")  # n0 lives in az1
+        assert not network.is_up("n0")
+        # The AZ sweep still restores its non-condemned sibling.
+        injector.crash_node("n3")
+        injector.restore_az("az1")
+        assert network.is_up("n3")
+
+    def test_condemn_survives_scheduled_az_recovery(self, setup):
+        loop, network, injector = setup
+        injector.crash_az_at(10.0, "az2", duration=20.0)
+        loop.run(until=15.0)
+        injector.condemn_node("n1")
+        loop.run()  # restore_az fires at t=30
+        assert network.is_up("n4")
+        assert not network.is_up("n1")
+
+    def test_condemn_cancels_background_restore(self, setup):
+        loop, _network, injector = setup
+        injector.enable_background_failures(
+            ["n5"], mttf_ms=5.0, mttr_ms=5.0, horizon_ms=200.0
+        )
+        injector.condemn_node("n5")
+        loop.run()
+        assert not injector.network.is_up("n5")

@@ -237,3 +237,57 @@ class TestStats:
         network.send("a", "b", "observed")
         loop.run()
         assert tapped == ["observed"]
+
+
+class TestQuarantine:
+    def test_quarantine_blocks_both_directions(self, net):
+        loop, network = net
+        a, b = Recorder("a"), Recorder("b")
+        network.attach(a)
+        network.attach(b)
+        network.quarantine("a")
+        network.send("a", "b", "out")
+        network.send("b", "a", "in")
+        loop.run()
+        assert a.received == [] and b.received == []
+        network.lift_quarantine("a")
+        network.send("b", "a", "again")
+        loop.run()
+        assert [m.payload for m in a.received] == ["again"]
+
+    def test_quarantine_allowlist_passes(self, net):
+        loop, network = net
+        a, b, c = Recorder("a"), Recorder("b"), Recorder("c")
+        for actor in (a, b, c):
+            network.attach(actor)
+        network.quarantine("a", allow={"b"})
+        network.send("b", "a", "allowed")
+        network.send("c", "a", "blocked")
+        network.send("a", "c", "blocked too")
+        loop.run()
+        assert [m.payload for m in a.received] == ["allowed"]
+        assert c.received == []
+
+    def test_quarantine_covers_nodes_added_later(self, net):
+        # The reason this primitive exists: a pairwise partition against a
+        # snapshot of current peers cannot isolate a node from peers the
+        # cluster creates afterwards (e.g. a repair's fresh candidate).
+        loop, network = net
+        a = Recorder("a")
+        network.attach(a)
+        network.quarantine("a")
+        late = Recorder("late")
+        network.attach(late)
+        network.send("late", "a", "x")
+        network.send("a", "late", "y")
+        loop.run()
+        assert a.received == [] and late.received == []
+
+    def test_self_delivery_not_quarantined(self, net):
+        loop, network = net
+        a = Recorder("a")
+        network.attach(a)
+        network.quarantine("a")
+        network.send("a", "a", "self")
+        loop.run()
+        assert [m.payload for m in a.received] == ["self"]
