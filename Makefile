@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test audit audit-fleet bench
+.PHONY: test audit audit-fleet audit-failover bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,13 @@ audit: test
 # paper's 10-second C7 window (see docs/REPAIR.md).
 audit-fleet:
 	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --fleet
+
+# Writer-failover smoke: database-tier health monitoring + autonomous
+# replica promotion under chaos writer kills and grey failures, gated on
+# zero acked-commit loss and the ~30s write-unavailability budget
+# (see docs/REPAIR.md "Database-tier failover").
+audit-failover:
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 3 --failover
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

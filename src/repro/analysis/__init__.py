@@ -10,6 +10,9 @@ These reproduce the arithmetic behind the paper's design arguments:
   that break quorum, across fleets of tens of thousands of segments.
 - :mod:`repro.analysis.cost` -- storage amplification of the full/tail
   quorum set versus six full copies (section 4.2's ~3x result).
+- :mod:`repro.analysis.failover_availability` -- measured writer-failover
+  windows (detection, promotion, total write unavailability) against the
+  ~30 s managed-database failover budget.
 """
 
 from repro.analysis.availability import (
@@ -25,12 +28,20 @@ from repro.analysis.durability import (
     fleet_durability,
     model_from_observed_mttr,
 )
+from repro.analysis.failover_availability import (
+    FAILOVER_BUDGET_S,
+    FailoverAvailabilityReport,
+    failover_availability,
+)
 
 __all__ = [
     "C7_WINDOW_S",
     "CostModel",
     "DurabilityModel",
+    "FAILOVER_BUDGET_S",
+    "FailoverAvailabilityReport",
     "FleetDurabilityReport",
+    "failover_availability",
     "fleet_durability",
     "model_from_observed_mttr",
     "az_failure_survival",

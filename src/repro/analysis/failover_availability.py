@@ -1,0 +1,131 @@
+"""Write-availability analysis of writer failover (sections 3.2 and 6).
+
+The paper's availability story for the database tier is the mirror of its
+durability story for storage: because the volume itself survives the
+writer ("the database instance is stateless with respect to durability"),
+a writer failure costs only the *detection + promotion* window -- the
+promoted replica "only needs to run a local crash recovery".  Industry
+budgets for that window are around 30 seconds end to end (the classic
+Aurora failover SLA; Taurus-class systems advertise similar figures).
+
+:func:`failover_availability` evaluates the windows the simulator
+*measured* -- detection latency, promotion time, and the total
+write-unavailability window (writer failure to successor open) -- against
+that budget, the same closed-loop treatment
+:func:`repro.analysis.fleet_durability` gives the storage tier's C7
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: End-to-end write-unavailability budget per failover: the ~30 s
+#: detect-promote-reconnect figure published for Aurora-class managed
+#: databases.  Simulated milliseconds are treated as real milliseconds,
+#: as in the durability analysis.
+FAILOVER_BUDGET_S = 30.0
+
+
+@dataclass
+class WindowPoint:
+    """Distribution summary of one measured failover window."""
+
+    samples: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    max_ms: float
+
+    def line(self) -> str:
+        return (
+            f"mean={self.mean_ms:.0f}ms p50={self.p50_ms:.0f}ms "
+            f"p95={self.p95_ms:.0f}ms max={self.max_ms:.0f}ms "
+            f"(n={self.samples})"
+        )
+
+
+@dataclass
+class FailoverAvailabilityReport:
+    """Achieved failover windows versus the availability budget.
+
+    Availability, like durability, is a tail phenomenon: the budget must
+    hold for the *worst* observed failover, not the average one, so
+    ``meets_budget`` compares the max of the total-unavailability
+    distribution against the budget.
+    """
+
+    detection: WindowPoint | None
+    promotion: WindowPoint | None
+    unavailability: WindowPoint
+    budget_ms: float
+    #: Fraction of the budget the worst observed failover consumed.
+    worst_budget_fraction: float
+    meets_budget: bool
+
+    def render_lines(self) -> list[str]:
+        lines = []
+        if self.detection is not None:
+            lines.append(f"  detection latency:   {self.detection.line()}")
+        if self.promotion is not None:
+            lines.append(f"  promotion time:      {self.promotion.line()}")
+        lines.append(f"  write unavailability: {self.unavailability.line()}")
+        lines.append(
+            f"  budget ({self.budget_ms / 1000.0:.0f}s):         "
+            + (
+                f"met; worst failover used "
+                f"{self.worst_budget_fraction:.1%} of budget"
+                if self.meets_budget
+                else f"EXCEEDED: worst failover used "
+                f"{self.worst_budget_fraction:.1%} of budget"
+            )
+        )
+        return lines
+
+
+def _point(samples_ms: list[float]) -> WindowPoint | None:
+    from repro.repair.metrics import percentile
+
+    samples = [s for s in samples_ms if s >= 0]
+    if not samples:
+        return None
+    return WindowPoint(
+        samples=len(samples),
+        mean_ms=sum(samples) / len(samples),
+        p50_ms=percentile(samples, 50),
+        p95_ms=percentile(samples, 95),
+        max_ms=max(samples),
+    )
+
+
+def failover_availability(
+    unavailability_samples_ms: list[float],
+    detection_samples_ms: list[float] = (),
+    promotion_samples_ms: list[float] = (),
+    budget_s: float = FAILOVER_BUDGET_S,
+) -> FailoverAvailabilityReport:
+    """Evaluate measured failover windows against the availability budget.
+
+    ``unavailability_samples_ms`` should include every terminal failover
+    (restarts and rollbacks too, see
+    :attr:`repro.repair.FailoverRecord.unavailability_ms`); feeding only
+    clean promotions understates the tail.
+    """
+    if budget_s <= 0:
+        raise ConfigurationError("budget_s must be > 0")
+    unavailability = _point(unavailability_samples_ms)
+    if unavailability is None:
+        raise ConfigurationError(
+            "failover_availability needs at least one unavailability window"
+        )
+    budget_ms = budget_s * 1000.0
+    return FailoverAvailabilityReport(
+        detection=_point(detection_samples_ms),
+        promotion=_point(promotion_samples_ms),
+        unavailability=unavailability,
+        budget_ms=budget_ms,
+        worst_budget_fraction=unavailability.max_ms / budget_ms,
+        meets_budget=unavailability.max_ms <= budget_ms,
+    )

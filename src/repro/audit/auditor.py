@@ -65,6 +65,19 @@ key off them):
     A replacement is finalized only once the candidate's SCL covers the
     PG's proven durable point: no acknowledged write is lost by dropping
     the incumbent (section 4.2's hydration requirement).
+``writer-single-per-epoch``
+    At most one writer is ever open at a given volume epoch.  A zombie
+    predecessor lingering at an older epoch is legal -- the fence exists
+    precisely to contain it -- but two writers sharing an epoch means
+    recovery failed to change the locks (section 6).
+``writer-epoch-regressed``
+    Every writer generation after bootstrap opens at a strictly higher
+    volume epoch than any generation before it (section 2.4: recovery
+    bumps the volume epoch before the volume reopens).
+``failover-read-view-regression``
+    A promoted writer's recovered durable point never falls below the
+    applied VDL its replica incarnation had already exposed to readers
+    (section 3.2: promotion must not move reads backwards).
 """
 
 from __future__ import annotations
@@ -132,6 +145,11 @@ class Auditor:
         self._max_geometry_epoch = 0
         self._max_acked_scn = 0
         self.commit_acks = 0
+        # Writer-generation tracking (failover invariants): every open
+        # writer by name -> the volume epoch it opened at, plus the
+        # highest volume epoch any writer ever opened at.
+        self._open_writers: dict[str, int] = {}
+        self._max_writer_epoch = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -548,6 +566,47 @@ class Auditor:
         self._vdl.pop(owner, None)
         for key in [k for k in self._pgcl if k[0] == owner]:
             del self._pgcl[key]
+
+    # ------------------------------------------------------------------
+    # Hook: writer generations (failover invariants)
+    # ------------------------------------------------------------------
+    def on_writer_open(self, owner: str, volume_epoch: int) -> None:
+        """A writer opened for business at ``volume_epoch``.
+
+        Two invariants:
+
+        - **writer-single-per-epoch**: at most one live writer per volume
+          epoch.  A zombie predecessor still open at an *older* epoch is
+          legal (that is what the fence is for); two writers open at the
+          same epoch means fencing failed.
+        - **writer-epoch-regressed**: each successive writer generation
+          must open at a strictly higher volume epoch than any before it
+          (bootstrap excepted); otherwise its recovery failed to change
+          the locks.
+        """
+        self._record(f"writer-open {owner} volume-epoch={volume_epoch}")
+        for other, other_epoch in self._open_writers.items():
+            if other != owner and other_epoch == volume_epoch:
+                self.flag(
+                    "writer-single-per-epoch",
+                    owner,
+                    f"opened at volume epoch {volume_epoch} while "
+                    f"{other} is still open at the same epoch",
+                )
+        if self._max_writer_epoch and volume_epoch <= self._max_writer_epoch:
+            self.flag(
+                "writer-epoch-regressed",
+                owner,
+                f"opened at volume epoch {volume_epoch}, but a writer "
+                f"has already opened at epoch {self._max_writer_epoch}",
+            )
+        self._open_writers[owner] = volume_epoch
+        self._max_writer_epoch = max(self._max_writer_epoch, volume_epoch)
+
+    def on_writer_close(self, owner: str) -> None:
+        """A writer crashed, was fenced, or retired: no longer live."""
+        self._record(f"writer-close {owner}")
+        self._open_writers.pop(owner, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -32,8 +32,9 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.repair.failover import FailoverSummary
 from repro.repair.metrics import ROLLED_BACK, RepairSummary
-from repro.sim.chaos import ChaosSchedule, fleet_chaos_config
+from repro.sim.chaos import ChaosConfig, ChaosSchedule, fleet_chaos_config
 
 
 @dataclass
@@ -89,17 +90,39 @@ class AuditRunConfig:
     #: dominates the window, which is exactly why simultaneous failures
     #: produce many overlapping repairs.
     repair_transfer_ms: float = 0.0
+    #: Database-tier failover: arm the DbHealthMonitor +
+    #: FailoverCoordinator, run the workload through a failover-aware
+    #: cluster session, and replace operator-driven writer recovery with
+    #: chaos writer kills (and grey failures) the coordinator must answer
+    #: autonomously.
+    failover: bool = False
+    #: Chaos periods for writer kills / grey failures (0 = none; only
+    #: meaningful with ``failover``).
+    writer_kill_period_ms: float = 0.0
+    writer_grey_period_ms: float = 0.0
+    #: End-to-end write-unavailability budget per failover (ms); the run
+    #: fails if any terminal failover exceeds it.
+    failover_budget_ms: float = 30_000.0
 
     def as_fleet(self) -> "AuditRunConfig":
         """Switch this config to the fleet-scale shape: a 10-PG volume,
         a 9-PG kill storm with a same-PG double fault, correlated AZ
-        bursts, and the >= 8 concurrent-repair gate."""
+        bursts, the >= 8 concurrent-repair gate, and autonomous writer
+        failover under writer-kill + writer-grey chaos."""
         self.pg_count = max(self.pg_count, 10)
         self.fleet_kills = max(self.fleet_kills, 9)
         self.fleet_double_fault = True
         self.az_bursts = True
         self.min_concurrent_repairs = max(self.min_concurrent_repairs, 8)
         self.repair_transfer_ms = max(self.repair_transfer_ms, 750.0)
+        self.failover = True
+        self.replicas = max(self.replicas, 2)
+        self.writer_kill_period_ms = max(
+            self.writer_kill_period_ms, 6000.0
+        )
+        self.writer_grey_period_ms = max(
+            self.writer_grey_period_ms, 5000.0
+        )
         return self
 
 
@@ -130,6 +153,13 @@ class AuditReport:
     #: and the concurrency gate (None = gate off).
     fleet_kills: int = 0
     concurrency_ok: bool | None = None
+    #: Failover telemetry (None when the coordinator was not armed), the
+    #: number of chaos writer kills, and the budget gate: every terminal
+    #: failover resolved, with its write-unavailability window inside the
+    #: configured budget (None = failover off).
+    failovers: FailoverSummary | None = None
+    writer_kills: int = 0
+    failover_ok: bool | None = None
 
     @property
     def ok(self) -> bool:
@@ -138,6 +168,7 @@ class AuditReport:
             and self.unrepaired == 0
             and self.planted_rollback_ok is not False
             and self.concurrency_ok is not False
+            and self.failover_ok is not False
         )
 
     def render(self) -> str:
@@ -179,6 +210,12 @@ class AuditReport:
                     f"  concurrency gate:    {verdict} "
                     f"(peak {self.repairs.peak_concurrent})"
                 )
+        if self.failovers is not None:
+            lines.append(f"  writer kills:        {self.writer_kills}")
+            lines += self.failovers.render_lines()
+            if self.failover_ok is not None:
+                verdict = "ok" if self.failover_ok else "FAILED"
+                lines.append(f"  failover gate:       {verdict}")
         if self.violations:
             lines.append("")
             lines.append(f"VIOLATIONS (reproduce with --seed {self.seed}):")
@@ -211,18 +248,33 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         )
     for _ in range(cfg.replicas):
         cluster.add_replica()
+    if cfg.failover:
+        cluster.arm_failover()
     cluster.run_for(10.0)  # let replicas settle before the storm
 
     horizon_ms = max(4000.0, cfg.steps * 4.0)
+    chaos_cfg = fleet_chaos_config() if cfg.az_bursts else None
+    if cfg.failover and (
+        cfg.writer_kill_period_ms > 0 or cfg.writer_grey_period_ms > 0
+    ):
+        chaos_cfg = chaos_cfg if chaos_cfg is not None else ChaosConfig()
+        chaos_cfg.writer_kill_period_ms = cfg.writer_kill_period_ms
+        chaos_cfg.writer_grey_period_ms = cfg.writer_grey_period_ms
     schedule = ChaosSchedule.generate(
         seed=cfg.seed,
         nodes=sorted(cluster.nodes),
         azs={az: cluster.failures.az_nodes(az)
              for az in ("az1", "az2", "az3")},
         horizon_ms=horizon_ms,
-        config=fleet_chaos_config() if cfg.az_bursts else None,
+        config=chaos_cfg,
     )
-    schedule.install(cluster.failures)
+    runner = _WorkloadRunner(cluster, auditor, cfg)
+    runner.chaos_horizon_ms = cluster.loop.now + horizon_ms
+    schedule.install(
+        cluster.failures,
+        writer_kill=runner.kill_writer if cfg.failover else None,
+        writer_grey=runner.grey_writer if cfg.failover else None,
+    )
     if cfg.background_failures:
         cluster.failures.enable_background_failures(
             sorted(cluster.nodes),
@@ -231,9 +283,14 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
             horizon_ms=cluster.loop.now + horizon_ms,
         )
 
-    runner = _WorkloadRunner(cluster, auditor, cfg)
     runner.run()
 
+    failovers = None
+    failover_ok = None
+    if cfg.failover:
+        runner.settle_failover()
+        failovers = cluster.failover.summary()
+        failover_ok = runner.failover_gate()
     repairs = None
     health_counters: dict = {}
     unrepaired = 0
@@ -265,6 +322,9 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         planted_rollback_ok=runner.planted_rollback_ok,
         fleet_kills=len(runner.fleet_killed),
         concurrency_ok=concurrency_ok,
+        failovers=failovers,
+        writer_kills=runner.writer_kills,
+        failover_ok=failover_ok,
     )
 
 
@@ -304,9 +364,17 @@ class _WorkloadRunner:
         self.auditor = auditor
         self.cfg = cfg
         self.rng = random.Random(cfg.seed * 7919 + 13)
-        self.session = cluster.session()
+        # In failover mode the writer identity changes under the client's
+        # feet; the cluster session re-resolves it per operation.
+        self.session = (
+            cluster.cluster_session() if cfg.failover else cluster.session()
+        )
         self.availability_errors = 0
         self.recoveries = 0
+        self.writer_kills = 0
+        #: End of the chaos schedule's horizon (absolute sim ms); the
+        #: failover settle runs this out so late writer kills still fire.
+        self.chaos_horizon_ms = 0.0
         #: key -> last value whose commit was acknowledged.
         self.committed: dict[str, str] = {}
         #: key -> every value that may have been durably committed (acked
@@ -351,7 +419,14 @@ class _WorkloadRunner:
         )
         for step in range(cfg.steps):
             self._harvest_pending()
-            if step > 0 and step % crash_every == 0:
+            if (
+                step > 0
+                and step % crash_every == 0
+                and not cfg.failover
+            ):
+                # In failover mode the chaos schedule kills the writer and
+                # the coordinator restores it; the operator-driven cadence
+                # would race the autonomous plane.
                 self._crash_and_recover()
             if membership_step is not None and step == membership_step:
                 self._membership_change()
@@ -387,12 +462,101 @@ class _WorkloadRunner:
         self.cluster.run_for(200.0)
         self._harvest_pending()
 
+    # ------------------------------------------------------------------
+    # Failover mode: chaos callbacks + settling
+    # ------------------------------------------------------------------
+    def kill_writer(self) -> None:
+        """Chaos callback: hard-kill the writer host -- crash the instance
+        and take its network link down, with no scheduled restore.
+        Bringing a writer back is the failover coordinator's job now, not
+        the schedule's (and not the client's)."""
+        cluster = self.cluster
+        writer = cluster.writer
+        if (
+            writer is None
+            or cluster.failover_in_progress
+            or writer.state is not InstanceState.OPEN
+        ):
+            return  # mid-failover already; don't stack kills
+        # The crash resolves every in-flight commit future with
+        # CommitUncertainError; _harvest_pending folds those into the
+        # uncertain set, never the acknowledged set.
+        writer.crash()
+        cluster.network.fail_node(writer.name)
+        self.writer_kills += 1
+
+    def grey_writer(self, factor: float, duration_ms: float) -> None:
+        """Chaos callback: grey failure -- the writer host turns slow, not
+        dead, for ``duration_ms``.  The health monitor must ride it out
+        (SUSPECT at worst); a failover here would be a false positive."""
+        cluster = self.cluster
+        writer = cluster.writer
+        if writer is None or not cluster.network.is_up(writer.name):
+            return
+        name = writer.name
+        cluster.failures.slow_node(name, factor)
+        cluster.loop.schedule(
+            duration_ms, lambda: cluster.failures.unslow_node(name)
+        )
+
+    def _await_failover(self) -> None:
+        """Wait (in simulated time) for the coordinator to reopen a
+        writer.  Time spent here *is* the write-unavailability window the
+        failover report measures."""
+        try:
+            self.session.await_writer(max_ms=10_000.0)
+        except SimulationError:
+            self.availability_errors += 1
+
+    def settle_failover(self) -> None:
+        """Run the chaos horizon out, then wait for the failover plane to
+        drain and a writer to be open.
+
+        The workload usually finishes in simulated time well before the
+        last scheduled writer kill; without running the horizon out, a
+        run could report a clean failover gate having never actually
+        killed its writer.
+        """
+        cluster = self.cluster
+        while cluster.loop.now < self.chaos_horizon_ms:
+            cluster.run_for(50.0)
+        for _spin in range(4000):
+            writer = cluster.writer
+            if (
+                cluster.failover.idle
+                and not cluster.failover_in_progress
+                and writer is not None
+                and writer.state is InstanceState.OPEN
+            ):
+                break
+            cluster.run_for(25.0)
+        cluster.run_for(200.0)
+        self._harvest_pending()
+
+    def failover_gate(self) -> bool:
+        """The budget gate: every confirmed writer failure resolved (no
+        record left active or stalled), and every measured total
+        write-unavailability window fit inside the configured budget."""
+        from repro.repair.metrics import ACTIVE, STALLED
+
+        for record in self.cluster.failover.records:
+            if record.outcome in (ACTIVE, STALLED):
+                return False
+            window = record.unavailability_ms
+            if window is not None and window > self.cfg.failover_budget_ms:
+                return False
+        return True
+
     def _dead_members(self, monitor) -> bool:
+        """Members the healer still owes work for: confirmed dead, or
+        *suspected* -- a failure near the end of the chaos horizon is
+        still inside its confirmation window when settling starts, and
+        breaking out then would strand its repair mid-flight."""
         from repro.repair.health import SegmentHealth
 
         metadata = self.cluster.metadata
         return any(
-            monitor.state_of(member) is SegmentHealth.DEAD
+            monitor.state_of(member) is not SegmentHealth.HEALTHY
             for pg_index in metadata.pg_indexes()
             for member in metadata.membership(pg_index).members
         )
@@ -401,11 +565,14 @@ class _WorkloadRunner:
         """One cheap write so liveness signals keep flowing while the
         healer settles (segments only ack when there is traffic)."""
         writer = self.cluster.writer
-        if writer.state is not InstanceState.OPEN:
-            try:
-                self._crash_and_recover()
-            except ReproError:
-                pass
+        if writer is None or writer.state is not InstanceState.OPEN:
+            if self.cfg.failover:
+                self._await_failover()
+            else:
+                try:
+                    self._crash_and_recover()
+                except ReproError:
+                    pass
             return
         key, value = self._key(), f"keep{step}.{self.rng.randrange(1000)}"
         try:
@@ -491,8 +658,11 @@ class _WorkloadRunner:
     # ------------------------------------------------------------------
     def _one_op(self, step: int) -> None:
         writer = self.cluster.writer
-        if writer.state is not InstanceState.OPEN:
-            self._crash_and_recover()
+        if writer is None or writer.state is not InstanceState.OPEN:
+            if self.cfg.failover:
+                self._await_failover()
+            else:
+                self._crash_and_recover()
             return
         roll = self.rng.random()
         try:

@@ -126,6 +126,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="override the protection-group count (default: 1, or 10 "
              "with --fleet)",
     )
+    audit.add_argument(
+        "--failover", action="store_true",
+        help="arm database-tier failover: passive writer health "
+             "monitoring plus autonomous replica promotion answer chaos "
+             "writer kills and grey failures (implied by --fleet); the "
+             "sweep footer reports failover windows vs the ~30s budget",
+    )
     return parser
 
 
@@ -249,6 +256,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_audit_run(args: argparse.Namespace) -> int:
     from repro.audit import AuditRunConfig, run_audit
+    from repro.repair.failover import FailoverSummary
     from repro.repair.metrics import RepairSummary
 
     seeds = (
@@ -258,6 +266,7 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
     )
     failed = 0
     fleet = RepairSummary()
+    fleet_failovers = FailoverSummary()
     for seed in seeds:
         config = AuditRunConfig(
             seed=seed,
@@ -271,6 +280,17 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
         )
         if args.fleet:
             config.as_fleet()
+        if args.failover and not config.failover:
+            # Standalone failover mode borrows the fleet writer-chaos
+            # cadence without the storage storm.
+            config.failover = True
+            config.replicas = max(config.replicas, 2)
+            config.writer_kill_period_ms = max(
+                config.writer_kill_period_ms, 6000.0
+            )
+            config.writer_grey_period_ms = max(
+                config.writer_grey_period_ms, 5000.0
+            )
         if args.pgs > 0:
             config.pg_count = args.pgs
         report = run_audit(config)
@@ -279,6 +299,8 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
             failed += 1
         if report.repairs is not None:
             fleet.merge(report.repairs)
+        if report.failovers is not None:
+            fleet_failovers.merge(report.failovers)
         if args.sweep > 0:
             print()
     if args.sweep > 0:
@@ -297,6 +319,20 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
                 f"(peak {fleet.peak_concurrent} concurrent PG repairs):"
             )
             for line in durability.render_lines():
+                print(line)
+        if fleet_failovers.unavailability.samples:
+            from repro.analysis import failover_availability
+
+            availability = failover_availability(
+                fleet_failovers.unavailability.samples,
+                detection_samples_ms=fleet_failovers.detection.samples,
+                promotion_samples_ms=fleet_failovers.promotion.samples,
+            )
+            print(
+                f"fleet failover telemetry across {len(seeds)} seeds "
+                f"({fleet_failovers.confirmed} writer failovers):"
+            )
+            for line in availability.render_lines():
                 print(line)
     return 1 if failed else 0
 

@@ -36,10 +36,14 @@ from repro.core.quorum import (
     full_tail_config,
     transition_config,
 )
-from repro.db.instance import InstanceConfig, InstanceState, WriterInstance
+from repro.db.instance import InstanceConfig, WriterInstance
 from repro.db.replica import ReplicaConfig, ReplicaInstance
-from repro.db.session import Session
-from repro.errors import ConfigurationError, MembershipError
+from repro.db.session import ClusterSession, Session
+from repro.errors import (
+    ConfigurationError,
+    FailoverInProgressError,
+    MembershipError,
+)
 from repro.sim.events import EventLoop
 from repro.sim.failures import FailureInjector
 from repro.sim.network import Network
@@ -143,6 +147,13 @@ class AuroraCluster:
         #: Optional self-healing control plane; see :meth:`arm_healer`.
         self.health = None
         self.healer = None
+        #: Optional database-tier failover plane; see :meth:`arm_failover`.
+        self.db_health = None
+        self.failover = None
+        #: True while a :class:`repro.repair.FailoverCoordinator` is mid
+        #: promotion; gates new sessions and suppresses monitor wiring for
+        #: the successor until it is actually open.
+        self.failover_in_progress = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -243,6 +254,8 @@ class AuroraCluster:
             node.attach_audit_probe(self.auditor)
         if self.health is not None:
             node.health_probe = self.health
+        if self.db_health is not None:
+            node.db_health_probe = self.db_health
         return node
 
     def _start_nodes(self) -> None:
@@ -263,6 +276,14 @@ class AuroraCluster:
             writer.driver.attach_audit_probe(self.auditor)
         if self.health is not None:
             writer.driver.health_probe = self.health
+        if self.db_health is not None and not self.failover_in_progress:
+            # During a coordinated failover the successor is registered by
+            # the coordinator once promotion succeeds -- registering it
+            # here, mid-recovery, would let its (legitimate) silence be
+            # judged as a death.
+            from repro.repair import WRITER
+
+            self.db_health.register_instance(writer.name, WRITER)
         if bootstrap:
             writer.bootstrap()
             # The volume is only usable once the bootstrap MTR is durable
@@ -322,13 +343,75 @@ class AuroraCluster:
         return monitor, self.healer
 
     # ------------------------------------------------------------------
+    # Database-tier failover (autonomous writer promotion)
+    # ------------------------------------------------------------------
+    def arm_failover(
+        self, db_health_config=None, failover_config=None
+    ) -> tuple:
+        """Attach the database-tier failover plane.
+
+        Wires a :class:`repro.repair.DbHealthMonitor` as the db-health
+        probe of every storage node and replica (so the passive signals
+        they already receive -- write batches, GC-floor heartbeats, the
+        redo stream -- double as liveness evidence), registers the current
+        writer and replicas, and subscribes a
+        :class:`repro.repair.FailoverCoordinator` that answers a confirmed
+        writer death with a fenced replica promotion.  Returns
+        ``(monitor, coordinator)``.
+        """
+        from repro.repair import (
+            REPLICA,
+            WRITER,
+            DbHealthMonitor,
+            FailoverCoordinator,
+        )
+
+        reference = (
+            self.health.freshest_signal if self.health is not None else None
+        )
+        monitor = DbHealthMonitor(
+            self.loop, db_health_config, reference_frontier=reference
+        )
+        self.db_health = monitor
+        for node in self.nodes.values():
+            node.db_health_probe = monitor
+        for name, replica in self.replicas.items():
+            replica.db_health_probe = monitor
+            monitor.register_instance(name, REPLICA)
+        if self.writer is not None:
+            monitor.register_instance(self.writer.name, WRITER)
+        monitor.start()
+        self.failover = FailoverCoordinator(self, monitor, failover_config)
+        return monitor, self.failover
+
+    # ------------------------------------------------------------------
     # Client access
     # ------------------------------------------------------------------
     def session(self) -> Session:
         """A client session against the writer."""
+        if self.writer is None or self.failover_in_progress:
+            raise FailoverInProgressError(
+                "writer endpoint unresolved: a failover is in progress; "
+                "retry once promotion completes"
+            )
         return Session(self.writer)
 
+    def cluster_session(self) -> "ClusterSession":
+        """A failover-aware session: tracks the current writer across
+        promotions and retries idempotent operations transparently."""
+        return ClusterSession(self)
+
     def replica_session(self, name: str) -> Session:
+        if name not in self.replicas:
+            if self.failover_in_progress:
+                # The replica may be mid-promotion: not gone, just not a
+                # replica any more.  Typed + retryable, per the driver
+                # contract.
+                raise FailoverInProgressError(
+                    f"replica {name!r} unavailable: a failover is in "
+                    "progress; retry once promotion completes"
+                )
+            raise ConfigurationError(f"no replica named {name!r}")
         return Session(self.replicas[name])
 
     def run_for(self, duration_ms: float) -> None:
@@ -363,6 +446,11 @@ class AuroraCluster:
         if self.auditor is not None:
             replica.audit_probe = self.auditor
             replica.driver.attach_audit_probe(self.auditor)
+        if self.db_health is not None:
+            from repro.repair import REPLICA
+
+            replica.db_health_probe = self.db_health
+            self.db_health.register_instance(name, REPLICA)
         writer = self.writer
         replica.attach(
             next_expected_lsn=writer.allocator.next_lsn,
@@ -379,6 +467,8 @@ class AuroraCluster:
         replica.detach()
         if self.writer is not None:
             self.writer.publisher.detach_replica(name)
+        if self.db_health is not None:
+            self.db_health.deregister_instance(name)
 
     # ------------------------------------------------------------------
     # Writer crash / recovery / promotion
@@ -402,12 +492,30 @@ class AuroraCluster:
         against the shared volume.  Returns (new_writer, recovery_process).
         """
         old_writer = self.writer
-        if old_writer is not None:
-            old_writer.state = InstanceState.CLOSED
         self.remove_replica(name)
         writer = self._create_writer(bootstrap=False)
+        if old_writer is not None:
+            self._retire_writer(old_writer)
         process = writer.recover()
         return writer, process
+
+    def _retire_writer(self, old_writer: WriterInstance) -> None:
+        """Condemn a superseded writer so it can never serve again.
+
+        A reachable incumbent is closed in place.  An unreachable one
+        cannot be told anything -- it stays a potential zombie, which is
+        exactly what the successor's volume-epoch fence exists for -- but
+        we condemn its node (so a later chaos *restore* cannot resurrect
+        it into the scheduler) and make every storage node forget it (so
+        gossip-driven re-acks never reach it again).
+        """
+        if self.network.is_up(old_writer.name):
+            old_writer.close(reason="superseded by promotion")
+        self.failures.condemn_node(old_writer.name)
+        for node in self.nodes.values():
+            node.forget_instance(old_writer.name)
+        if self.db_health is not None:
+            self.db_health.deregister_instance(old_writer.name)
 
     def reattach_replicas(self) -> None:
         """Re-subscribe surviving replicas to the (new) writer's stream."""

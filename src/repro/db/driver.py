@@ -42,6 +42,7 @@ from repro.core.records import LogRecord
 from repro.errors import SegmentUnavailableError
 from repro.sim.events import EventLoop, Future
 from repro.storage.messages import (
+    EpochWrite,
     ReadBlockRequest,
     ReadBlockResponse,
     RecoveryScanRequest,
@@ -171,6 +172,11 @@ class StorageDriver:
         #: rejections, read replies, and hedge escalations feed its passive
         #: per-segment liveness signals (``None`` = one attribute load).
         self.health_probe = None
+        #: Fired (no arguments) when a rejection reveals a *volume*-epoch
+        #: advance this driver did not perform: a successor writer fenced
+        #: us (section 6's "changing the locks on the door").  The owning
+        #: instance subscribes to stop issuing I/O.
+        self.on_fenced: list[Callable[[], None]] = []
         #: Per-segment ring of recently sent, not-yet-acknowledged batches
         #: (fuel for resubmission after a stale-epoch rejection).
         self._unacked: dict[str, deque[WriteBatch]] = {}
@@ -365,6 +371,16 @@ class StorageDriver:
             self.health_probe.note_rejection(rejection.segment_id)
         before = self.epochs
         self.adopt_epochs(rejection.current_epochs)
+        if self.epochs.volume > before.volume:
+            # A volume-epoch advance this driver did not perform can only
+            # mean a successor ran recovery: we have been fenced.  Our
+            # retained batches belong to a dead generation -- resubmitting
+            # them at the new epoch would inject a zombie's writes past
+            # the fence -- so drop them and tell the instance to stop.
+            self._unacked.clear()
+            for callback in list(self.on_fenced):
+                callback()
+            return
         if not self.config.resubmit_on_rejection or self.epochs == before:
             # Nothing newer was adopted (e.g. a read-window rejection):
             # resending the same stamp would only bounce again.
@@ -642,6 +658,24 @@ class StorageDriver:
                 pg_index=pg_index, epochs=self.epochs
             ),
             quorum="read",
+        )
+
+    def fence_pg(self, pg_index: int, new_epochs: EpochStamp) -> Future:
+        """Establish ``new_epochs`` on a write quorum of ``pg_index``.
+
+        This is the fence itself: once a write quorum has adopted the new
+        volume epoch, no batch stamped with the prior epoch can reach a
+        write quorum again (any two write quorums intersect), so a zombie
+        predecessor can never acknowledge another commit.  The request
+        presents the *new* stamp so the caller -- who has already adopted
+        it locally -- is teaching, not being rejected.
+        """
+        return self.quorum_rpc(
+            pg_index,
+            lambda _member: EpochWrite(
+                pg_index=pg_index, epochs=new_epochs, new_epochs=new_epochs
+            ),
+            quorum="write",
         )
 
     def truncate_pg(

@@ -45,7 +45,7 @@ from repro.db.mvcc import (
 )
 from repro.db.replication import ReplicationPublisher
 from repro.db.txn import Transaction, TransactionManager
-from repro.errors import InstanceStateError
+from repro.errors import CommitUncertainError, InstanceStateError
 from repro.sim.events import Future
 from repro.sim.network import Actor, Message
 from repro.sim.process import Mutex, Process
@@ -134,6 +134,10 @@ class WriterInstance(Actor, BlockIO):
         self.btree: BTree | None = None
         self._write_mutex: Mutex | None = None
         self._gc_floor_tick_scheduled = False
+        #: Commit futures not yet resolved, by txn id.  On crash, fence, or
+        #: close these resolve with :class:`CommitUncertainError` -- the
+        #: outcome is unknown, never falsely acknowledged.
+        self._pending_commits: dict[int, Future] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -178,6 +182,7 @@ class WriterInstance(Actor, BlockIO):
             max_internal_keys=self.config.max_internal_keys,
         )
         self._write_mutex = Mutex(self.loop)
+        self.driver.on_fenced.append(self._on_fenced)
         self._schedule_gc_floor_tick()
 
     def bootstrap(self) -> None:
@@ -191,6 +196,7 @@ class WriterInstance(Actor, BlockIO):
         )
         self._apply_mtr(mtr)
         self.state = InstanceState.OPEN
+        self._notify_writer_open()
 
     def _require(self, *states: InstanceState) -> None:
         if self.state not in states:
@@ -427,6 +433,7 @@ class WriterInstance(Actor, BlockIO):
         if self.publisher is not None:
             self.publisher.publish_mtr([record])
         started = self.loop.now
+        self._pending_commits[txn.txn_id] = future
         self.driver.commit_queue.enqueue(
             scn,
             ack=lambda: self._finish_commit(txn, future, started),
@@ -438,6 +445,7 @@ class WriterInstance(Actor, BlockIO):
     def _finish_commit(
         self, txn: Transaction, future: Future, started: float
     ) -> None:
+        self._pending_commits.pop(txn.txn_id, None)
         if self.state is not InstanceState.OPEN:
             return  # crashed before the ack could fire; commit is lost
         self.txns.finish_commit(txn)
@@ -504,6 +512,12 @@ class WriterInstance(Actor, BlockIO):
 
         def _tick() -> None:
             self._gc_floor_tick_scheduled = False
+            if self.state in (InstanceState.CRASHED, InstanceState.CLOSED):
+                # A dead instance must fall silent: its heartbeat would
+                # otherwise keep the health monitor fooled, and a retired
+                # writer must never speak again.  Recovery restarts the
+                # tick explicitly.
+                return
             if self.state is InstanceState.OPEN:
                 self._advertise_gc_floor()
             self._schedule_gc_floor_tick()
@@ -533,7 +547,11 @@ class WriterInstance(Actor, BlockIO):
     # ------------------------------------------------------------------
     def crash(self) -> None:
         """Lose all ephemeral state, exactly as a process kill would."""
+        was_open = self.state is InstanceState.OPEN
         self.state = InstanceState.CRASHED
+        self._fail_pending_commits("writer crashed before the commit ack")
+        if was_open:
+            self._notify_writer_close()
         self.cache.drop_all()
         self.locks.clear()
         self.txns.clear()
@@ -546,6 +564,51 @@ class WriterInstance(Actor, BlockIO):
         self.allocator = LSNAllocator()
         self.chains = ChainState()
 
+    def close(self, reason: str = "retired") -> None:
+        """Retire the instance permanently (fenced or administratively).
+
+        Unlike :meth:`crash` there is no way back: a closed writer ignores
+        all storage traffic and never recovers.  In-flight commit futures
+        resolve as uncertain -- the records may well be durable, but this
+        instance can no longer observe the VCL pass them.
+        """
+        if self.state is InstanceState.CLOSED:
+            return
+        was_open = self.state is InstanceState.OPEN
+        self.state = InstanceState.CLOSED
+        self._fail_pending_commits(f"writer closed ({reason})")
+        if was_open:
+            self._notify_writer_close()
+
+    def _on_fenced(self) -> None:
+        """Driver observed a foreign volume-epoch bump: a successor ran
+        recovery and changed the locks.  Step down immediately."""
+        if self.state is not InstanceState.OPEN:
+            return
+        self.close(reason="fenced by a successor's volume epoch")
+
+    def _fail_pending_commits(self, reason: str) -> None:
+        pending = list(self._pending_commits.values())
+        self._pending_commits.clear()
+        for future in pending:
+            if not future.done:
+                future.set_exception(
+                    CommitUncertainError(
+                        f"commit outcome unknown: {reason}; the transaction "
+                        "is either durably committed or entirely absent"
+                    )
+                )
+
+    def _notify_writer_open(self) -> None:
+        probe = self.driver.audit_probe if self.driver is not None else None
+        if probe is not None:
+            probe.on_writer_open(self.name, self.driver.epochs.volume)
+
+    def _notify_writer_close(self) -> None:
+        probe = self.driver.audit_probe if self.driver is not None else None
+        if probe is not None:
+            probe.on_writer_close(self.name)
+
     def recover(self) -> Process:
         """Run crash recovery; returns the driving :class:`Process`."""
         return Process(self.loop, self._recover())
@@ -557,9 +620,21 @@ class WriterInstance(Actor, BlockIO):
         self.stats.recoveries += 1
         self.driver.refresh_epochs()
         self.driver.configure_all_pgs()
+        pg_indexes = self.metadata.pg_indexes()
+
+        # 0. Fence FIRST: bump the volume epoch and establish it on a write
+        #    quorum of every PG before reading anything ("changes the locks
+        #    on the door").  Any batch a zombie predecessor gets accepted
+        #    after this point can reach at most a minority at the old
+        #    epoch, so it can never be acknowledged; anything it *did*
+        #    quorum-ack before the fence is, by quorum intersection,
+        #    visible to the scan below and therefore preserved.
+        new_epochs = self.driver.epochs.bump_volume()
+        self.driver.adopt_epochs(new_epochs)
+        for pg_index in pg_indexes:
+            yield self.driver.fence_pg(pg_index, new_epochs)
 
         # 1. Reach a read quorum (and every reachable segment) per PG.
-        pg_indexes = self.metadata.pg_indexes()
         responses_by_pg: dict[int, list[SegmentRecoveryResponse]] = {}
         pg_configs = {}
         for pg_index in pg_indexes:
@@ -594,9 +669,7 @@ class WriterInstance(Actor, BlockIO):
             highest_possible_lsn=highest_seen + self.config.recovery_margin,
         )
 
-        # 3. Snip the ragged edge and bump the volume epoch on a write
-        #    quorum of every PG ("changes the locks on the door").
-        new_epochs = self.driver.epochs.bump_volume()
+        # 3. Snip the ragged edge under the already-established epoch.
         truncation = result.truncation
         if truncation is None:
             truncation = TruncationRange(
@@ -612,7 +685,6 @@ class WriterInstance(Actor, BlockIO):
             )
             for segment_id, ack in acks.items():
                 self.driver.seed_member_scl(pg_index, segment_id, ack.scl)
-        self.driver.adopt_epochs(new_epochs)
 
         # 4. Re-anchor all local bookkeeping above the truncation range.
         self.allocator = LSNAllocator()
@@ -628,6 +700,8 @@ class WriterInstance(Actor, BlockIO):
 
         # 5. Reload durable transaction statuses from the txn-table blocks.
         self.state = InstanceState.OPEN
+        self._notify_writer_open()
+        self._schedule_gc_floor_tick()
         for block in range(1, self.config.txn_table_blocks + 1):
             image = yield from self.read_image(block)
             self.registry.load_txn_table_image(image)

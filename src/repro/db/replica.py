@@ -106,6 +106,10 @@ class ReplicaInstance(Actor, BlockIO):
         #: Optional :class:`repro.audit.Auditor` observer (zero-cost when
         #: unattached).
         self.audit_probe = None
+        #: Optional :class:`repro.repair.DbHealthMonitor` observer: the
+        #: ``writer_id`` on every replication message this replica hears
+        #: is writer-liveness evidence.
+        self.db_health_probe = None
 
     # ------------------------------------------------------------------
     # Wiring / attach
@@ -173,6 +177,12 @@ class ReplicaInstance(Actor, BlockIO):
         payload = message.payload
         if not self.online:
             return
+        if self.db_health_probe is not None:
+            writer_id = getattr(payload, "writer_id", None)
+            if writer_id is not None:
+                # Redo chunks, VDL heartbeats and commit notices all prove
+                # the writer alive.
+                self.db_health_probe.note_signal(writer_id)
         if isinstance(payload, MTRChunk):
             self._on_chunk(payload)
         elif isinstance(payload, VDLUpdate):

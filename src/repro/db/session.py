@@ -12,10 +12,15 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.db.instance import WriterInstance
+from repro.db.instance import InstanceState, WriterInstance
 from repro.db.replica import ReplicaInstance
 from repro.db.txn import Transaction
-from repro.errors import SimulationError
+from repro.errors import (
+    CommitUncertainError,
+    FailoverInProgressError,
+    InstanceStateError,
+    SimulationError,
+)
 from repro.sim.events import EventLoop, Future
 from repro.sim.process import Process
 
@@ -133,3 +138,97 @@ class Session:
         txn = self.begin()
         self.delete(txn, key)
         return self.commit(txn)
+
+
+class ClusterSession(Session):
+    """A failover-aware client session.
+
+    A plain :class:`Session` is pinned to one instance; when that writer
+    dies the session dies with it.  A ``ClusterSession`` instead resolves
+    the cluster's *current* writer on every operation, waits out
+    in-progress failovers, and transparently retries the **idempotent**
+    surface -- reads and the one-shot auto-commit writes, whose re-apply
+    is a no-op by construction -- when a typed retryable error
+    (:class:`FailoverInProgressError`, :class:`InstanceStateError`,
+    :class:`CommitUncertainError`) interrupts it.
+
+    Explicit transactions (:meth:`begin` .. :meth:`commit`) are *not*
+    retried: a transaction handle is bound to one writer generation, and
+    replaying arbitrary statement sequences is not idempotent in general.
+    Their commit futures resolve with :class:`CommitUncertainError` on
+    failover -- never a false acknowledgement -- and the caller decides.
+    """
+
+    #: Errors that mean "the writer moved under you; same call is safe".
+    RETRYABLE = (
+        CommitUncertainError,
+        FailoverInProgressError,
+        InstanceStateError,
+    )
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+
+    @property
+    def instance(self) -> WriterInstance:  # type: ignore[override]
+        writer = self.cluster.writer
+        if writer is None or self.cluster.failover_in_progress:
+            raise FailoverInProgressError(
+                "writer endpoint unresolved: a failover is in progress"
+            )
+        return writer
+
+    @property
+    def loop(self) -> EventLoop:
+        return self.cluster.loop
+
+    def await_writer(self, max_ms: float = 60_000.0) -> WriterInstance:
+        """Pump the simulation until an open writer is available."""
+        deadline = self.cluster.loop.now + max_ms
+        for _ in range(int(max_ms / 5.0) + 1):
+            writer = self.cluster.writer
+            if (
+                writer is not None
+                and not self.cluster.failover_in_progress
+                and writer.state is InstanceState.OPEN
+            ):
+                return writer
+            if self.cluster.loop.now > deadline:
+                break
+            self.cluster.run_for(5.0)
+        raise SimulationError(
+            f"no open writer within {max_ms} ms of simulated time "
+            "(failover stalled or no coordinator armed?)"
+        )
+
+    def _retry(self, op, max_ms: float = 60_000.0) -> Any:
+        deadline = self.cluster.loop.now + max_ms
+        while True:
+            self.await_writer(max_ms=max_ms)
+            try:
+                return op()
+            except self.RETRYABLE:
+                if self.cluster.loop.now > deadline:
+                    raise
+                # Let the failover plane make progress before retrying.
+                self.cluster.run_for(25.0)
+
+    # Idempotent surface: safe to re-apply after an uncertain outcome.
+    def write(self, key, value) -> int:
+        return self._retry(lambda: super(ClusterSession, self).write(key, value))
+
+    def write_many(self, items: dict) -> int:
+        return self._retry(
+            lambda: super(ClusterSession, self).write_many(items)
+        )
+
+    def remove(self, key) -> int:
+        return self._retry(lambda: super(ClusterSession, self).remove(key))
+
+    def get(self, key, txn: Transaction | None = None) -> Any:
+        return self._retry(lambda: super(ClusterSession, self).get(key, txn))
+
+    def scan(self, low, high, txn: Transaction | None = None) -> list:
+        return self._retry(
+            lambda: super(ClusterSession, self).scan(low, high, txn)
+        )

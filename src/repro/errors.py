@@ -80,6 +80,40 @@ class InstanceStateError(ReproError):
     """The database instance is not in a state that allows the operation."""
 
 
+class FailoverInProgressError(InstanceStateError):
+    """No writer endpoint is currently resolvable; retry after promotion.
+
+    Raised while a writer failover is being driven: the old writer has been
+    confirmed dead (or fenced) and a replacement has not yet finished
+    opening.  This is a *retryable* condition -- clients are expected to
+    back off and reconnect, exactly as Aurora drivers re-resolve the
+    cluster writer endpoint after a failover.
+    """
+
+
+class WriterFencedError(InstanceStateError):
+    """This writer was fenced by a volume-epoch bump from its successor.
+
+    Per the paper's section 6, recovery "changes the locks on the door":
+    a promoted replica bumps the volume epoch, after which every request
+    the old writer issues is epoch-rejected.  The fenced instance must
+    stop issuing I/O; any state it has not already heard acknowledged is
+    the successor's to decide.
+    """
+
+
+class CommitUncertainError(TransactionError):
+    """The outcome of an in-flight commit is unknown after a writer failure.
+
+    The redo records may or may not have reached a write quorum before the
+    writer died; recovery on the successor decides.  The transaction is
+    either durably present in its entirety or absent -- never partially
+    applied -- but the client cannot tell which without re-reading.  This
+    is deliberately *not* an abort: the one guarantee is that the commit
+    was never falsely acknowledged.
+    """
+
+
 class VolumeGeometryError(ReproError):
     """A block address fell outside the current volume geometry."""
 

@@ -8,8 +8,30 @@ operator: a :class:`HealthMonitor` turns passive signals into
 suspect/confirmed-dead verdicts, and a :class:`RepairPlanner` drives the
 Figure 5 flow autonomously -- including the rollback path when a suspect
 turns out to have been merely slow.
+
+The same machinery runs one tier up: a :class:`DbHealthMonitor` infers
+writer/replica liveness from passive database-tier signals, and a
+:class:`FailoverCoordinator` answers a confirmed writer death with a
+fenced replica promotion (section 6's "changing the locks on the door",
+driven autonomously).
 """
 
+from repro.repair.db_health import (
+    REPLICA,
+    WRITER,
+    DbHealthConfig,
+    DbHealthMonitor,
+)
+from repro.repair.failover import (
+    FAILOVER_TERMINAL,
+    PROMOTED,
+    RESTARTED,
+    FailoverConfig,
+    FailoverCoordinator,
+    FailoverRecord,
+    FailoverSummary,
+    summarize_failovers,
+)
 from repro.repair.health import HealthConfig, HealthMonitor, SegmentHealth
 from repro.repair.metrics import (
     ABORTED,
@@ -29,10 +51,21 @@ from repro.repair.planner import RepairConfig, RepairPlanner
 __all__ = [
     "ABORTED",
     "ACTIVE",
+    "FAILOVER_TERMINAL",
+    "PROMOTED",
     "REPLACED",
+    "REPLICA",
+    "RESTARTED",
     "ROLLED_BACK",
     "STALLED",
     "TERMINAL_OUTCOMES",
+    "WRITER",
+    "DbHealthConfig",
+    "DbHealthMonitor",
+    "FailoverConfig",
+    "FailoverCoordinator",
+    "FailoverRecord",
+    "FailoverSummary",
     "HealthConfig",
     "HealthMonitor",
     "LatencyStats",
@@ -42,5 +75,6 @@ __all__ = [
     "RepairSummary",
     "SegmentHealth",
     "percentile",
+    "summarize_failovers",
     "summarize_repairs",
 ]

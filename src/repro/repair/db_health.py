@@ -1,0 +1,358 @@
+"""Database-tier passive failure detection (writer and read replicas).
+
+The storage-tier :class:`~repro.repair.health.HealthMonitor` watches
+segments; this monitor applies the same philosophy one layer up, to the
+database instances themselves.  Nothing here polls the writer with a
+dedicated heartbeat -- liveness is inferred from signals the system
+already emits:
+
+- **redo-stream advance** -- storage nodes observe the sending
+  ``instance_id`` on every :class:`~repro.storage.messages.WriteBatch`;
+- **GC-floor cadence** -- the writer *and* every replica advertise their
+  PGMRPL to storage on a fixed interval, a steady passive heartbeat even
+  when the workload is idle;
+- **VDL heartbeats and commit notices** -- replicas observe the
+  ``writer_id`` on every :class:`~repro.db.replication.MTRChunk`,
+  ``VDLUpdate`` and ``CommitNotice`` they receive.
+
+Silence is judged *relative to the freshest database-tier signal*, with
+one addition over the storage monitor: an optional ``reference_frontier``
+callable (wired to the storage monitor's
+:meth:`~repro.repair.health.HealthMonitor.freshest_signal`).  Storage
+gossip keeps flowing when the writer dies, so a fresh storage frontier
+proves the observer itself is alive -- database-tier silence against a
+moving storage frontier is evidence about the *writer*, not about the
+network.  Conversely, when both tiers go quiet together (full partition,
+observer failure), judgement is suspended and nobody is suspected.
+
+The per-instance state machine is the storage monitor's
+``HEALTHY -> SUSPECT -> DEAD`` with the same adaptive EWMA cadence
+(PR 3): thresholds derive from the signal gaps actually observed, so an
+idle workload -- where the only traffic is the 50 ms GC-floor tick --
+stretches the windows instead of flapping.  A confirmed-dead verdict on
+an instance registered as the *writer* is what arms the
+:class:`~repro.repair.failover.FailoverCoordinator`; replica verdicts are
+recorded but trigger nothing (a dead replica costs read capacity, not
+availability).  A slow-but-signalling writer (grey failure) never
+graduates past SUSPECT, exactly like a grey segment: its delayed GC-floor
+ticks still arrive, and confirmation requires *continued* silence.
+
+Like every monitor in the repair control plane, this one draws nothing
+from the shared simulation RNG and ticks on a fixed interval, so arming
+it perturbs no seeded schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.repair.health import SegmentHealth
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import EventLoop
+
+#: Roles an instance can be registered under.
+WRITER = "writer"
+REPLICA = "replica"
+
+
+@dataclass
+class DbHealthConfig:
+    """Detection knobs for the database tier (times in simulated ms).
+
+    The floors are tuned to the GC-floor advertisement interval (50 ms):
+    a live writer is heard from by some storage node every tick, so even
+    a fully idle workload gives the monitor a dense signal stream and the
+    adaptive thresholds sit at their floors.
+    """
+
+    #: Fixed sweep interval (never jittered; no RNG draws).
+    tick_interval_ms: float = 25.0
+    #: Floor of the relative-silence suspicion threshold.
+    suspect_silence_ms: float = 250.0
+    #: Floor of the continued-silence confirmation window.
+    confirm_after_ms: float = 600.0
+    #: Per-instance confirmation backoff after a false positive.
+    false_positive_backoff: float = 2.0
+    max_confirm_ms: float = 8_000.0
+    #: Adaptive cadence (EWMA of observed inter-signal gaps).
+    adaptive: bool = True
+    cadence_alpha: float = 0.25
+    cadence_multiplier: float = 4.0
+    max_suspect_silence_ms: float = 2_000.0
+    confirm_multiplier: float = 6.0
+    #: The tier is idle when its freshest signal -- including the
+    #: reference frontier -- is older than this multiple of the group
+    #: cadence; silence judgement is then suspended.
+    idle_multiplier: float = 3.0
+
+
+@dataclass
+class _InstanceState:
+    role: str
+    state: SegmentHealth = SegmentHealth.HEALTHY
+    suspect_since: float = 0.0
+    confirm_ms: float = 0.0
+    gap_ewma_ms: float | None = None
+
+
+class DbHealthMonitor:
+    """Aggregates passive liveness signals into per-instance verdicts.
+
+    Producers (storage nodes, replicas) hold this as a
+    ``db_health_probe`` attribute and report the instance ids they hear
+    from; consumers subscribe to :attr:`on_confirmed_dead` /
+    :attr:`on_recovered`.  Instances must be explicitly registered --
+    signals about unknown ids are ignored, so a freshly fenced writer's
+    late traffic cannot re-enter the tracked set.
+    """
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        config: DbHealthConfig | None = None,
+        reference_frontier: Callable[[], float | None] | None = None,
+    ) -> None:
+        self.loop = loop
+        self.config = config if config is not None else DbHealthConfig()
+        #: Proof-of-observer-liveness hook (the storage monitor's
+        #: ``freshest_signal``); None disables the cross-tier frontier.
+        self.reference_frontier = reference_frontier
+        #: Fired with ``(instance_id, last_alive_at, confirmed_at)``.
+        self.on_confirmed_dead: list[Callable[[str, float, float], None]] = []
+        #: Fired with ``(instance_id,)`` on a false-positive return.
+        self.on_recovered: list[Callable[[str], None]] = []
+        self.events: list[tuple[float, str, str]] = []
+        self.counters = {
+            "suspected": 0,
+            "confirmed_dead": 0,
+            "false_positives": 0,
+            "recovered_suspects": 0,
+        }
+        self._states: dict[str, _InstanceState] = {}
+        self._last_alive: dict[str, float] = {}
+        #: Tier-wide cadence: [last_signal_at, aggregate gap EWMA].
+        self._group_cadence: list = [None, None]
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle / registration
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.loop.schedule(self.config.tick_interval_ms, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def register_instance(self, instance_id: str, role: str) -> None:
+        """Track ``instance_id`` (grace period: provisionally alive now)."""
+        self._last_alive.setdefault(instance_id, self.loop.now)
+        if instance_id not in self._states:
+            self._states[instance_id] = _InstanceState(
+                role=role, confirm_ms=self.config.confirm_after_ms
+            )
+        else:
+            self._states[instance_id].role = role
+
+    def deregister_instance(self, instance_id: str) -> None:
+        self._states.pop(instance_id, None)
+        self._last_alive.pop(instance_id, None)
+
+    def set_role(self, instance_id: str, role: str) -> None:
+        entry = self._states.get(instance_id)
+        if entry is not None:
+            entry.role = role
+
+    def role_of(self, instance_id: str) -> str | None:
+        entry = self._states.get(instance_id)
+        return entry.role if entry is not None else None
+
+    def state_of(self, instance_id: str) -> SegmentHealth:
+        entry = self._states.get(instance_id)
+        return entry.state if entry is not None else SegmentHealth.HEALTHY
+
+    def last_alive(self, instance_id: str) -> float | None:
+        return self._last_alive.get(instance_id)
+
+    def tracked(self) -> list[str]:
+        return sorted(self._states)
+
+    # ------------------------------------------------------------------
+    # Signal intake (producers: storage nodes, replicas)
+    # ------------------------------------------------------------------
+    def note_signal(self, instance_id: str) -> None:
+        """Any passive evidence that ``instance_id`` is alive: a redo
+        batch or GC-floor update observed by storage, a replication
+        message observed by a replica."""
+        if instance_id not in self._states:
+            return  # unregistered (e.g. a fenced predecessor): ignore
+        self._alive(instance_id)
+
+    def _alive(self, instance_id: str) -> None:
+        now = self.loop.now
+        last = self._last_alive.get(instance_id)
+        self._last_alive[instance_id] = now
+        entry = self._states[instance_id]
+        self._observe_cadence(entry, last, now)
+        if entry.state is SegmentHealth.SUSPECT:
+            entry.state = SegmentHealth.HEALTHY
+            self.counters["recovered_suspects"] += 1
+            self._log("suspect-recovered", instance_id)
+        elif entry.state is SegmentHealth.DEAD:
+            entry.state = SegmentHealth.HEALTHY
+            self.counters["false_positives"] += 1
+            # Cried wolf: require longer confirmation next time.
+            entry.confirm_ms = min(
+                entry.confirm_ms * self.config.false_positive_backoff,
+                self.config.max_confirm_ms,
+            )
+            self._log("false-positive-return", instance_id)
+            for callback in list(self.on_recovered):
+                callback(instance_id)
+
+    # ------------------------------------------------------------------
+    # Adaptive cadence (mirrors repair.health)
+    # ------------------------------------------------------------------
+    def _observe_cadence(
+        self, entry: _InstanceState, last: float | None, now: float
+    ) -> None:
+        cfg = self.config
+        if not cfg.adaptive:
+            return
+        alpha = cfg.cadence_alpha
+        if last is not None:
+            gap = now - last
+            entry.gap_ewma_ms = (
+                gap
+                if entry.gap_ewma_ms is None
+                else alpha * gap + (1.0 - alpha) * entry.gap_ewma_ms
+            )
+        cadence = self._group_cadence
+        if cadence[0] is None:
+            cadence[0] = now
+            return
+        group_gap = now - cadence[0]
+        cadence[0] = now
+        cadence[1] = (
+            group_gap
+            if cadence[1] is None
+            else alpha * group_gap + (1.0 - alpha) * cadence[1]
+        )
+
+    def _cadence_ms(self, entry: _InstanceState) -> float | None:
+        """Slowest of the instance's own cadence and the tier's
+        per-instance cadence (aggregate gap x tracked count)."""
+        per_member = None
+        if self._group_cadence[1] is not None:
+            per_member = self._group_cadence[1] * max(1, len(self._states))
+        gaps = [g for g in (entry.gap_ewma_ms, per_member) if g is not None]
+        return max(gaps) if gaps else None
+
+    def suspect_threshold_ms(self, instance_id: str) -> float:
+        cfg = self.config
+        entry = self._states.get(instance_id)
+        if entry is None or not cfg.adaptive:
+            return cfg.suspect_silence_ms
+        cadence = self._cadence_ms(entry)
+        if cadence is None:
+            return cfg.suspect_silence_ms
+        return min(
+            max(cfg.suspect_silence_ms, cfg.cadence_multiplier * cadence),
+            cfg.max_suspect_silence_ms,
+        )
+
+    def confirm_window_ms(self, instance_id: str) -> float:
+        cfg = self.config
+        entry = self._states.get(instance_id)
+        if entry is None:
+            return cfg.confirm_after_ms
+        base = entry.confirm_ms or cfg.confirm_after_ms
+        if not cfg.adaptive:
+            return base
+        cadence = self._cadence_ms(entry)
+        if cadence is None:
+            return base
+        return min(
+            max(base, cfg.confirm_multiplier * cadence), cfg.max_confirm_ms
+        )
+
+    def _frontier(self) -> float | None:
+        """Freshest liveness evidence the observer holds: the newest
+        database-tier signal, advanced by the storage-tier reference
+        frontier when one is wired."""
+        frontier = max(self._last_alive.values(), default=None)
+        if self.reference_frontier is not None:
+            reference = self.reference_frontier()
+            if reference is not None:
+                frontier = (
+                    reference
+                    if frontier is None
+                    else max(frontier, reference)
+                )
+        return frontier
+
+    def _tier_active(self, frontier: float, now: float) -> bool:
+        cfg = self.config
+        if not cfg.adaptive:
+            return True
+        ewma = self._group_cadence[1]
+        grace = (
+            cfg.suspect_silence_ms
+            if ewma is None
+            else min(
+                max(cfg.suspect_silence_ms, cfg.idle_multiplier * ewma),
+                cfg.max_suspect_silence_ms,
+            )
+        )
+        return now - frontier <= grace
+
+    # ------------------------------------------------------------------
+    # The sweep
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.loop.now
+        frontier = self._frontier()
+        if frontier is not None:
+            active = self._tier_active(frontier, now)
+            for instance_id in list(self._states):
+                self._judge(instance_id, frontier, now, active)
+        self.loop.schedule(self.config.tick_interval_ms, self._tick)
+
+    def _judge(
+        self, instance_id: str, frontier: float, now: float, active: bool
+    ) -> None:
+        entry = self._states[instance_id]
+        silence = frontier - self._last_alive[instance_id]
+        threshold = self.suspect_threshold_ms(instance_id)
+        if entry.state is SegmentHealth.HEALTHY:
+            if active and silence > threshold:
+                entry.state = SegmentHealth.SUSPECT
+                entry.suspect_since = now
+                self.counters["suspected"] += 1
+                self._log("suspected", instance_id)
+        elif entry.state is SegmentHealth.SUSPECT:
+            if silence <= threshold:
+                entry.state = SegmentHealth.HEALTHY
+                self.counters["recovered_suspects"] += 1
+                self._log("suspect-decayed", instance_id)
+            elif (
+                active
+                and now - entry.suspect_since
+                >= self.confirm_window_ms(instance_id)
+            ):
+                entry.state = SegmentHealth.DEAD
+                self.counters["confirmed_dead"] += 1
+                self._log("confirmed-dead", instance_id)
+                failed_at = self._last_alive[instance_id]
+                for callback in list(self.on_confirmed_dead):
+                    callback(instance_id, failed_at, now)
+        # DEAD: stays dead until a liveness signal revives it (_alive).
+
+    def _log(self, event: str, instance_id: str) -> None:
+        self.events.append((self.loop.now, event, instance_id))

@@ -200,6 +200,14 @@ class HealthMonitor:
     def last_alive(self, segment_id: str) -> float | None:
         return self._last_alive.get(segment_id)
 
+    def freshest_signal(self) -> float | None:
+        """Timestamp of the newest liveness signal across *all* tracked
+        segments.  The database-tier monitor uses this as a reference
+        frontier: storage gossip keeps flowing even when the writer is
+        down, so a fresh storage frontier proves the observer itself is
+        alive and that database-tier silence is evidence."""
+        return max(self._last_alive.values(), default=None)
+
     # ------------------------------------------------------------------
     # Signal intake (producers: driver acks/reads, node gossip)
     # ------------------------------------------------------------------

@@ -30,6 +30,13 @@ CRASH_NODE = "crash_node"
 CRASH_AZ = "crash_az"
 SLOW_NODE = "slow_node"
 PARTITION = "partition"
+#: Database-tier kinds (installed via callbacks; the schedule does not
+#: know writer names, which change across failovers -- the pseudo-target
+#: ``__writer__`` stands for "whoever is the writer when the event fires").
+KILL_WRITER = "kill_writer"
+GREY_WRITER = "grey_writer"
+
+WRITER_TARGET = "__writer__"
 
 
 @dataclass(frozen=True)
@@ -44,7 +51,11 @@ class ChaosEvent:
     factor: float = 1.0
 
     def __str__(self) -> str:
-        extra = f" x{self.factor:g}" if self.kind == SLOW_NODE else ""
+        extra = (
+            f" x{self.factor:g}"
+            if self.kind in (SLOW_NODE, GREY_WRITER)
+            else ""
+        )
         return (
             f"t={self.at:8.1f}ms {self.kind:<10} {self.target}"
             f" for {self.duration:.0f}ms{extra}"
@@ -71,6 +82,13 @@ class ChaosConfig:
     az_burst_period_ms: float = 0.0
     #: Nodes outside the failed AZ crashed alongside each burst.
     az_burst_fanout: int = 3
+    #: Database-tier chaos: kill the current writer outright (no scheduled
+    #: restore -- recovery is the failover plane's job), or grey-fail it
+    #: (slow, not dead: latency inflated for the duration).  0 disables
+    #: either kind; disabled kinds draw nothing from the RNG, so existing
+    #: seeded schedules are byte-identical.
+    writer_kill_period_ms: float = 0.0
+    writer_grey_period_ms: float = 0.0
 
 
 def fleet_chaos_config() -> ChaosConfig:
@@ -222,6 +240,26 @@ class ChaosSchedule:
                 reserve(victim, at, at + vd)
                 events.append(ChaosEvent(at, vd, CRASH_NODE, victim))
 
+        def pick_writer_kill() -> ChaosEvent | None:
+            # The "duration" of a kill is the exclusion window reserved on
+            # the writer pseudo-target, spacing successive writer events
+            # far enough apart for a failover to complete in between.
+            d = max(duration() * 4, cfg.max_duration_ms * 4)
+            at = start_time(d)
+            if at < 0:
+                return None
+            return ChaosEvent(at, d, KILL_WRITER, WRITER_TARGET)
+
+        def pick_writer_grey() -> ChaosEvent | None:
+            d = max(duration() * 2, cfg.max_duration_ms)
+            at = start_time(d)
+            if at < 0:
+                return None
+            factor = rng.uniform(cfg.min_slow_factor, cfg.max_slow_factor)
+            return ChaosEvent(
+                at, d, GREY_WRITER, WRITER_TARGET, factor=round(factor, 1)
+            )
+
         place(max(1, int(horizon_ms / cfg.node_crash_period_ms)),
               pick_node_crash)
         place(int(horizon_ms / cfg.az_outage_period_ms), pick_az_outage)
@@ -230,9 +268,22 @@ class ChaosSchedule:
         if cfg.az_burst_period_ms > 0:
             for _ in range(max(1, int(horizon_ms / cfg.az_burst_period_ms))):
                 place_az_burst()
+        # Writer events draw last and only when enabled, so schedules
+        # generated before these kinds existed replay byte-identically.
+        if cfg.writer_kill_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.writer_kill_period_ms)),
+                  pick_writer_kill)
+        if cfg.writer_grey_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.writer_grey_period_ms)),
+                  pick_writer_grey)
         return cls(seed=seed, horizon_ms=horizon_ms, events=events)
 
-    def install(self, injector: FailureInjector) -> int:
+    def install(
+        self,
+        injector: FailureInjector,
+        writer_kill=None,
+        writer_grey=None,
+    ) -> int:
         """Schedule every event on the injector's loop; returns the count.
 
         Event times are *relative*: an event at ``at`` fires ``at``
@@ -241,6 +292,12 @@ class ChaosSchedule:
         clock happens to be).  Partition events isolate the target node
         from every *other* node the injector knows about (all registered
         AZ members).
+
+        ``KILL_WRITER`` / ``GREY_WRITER`` events resolve their target at
+        fire time through the ``writer_kill()`` / ``writer_grey(factor,
+        duration_ms)`` callbacks (the writer's name changes across
+        failovers).  Schedules containing writer events require the
+        corresponding callback.
         """
         base = injector.loop.now
         everyone: set[str] = set()
@@ -262,6 +319,25 @@ class ChaosSchedule:
                     injector.partition_at(
                         at, event.target, others, event.duration
                     )
+            elif event.kind == KILL_WRITER:
+                if writer_kill is None:
+                    raise ConfigurationError(
+                        "schedule contains KILL_WRITER events; pass a "
+                        "writer_kill callback to install()"
+                    )
+                injector.loop.schedule_at(at, writer_kill)
+            elif event.kind == GREY_WRITER:
+                if writer_grey is None:
+                    raise ConfigurationError(
+                        "schedule contains GREY_WRITER events; pass a "
+                        "writer_grey callback to install()"
+                    )
+                injector.loop.schedule_at(
+                    at,
+                    lambda factor=event.factor, d=event.duration: (
+                        writer_grey(factor, d)
+                    ),
+                )
             else:  # pragma: no cover - generator only emits known kinds
                 raise ConfigurationError(f"unknown chaos kind {event.kind!r}")
         return len(self.events)

@@ -120,6 +120,10 @@ class StorageNode(Actor):
         #: reported here; ``None`` costs one attribute load, exactly like
         #: ``audit_probe``.
         self.health_probe = None
+        #: Optional :class:`repro.repair.DbHealthMonitor` observer: the
+        #: sending instance on every write batch and GC-floor update is
+        #: database-tier liveness evidence.
+        self.db_health_probe = None
 
     def attach_audit_probe(self, probe) -> None:
         """Arm a :class:`repro.audit.Auditor`: the node's epoch registry and
@@ -204,6 +208,10 @@ class StorageNode(Actor):
     # Foreground: writes (activities 1, 2 + ACK)
     # ------------------------------------------------------------------
     def _on_write_batch(self, message: Message, batch: WriteBatch) -> None:
+        if self.db_health_probe is not None:
+            # Redo-stream advance: proof the sending instance is alive,
+            # whether or not its epochs are current.
+            self.db_health_probe.note_signal(batch.instance_id)
         if not self._check_epochs(message, batch.epochs):
             return
         self.counters["write_batches"] += 1
@@ -373,6 +381,11 @@ class StorageNode(Actor):
         self.s3.collect_garbage()
 
     def _on_gc_floor(self, update: GCFloorUpdate) -> None:
+        if self.db_health_probe is not None:
+            # The GC-floor tick is the database tier's steady passive
+            # heartbeat: writer and replicas advertise on a fixed interval
+            # even when the workload is idle.
+            self.db_health_probe.note_signal(update.instance_id)
         try:
             self.epochs.check_and_learn(update.epochs)
         except StaleEpochError:

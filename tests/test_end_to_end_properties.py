@@ -195,6 +195,85 @@ class TestEndToEndProperties:
         leaves = db.drive(cluster.writer.btree.check_structure())
         assert leaves >= 1
 
+    @given(
+        st.integers(0, 2**20),
+        st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_uncertain_commits_are_all_or_nothing_across_failover(
+        self, seed, grace_ms
+    ):
+        """A multi-key transaction whose commit future resolved as
+        *uncertain* (the writer died before acknowledging) must be either
+        entirely visible or entirely absent after an autonomous failover
+        -- never half-applied.  ``grace_ms`` varies how far the redo
+        batches get before the kill, sweeping the interesting window from
+        nothing-sent to everything-durable-but-unacked."""
+        from repro.db.instance import InstanceState
+        from repro.errors import CommitUncertainError
+        from repro.repair import PROMOTED
+
+        cluster = AuroraCluster.build(ClusterConfig(seed=seed))
+        for _ in range(2):
+            cluster.add_replica()
+        cluster.arm_failover()
+        cluster.run_for(100.0)
+        db = Session(cluster.writer)
+        baseline = {f"base{i}": f"b{i}" for i in range(3)}
+        for key, value in baseline.items():
+            db.write(key, value)
+        cluster.run_for(50.0)
+
+        writer = cluster.writer
+        txn_writes = {f"atomic{i}": f"a{i}.{seed}" for i in range(3)}
+        txn = writer.begin()
+        for key in sorted(txn_writes):
+            db.drive(writer.put(txn, key, txn_writes[key]))
+        future = writer.commit(txn)
+        # Let the batches travel for a seed-dependent sliver, then kill
+        # the writer before (or exactly as) the quorum ack lands.
+        cluster.run_for(grace_ms)
+        acked_before_kill = future.done and future.exception() is None
+        writer.crash()
+        cluster.network.fail_node(writer.name)
+
+        for _ in range(2000):
+            if any(
+                r.outcome == PROMOTED for r in cluster.failover.records
+            ) and cluster.writer.state is InstanceState.OPEN:
+                break
+            cluster.run_for(5.0)
+        assert cluster.writer.state is InstanceState.OPEN
+
+        if not acked_before_kill:
+            # Never a false acknowledgement: the future resolved with the
+            # typed uncertain-outcome error.
+            assert future.done
+            assert isinstance(future.exception(), CommitUncertainError)
+
+        db = Session(cluster.writer)
+        got = {key: db.get(key) for key in sorted(txn_writes)}
+        applied = [k for k, v in got.items() if v == txn_writes[k]]
+        absent = [k for k, v in got.items() if v is None]
+        assert len(applied) + len(absent) == len(txn_writes), (
+            f"unexpected values after failover: {got} (seed={seed})"
+        )
+        assert not (applied and absent), (
+            f"half-applied uncertain transaction after failover: "
+            f"applied={applied} absent={absent} (seed={seed}, "
+            f"grace={grace_ms})"
+        )
+        if acked_before_kill:
+            assert not absent, (
+                f"acknowledged transaction lost: {got} (seed={seed})"
+            )
+        for key, value in baseline.items():
+            assert db.get(key) == value
+
     def test_deterministic_replay(self):
         """The same script yields byte-identical outcomes."""
         script = (

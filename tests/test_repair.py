@@ -405,10 +405,11 @@ class TestRejectionResubmit:
         session = cluster.session()
         session.write("seed", 0)
         node = cluster.nodes["pg0-a"]
-        # Someone else moved the volume epoch forward (e.g. a recovery
+        # Someone else moved the membership epoch forward (e.g. a repair
         # this writer has not heard about): the node now rejects the
-        # writer's stamp.
-        ahead = node.epochs.current.bump_volume()
+        # writer's stamp.  (A foreign *volume* bump would instead mean a
+        # successor writer fenced us -- see test_failover.py.)
+        ahead = node.epochs.current.bump_membership()
         node.epochs.advance(ahead)
 
         before = cluster.writer.driver.stats.batches_resubmitted
@@ -420,7 +421,7 @@ class TestRejectionResubmit:
         assert driver.stats.rejections_seen >= 1
         assert driver.stats.batches_resubmitted > before
         # The driver adopted the newer epoch and the fleet converged on it.
-        assert driver.epochs.volume == ahead.volume
+        assert driver.epochs.membership == ahead.membership
         assert all(session.get(f"after{i}") == i for i in range(5))
 
     def test_rejection_counts_as_liveness(self):
@@ -428,7 +429,7 @@ class TestRejectionResubmit:
         session = cluster.session()
         session.write("seed", 0)
         node = cluster.nodes["pg0-a"]
-        node.epochs.advance(node.epochs.current.bump_volume())
+        node.epochs.advance(node.epochs.current.bump_membership())
         _pump(cluster, session, steps=40)
         # The rejecting segment was never suspected dead, and no repair
         # was started against it.
