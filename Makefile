@@ -2,7 +2,11 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test audit audit-fleet audit-failover bench
+# Worker processes for audit sweeps (seeds are independent and the
+# reports are byte-identical to a sequential run; see docs/PERF.md).
+JOBS ?= 4
+
+.PHONY: test audit audit-fleet audit-failover bench bench-paper
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,7 +15,7 @@ test:
 # the runtime invariant auditor armed (see docs/AUDIT.md).  Exits nonzero
 # if any test fails or any seed reports an invariant violation.
 audit: test
-	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --jobs $(JOBS)
 
 # Fleet-scale repair campaign: a 10-PG volume per seed, a 9-PG permanent
 # kill storm with a same-PG double fault, correlated AZ failure bursts,
@@ -19,14 +23,22 @@ audit: test
 # detection/MTTR *distributions* and the achieved durability versus the
 # paper's 10-second C7 window (see docs/REPAIR.md).
 audit-fleet:
-	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --fleet
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --fleet --jobs $(JOBS)
 
 # Writer-failover smoke: database-tier health monitoring + autonomous
 # replica promotion under chaos writer kills and grey failures, gated on
 # zero acked-commit loss and the ~30s write-unavailability budget
 # (see docs/REPAIR.md "Database-tier failover").
 audit-failover:
-	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 3 --failover
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 3 --failover --jobs $(JOBS)
 
+# Engine perf harness: batched fast path vs an unbatched baseline of the
+# same seeded workload, recorded in BENCH_engine.json; --check exits
+# nonzero on a >25% throughput regression (see docs/PERF.md).
 bench:
+	$(PYTHON) -m repro bench-engine --jobs $(JOBS) --check
+
+# The paper-shaped latency benchmarks (C1 commit latency, C2 boxcar
+# jitter, ...) under pytest-benchmark.
+bench-paper:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

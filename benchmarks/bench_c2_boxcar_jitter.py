@@ -138,6 +138,12 @@ def test_c2_per_record_boxcar_delay(benchmark):
         ["mode", "p50", "p99", "max"],
         rows,
     )
+    # AURORA's bound is the default boxcar window: DriverConfig's
+    # submit_delay of 0.05 ms (the paper's sub-millisecond "submit the
+    # async op on the first record, fill until it executes" strategy).
+    # The simulator-wide batching defaults -- this window, the 32-record
+    # cap, and the replication-stream frame window derived from it -- are
+    # catalogued in docs/PERF.md; change them there and this bound moves.
     assert max(results[BoxcarMode.AURORA]) <= 0.06
     assert percentile(results[BoxcarMode.TIMEOUT], 0.5) >= 3.9
     assert max(results[BoxcarMode.IMMEDIATE]) == 0.0

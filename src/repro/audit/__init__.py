@@ -30,7 +30,12 @@ or, end to end::
 """
 
 from repro.audit.auditor import AuditViolation, Auditor
-from repro.audit.runner import AuditReport, AuditRunConfig, run_audit
+from repro.audit.runner import (
+    AuditReport,
+    AuditRunConfig,
+    run_audit,
+    run_audit_sweep,
+)
 
 __all__ = [
     "AuditReport",
@@ -38,4 +43,5 @@ __all__ = [
     "AuditViolation",
     "Auditor",
     "run_audit",
+    "run_audit_sweep",
 ]

@@ -21,7 +21,9 @@ schedule, and the workload all derive their randomness from it.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.audit.auditor import Auditor, AuditViolation
 from repro.db.cluster import AuroraCluster, ClusterConfig
@@ -103,6 +105,16 @@ class AuditRunConfig:
     #: End-to-end write-unavailability budget per failover (ms); the run
     #: fails if any terminal failover exceeds it.
     failover_budget_ms: float = 30_000.0
+    #: Arm per-payload-type network accounting.  Off by default: audit
+    #: sweeps only need the aggregate counters, and the lite mode skips a
+    #: Counter update per simulated message on the hottest path.  The
+    #: engine benchmark arms it to measure batching ratios.
+    detailed_stats: bool = False
+    #: Write-path batching mode: "aurora" (boxcar batching, the default)
+    #: or "immediate" (one WriteBatch per record, replication unframed).
+    #: "immediate" exists for the perf harness, which measures the fast
+    #: path against an unbatched run of the same workload.
+    boxcar: str = "aurora"
 
     def as_fleet(self) -> "AuditRunConfig":
         """Switch this config to the fleet-scale shape: a 10-PG volume,
@@ -160,6 +172,12 @@ class AuditReport:
     failovers: FailoverSummary | None = None
     writer_kills: int = 0
     failover_ok: bool | None = None
+    #: Engine telemetry for the perf harness (`repro bench-engine`).
+    events_executed: int = 0
+    messages_sent: int = 0
+    wall_clock_s: float = 0.0
+    #: Per-payload-type message counts (only when ``detailed_stats``).
+    message_types: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -232,10 +250,14 @@ class AuditReport:
 def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
     """Run a seeded chaos workload with the invariant auditor armed."""
     cfg = config if config is not None else AuditRunConfig()
-    cluster = AuroraCluster.build(
-        config=ClusterConfig(seed=cfg.seed, pg_count=cfg.pg_count),
-        seed=cfg.seed,
-    )
+    wall_start = time.perf_counter()
+    cluster_cfg = ClusterConfig(seed=cfg.seed, pg_count=cfg.pg_count)
+    if cfg.boxcar == "immediate":
+        from repro.db.driver import BoxcarMode
+
+        cluster_cfg.instance.driver.boxcar_mode = BoxcarMode.IMMEDIATE
+    cluster = AuroraCluster.build(config=cluster_cfg, seed=cfg.seed)
+    cluster.network.set_stats_detail(cfg.detailed_stats)
     auditor = Auditor(tail_size=cfg.tail_size)
     cluster.arm_auditor(auditor)
     if cfg.heal:
@@ -325,7 +347,37 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         failovers=failovers,
         writer_kills=runner.writer_kills,
         failover_ok=failover_ok,
+        events_executed=cluster.loop.events_executed,
+        messages_sent=cluster.network.stats.messages_sent,
+        wall_clock_s=time.perf_counter() - wall_start,
+        message_types=dict(cluster.network.stats.by_type),
     )
+
+
+def _run_audit_worker(config: AuditRunConfig) -> AuditReport:
+    """Module-level worker so configs/reports pickle across processes."""
+    return run_audit(config)
+
+
+def run_audit_sweep(
+    configs: Iterable[AuditRunConfig], jobs: int = 1
+) -> list[AuditReport]:
+    """Run many independent audit seeds, optionally across processes.
+
+    Each seed derives every bit of randomness from its own config, so the
+    runs are embarrassingly parallel: reports come back in input order and
+    are byte-identical to what the sequential path produces.  ``jobs <= 1``
+    runs sequentially in-process.
+    """
+    configs = list(configs)
+    if jobs <= 1 or len(configs) <= 1:
+        return [run_audit(cfg) for cfg in configs]
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    with ctx.Pool(processes=min(jobs, len(configs))) as pool:
+        return pool.map(_run_audit_worker, configs)
 
 
 def _count_unrepaired(cluster: AuroraCluster) -> int:

@@ -133,6 +133,38 @@ def _build_parser() -> argparse.ArgumentParser:
              "writer kills and grey failures (implied by --fleet); the "
              "sweep footer reports failover windows vs the ~30s budget",
     )
+    audit.add_argument(
+        "--jobs", type=int, default=1, metavar="K",
+        help="run sweep seeds across K worker processes (seeds are "
+             "independent, so reports are byte-identical to --jobs 1)",
+    )
+
+    bench = sub.add_parser(
+        "bench-engine",
+        help="engine perf harness: batched fast path vs an unbatched "
+             "baseline of the same workload, written to BENCH_engine.json",
+        parents=[seed_parent],
+    )
+    bench.add_argument("--steps", type=int, default=1200)
+    bench.add_argument(
+        "--sweep", type=int, default=4, metavar="N",
+        help="seeds in the sweep wall-clock measurement",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=1, metavar="K",
+        help="worker processes for the sweep measurement",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_engine.json",
+        help="where to write the benchmark record",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed record at --out before "
+             "overwriting it; exit nonzero on a >25%% throughput "
+             "regression (machine-independent: both runs measure the "
+             "batched/unbatched ratio on the same host)",
+    )
     return parser
 
 
@@ -254,8 +286,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_config(args: argparse.Namespace, seed: int):
+    """The AuditRunConfig for one sweep seed (shared by both runners)."""
+    from repro.audit import AuditRunConfig
+
+    config = AuditRunConfig(
+        seed=seed,
+        steps=args.steps,
+        replicas=args.replicas,
+        tail_size=args.tail,
+        heal=not args.no_heal,
+        background_failures=not args.no_background,
+        background_mttf_ms=args.mttf,
+        background_mttr_ms=args.mttr,
+    )
+    if args.fleet:
+        config.as_fleet()
+    if args.failover and not config.failover:
+        # Standalone failover mode borrows the fleet writer-chaos
+        # cadence without the storage storm.
+        config.failover = True
+        config.replicas = max(config.replicas, 2)
+        config.writer_kill_period_ms = max(
+            config.writer_kill_period_ms, 6000.0
+        )
+        config.writer_grey_period_ms = max(
+            config.writer_grey_period_ms, 5000.0
+        )
+    if args.pgs > 0:
+        config.pg_count = args.pgs
+    return config
+
+
 def _cmd_audit_run(args: argparse.Namespace) -> int:
-    from repro.audit import AuditRunConfig, run_audit
+    from repro.audit import run_audit_sweep
     from repro.repair.failover import FailoverSummary
     from repro.repair.metrics import RepairSummary
 
@@ -267,33 +331,8 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
     failed = 0
     fleet = RepairSummary()
     fleet_failovers = FailoverSummary()
-    for seed in seeds:
-        config = AuditRunConfig(
-            seed=seed,
-            steps=args.steps,
-            replicas=args.replicas,
-            tail_size=args.tail,
-            heal=not args.no_heal,
-            background_failures=not args.no_background,
-            background_mttf_ms=args.mttf,
-            background_mttr_ms=args.mttr,
-        )
-        if args.fleet:
-            config.as_fleet()
-        if args.failover and not config.failover:
-            # Standalone failover mode borrows the fleet writer-chaos
-            # cadence without the storage storm.
-            config.failover = True
-            config.replicas = max(config.replicas, 2)
-            config.writer_kill_period_ms = max(
-                config.writer_kill_period_ms, 6000.0
-            )
-            config.writer_grey_period_ms = max(
-                config.writer_grey_period_ms, 5000.0
-            )
-        if args.pgs > 0:
-            config.pg_count = args.pgs
-        report = run_audit(config)
+    configs = [_audit_config(args, seed) for seed in seeds]
+    for report in run_audit_sweep(configs, jobs=args.jobs):
         print(report.render())
         if not report.ok:
             failed += 1
@@ -337,6 +376,159 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _bench_run(seed: int, steps: int, boxcar: str, detailed: bool) -> dict:
+    """One measured run of the C1-style concurrent write workload.
+
+    Returns engine telemetry (events/sec, messages/sec, per-type counts
+    when ``detailed``) for a closed-loop write-only load -- the workload
+    whose commit path the boxcar batching targets.
+    """
+    import time
+
+    from repro.db.driver import BoxcarMode
+
+    config = ClusterConfig(seed=seed)
+    if boxcar == "immediate":
+        config.instance.driver.boxcar_mode = BoxcarMode.IMMEDIATE
+    clients = 16
+    cluster = AuroraCluster.build(config)
+    cluster.network.set_stats_detail(detailed)
+    cluster.add_replica("bench-replica")
+    generator = WorkloadGenerator(profile("write_only"), seed=seed)
+    runner = WorkloadRunner(cluster, generator)
+    # Exclude cluster construction from the measured window.
+    events0 = cluster.loop.events_executed
+    messages0 = cluster.network.stats.messages_sent
+    t0 = time.perf_counter()
+    runner.run_closed_loop(
+        clients=clients,
+        transactions_per_client=max(steps // clients, 1),
+    )
+    wall = max(time.perf_counter() - t0, 1e-9)
+    events = cluster.loop.events_executed - events0
+    messages = cluster.network.stats.messages_sent - messages0
+    return {
+        "events_executed": events,
+        "messages_sent": messages,
+        "sim_time_ms": round(cluster.loop.now, 3),
+        "wall_clock_s": round(wall, 4),
+        "events_per_sec": round(events / wall),
+        "messages_per_sec": round(messages / wall),
+        "message_types": dict(cluster.network.stats.by_type),
+    }
+
+
+def _cmd_bench_engine(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro.audit import AuditRunConfig, run_audit_sweep
+
+    def best_of(boxcar: str, detailed: bool, reps: int = 3) -> dict:
+        # Fastest of `reps` identical runs: scheduler noise only ever
+        # slows a run down, so the minimum is the cleanest estimate.
+        runs = [
+            _bench_run(args.seed, args.steps, boxcar, detailed)
+            for _ in range(reps)
+        ]
+        return min(runs, key=lambda r: r["wall_clock_s"])
+
+    # Single-seed comparison, measured in the same run: the unbatched
+    # baseline and the batched fast path execute the same seeded C1-style
+    # workload, so their ratio is machine-independent.
+    print(f"bench-engine: seed={args.seed} steps={args.steps}")
+    baseline = best_of("immediate", detailed=True)
+    fast_detailed = best_of("aurora", detailed=True, reps=1)
+    fast = best_of("aurora", detailed=False)
+    speedup = baseline["wall_clock_s"] / fast["wall_clock_s"]
+
+    base_batches = baseline["message_types"].get("WriteBatch", 0)
+    fast_batches = fast_detailed["message_types"].get("WriteBatch", 0)
+    fast_records = fast_detailed["message_types"].get(
+        "WriteBatch.records", 0
+    )
+    batching_ratio = fast_records / max(fast_batches, 1)
+    batch_reduction = base_batches / max(fast_batches, 1)
+
+    # Sweep wall-clock: the batched fast path across consecutive seeds,
+    # sequentially and (optionally) across --jobs worker processes.
+    sweep_cfgs = [
+        AuditRunConfig(seed=args.seed + i, steps=args.steps)
+        for i in range(max(args.sweep, 1))
+    ]
+    t0 = time.perf_counter()
+    sweep_reports = run_audit_sweep(sweep_cfgs, jobs=1)
+    sequential_wall = time.perf_counter() - t0
+    parallel_wall = None
+    if args.jobs > 1:
+        t0 = time.perf_counter()
+        run_audit_sweep(sweep_cfgs, jobs=args.jobs)
+        parallel_wall = time.perf_counter() - t0
+
+    baseline.pop("message_types")
+    fast.pop("message_types")
+    record = {
+        "schema": 1,
+        "seed": args.seed,
+        "steps": args.steps,
+        "single_seed": {
+            "baseline_unbatched": baseline,
+            "fast_batched": fast,
+            "speedup": round(speedup, 3),
+            "write_batches_unbatched": base_batches,
+            "write_batches_batched": fast_batches,
+            "write_records_batched": fast_records,
+            "batching_ratio": round(batching_ratio, 2),
+            "write_batch_reduction": round(batch_reduction, 2),
+        },
+        "sweep": {
+            "seeds": len(sweep_cfgs),
+            "jobs": args.jobs,
+            "sequential_wall_s": round(sequential_wall, 3),
+            "parallel_wall_s": (
+                round(parallel_wall, 3) if parallel_wall else None
+            ),
+            "per_seed_wall_s": [
+                round(r.wall_clock_s, 4) for r in sweep_reports
+            ],
+            "all_clean": all(r.ok for r in sweep_reports),
+        },
+    }
+
+    print(f"  unbatched baseline: "
+          f"{record['single_seed']['baseline_unbatched']['events_per_sec']:,}"
+          f" events/s, {base_batches} WriteBatch msgs")
+    print(f"  batched fast path:  "
+          f"{record['single_seed']['fast_batched']['events_per_sec']:,}"
+          f" events/s, {fast_batches} WriteBatch msgs "
+          f"({fast_records} records, ratio {batching_ratio:.1f})")
+    print(f"  same-workload speedup: {speedup:.2f}x, WriteBatch "
+          f"reduction: {batch_reduction:.1f}x")
+    print(f"  sweep ({len(sweep_cfgs)} seeds): sequential "
+          f"{sequential_wall:.2f}s"
+          + (f", --jobs {args.jobs}: {parallel_wall:.2f}s"
+             if parallel_wall else ""))
+
+    status = 0
+    out = Path(args.out)
+    if args.check and out.exists():
+        committed = json.loads(out.read_text())["single_seed"]
+        floor = 0.75 * committed["speedup"]
+        if speedup < floor:
+            print(f"REGRESSION: speedup {speedup:.2f}x fell >25% below "
+                  f"the committed {committed['speedup']:.2f}x")
+            status = 1
+        if batch_reduction < 5.0:
+            print(f"REGRESSION: WriteBatch reduction "
+                  f"{batch_reduction:.1f}x is below the 5x floor")
+            status = 1
+    if status == 0:
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"  wrote {out}")
+    return status
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "workload": _cmd_workload,
@@ -344,6 +536,7 @@ _COMMANDS = {
     "multiwriter": _cmd_multiwriter,
     "report": _cmd_report,
     "audit-run": _cmd_audit_run,
+    "bench-engine": _cmd_bench_engine,
 }
 
 

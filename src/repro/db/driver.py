@@ -281,7 +281,15 @@ class StorageDriver:
             self._flush(pg_index)
             return
         if mode is BoxcarMode.AURORA:
-            if buffer.flush_event is None:
+            # Size bound: a full boxcar goes out immediately -- the async
+            # send "executes" once the wire buffer is full.  The time bound
+            # (submit_delay) otherwise caps how long the first record waits.
+            if len(buffer) >= self.config.boxcar_max_records:
+                if buffer.flush_event is not None:
+                    buffer.flush_event.cancel()
+                    buffer.flush_event = None
+                self._flush(pg_index)
+            elif buffer.flush_event is None:
                 buffer.flush_event = self.loop.schedule(
                     self.config.submit_delay, self._flush, pg_index
                 )

@@ -33,7 +33,7 @@ from repro.core.records import CommitPayload, LogRecord, RecordKind
 from repro.core.recovery import SegmentRecoveryResponse, recover_volume_state
 from repro.db.btree import BlockIO, BTree, leaf_rows
 from repro.db.buffer_cache import BufferCache
-from repro.db.driver import DriverConfig, StorageDriver
+from repro.db.driver import BoxcarMode, DriverConfig, StorageDriver
 from repro.db.locks import LockManager, lock_keys_for
 from repro.db.logical_replication import ChangeKind, LogicalPublisher, RowChange
 from repro.db.mtr import ChainState, MTRBuilder
@@ -173,6 +173,14 @@ class WriterInstance(Actor, BlockIO):
         self.publisher = ReplicationPublisher(
             writer_id=self.name,
             send=lambda dst, payload: self.network.send(self.name, dst, payload),
+            # IMMEDIATE disables boxcar batching everywhere, including the
+            # replication stream (a loop-less publisher sends unframed).
+            loop=(
+                None
+                if self.config.driver.boxcar_mode is BoxcarMode.IMMEDIATE
+                else self.loop
+            ),
+            frame_window=self.config.driver.submit_delay,
         )
         self.btree = BTree(
             io=self,

@@ -43,7 +43,12 @@ from repro.db.buffer_cache import BufferCache
 from repro.db.driver import DriverConfig, StorageDriver
 from repro.db.mtr import MTRBuilder
 from repro.db.mvcc import ReadView, ReadViewManager, TransactionStatusRegistry
-from repro.db.replication import CommitNotice, MTRChunk, VDLUpdate
+from repro.db.replication import (
+    CommitNotice,
+    MTRChunk,
+    ReplicationFrame,
+    VDLUpdate,
+)
 from repro.errors import InstanceStateError
 from repro.sim.network import Actor, Message
 from repro.storage.messages import GCFloorUpdate, RequestRejected
@@ -183,14 +188,21 @@ class ReplicaInstance(Actor, BlockIO):
                 # Redo chunks, VDL heartbeats and commit notices all prove
                 # the writer alive.
                 self.db_health_probe.note_signal(writer_id)
-        if isinstance(payload, MTRChunk):
-            self._on_chunk(payload)
-        elif isinstance(payload, VDLUpdate):
-            self._on_vdl_update(payload)
-        elif isinstance(payload, CommitNotice):
-            self._on_commit_notice(payload)
+        if isinstance(payload, ReplicationFrame):
+            for item in payload.items:
+                self._on_stream_item(item)
         elif isinstance(payload, RequestRejected):
             self.driver.on_rejection(payload)
+        else:
+            self._on_stream_item(payload)
+
+    def _on_stream_item(self, item) -> None:
+        if isinstance(item, MTRChunk):
+            self._on_chunk(item)
+        elif isinstance(item, VDLUpdate):
+            self._on_vdl_update(item)
+        elif isinstance(item, CommitNotice):
+            self._on_commit_notice(item)
 
     def _on_chunk(self, chunk: MTRChunk) -> None:
         self.stats.chunks_received += 1

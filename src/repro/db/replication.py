@@ -19,6 +19,14 @@ The stream carries three message kinds, all asynchronous and one-way:
 
 Replication "is asynchronous" and adds "little latency ... to the write
 path": publishing is fire-and-forget sends on the simulated network.
+
+Like the storage driver's write path, the stream is boxcarred: items
+published within a sub-millisecond window travel in one
+:class:`ReplicationFrame` per replica instead of one wire message each
+(consecutive :class:`VDLUpdate` items additionally coalesce to the newest,
+since the VDL is monotone and chunks gate on whatever update arrives).
+Framing only engages when the publisher is given an event loop; without
+one it degrades to immediate per-item sends.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.records import LogRecord
+from repro.sim.events import EventLoop
 
 
 @dataclass(frozen=True)
@@ -54,18 +63,48 @@ class CommitNotice:
     scn: int
 
 
+@dataclass(frozen=True, slots=True)
+class ReplicationFrame:
+    """A boxcar of stream items (chunks / VDL updates / commit notices).
+
+    Items apply in order at the replica, so a frame preserves exactly the
+    per-sender ordering the unbatched stream had.
+    """
+
+    writer_id: str
+    items: tuple
+
+    # See repro.storage.messages.WriteBatch: marks boxcar payloads for the
+    # network's batch-aware by_type stats.
+    is_boxcar = True
+
+    def boxcar_count(self) -> int:
+        return len(self.items)
+
+
 class ReplicationPublisher:
     """Writer-side fan-out of the replication stream."""
 
     def __init__(
-        self, writer_id: str, send: Callable[[str, object], None]
+        self,
+        writer_id: str,
+        send: Callable[[str, object], None],
+        loop: EventLoop | None = None,
+        frame_window: float = 0.05,
+        frame_max_items: int = 64,
     ) -> None:
         self.writer_id = writer_id
         self._send = send
+        self._loop = loop
+        self.frame_window = frame_window
+        self.frame_max_items = frame_max_items
         self._replicas: list[str] = []
+        self._frame_items: list[object] = []
+        self._flush_event = None
         self.chunks_published = 0
         self.vdl_updates_published = 0
         self.commit_notices_published = 0
+        self.frames_published = 0
 
     @property
     def replicas(self) -> list[str]:
@@ -83,16 +122,14 @@ class ReplicationPublisher:
         if not self._replicas or not records:
             return
         chunk = MTRChunk(writer_id=self.writer_id, records=tuple(records))
-        for replica in self._replicas:
-            self._send(replica, chunk)
+        self._enqueue(chunk)
         self.chunks_published += 1
 
     def publish_vdl(self, vdl: int) -> None:
         if not self._replicas:
             return
         update = VDLUpdate(writer_id=self.writer_id, vdl=vdl)
-        for replica in self._replicas:
-            self._send(replica, update)
+        self._enqueue(update)
         self.vdl_updates_published += 1
 
     def publish_commit(self, txn_id: int, scn: int) -> None:
@@ -101,6 +138,53 @@ class ReplicationPublisher:
         notice = CommitNotice(
             writer_id=self.writer_id, txn_id=txn_id, scn=scn
         )
-        for replica in self._replicas:
-            self._send(replica, notice)
+        self._enqueue(notice)
         self.commit_notices_published += 1
+
+    # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+    def _enqueue(self, item: object) -> None:
+        if self._loop is None:
+            for replica in self._replicas:
+                self._send(replica, item)
+            return
+        items = self._frame_items
+        if (
+            items
+            and isinstance(item, VDLUpdate)
+            and isinstance(items[-1], VDLUpdate)
+        ):
+            # The VDL is monotone and chunks gate on whichever update
+            # arrives, so back-to-back updates collapse to the newest.
+            items[-1] = item
+            return
+        items.append(item)
+        if len(items) >= self.frame_max_items:
+            self.flush_frame()
+        elif self._flush_event is None:
+            self._flush_event = self._loop.schedule(
+                self.frame_window, self._on_flush_timer
+            )
+
+    def _on_flush_timer(self) -> None:
+        self._flush_event = None
+        self.flush_frame()
+
+    def flush_frame(self) -> None:
+        """Send the pending boxcar now (a lone item travels unframed)."""
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        if not self._frame_items:
+            return
+        items = tuple(self._frame_items)
+        self._frame_items.clear()
+        payload: object
+        if len(items) == 1:
+            payload = items[0]
+        else:
+            payload = ReplicationFrame(writer_id=self.writer_id, items=items)
+            self.frames_published += 1
+        for replica in self._replicas:
+            self._send(replica, payload)

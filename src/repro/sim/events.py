@@ -22,24 +22,35 @@ from repro.errors import SimulationError
 class Event:
     """A scheduled callback.  Cancellable until it has fired."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_loop")
 
     def __init__(
         self,
         time: float,
         seq: int,
-        callback: Callable[..., None],
+        callback: Callable[..., None] | None,
         args: tuple,
+        loop: "EventLoop | None" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the callback from running when its time arrives."""
+        # ``callback is None`` marks an event that already fired; cancelling
+        # it again must not disturb the loop's live/stale accounting.
+        if self.cancelled or self.callback is None:
+            return
         self.cancelled = True
+        loop = self._loop
+        if loop is not None:
+            loop._live -= 1
+            loop._stale += 1
+            loop._maybe_compact()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -60,10 +71,19 @@ class EventLoop:
         assert loop.now == 5.0
     """
 
+    # Lazy-deletion compaction: cancelled events stay in the heap until
+    # popped, which leaks memory on long soaks that arm and re-arm timers.
+    # When the stale fraction passes ~50% (and the heap is big enough for a
+    # rebuild to pay for itself) the heap is filtered and re-heapified.
+    COMPACT_MIN_HEAP = 256
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: list[Event] = []
+        self._live = 0
+        self._stale = 0
+        self.events_executed = 0
 
     @property
     def now(self) -> float:
@@ -86,23 +106,40 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule at {time} before now {self._now}"
             )
-        event = Event(time, self._seq, callback, args)
+        event = Event(time, self._seq, callback, args, self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback`` at the current time (after pending events)."""
-        return self.schedule(0.0, callback, *args)
+        """Schedule ``callback`` at the current time (after pending events).
+
+        Fast path: skips the delay/past-time validation of
+        :meth:`schedule_at` -- ``now`` is never before ``now``.
+        """
+        event = Event(self._now, self._seq, callback, args, self)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
             if event.cancelled:
+                self._stale -= 1
                 continue
             self._now = event.time
-            event.callback(*event.args)
+            self._live -= 1
+            self.events_executed += 1
+            callback, args = event.callback, event.args
+            # Mark fired (and drop references) so a late cancel() is a no-op.
+            event.callback = None
+            event.args = ()
+            callback(*args)
             return True
         return False
 
@@ -134,8 +171,15 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
+
+    def _maybe_compact(self) -> None:
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN_HEAP and self._stale * 2 > len(heap):
+            self._heap = [e for e in heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._stale = 0
 
 
 class Future:

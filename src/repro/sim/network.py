@@ -39,7 +39,7 @@ from repro.sim.latency import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A delivered network message.
 
@@ -84,7 +84,7 @@ class Actor:
         """Hook invoked when the failure injector restores this node."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _NodeState:
     az: str | None
     actor: Actor | None = None
@@ -94,12 +94,25 @@ class _NodeState:
 
 @dataclass
 class NetworkStats:
-    """Counters exposed for benchmarks and assertions."""
+    """Counters exposed for benchmarks and assertions.
+
+    ``detailed`` arms per-payload-type accounting in :attr:`by_type`.  It
+    defaults to on (benchmarks and tests read the breakdown); long sweeps
+    that only need aggregate counts switch to the lite mode via
+    :meth:`Network.set_stats_detail` and skip the per-message ``Counter``
+    update on the hot path.
+
+    Batched payloads (``WriteBatch``, ``ReplicationFrame``) are counted
+    twice over: once as a wire message under the payload class name, and
+    once per contained record under ``"<ClassName>.records"`` so batching
+    ratios stay observable.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     by_type: Counter = field(default_factory=Counter)
+    detailed: bool = True
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -130,6 +143,13 @@ class Network:
         self.intra_az = intra_az if intra_az is not None else intra_az_link()
         self.cross_az = cross_az if cross_az is not None else cross_az_link()
         self.local = local if local is not None else FixedLatency(0.01)
+        # Local (self-to-self) delivery fast path: a fixed-latency local
+        # link needs no rng sample, so the constant is read directly on the
+        # hot path.  ``FixedLatency.sample`` ignores the rng, so this is
+        # bit-identical to the slow path.
+        self._local_fixed: float | None = (
+            self.local.value if isinstance(self.local, FixedLatency) else None
+        )
         self.stats = NetworkStats()
         self._nodes: dict[str, _NodeState] = {}
         self._link_overrides: dict[tuple[str, str], LatencyModel] = {}
@@ -300,12 +320,22 @@ class Network:
     def _pair(a: str, b: str) -> frozenset[str]:
         return frozenset((a, b))
 
+    def set_stats_detail(self, detailed: bool) -> None:
+        """Toggle per-payload-type accounting (lite mode when ``False``)."""
+        self.stats.detailed = detailed
+
     def _latency_between(self, src: str, dst: str) -> float:
-        override = self._link_overrides.get(self._pair(src, dst))
+        if self._link_overrides:
+            override = self._link_overrides.get(self._pair(src, dst))
+        else:
+            override = None
         if override is not None:
             base = override.sample(self.rng)
         elif src == dst:
-            base = self.local.sample(self.rng)
+            if self._local_fixed is not None:
+                base = self._local_fixed
+            else:
+                base = self.local.sample(self.rng)
         else:
             src_az = self._nodes[src].az
             dst_az = self._nodes[dst].az
@@ -326,24 +356,33 @@ class Network:
         request_id: int | None,
         is_reply: bool,
     ) -> None:
-        self._node(src)  # validate src exists
-        self._node(dst)
-        self.stats.messages_sent += 1
-        self.stats.by_type[payload_type_name(payload)] += 1
-        if not self._nodes[src].up:
-            self.stats.messages_dropped += 1
+        nodes = self._nodes
+        if src not in nodes:
+            raise ConfigurationError(f"unknown node {src!r}")
+        if dst not in nodes:
+            raise ConfigurationError(f"unknown node {dst!r}")
+        stats = self.stats
+        stats.messages_sent += 1
+        if stats.detailed:
+            name = type(payload).__name__
+            stats.by_type[name] += 1
+            if getattr(payload, "is_boxcar", False):
+                stats.by_type[name + ".records"] += payload.boxcar_count()
+        if not nodes[src].up:
+            stats.messages_dropped += 1
             return
         latency = self._latency_between(src, dst)
+        now = self.loop.now
         message = Message(
             src=src,
             dst=dst,
             payload=payload,
-            send_time=self.loop.now,
-            deliver_time=self.loop.now + latency,
+            send_time=now,
+            deliver_time=now + latency,
             request_id=request_id,
             is_reply=is_reply,
         )
-        self.loop.schedule(latency, self._deliver, message)
+        self.loop.schedule_at(now + latency, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes[message.dst]

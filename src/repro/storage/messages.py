@@ -7,7 +7,9 @@ nodes validate it before doing anything else and answer stale requests with
 request past the one rejected").
 
 All payloads are frozen dataclasses: messages in flight are immutable, so a
-buggy actor cannot mutate another's state through a shared reference.
+buggy actor cannot mutate another's state through a shared reference.  They
+are also slotted -- write-path payloads are allocated once per wire message
+on the simulator's hottest loop.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from repro.core.records import ChainDigest, LogRecord
 # ----------------------------------------------------------------------
 # Write path (one-way in both directions, section 2.2)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteBatch:
     """A boxcar of redo records for one protection group."""
 
@@ -33,8 +35,16 @@ class WriteBatch:
     #: The sender's current PGMRPL, piggybacked to advance the GC floor.
     pgmrpl: int
 
+    # Marks boxcar payloads for the network's batch-aware stats: the wire
+    # message is counted once under the class name and once per contained
+    # record under "<ClassName>.records".
+    is_boxcar = True
 
-@dataclass(frozen=True)
+    def boxcar_count(self) -> int:
+        return len(self.records)
+
+
+@dataclass(frozen=True, slots=True)
 class WriteAck:
     """Acknowledgement of a write batch; carries the segment's SCL."""
 
@@ -44,7 +54,7 @@ class WriteAck:
     epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRejected:
     """A request failed epoch validation (or hit another hard error)."""
 
@@ -56,7 +66,7 @@ class RequestRejected:
 # ----------------------------------------------------------------------
 # Read path (RPC, section 3.1)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadBlockRequest:
     pg_index: int
     block: int
@@ -64,7 +74,7 @@ class ReadBlockRequest:
     epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadBlockResponse:
     segment_id: str
     block: int
@@ -79,7 +89,7 @@ class ReadBlockResponse:
 # ----------------------------------------------------------------------
 # Gossip (RPC between peer segments, section 2.3)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipQuery:
     """'What do you have past my SCL?'"""
 
@@ -89,7 +99,7 @@ class GossipQuery:
     epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GossipResponse:
     segment_id: str
     pg_index: int
@@ -106,13 +116,13 @@ class GossipResponse:
 # ----------------------------------------------------------------------
 # Crash recovery (RPC, section 2.4)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoveryScanRequest:
     pg_index: int
     epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecoveryScanResponse:
     segment_id: str
     pg_index: int
@@ -123,7 +133,7 @@ class RecoveryScanResponse:
     gc_horizon: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TruncateRequest:
     """Install the recovery truncation range and the new volume epoch."""
 
@@ -134,7 +144,7 @@ class TruncateRequest:
     new_epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TruncateAck:
     segment_id: str
     pg_index: int
@@ -144,7 +154,7 @@ class TruncateAck:
 # ----------------------------------------------------------------------
 # Epoch / membership control (RPC, section 4.1)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochWrite:
     """Record a new epoch on a segment (counts toward the write quorum)."""
 
@@ -154,7 +164,7 @@ class EpochWrite:
     new_epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EpochWriteAck:
     segment_id: str
     epochs: EpochStamp
@@ -163,7 +173,7 @@ class EpochWriteAck:
 # ----------------------------------------------------------------------
 # GC floor advancement (one-way, section 3.4)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GCFloorUpdate:
     instance_id: str
     pg_index: int
@@ -176,7 +186,7 @@ class GCFloorUpdate:
 # repair of damaged blocks" running over the same network as everything
 # else -- it experiences latency, partitions, and crashes like any flow)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScrubRepairRequest:
     """A scrubbing segment asks a peer for clean copies of corrupt
     ``(block, version_lsn)`` pairs."""
@@ -187,7 +197,7 @@ class ScrubRepairRequest:
     epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScrubRepairResponse:
     """Clean ``(block, version_lsn, image)`` triples; only versions the
     responder holds *and* that verify against their own checksum."""
@@ -200,7 +210,7 @@ class ScrubRepairResponse:
 # ----------------------------------------------------------------------
 # Hydration of a replacement segment (RPC, section 4.2)
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BaselineRequest:
     """A hydrating segment asks a healthy full peer for its baseline."""
 
@@ -209,7 +219,7 @@ class BaselineRequest:
     epochs: EpochStamp
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BaselineResponse:
     segment_id: str
     pg_index: int

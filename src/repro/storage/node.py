@@ -115,6 +115,12 @@ class StorageNode(Actor):
             "reads_answered": 0,
         }
         self._started = False
+        #: Per-instance fire time of the latest scheduled write ACK.  The
+        #: SCL is read when the ACK leaves, so an ACK already scheduled at
+        #: or after a new batch's disk-completion time covers that batch
+        #: too -- back-to-back boxcars share one ACK instead of each
+        #: paying for their own wire message.
+        self._pending_ack_time: dict[str, float] = {}
         #: Optional :class:`repro.repair.HealthMonitor` observer.  Peer
         #: liveness evidence from gossip (replies, queries, timeouts) is
         #: reported here; ``None`` costs one attribute load, exactly like
@@ -220,7 +226,18 @@ class StorageNode(Actor):
         self._adopt_read_floor(batch.instance_id, batch.pgmrpl)
         # The ACK leaves after the local durable write completes.
         disk_delay = self.config.disk.sample(self.rng)
-        self.loop.schedule(disk_delay, self._send_ack, batch.instance_id)
+        self._schedule_ack(batch.instance_id, self.loop.now + disk_delay)
+
+    def _schedule_ack(self, instance_id: str, fire_at: float) -> None:
+        if self._pending_ack_time.get(instance_id, -1.0) >= fire_at:
+            return  # a later-or-equal pending ACK already covers this batch
+        self._pending_ack_time[instance_id] = fire_at
+        self.loop.schedule_at(fire_at, self._fire_ack, instance_id, fire_at)
+
+    def _fire_ack(self, instance_id: str, fire_at: float) -> None:
+        if self._pending_ack_time.get(instance_id) == fire_at:
+            del self._pending_ack_time[instance_id]
+        self._send_ack(instance_id)
 
     def _send_ack(self, instance_id: str) -> None:
         self.counters["acks_sent"] += 1

@@ -25,8 +25,14 @@ from repro.errors import ReadPointError
 
 
 def image_checksum(image: Mapping[str, Any]) -> int:
-    """Deterministic checksum of a block image (order-independent)."""
-    return hash(tuple(sorted((repr(k), repr(v)) for k, v in image.items())))
+    """Deterministic checksum of a block image (order-independent).
+
+    A frozenset hash is order-independent by construction, which avoids
+    repr-ing and sorting the keys -- this runs once per materialized block
+    version and is among the hottest functions in long simulations.  Values
+    go through ``repr`` so unhashable payload values still checksum.
+    """
+    return hash(frozenset((k, repr(v)) for k, v in image.items()))
 
 
 @dataclass

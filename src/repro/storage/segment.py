@@ -25,6 +25,7 @@ nodes will only accept read requests between PGMRPL and SCL."
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right, insort
 from typing import Iterable
 
 from repro.core.consistency import SegmentChainTracker
@@ -56,6 +57,11 @@ class Segment:
         self.chain = SegmentChainTracker()
         #: The hot log / update queue: every not-yet-GC'd record by LSN.
         self.hot_log: dict[int, LogRecord] = {}
+        #: Sorted mirror of ``hot_log``'s keys.  Receives are near-append
+        #: (LSNs mostly arrive in order), so maintaining the index costs a
+        #: binary search per record and saves a full sort per coalesce
+        #: tick / gossip query / recovery scan.
+        self._lsn_index: list[int] = []
         #: Materialized block version chains (full segments only).
         self.blocks: dict[int, BlockVersionChain] = {}
         #: Highest LSN whose redo has been applied to blocks.
@@ -111,6 +117,7 @@ class Segment:
             self.stats["duplicates"] += 1
             return False
         self.hot_log[record.lsn] = record
+        insort(self._lsn_index, record.lsn)
         self.stats["records_received"] += 1
         if via_gossip:
             self.stats["records_gossiped_in"] += 1
@@ -131,15 +138,13 @@ class Segment:
         limit = self.scl if upto is None else min(upto, self.scl)
         if limit <= self.coalesced_upto:
             return 0
+        index = self._lsn_index
+        lo = bisect_right(index, self.coalesced_upto)
+        hi = bisect_right(index, limit)
         applied = 0
-        pending = sorted(
-            lsn
-            for lsn in self.hot_log
-            if self.coalesced_upto < lsn <= limit
-        )
-        for lsn in pending:
-            record = self.hot_log[lsn]
-            self._apply_record(record)
+        hot_log = self.hot_log
+        for lsn in index[lo:hi]:
+            self._apply_record(hot_log[lsn])
             applied += 1
         self.coalesced_upto = limit
         self.stats["coalesce_applications"] += applied
@@ -192,8 +197,9 @@ class Segment:
     # ------------------------------------------------------------------
     def records_after(self, lsn: int, limit: int = 1024) -> list[LogRecord]:
         """Hot-log records above ``lsn``, in LSN order (gossip fill-ins)."""
-        selected = sorted(l for l in self.hot_log if l > lsn)[:limit]
-        return [self.hot_log[l] for l in selected]
+        index = self._lsn_index
+        lo = bisect_right(index, lsn)
+        return [self.hot_log[l] for l in index[lo : lo + limit]]
 
     def missing_below_scl_of(self, peer_scl: int) -> bool:
         """Would gossip with a peer at ``peer_scl`` teach this segment
@@ -206,7 +212,7 @@ class Segment:
     def chain_digests(self) -> tuple[ChainDigest, ...]:
         """Digests of every hot-log record (recovery scan payload)."""
         return tuple(
-            ChainDigest.of(self.hot_log[lsn]) for lsn in sorted(self.hot_log)
+            ChainDigest.of(self.hot_log[lsn]) for lsn in self._lsn_index
         )
 
     def truncate(self, pg_point: int, truncation: TruncationRange) -> int:
@@ -222,11 +228,13 @@ class Segment:
         # jumps above it): a TruncateRequest delivered late, to a segment
         # that was unreachable while recovery ran, must not destroy records
         # gossiped in from the new generation since.
-        doomed = [
-            lsn for lsn in self.hot_log if pg_point < lsn <= truncation.last
-        ]
+        index = self._lsn_index
+        lo = bisect_right(index, pg_point)
+        hi = bisect_right(index, truncation.last)
+        doomed = index[lo:hi]
         for lsn in doomed:
             del self.hot_log[lsn]
+        self._lsn_index = index[:lo] + index[hi:]
         self.chain.truncate(pg_point, truncation.last)
         for chain in self.blocks.values():
             chain.truncate_above(pg_point, truncation.last)
@@ -248,7 +256,7 @@ class Segment:
                 block: chain.image_at(self.scl)
                 for block, chain in self.blocks.items()
             },
-            "hot_log_lsns": sorted(self.hot_log),
+            "hot_log_lsns": list(self._lsn_index),
         }
         return snapshot
 
@@ -267,6 +275,7 @@ class Segment:
         """
         snapshot_scl = payload["scl"]
         self.hot_log.clear()
+        self._lsn_index.clear()
         self.blocks = {}
         if self.kind is SegmentKind.FULL:
             for block, image in payload["blocks"].items():
@@ -301,9 +310,12 @@ class Segment:
         )
         record_limit = min(materialized, self.backed_up_upto, self.gc_floor)
         self.gc_horizon = max(self.gc_horizon, record_limit)
-        doomed = [lsn for lsn in self.hot_log if lsn <= record_limit]
+        index = self._lsn_index
+        cut = bisect_right(index, record_limit)
+        doomed = index[:cut]
         for lsn in doomed:
             del self.hot_log[lsn]
+        self._lsn_index = index[cut:]
         versions_dropped = 0
         for chain in self.blocks.values():
             versions_dropped += chain.gc_below(self.gc_floor)

@@ -1,0 +1,131 @@
+"""Boxcar write batching: protocol-level edge cases.
+
+The driver coalesces consecutive redo records per protection group into
+single WriteBatch messages under the paper's boxcar strategy (section
+2.2).  Batching must never weaken the protocol: partial quorums under a
+segment crash, whole-boxcar resubmission after an epoch rejection, and
+the time-bound flush on an idle driver all have to behave exactly as the
+unbatched path would.
+"""
+
+from repro import AuroraCluster, ClusterConfig
+from repro.db.driver import BoxcarMode
+
+
+def burst(db, cluster, count, prefix="k"):
+    """Enqueue `count` concurrent commits so records share boxcars."""
+    futures = []
+    for i in range(count):
+        txn = db.begin()
+        db.put(txn, f"{prefix}{i:03d}", i)
+        futures.append(db.commit_async(txn))
+    for future in futures:
+        db.drive(future)
+
+
+class TestBoxcarsFill:
+    def test_concurrent_commits_share_write_batches(self, cluster):
+        db = cluster.session()
+        burst(db, cluster, 24)
+        by_type = cluster.network.stats.by_type
+        batches = by_type["WriteBatch"]
+        records = by_type["WriteBatch.records"]
+        # More than one record per batch on average: boxcars filled.
+        assert records > batches
+        # The wire count matches the driver's own bookkeeping.
+        assert batches == cluster.writer.driver.stats.batches_sent
+        assert records == cluster.writer.driver.stats.records_sent
+
+
+class TestPartialBatchAckUnderCrash:
+    def test_commits_complete_on_4_of_6_with_boxcars_in_flight(
+        self, cluster
+    ):
+        db = cluster.session()
+        db.write("seed", 0)
+        # Two members die with boxcars about to be in flight: their
+        # batch copies are never acked, yet every commit reaches 4/6.
+        cluster.failures.crash_node("pg0-e")
+        cluster.failures.crash_node("pg0-f")
+        burst(db, cluster, 16)
+        assert all(db.get(f"k{i:03d}") == i for i in range(16))
+        tracker = cluster.writer.driver.pg_trackers[0]
+        scls = tracker.member_scls
+        # The dead members' SCLs froze behind the survivors'.
+        live_floor = min(
+            scl for m, scl in scls.items() if m not in ("pg0-e", "pg0-f")
+        )
+        assert scls["pg0-e"] < live_floor or scls["pg0-e"] == 0
+        # Restored members catch up from peer gossip, not the driver.
+        cluster.failures.restore_node("pg0-e")
+        cluster.failures.restore_node("pg0-f")
+        cluster.run_for(400.0)
+        assert len(set(cluster.segment_scls(0).values())) == 1
+
+
+class TestEpochRejectedBoxcarResubmission:
+    def test_whole_boxcar_resubmitted_across_membership_change(
+        self, cluster
+    ):
+        db = cluster.session()
+        db.write("seed", 0)
+        # A membership change this writer has not heard about yet: every
+        # storage node adopts the next membership epoch, so the writer's
+        # next boxcars are rejected wholesale.
+        for node in cluster.nodes.values():
+            node.epochs.advance(node.epochs.current.bump_membership())
+        driver = cluster.writer.driver
+        before = driver.stats.batches_resubmitted
+        burst(db, cluster, 12, prefix="after")
+        cluster.run_for(200.0)
+        assert driver.stats.rejections_seen >= 1
+        assert driver.stats.batches_resubmitted > before
+        # Resubmission preserved the batch: multi-record boxcars were
+        # retried as units, and no record was lost or duplicated.
+        assert all(db.get(f"after{i:03d}") == i for i in range(12))
+        assert driver.epochs.membership == next(
+            iter(cluster.nodes.values())
+        ).epochs.current.membership
+
+
+class TestTimeBoundFlushOnIdleDriver:
+    def test_timeout_mode_flushes_a_lone_record_at_the_bound(self):
+        config = ClusterConfig(seed=71)
+        config.instance.driver.boxcar_mode = BoxcarMode.TIMEOUT
+        config.instance.driver.boxcar_timeout = 6.0
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        sent_before = cluster.writer.driver.stats.batches_sent
+        txn = db.begin()
+        db.put(txn, "lonely", 1)
+        future = db.commit_async(txn)
+        # Idle driver, nothing else arriving: the record waits out the
+        # full boxcar window...
+        cluster.run_for(5.0)
+        assert cluster.writer.driver.stats.batches_sent == sent_before
+        assert not future.done
+        # ...and the time bound (not another record) flushes it.
+        cluster.run_for(30.0)
+        assert cluster.writer.driver.stats.batches_sent > sent_before
+        db.drive(future)
+        assert db.get("lonely") == 1
+
+    def test_aurora_mode_bounds_the_wait_by_submit_delay(self):
+        config = ClusterConfig(seed=72)
+        assert config.instance.driver.boxcar_mode is BoxcarMode.AURORA
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        db.write("lonely", 1)
+        delays = cluster.writer.driver.stats.boxcar_delays
+        assert delays
+        # No record ever waits past the submit window (+ float slack).
+        assert max(delays) <= config.instance.driver.submit_delay + 1e-9
+
+    def test_max_records_cap_flushes_before_the_window(self, cluster):
+        db = cluster.session()
+        cap = cluster.config.instance.driver.boxcar_max_records
+        burst(db, cluster, 3 * cap)
+        records = cluster.network.stats.by_type["WriteBatch.records"]
+        batches = cluster.network.stats.by_type["WriteBatch"]
+        # No batch exceeded the cap even though arrivals outpaced it.
+        assert records / batches <= cap

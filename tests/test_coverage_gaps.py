@@ -68,17 +68,24 @@ class TestTrackerIntrospection:
 class TestReplicaStreamEdgeCases:
     def test_duplicate_chunks_are_idempotent(self, cluster):
         """Re-delivering already-applied chunks changes nothing."""
-        from repro.db.replication import MTRChunk
+        from repro.db.replication import MTRChunk, ReplicationFrame
 
         replica = cluster.add_replica("r1")
         db = cluster.session()
-        # Capture the real replication chunks off the wire.
+
+        # Capture the real replication chunks off the wire (the stream is
+        # boxcarred, so chunks may arrive inside a ReplicationFrame).
         captured = []
-        cluster.network.add_tap(
-            lambda m: captured.append(m.payload)
-            if isinstance(m.payload, MTRChunk)
-            else None
-        )
+
+        def _tap(m):
+            items = (
+                m.payload.items
+                if isinstance(m.payload, ReplicationFrame)
+                else (m.payload,)
+            )
+            captured.extend(i for i in items if isinstance(i, MTRChunk))
+
+        cluster.network.add_tap(_tap)
         db.write("a", 1)
         cluster.run_for(20)
         assert captured

@@ -78,6 +78,33 @@ class TestDeterminism:
 
         assert run(55) == run(55)
 
+    def test_parallel_audit_sweep_matches_sequential(self):
+        """`audit-run --jobs K` is a pure wall-clock optimisation: every
+        seed derives all randomness from its own config, so reports from
+        worker processes are byte-identical to the sequential run."""
+        from dataclasses import replace
+
+        from repro.audit import AuditRunConfig, run_audit_sweep
+
+        configs = [
+            AuditRunConfig(seed=seed, steps=120) for seed in range(4)
+        ]
+        sequential = run_audit_sweep(configs, jobs=1)
+        parallel = run_audit_sweep(configs, jobs=4)
+
+        def normalize(report):
+            # wall_clock_s is host timing, the one deliberately
+            # non-deterministic field; everything else must match.
+            return replace(report, wall_clock_s=0.0)
+
+        assert [normalize(r) for r in parallel] == [
+            normalize(r) for r in sequential
+        ]
+        # The rendered sweep output (what CI diffs) is byte-identical.
+        assert [r.render() for r in parallel] == [
+            r.render() for r in sequential
+        ]
+
     def test_workload_runner_determinism(self):
         from repro.workloads import (
             WorkloadGenerator,

@@ -12,7 +12,21 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import AuroraCluster, ClusterConfig
-from repro.db.replication import CommitNotice, MTRChunk, VDLUpdate
+from repro.db.replication import (
+    CommitNotice,
+    MTRChunk,
+    ReplicationFrame,
+    VDLUpdate,
+)
+
+
+def _stream_items(payload):
+    """Unwrap a wire payload into its stream items (frames carry many)."""
+    if isinstance(payload, ReplicationFrame):
+        return list(payload.items)
+    if isinstance(payload, (MTRChunk, VDLUpdate, CommitNotice)):
+        return [payload]
+    return []
 
 
 def captured_stream(txn_count, seed):
@@ -21,9 +35,8 @@ def captured_stream(txn_count, seed):
     replica = cluster.add_replica("capture")
     stream = []
     cluster.network.add_tap(
-        lambda m: stream.append(m.payload)
+        lambda m: stream.extend(_stream_items(m.payload))
         if m.dst == "capture"
-        and isinstance(m.payload, (MTRChunk, VDLUpdate, CommitNotice))
         else None
     )
     db = cluster.session()

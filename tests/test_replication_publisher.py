@@ -83,3 +83,76 @@ class TestReplicationPublisher:
         publisher.attach_replica("r1")
         publisher.publish_mtr([])
         assert sink.sent == []
+
+
+class TestReplicationFraming:
+    """Loop-attached publishers boxcar the stream into frames."""
+
+    def build(self, **kwargs):
+        from repro.sim.events import EventLoop
+
+        loop = EventLoop()
+        sink = Collector()
+        publisher = ReplicationPublisher("w", sink, loop=loop, **kwargs)
+        publisher.attach_replica("r1")
+        return loop, sink, publisher
+
+    def test_items_inside_the_window_share_one_frame(self):
+        from repro.db.replication import ReplicationFrame
+
+        loop, sink, publisher = self.build(frame_window=0.05)
+        publisher.publish_mtr([record(1)])
+        publisher.publish_vdl(1)
+        publisher.publish_commit(7, 1)
+        assert sink.sent == []  # nothing leaves before the window closes
+        loop.run_until_idle()
+        assert len(sink.sent) == 1
+        frame = sink.sent[0][1]
+        assert isinstance(frame, ReplicationFrame)
+        assert [type(i) for i in frame.items] == [
+            MTRChunk, VDLUpdate, CommitNotice,
+        ]
+        assert publisher.frames_published == 1
+
+    def test_lone_item_travels_unframed(self):
+        loop, sink, publisher = self.build()
+        publisher.publish_vdl(3)
+        loop.run_until_idle()
+        assert len(sink.sent) == 1
+        assert isinstance(sink.sent[0][1], VDLUpdate)
+        assert publisher.frames_published == 0
+
+    def test_consecutive_vdl_updates_coalesce_to_newest(self):
+        loop, sink, publisher = self.build()
+        publisher.publish_mtr([record(1)])
+        publisher.publish_vdl(1)
+        publisher.publish_vdl(2)
+        publisher.publish_vdl(3)
+        loop.run_until_idle()
+        frame = sink.sent[0][1]
+        vdls = [i.vdl for i in frame.items if isinstance(i, VDLUpdate)]
+        assert vdls == [3]  # monotone VDL: only the newest survives
+
+    def test_max_items_flushes_before_the_window(self):
+        loop, sink, publisher = self.build(frame_max_items=3)
+        publisher.publish_mtr([record(1)])
+        publisher.publish_commit(1, 1)
+        publisher.publish_mtr([record(2)])
+        # Cap reached: the frame left without the timer firing.
+        assert len(sink.sent) == 1
+        assert len(sink.sent[0][1].items) == 3
+
+    def test_explicit_flush_cancels_the_timer(self):
+        loop, sink, publisher = self.build()
+        publisher.publish_mtr([record(1)])
+        publisher.publish_vdl(1)
+        publisher.flush_frame()
+        assert len(sink.sent) == 1
+        loop.run_until_idle()  # the cancelled timer must not resend
+        assert len(sink.sent) == 1
+
+    def test_frame_reports_boxcar_count(self):
+        from repro.db.replication import ReplicationFrame
+
+        frame = ReplicationFrame(writer_id="w", items=(1, 2, 3))
+        assert frame.is_boxcar and frame.boxcar_count() == 3

@@ -170,3 +170,84 @@ class TestGather:
         futures[0].set_exception(RuntimeError("bad"))
         with pytest.raises(RuntimeError, match="bad"):
             combined.result()
+
+
+class TestHotLoopOptimisations:
+    """The engine fast path: O(1) pending, lazy-deletion compaction."""
+
+    def test_pending_is_a_live_counter(self):
+        loop = EventLoop()
+        events = [loop.schedule(float(i + 1), lambda: None)
+                  for i in range(10)]
+        assert loop.pending == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert loop.pending == 8
+        events[3].cancel()  # double-cancel must not double-decrement
+        assert loop.pending == 8
+        loop.run()
+        assert loop.pending == 0
+
+    def test_events_executed_counts_fired_callbacks_only(self):
+        loop = EventLoop()
+        kept = [loop.schedule(1.0, lambda: None) for _ in range(5)]
+        doomed = [loop.schedule(2.0, lambda: None) for _ in range(5)]
+        for event in doomed:
+            event.cancel()
+        loop.run()
+        assert loop.events_executed == len(kept)
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        loop = EventLoop()
+        keep = [loop.schedule(float(i + 1), lambda: None)
+                for i in range(100)]
+        doomed = [loop.schedule(1000.0 + i, lambda: None)
+                  for i in range(500)]
+        assert len(loop._heap) == 600
+        for event in doomed:
+            event.cancel()
+        # Compaction swept the garbage without waiting for the pop path
+        # to reach it: the heap never holds a stale majority, so at most
+        # half of 500 cancellations can still linger.
+        assert len(loop._heap) < 600 - 250
+        assert loop._stale * 2 <= len(loop._heap)
+        assert loop.pending == len(keep)
+        loop.run()
+        assert loop.events_executed == len(keep)
+
+    def test_compaction_preserves_firing_order(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(300):
+            loop.schedule(float(i), fired.append, i)
+        doomed = [loop.schedule(1000.0 + i, lambda: None)
+                  for i in range(400)]
+        for event in doomed:
+            event.cancel()
+        loop.run()
+        assert fired == list(range(300))
+
+    def test_cancel_after_fire_is_a_noop(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.run()
+        event.cancel()  # already fired: must not corrupt the counters
+        assert loop.pending == 0
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending == 1
+
+    def test_call_soon_runs_at_current_time(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        fired = []
+        loop.call_soon(fired.append, "now")
+        assert loop.pending == 1
+        loop.run()
+        assert fired == ["now"] and loop.now == 5.0
+
+    def test_event_slots_reject_ad_hoc_attributes(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        with pytest.raises(AttributeError):
+            event.extra = 1  # __slots__: the hot path stays compact
