@@ -52,16 +52,17 @@ def _noisy_network(loop, seed):
     return Network(loop, random.Random(seed), intra_az=intra, cross_az=cross)
 
 
-def _noisy_cluster(seed):
+def _noisy_cluster(seed, backend="aurora"):
     intra, cross = _noisy_models()
     config = ClusterConfig(
-        seed=seed, intra_az_latency=intra, cross_az_latency=cross
+        seed=seed, intra_az_latency=intra, cross_az_latency=cross,
+        backend=backend,
     )
     return AuroraCluster.build(config)
 
 
-def aurora_latencies(pipelined=True):
-    cluster = _noisy_cluster(seed=301)
+def aurora_latencies(pipelined=True, backend="aurora"):
+    cluster = _noisy_cluster(seed=301, backend=backend)
     db = cluster.session()
     if pipelined:
         # Paced open-loop arrivals: workers enqueue commits and move on
@@ -119,19 +120,24 @@ def summarize(name, latencies, msgs):
     ]
 
 
-def test_c1_commit_latency_comparison(benchmark):
+def test_c1_commit_latency_comparison(benchmark, bench_backend):
     def run_all():
         return {
-            "aurora": aurora_latencies(pipelined=True),
-            "aurora-sync": aurora_latencies(pipelined=False),
+            "aurora": aurora_latencies(
+                pipelined=True, backend=bench_backend
+            ),
+            "aurora-sync": aurora_latencies(
+                pipelined=False, backend=bench_backend
+            ),
             "paxos": paxos_latencies(),
             "2pc": tpc_latencies(),
         }
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    label = f"{bench_backend} backend"
     rows = [
-        summarize("Aurora (async quorum)", *results["aurora"]),
-        summarize("Aurora (sync ablation)", *results["aurora-sync"]),
+        summarize(f"Aurora ({label})", *results["aurora"]),
+        summarize(f"Aurora sync ({label})", *results["aurora-sync"]),
         summarize("Multi-Paxos / write", *results["paxos"]),
         summarize("2PC / write", *results["2pc"]),
     ]
@@ -210,13 +216,14 @@ def test_c1_boxcar_write_batching(benchmark):
     assert imm_batches >= 5 * aurora_batches
 
 
-def test_c1_tail_under_slow_node(benchmark):
-    """A degraded (not dead) participant: Aurora's 4/6 quorum ignores it;
-    Paxos/2PC latency follows whichever majority/unanimity includes it."""
+def test_c1_tail_under_slow_node(benchmark, bench_backend):
+    """A degraded (not dead) participant: the write quorum (4/6, or 2/3 of
+    the Taurus log stores) ignores it; Paxos/2PC latency follows whichever
+    majority/unanimity includes it."""
 
     def run():
-        # Aurora with one slow segment.
-        cluster = _noisy_cluster(seed=304)
+        # Aurora with one slow segment (a log store under Taurus).
+        cluster = _noisy_cluster(seed=304, backend=bench_backend)
         cluster.failures.slow_node("pg0-a", 25.0)
         db = cluster.session()
         futures = []

@@ -16,26 +16,38 @@ injector's renewal process on a fleet of simulated quorums.
 
 import random
 
-from repro.analysis.durability import DurabilityModel
+from repro.analysis.durability import C7_WINDOW_S, DurabilityModel
+from repro.storage.backend import resolve_backend
 
 from .conftest import fmt, print_table
 
 
-def test_c7_fleet_arithmetic(benchmark):
+def test_c7_fleet_arithmetic(benchmark, bench_backend):
+    replication = resolve_backend(bench_backend).replication()
+
     def compute():
         return [
-            [tb, DurabilityModel.protection_groups_for_volume(tb),
-             DurabilityModel.segments_for_volume(tb)]
+            [
+                tb,
+                DurabilityModel.protection_groups_for_volume(tb),
+                DurabilityModel.segments_for_volume(tb),
+                DurabilityModel.protection_groups_for_volume(tb)
+                * replication.copies_per_pg,
+            ]
             for tb in (1, 10, 64)
         ]
 
     rows = benchmark(compute)
     print_table(
         "C7: volume size -> protection groups -> segments (10 GB units)",
-        ["volume (TB)", "PGs", "segments"],
+        ["volume (TB)", "PGs", "segments (aurora)",
+         f"segments ({bench_backend})"],
         rows,
     )
-    assert rows[-1] == [64, 6_400, 38_400]  # the paper's number
+    assert rows[-1][:3] == [64, 6_400, 38_400]  # the paper's number
+    if bench_backend == "taurus":
+        # 5 copies per PG (3 log + 2 page) instead of 6.
+        assert rows[-1][3] == 32_000
 
 
 def test_c7_repair_window_sweep(benchmark):
@@ -73,6 +85,41 @@ def test_c7_repair_window_sweep(benchmark):
     # slower repair costs orders of magnitude of durability.
     assert yearly[0] < 1e-7          # Aurora's design point: negligible
     assert yearly[2] > yearly[0] * 1e6
+
+
+def test_c7_backend_window_probabilities(benchmark, bench_backend):
+    """The paper's window argument, with the quorum arithmetic taken from
+    the selected backend's replication config: within one 10-second
+    detect-and-repair window, losing the write or read quorum must stay a
+    negligible-probability event (Aurora: AZ + 1 more / AZ + 2 more;
+    Taurus: 2 of the 3 log stores, one of which an AZ event can claim)."""
+    replication = resolve_backend(bench_backend).replication()
+
+    def compute():
+        model = DurabilityModel.from_replication(
+            replication,
+            segment_mttf_hours=10_000.0,
+            repair_window_s=C7_WINDOW_S,
+            az_failures_per_year=0.5,
+        )
+        return (
+            model.p_write_quorum_loss(),
+            model.p_read_quorum_loss(),
+            model.mean_windows_to_read_loss(),
+        )
+
+    p_write, p_read, windows = benchmark(compute)
+    print_table(
+        f"C7c: per-window quorum-loss probability ({bench_backend})",
+        ["backend", "copies", "P(write loss)/window",
+         "P(read loss)/window", "windows to read loss"],
+        [[bench_backend, replication.sync_write_copies,
+          f"{p_write:.3e}", f"{p_read:.3e}", f"{windows:.3e}"]],
+    )
+    # Durability inside the paper's window, for every backend: a single
+    # 10-second exposure is harmless by many orders of magnitude.
+    assert p_write < 1e-9
+    assert p_read < 1e-9
 
 
 def test_c7_monte_carlo_cross_check(benchmark):

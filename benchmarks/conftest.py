@@ -12,6 +12,24 @@ timings additionally document the harness cost itself.
 
 from __future__ import annotations
 
+import pytest
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--backend",
+        action="store",
+        default="aurora",
+        choices=("aurora", "taurus"),
+        help="storage backend for the backend-aware benches (C1/C6/C7)",
+    )
+
+
+@pytest.fixture
+def bench_backend(request) -> str:
+    """The storage backend selected with ``--backend`` (default aurora)."""
+    return request.config.getoption("--backend")
+
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     """Render a fixed-width table to stdout (the bench report format)."""

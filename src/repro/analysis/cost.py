@@ -35,10 +35,32 @@ class SegmentMix:
     def total(self) -> int:
         return self.full_segments + self.tail_segments
 
+    @classmethod
+    def from_replication(cls, replication) -> "SegmentMix":
+        """The mix implied by a backend's
+        :class:`~repro.storage.backend.ReplicationConfig`: block-holding
+        copies versus log-only copies (Aurora full/tail tails and Taurus
+        log stores alike store redo without materialized blocks)."""
+        return cls(
+            full_segments=replication.full_copies,
+            tail_segments=replication.log_only_copies,
+        )
+
 
 #: The paper's designs.
 ALL_FULL_V6 = SegmentMix(full_segments=6, tail_segments=0)
 FULL_TAIL_V6 = SegmentMix(full_segments=3, tail_segments=3)
+#: Taurus's log/page split: 2 page stores + 3 log stores.
+TAURUS_MIX = SegmentMix(full_segments=2, tail_segments=3)
+
+
+def sync_write_amplification(replication) -> int:
+    """Copies of each redo byte crossing the wire before the commit ack.
+
+    Aurora ships every batch to all six segments; Taurus only to its
+    three log stores (page stores learn via gossip off the commit path).
+    """
+    return replication.sync_write_copies
 
 
 class CostModel:

@@ -31,7 +31,7 @@ C7_WINDOW_S = 10.0
 
 
 class DurabilityModel:
-    """Quorum-loss probabilities for Aurora-style protection groups.
+    """Quorum-loss probabilities for replicated protection groups.
 
     Parameters
     ----------
@@ -41,6 +41,19 @@ class DurabilityModel:
         Detection + repair time for a failed segment (the paper's 10 s).
     az_failures_per_year:
         Rate of whole-AZ events.
+    copies_per_pg:
+        Copies on the synchronous durability path (Aurora: all 6; Taurus:
+        the 3 log stores -- page stores are hydrated asynchronously and do
+        not hold the durability quorum).
+    write_loss_failures / read_loss_failures:
+        Minimum simultaneous sync-path failures that break the write /
+        read quorum (Aurora: 3 and 4; a 2/3 majority quorum: 2 and 2).
+    segments_per_az:
+        Sync-path copies sharing one AZ (the correlated exposure).
+
+    The defaults are exactly Aurora's 4/6 write / 3/6 read quorum; use
+    :meth:`from_replication` to instantiate from a backend's
+    :class:`~repro.storage.backend.ReplicationConfig`.
     """
 
     def __init__(
@@ -48,14 +61,50 @@ class DurabilityModel:
         segment_mttf_hours: float = 10_000.0,
         repair_window_s: float = 10.0,
         az_failures_per_year: float = 0.5,
+        copies_per_pg: int = COPIES_PER_PG,
+        write_loss_failures: int = 3,
+        read_loss_failures: int = 4,
+        segments_per_az: int = 2,
+        az_count: int = 3,
     ) -> None:
         if min(segment_mttf_hours, repair_window_s) <= 0:
             raise ConfigurationError("MTTF and repair window must be > 0")
         if az_failures_per_year < 0:
             raise ConfigurationError("az_failures_per_year must be >= 0")
+        if not 1 <= write_loss_failures <= read_loss_failures:
+            raise ConfigurationError(
+                "need 1 <= write_loss_failures <= read_loss_failures"
+            )
+        if read_loss_failures > copies_per_pg:
+            raise ConfigurationError(
+                "read_loss_failures cannot exceed copies_per_pg"
+            )
+        if not 1 <= segments_per_az <= copies_per_pg:
+            raise ConfigurationError(
+                "need 1 <= segments_per_az <= copies_per_pg"
+            )
         self.segment_mttf_hours = segment_mttf_hours
         self.repair_window_s = repair_window_s
         self.az_failures_per_year = az_failures_per_year
+        self.copies_per_pg = copies_per_pg
+        self.write_loss_failures = write_loss_failures
+        self.read_loss_failures = read_loss_failures
+        self.segments_per_az = segments_per_az
+        self.az_count = az_count
+
+    @classmethod
+    def from_replication(cls, replication, **kwargs) -> "DurabilityModel":
+        """A model with quorum arithmetic taken from a backend's
+        :class:`~repro.storage.backend.ReplicationConfig` (keyword
+        arguments pass through: MTTF, window, AZ rate)."""
+        return cls(
+            copies_per_pg=replication.sync_write_copies,
+            write_loss_failures=replication.write_loss_failures,
+            read_loss_failures=replication.read_loss_failures,
+            segments_per_az=replication.segments_per_az,
+            az_count=replication.az_count,
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------
     # Elementary rates
@@ -78,43 +127,57 @@ class DurabilityModel:
     # ------------------------------------------------------------------
     # Per-quorum events within one window
     # ------------------------------------------------------------------
-    def p_k_of_n_segments_fail(self, k: int, n: int = COPIES_PER_PG) -> float:
+    def p_k_of_n_segments_fail(self, k: int, n: int | None = None) -> float:
         """P(exactly k of n independent segments fail in one window)."""
+        if n is None:
+            n = self.copies_per_pg
         p = self.p_segment_fails_in_window()
         return math.comb(n, k) * p**k * (1.0 - p) ** (n - k)
 
-    def p_write_quorum_loss(self) -> float:
-        """P(>= 3 of 6 segments down together): 4/6 writes unavailable.
-
-        Counts both the purely independent path (3+ independent failures)
-        and the correlated path (AZ down = 2 segments, plus >= 1 more).
-        """
-        independent = sum(
-            self.p_k_of_n_segments_fail(k) for k in range(3, 7)
+    def _p_at_least(self, j: int, m: int) -> float:
+        """P(>= j of m independent segments fail in one window)."""
+        if j <= 0:
+            return 1.0
+        if j > m:
+            return 0.0
+        p = self.p_segment_fails_in_window()
+        return sum(
+            math.comb(m, k) * p**k * (1.0 - p) ** (m - k)
+            for k in range(j, m + 1)
         )
+
+    def _p_quorum_loss(self, loss_failures: int) -> float:
+        """P(>= ``loss_failures`` sync-path copies down in one window).
+
+        Counts both the purely independent path and the correlated path:
+        an AZ event removes ``segments_per_az`` copies at once, so only
+        the remainder must fail independently alongside it.
+        """
+        n = self.copies_per_pg
+        independent = self._p_at_least(loss_failures, n)
         p_az = self.p_az_fails_in_window()
-        # AZ takes out 2 of 6; one more among the remaining 4 breaks writes.
-        p_one_more = 1.0 - (1.0 - self.p_segment_fails_in_window()) ** 4
-        correlated = 3 * p_az * p_one_more
+        remainder = self._p_at_least(
+            loss_failures - self.segments_per_az, n - self.segments_per_az
+        )
+        correlated = self.az_count * p_az * remainder
         return independent + correlated
+
+    def p_write_quorum_loss(self) -> float:
+        """P(enough copies down together to block writes).
+
+        Aurora: >= 3 of 6 (4/6 writes unavailable) -- AZ + 1 more, or 3
+        independent failures.  Taurus: >= 2 of the 3 log stores.
+        """
+        return self._p_quorum_loss(self.write_loss_failures)
 
     def p_read_quorum_loss(self) -> float:
-        """P(>= 4 of 6 down together): 3/6 reads (and repair) unavailable.
+        """P(enough copies down together to block reads and repair).
 
         This is the paper's data-loss-risk event: losing the read quorum
-        means the volume can no longer repair itself.  Requires AZ + 2, or
-        4 independent failures.
+        means the volume can no longer repair itself.  Aurora: >= 4 of 6
+        (AZ + 2, or 4 independent failures).
         """
-        independent = sum(
-            self.p_k_of_n_segments_fail(k) for k in range(4, 7)
-        )
-        p_az = self.p_az_fails_in_window()
-        p = self.p_segment_fails_in_window()
-        p_two_more = sum(
-            math.comb(4, k) * p**k * (1.0 - p) ** (4 - k) for k in range(2, 5)
-        )
-        correlated = 3 * p_az * p_two_more
-        return independent + correlated
+        return self._p_quorum_loss(self.read_loss_failures)
 
     # ------------------------------------------------------------------
     # Fleet / volume scale
@@ -159,7 +222,7 @@ class DurabilityModel:
         mttr = mttr_s if mttr_s is not None else self.repair_window_s
         rate = self.segment_failure_rate_per_s
         p_member_down = (rate * mttr) / (1.0 + rate * mttr)
-        p_pg_degraded = 1.0 - (1.0 - p_member_down) ** COPIES_PER_PG
+        p_pg_degraded = 1.0 - (1.0 - p_member_down) ** self.copies_per_pg
         return fleet_pgs * p_pg_degraded
 
     def mean_windows_to_read_loss(self) -> float:

@@ -163,10 +163,23 @@ class PGConsistencyTracker:
         config: QuorumConfig,
         audit_probe=None,
         audit_owner: str = "",
+        tracked=None,
     ) -> None:
         self.pg_index = pg_index
         self._config = config
-        self._member_scls: dict[str, int] = {m: NULL_LSN for m in config.members}
+        #: Members whose acked SCLs are bookkept.  Defaults to the quorum
+        #: config's members; backends whose durability quorum spans only a
+        #: subset of the membership (e.g. Taurus's log stores) pass the
+        #: full membership here so asynchronous replicas (page stores)
+        #: still feed :meth:`durable_members_at` for read routing.
+        tracked_members = (
+            frozenset(tracked) | config.members
+            if tracked is not None
+            else config.members
+        )
+        self._member_scls: dict[str, int] = {
+            m: NULL_LSN for m in tracked_members
+        }
         self._pgcl = NULL_LSN
         self.audit_probe = audit_probe
         self.audit_owner = audit_owner
@@ -185,20 +198,31 @@ class PGConsistencyTracker:
     def member_scls(self) -> dict[str, int]:
         return dict(self._member_scls)
 
-    def set_config(self, config: QuorumConfig) -> None:
-        """Install a new quorum configuration (membership change)."""
+    def set_config(self, config: QuorumConfig, tracked=None) -> None:
+        """Install a new quorum configuration (membership change).
+
+        ``tracked`` extends the retained member set beyond the config's
+        own members (see ``__init__``); by default only quorum members
+        survive the swap.
+        """
         self._config = config
         if self.audit_probe is not None:
             self.audit_probe.on_quorum_config(
                 self.audit_owner, self.pg_index, config
             )
-        for member in config.members:
+        tracked_members = (
+            frozenset(tracked) | config.members
+            if tracked is not None
+            else config.members
+        )
+        for member in tracked_members:
             self._member_scls.setdefault(member, NULL_LSN)
-        # Forget members no longer referenced by any quorum expression.
+        # Forget members no longer referenced by any quorum expression
+        # (or, for backends with a wider tracked set, by the membership).
         self._member_scls = {
             m: scl
             for m, scl in self._member_scls.items()
-            if m in config.members
+            if m in tracked_members
         }
         self._recompute()
 

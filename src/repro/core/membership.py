@@ -29,10 +29,16 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from repro.core.quorum import QuorumConfig, transition_config
+from repro.core.quorum import (
+    QuorumConfig,
+    group_transition_config,
+    transition_config,
+)
 from repro.errors import MembershipError
 
 #: Aurora protection groups have six segments: two in each of three AZs.
+#: Alternative backends (e.g. the Taurus log/page split) may use other
+#: slot counts; :meth:`MembershipState.initial` accepts ``slot_count``.
 SLOT_COUNT = 6
 
 
@@ -58,10 +64,8 @@ class MembershipState:
     slots: tuple[tuple[str, ...], ...]
 
     def __post_init__(self) -> None:
-        if len(self.slots) != SLOT_COUNT:
-            raise MembershipError(
-                f"expected {SLOT_COUNT} slots, got {len(self.slots)}"
-            )
+        if not self.slots:
+            raise MembershipError("membership needs at least one slot")
         seen: set[str] = set()
         for alternatives in self.slots:
             if not 1 <= len(alternatives) <= 2:
@@ -77,10 +81,12 @@ class MembershipState:
     # Introspection
     # ------------------------------------------------------------------
     @staticmethod
-    def initial(members: list[str], epoch: int = 1) -> "MembershipState":
-        if len(members) != SLOT_COUNT:
+    def initial(
+        members: list[str], epoch: int = 1, slot_count: int = SLOT_COUNT
+    ) -> "MembershipState":
+        if len(members) != slot_count:
             raise MembershipError(
-                f"initial membership needs {SLOT_COUNT} members"
+                f"initial membership needs {slot_count} members"
             )
         return MembershipState(
             epoch=epoch, slots=tuple((m,) for m in members)
@@ -121,8 +127,17 @@ class MembershipState:
         ]
 
     def quorum_config(self) -> QuorumConfig:
-        """The proved quorum set for the current (possibly dual) membership."""
-        return transition_config(self.member_groups())
+        """The proved quorum set for the current (possibly dual) membership.
+
+        Six-slot groups use Aurora's 4/6 write / 3/6 read thresholds;
+        other slot counts fall back to the generalised majority-overlap
+        transition config (backends install their own policy on top via
+        :meth:`StorageBackend.membership_quorum_config`).
+        """
+        groups = self.member_groups()
+        if len(self.slots) == SLOT_COUNT:
+            return transition_config(groups)
+        return group_transition_config(groups)
 
     # ------------------------------------------------------------------
     # Transitions (each returns a new state with epoch + 1)
@@ -163,7 +178,7 @@ class MembershipState:
         return self._collapse(slot, keep_index=0)
 
     def _collapse(self, slot: int, keep_index: int) -> "MembershipState":
-        if not 0 <= slot < SLOT_COUNT:
+        if not 0 <= slot < len(self.slots):
             raise MembershipError(f"slot {slot} out of range")
         alternatives = self.slots[slot]
         if len(alternatives) != 2:
@@ -180,7 +195,10 @@ class MembershipState:
 
 
 def verify_transition_safety(
-    before: MembershipState, after: MembershipState, audit_probe=None
+    before: MembershipState,
+    after: MembershipState,
+    audit_probe=None,
+    config_of=None,
 ) -> None:
     """Prove a transition is safe in the paper's sense.
 
@@ -209,6 +227,12 @@ def verify_transition_safety(
     When an ``audit_probe`` (:class:`repro.audit.Auditor`) is given, the
     transition is reported *before* the checks run, so the auditor flags
     an unsafe transition independently of the exceptions raised here.
+
+    ``config_of`` maps a membership state to the quorum config actually
+    installed for it; it defaults to the state's own
+    :meth:`MembershipState.quorum_config` and lets storage backends with
+    asymmetric quorum policies (e.g. Taurus's log-store-only quorum)
+    prove *their* configs across the transition.
     """
     if audit_probe is not None:
         audit_probe.on_membership_transition(before, after)
@@ -216,8 +240,10 @@ def verify_transition_safety(
         raise MembershipError(
             f"epoch must increase: {before.epoch} -> {after.epoch}"
         )
-    old = before.quorum_config()
-    new = after.quorum_config()
+    if config_of is None:
+        config_of = lambda state: state.quorum_config()  # noqa: E731
+    old = config_of(before)
+    new = config_of(after)
     members = sorted(old.members | new.members)
     universe = set(members)
     for size in range(len(members) + 1):

@@ -301,6 +301,47 @@ def full_tail_config(
     return QuorumConfig(write_expr=write_expr, read_expr=read_expr).prove()
 
 
+def group_transition_config(
+    group_memberships: Sequence[Iterable[str]],
+    write_threshold_of=None,
+    read_threshold_of=None,
+) -> QuorumConfig:
+    """Transition quorum set over groups of *any* size.
+
+    Generalises :func:`transition_config` beyond six-member groups: per
+    group of size ``n`` the write quorum defaults to ``n//2 + 1`` members
+    (majority, so write/write overlap holds) and the read quorum to
+    ``n - n//2`` members (so read/write overlap holds).  For six-member
+    groups these defaults are exactly Aurora's 4/6 and 3/6.  Callers may
+    override either threshold rule; the result is still exhaustively
+    proved, whatever the groups.
+    """
+    groups = [frozenset(g) for g in group_memberships]
+    if not groups:
+        raise QuorumError("transition requires at least one member group")
+    for group in groups:
+        if not group:
+            raise QuorumError("transition groups must be non-empty")
+    if write_threshold_of is None:
+        write_threshold_of = lambda n: n // 2 + 1  # noqa: E731
+    if read_threshold_of is None:
+        read_threshold_of = lambda n: n - n // 2  # noqa: E731
+    write_children = [
+        QuorumLeaf.of(g, write_threshold_of(len(g))) for g in groups
+    ]
+    read_children = [
+        QuorumLeaf.of(g, read_threshold_of(len(g))) for g in groups
+    ]
+    write_expr: QuorumExpr = (
+        write_children[0] if len(write_children) == 1
+        else QuorumAnd(write_children)
+    )
+    read_expr: QuorumExpr = (
+        read_children[0] if len(read_children) == 1 else QuorumOr(read_children)
+    )
+    return QuorumConfig(write_expr=write_expr, read_expr=read_expr).prove()
+
+
 def transition_config(group_memberships: Sequence[Iterable[str]]) -> QuorumConfig:
     """Quorum set for an in-flight membership change (section 4.1).
 

@@ -48,6 +48,7 @@ from repro.sim.events import EventLoop
 from repro.sim.failures import FailureInjector
 from repro.sim.network import Network
 from repro.sim.process import Process
+from repro.storage.backend import resolve_backend
 from repro.storage.backup import SimulatedS3
 from repro.storage.messages import BaselineRequest, BaselineResponse, EpochWrite
 from repro.storage.metadata import SegmentPlacement, StorageMetadataService
@@ -70,6 +71,9 @@ class ClusterConfig:
     blocks_per_pg: int = 4096
     #: Use the section-4.2 cost-reducing mix: 3 full + 3 tail segments.
     full_tail: bool = False
+    #: Storage backend: ``"aurora"`` (default), ``"taurus"``, or a
+    #: :class:`repro.storage.backend.StorageBackend` instance.
+    backend: object = "aurora"
     instance: InstanceConfig = field(default_factory=InstanceConfig)
     replica: ReplicaConfig = field(default_factory=ReplicaConfig)
     node: StorageNodeConfig = field(default_factory=StorageNodeConfig)
@@ -136,6 +140,7 @@ class AuroraCluster:
         self.network = network
         self.failures = failures
         self.metadata = metadata
+        self.backend = metadata.backend
         self.s3 = s3
         self.nodes: dict[str, StorageNode] = {}
         self.writer: WriterInstance | None = None
@@ -195,14 +200,17 @@ class AuroraCluster:
                 cross_az=config.cross_az_latency,
             )
             failures = FailureInjector(loop, network, rng)
+        backend = resolve_backend(config.backend, full_tail=config.full_tail)
         geometry = VolumeGeometry(
-            blocks_per_pg=config.blocks_per_pg, pg_count=config.pg_count
+            blocks_per_pg=config.blocks_per_pg,
+            pg_count=config.pg_count,
+            copies_per_pg=backend.slot_count,
         )
         metadata_cls = (
             _FullTailMetadataService if config.full_tail
             else StorageMetadataService
         )
-        metadata = metadata_cls(geometry)
+        metadata = metadata_cls(geometry, backend=backend)
         s3 = SimulatedS3()
         cluster = cls(config, loop, rng, network, failures, metadata, s3)
         for pg_index in range(config.pg_count):
@@ -212,19 +220,15 @@ class AuroraCluster:
         return cluster
 
     def _create_protection_group(self, pg_index: int) -> None:
+        layout = self.backend.segment_layout()
         members = []
-        for slot in range(6):
+        for slot, spec in enumerate(layout):
             segment_id = self.segment_name(pg_index, slot)
             members.append(segment_id)
-            az = AZS[slot % 3]
-            kind = (
-                SegmentKind.FULL
-                if not self.config.full_tail or slot in FULL_SLOTS
-                else SegmentKind.TAIL
-            )
-            self._create_storage_node(segment_id, pg_index, az, kind)
+            self._create_storage_node(segment_id, pg_index, spec.az, spec.kind)
         self.metadata.set_membership(
-            pg_index, MembershipState.initial(members)
+            pg_index,
+            MembershipState.initial(members, slot_count=len(layout)),
         )
 
     def _create_storage_node(
@@ -556,7 +560,7 @@ class AuroraCluster:
         )
         self.nodes[candidate_id].start()
         new_state = state.begin_replacement(failed_segment, candidate_id)
-        verify_transition_safety(state, new_state, audit_probe=self.auditor)
+        self._verify_transition(pg_index, state, new_state)
         self._install_membership(pg_index, new_state)
         return candidate_id
 
@@ -571,7 +575,7 @@ class AuroraCluster:
                 f"no replacement in flight for {failed_segment}"
             )
         new_state = state.commit_replacement(slot)
-        verify_transition_safety(state, new_state, audit_probe=self.auditor)
+        self._verify_transition(pg_index, state, new_state)
         self._install_membership(pg_index, new_state)
 
     def rollback_segment_replacement(
@@ -581,8 +585,22 @@ class AuroraCluster:
         state = self.metadata.membership(pg_index)
         slot = self._slot_of(state, failed_segment)
         new_state = state.rollback_replacement(slot)
-        verify_transition_safety(state, new_state, audit_probe=self.auditor)
+        self._verify_transition(pg_index, state, new_state)
         self._install_membership(pg_index, new_state)
+
+    def _verify_transition(
+        self, pg_index: int, state: MembershipState, new_state: MembershipState
+    ) -> None:
+        """Prove the transition against the backend's *installed* quorum
+        policy (for Aurora this is exactly the membership-derived config)."""
+        verify_transition_safety(
+            state,
+            new_state,
+            audit_probe=self.auditor,
+            config_of=lambda s: self.metadata.membership_config_of(
+                pg_index, s
+            ),
+        )
 
     @staticmethod
     def _slot_of(state: MembershipState, segment_id: str) -> int:
@@ -625,7 +643,7 @@ class AuroraCluster:
         candidate = self.nodes[candidate_id]
         sources = [
             p
-            for p in self.metadata.full_segments_of_pg(pg_index)
+            for p in self.metadata.baseline_sources_of_pg(pg_index)
             if p.segment_id != candidate_id
             and self.network.is_up(p.segment_id)
         ]
@@ -767,6 +785,7 @@ class AuroraCluster:
             pg_count=source.config.pg_count,
             blocks_per_pg=source.config.blocks_per_pg,
             full_tail=source.config.full_tail,
+            backend=source.config.backend,
         )
         cluster = cls.build(config, bootstrap=False)
         for segment_id, node in cluster.nodes.items():

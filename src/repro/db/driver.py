@@ -203,6 +203,10 @@ class StorageDriver:
     def configure_pg(self, pg_index: int) -> PGConsistencyTracker:
         """(Re)load a PG's quorum config from the metadata service."""
         config = self.metadata.quorum_config(pg_index)
+        # Backends whose durability quorum spans only part of the
+        # membership (Taurus: log stores) still track every member's acked
+        # SCL, so asynchronous replicas feed read routing.
+        tracked = self.metadata.tracked_members_of_pg(pg_index)
         tracker = self.pg_trackers.get(pg_index)
         if tracker is None:
             tracker = PGConsistencyTracker(
@@ -210,10 +214,11 @@ class StorageDriver:
                 config,
                 audit_probe=self.audit_probe,
                 audit_owner=self.instance_id,
+                tracked=tracked,
             )
             self.pg_trackers[pg_index] = tracker
         else:
-            tracker.set_config(config)
+            tracker.set_config(config, tracked=tracked)
         return tracker
 
     def attach_audit_probe(self, probe) -> None:
@@ -325,7 +330,14 @@ class StorageDriver:
             epochs=self.epochs,
             pgmrpl=self.pgmrpl_provider(),
         )
-        for member in self.members_of(pg_index):
+        # The synchronous write fan-out is backend policy: Aurora ships to
+        # all six members; Taurus ships only to the log stores (page
+        # stores drain the log asynchronously via gossip).
+        targets = self.metadata.write_targets_of_pg(pg_index)
+        members = (
+            self.members_of(pg_index) if targets is None else sorted(targets)
+        )
+        for member in members:
             self._send(member, batch)
             self.stats.batches_sent += 1
             self.stats.records_sent += len(records)
@@ -442,8 +454,19 @@ class StorageDriver:
         if tracker is not None:
             durable = tracker.durable_members_at(read_point)
         candidates = durable & fulls
+        if len(candidates - exclude) < 2:
+            # Backend read fallback (the Taurus log tail): when fewer than
+            # two full copies are caught up and reachable, log stores that
+            # can materialize the read point on demand join the candidate
+            # set, so hedging has somewhere to escalate.  Empty for Aurora.
+            fallback = self.metadata.read_fallback_members_of_pg(pg_index)
+            candidates |= durable & fallback
         if not candidates and self.optimistic_reads:
             candidates = frozenset(fulls)
+            if not candidates - exclude:
+                candidates |= self.metadata.read_fallback_members_of_pg(
+                    pg_index
+                )
         return sorted(candidates - exclude)
 
     def _issue_read(

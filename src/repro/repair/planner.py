@@ -354,7 +354,7 @@ class RepairPlanner:
         cfg = self.config
         sources = [
             p.segment_id
-            for p in cluster.metadata.full_segments_of_pg(pg_index)
+            for p in cluster.metadata.baseline_sources_of_pg(pg_index)
             if p.segment_id != candidate_id
             and p.segment_id != record.segment_id
             and cluster.network.is_up(p.segment_id)

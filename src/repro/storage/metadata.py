@@ -38,7 +38,14 @@ class SegmentPlacement:
 class StorageMetadataService:
     """Directory of volume geometry, membership, placement, and epochs."""
 
-    def __init__(self, geometry: VolumeGeometry) -> None:
+    def __init__(self, geometry: VolumeGeometry, backend=None) -> None:
+        if backend is None:
+            # Imported lazily: backend.py imports SegmentKind and quorum
+            # machinery at module level; the default here must not cycle.
+            from repro.storage.backend import AuroraBackend
+
+            backend = AuroraBackend()
+        self.backend = backend
         self.geometry = geometry
         self._memberships: dict[int, MembershipState] = {}
         self._placements: dict[str, SegmentPlacement] = {}
@@ -84,7 +91,12 @@ class StorageMetadataService:
         override = self._quorum_overrides.get(pg_index)
         if override is not None:
             return override
-        return self.membership(pg_index).quorum_config()
+        return self.membership_config_of(pg_index, self.membership(pg_index))
+
+    def membership_config_of(self, pg_index: int, state) -> QuorumConfig:
+        """The backend's quorum config for an arbitrary membership state
+        (used to prove transitions against the *installed* policy)."""
+        return self.backend.membership_quorum_config(self, pg_index, state)
 
     def set_quorum_override(
         self, pg_index: int, config: QuorumConfig
@@ -131,6 +143,30 @@ class StorageMetadataService:
             for p in self.segments_of_pg(pg_index)
             if p.kind is SegmentKind.FULL
         ]
+
+    def log_segments_of_pg(self, pg_index: int) -> list[SegmentPlacement]:
+        return [
+            p
+            for p in self.segments_of_pg(pg_index)
+            if p.kind is SegmentKind.LOG
+        ]
+
+    # ------------------------------------------------------------------
+    # Backend policy pass-throughs (the driver and repair planner ask the
+    # metadata service, which owns the backend reference)
+    # ------------------------------------------------------------------
+    def write_targets_of_pg(self, pg_index: int):
+        """Members on the synchronous write path, or ``None`` for all."""
+        return self.backend.write_targets(self, pg_index)
+
+    def read_fallback_members_of_pg(self, pg_index: int) -> frozenset[str]:
+        return self.backend.read_fallback_members(self, pg_index)
+
+    def tracked_members_of_pg(self, pg_index: int):
+        return self.backend.tracked_members(self, pg_index)
+
+    def baseline_sources_of_pg(self, pg_index: int) -> list[SegmentPlacement]:
+        return self.backend.baseline_sources(self, pg_index)
 
     def pg_of(self, segment_id: str) -> int:
         """The protection group a (current or former) segment serves."""

@@ -553,7 +553,7 @@ class StorageNode(Actor):
 
     def apply_baseline(self, response: BaselineResponse) -> int:
         """Hydrate this node's segment from a peer's baseline response."""
-        if self.segment.kind is SegmentKind.FULL:
+        if self.segment.kind is not SegmentKind.TAIL:
             for block, version_lsn, image in response.blocks:
                 chain = self.segment.blocks.get(block)
                 if chain is None:

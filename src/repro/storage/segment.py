@@ -36,10 +36,17 @@ from repro.storage.page import BlockVersionChain, image_checksum
 
 
 class SegmentKind(enum.Enum):
-    """Full segments materialize data blocks; tail segments hold log only."""
+    """Full segments materialize data blocks; tail segments hold log only.
+
+    LOG segments play the Taurus log-store role: durability-first copies
+    that hold the redo log like tails but can materialize block versions
+    *on demand*, so reads can fall back to the log tail while page stores
+    hydrate asynchronously.
+    """
 
     FULL = "full"
     TAIL = "tail"
+    LOG = "log"
 
 
 class Segment:
@@ -130,10 +137,13 @@ class Segment:
         """Apply redo for chain-complete records to block versions.
 
         Only records at or below the SCL are eligible (the chain guarantees
-        nothing is missing below it).  Tail segments never materialize.
-        Returns the number of records applied.
+        nothing is missing below it).  Tail segments never materialize;
+        log segments materialize only on demand (``upto`` given), never in
+        the background.  Returns the number of records applied.
         """
         if self.kind is SegmentKind.TAIL:
+            return 0
+        if self.kind is SegmentKind.LOG and upto is None:
             return 0
         limit = self.scl if upto is None else min(upto, self.scl)
         if limit <= self.coalesced_upto:
@@ -174,6 +184,15 @@ class Segment:
         tail segments (which hold no blocks).
         """
         if self.kind is SegmentKind.TAIL:
+            raise ReadPointError(read_point, 0, 0)
+        if (
+            self.kind is SegmentKind.LOG
+            and self.coalesced_upto < self.gc_horizon
+        ):
+            # History below the GC horizon is gone from the hot log and was
+            # never materialized here (e.g. after a backup restore); an
+            # on-demand coalesce would produce silently incomplete images.
+            # Refuse so the driver reroutes to a page store.
             raise ReadPointError(read_point, 0, 0)
         if not self.gc_floor <= read_point <= self.scl:
             raise ReadPointError(read_point, self.gc_floor, self.scl)
@@ -284,7 +303,11 @@ class Segment:
                     chain.append(snapshot_scl, dict(image))
                 self.blocks[block] = chain
         self.chain.rebase(snapshot_scl)
-        self.coalesced_upto = snapshot_scl
+        # A log segment restores no block baseline, so it must not claim
+        # materialization through the snapshot point; the read_block guard
+        # then routes reads to page stores until it adopts a baseline.
+        if self.kind is not SegmentKind.LOG:
+            self.coalesced_upto = snapshot_scl
         self.backed_up_upto = snapshot_scl
         self.gc_horizon = max(self.gc_horizon, snapshot_scl)
         return snapshot_scl
@@ -303,10 +326,13 @@ class Segment:
         by an instance".  Block versions are dropped below the GC floor.
         Returns ``(records_dropped, versions_dropped)``.
         """
+        # Log segments use the coalesced bound like fulls: a hot-log record
+        # is only droppable once its effects are materialized here, so a
+        # log store never discards history it might have to serve.
         materialized = (
-            self.coalesced_upto
-            if self.kind is SegmentKind.FULL
-            else self.backed_up_upto
+            self.backed_up_upto
+            if self.kind is SegmentKind.TAIL
+            else self.coalesced_upto
         )
         record_limit = min(materialized, self.backed_up_upto, self.gc_floor)
         self.gc_horizon = max(self.gc_horizon, record_limit)
@@ -397,7 +423,10 @@ class Segment:
         copies the materialized block baseline.
         """
         copied = 0
-        if self.kind is SegmentKind.FULL and source.kind is SegmentKind.FULL:
+        if (
+            self.kind is not SegmentKind.TAIL
+            and source.kind is not SegmentKind.TAIL
+        ):
             source.coalesce()
             for block, chain in source.blocks.items():
                 if block not in self.blocks:

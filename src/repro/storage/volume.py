@@ -29,6 +29,9 @@ class VolumeGeometry:
 
     blocks_per_pg: int
     pg_count: int
+    #: Segment copies per protection group (backend-dependent; Aurora's 6
+    #: by default, Taurus uses 3 log stores + 2 page stores = 5).
+    copies_per_pg: int = COPIES_PER_PG
     geometry_epoch: int = 1
     growth_log: list[tuple[int, int]] = field(default_factory=list)
     #: Optional :class:`repro.audit.Auditor` observer (zero-cost when None).
@@ -78,4 +81,4 @@ class VolumeGeometry:
         return self.geometry_epoch
 
     def segment_count(self) -> int:
-        return self.pg_count * COPIES_PER_PG
+        return self.pg_count * self.copies_per_pg

@@ -11,6 +11,22 @@ from repro.sim.events import EventLoop
 from repro.sim.network import Network
 
 
+#: Storage backends every conformance-parametrized test must pass on.
+BACKEND_NAMES = ("aurora", "taurus")
+
+
+@pytest.fixture(params=BACKEND_NAMES)
+def backend(request) -> str:
+    """Storage backend name; tests using this fixture run once per backend."""
+    return request.param
+
+
+@pytest.fixture
+def backend_cluster(backend: str) -> AuroraCluster:
+    """A single-PG cluster built on the parametrized storage backend."""
+    return AuroraCluster.build(ClusterConfig(seed=99, backend=backend))
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(1234)

@@ -11,7 +11,12 @@ library against a plain-dict oracle updated only on *acknowledged* commits:
 - the B-tree structure check passes whenever we look.
 
 These are the paper's guarantees, stated once and hammered with random
-schedules.
+schedules.  The whole module is parametrized over the storage backend (the
+shared ``backend`` fixture), so it doubles as a conformance check: the
+guarantees must hold for the Aurora 4/6 quorum and the Taurus log/page
+split alike.  Fault amplitudes (how many segments a script may kill, when
+a transaction is refused as hopeless) come from the backend's replication
+config rather than hard-coded 6-way constants.
 """
 
 import random
@@ -63,8 +68,8 @@ def scripts(draw):
     return seed, steps
 
 
-def run_script(seed, steps):
-    cluster = AuroraCluster.build(ClusterConfig(seed=seed))
+def run_script(seed, steps, backend="aurora"):
+    cluster = AuroraCluster.build(ClusterConfig(seed=seed, backend=backend))
     db = Session(cluster.writer)
     oracle: dict = {}
     #: key -> values an *unacknowledged but possibly complete* transaction
@@ -76,7 +81,10 @@ def run_script(seed, steps):
     uncertain_deleted: set = set()
     pending: list = []
     down: set[str] = set()
-    segment_names = [f"pg0-{c}" for c in "abcdef"]
+    segment_names = [
+        p.segment_id for p in cluster.metadata.segments_of_pg(0)
+    ]
+    max_kills = cluster.backend.max_tolerated_kills()
 
     def apply_to_oracle(ops):
         for op, key, value in ops:
@@ -111,7 +119,7 @@ def run_script(seed, steps):
         if step[0] == "txn":
             _tag, ops, wait = step
             # Refuse to start a txn that cannot commit (quorum down).
-            if len(down) > 2:
+            if len(down) > max_kills:
                 continue
             txn = db.begin()
             try:
@@ -135,12 +143,12 @@ def run_script(seed, steps):
         elif step[0] == "run":
             cluster.run_for(float(step[1]))
         elif step[0] == "kill":
-            name = segment_names[step[1]]
-            if len(down) < 2 and name not in down:
+            name = segment_names[step[1] % len(segment_names)]
+            if len(down) < max_kills and name not in down:
                 cluster.failures.crash_node(name)
                 down.add(name)
         elif step[0] == "restore":
-            name = segment_names[step[1]]
+            name = segment_names[step[1] % len(segment_names)]
             if name in down:
                 cluster.failures.restore_node(name)
                 down.remove(name)
@@ -160,16 +168,19 @@ def run_script(seed, steps):
 
 
 class TestEndToEndProperties:
-    @given(scripts())
+    @given(script=scripts())
     @settings(
-        max_examples=25,
+        max_examples=15,
         deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
     )
-    def test_acknowledged_state_always_survives(self, script):
+    def test_acknowledged_state_always_survives(self, backend, script):
         seed, steps = script
         cluster, db, oracle, uncertain, uncertain_deleted = run_script(
-            seed, steps
+            seed, steps, backend=backend
         )
         for key, value in oracle.items():
             got = db.get(key)
@@ -183,29 +194,37 @@ class TestEndToEndProperties:
                 f"(seed={seed}, steps={steps})"
             )
 
-    @given(scripts())
+    @given(script=scripts())
     @settings(
-        max_examples=10,
+        max_examples=6,
         deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
     )
-    def test_btree_structure_survives_everything(self, script):
+    def test_btree_structure_survives_everything(self, backend, script):
         seed, steps = script
-        cluster, db, _oracle, _unc, _del = run_script(seed, steps)
+        cluster, db, _oracle, _unc, _del = run_script(
+            seed, steps, backend=backend
+        )
         leaves = db.drive(cluster.writer.btree.check_structure())
         assert leaves >= 1
 
     @given(
-        st.integers(0, 2**20),
-        st.floats(min_value=0.0, max_value=3.0),
+        seed=st.integers(0, 2**20),
+        grace_ms=st.floats(min_value=0.0, max_value=3.0),
     )
     @settings(
-        max_examples=15,
+        max_examples=8,
         deadline=None,
-        suppress_health_check=[HealthCheck.too_slow],
+        suppress_health_check=[
+            HealthCheck.too_slow,
+            HealthCheck.function_scoped_fixture,
+        ],
     )
     def test_uncertain_commits_are_all_or_nothing_across_failover(
-        self, seed, grace_ms
+        self, backend, seed, grace_ms
     ):
         """A multi-key transaction whose commit future resolved as
         *uncertain* (the writer died before acknowledging) must be either
@@ -217,7 +236,9 @@ class TestEndToEndProperties:
         from repro.errors import CommitUncertainError
         from repro.repair import PROMOTED
 
-        cluster = AuroraCluster.build(ClusterConfig(seed=seed))
+        cluster = AuroraCluster.build(
+            ClusterConfig(seed=seed, backend=backend)
+        )
         for _ in range(2):
             cluster.add_replica()
         cluster.arm_failover()
@@ -274,7 +295,7 @@ class TestEndToEndProperties:
         for key, value in baseline.items():
             assert db.get(key) == value
 
-    def test_deterministic_replay(self):
+    def test_deterministic_replay(self, backend):
         """The same script yields byte-identical outcomes."""
         script = (
             1234,
@@ -290,7 +311,9 @@ class TestEndToEndProperties:
         )
         states = []
         for _ in range(2):
-            cluster, db, oracle, _unc, _del = run_script(*script)
+            cluster, db, oracle, _unc, _del = run_script(
+                *script, backend=backend
+            )
             states.append(
                 (
                     sorted(oracle.items()),

@@ -2,12 +2,22 @@
 
 Includes the Figure 4 scenario: a crash with in-flight gaps, the recomputed
 VCL, and the truncation range that annuls the ragged edge.
+
+The core properties are parametrized over the storage backends' quorum
+profiles (shared ``backend`` fixture): the same recovery computation must
+hold for Aurora's 4/6 write / 3/6 read quorum over six segments and for
+Taurus's 2/3 majority over the three log stores, so this module doubles as
+part of the cross-backend conformance suite.
 """
 
 import pytest
 
 from repro.core.lsn import NULL_LSN
-from repro.core.quorum import aurora_v6_config, v6_config
+from repro.core.quorum import (
+    aurora_v6_config,
+    group_transition_config,
+    v6_config,
+)
 from repro.core.records import ChainDigest
 from repro.core.recovery import (
     SegmentRecoveryResponse,
@@ -36,24 +46,55 @@ def config():
     return v6_config(MEMBERS)
 
 
+#: Quorum shape each backend's recovery scan runs against.  Taurus scans
+#: only the durability quorum -- its three log stores -- so its profile is
+#: a 2/3 majority; Aurora scans all six segments at 4/6 write, 3/6 read.
+PROFILES = {
+    "aurora": dict(
+        members=[f"s{i}" for i in range(6)],
+        write_quorum=4,
+        read_quorum=3,
+        config=lambda members: v6_config(members),
+    ),
+    "taurus": dict(
+        members=[f"s{i}" for i in range(3)],
+        write_quorum=2,
+        read_quorum=2,
+        config=lambda members: group_transition_config(
+            [frozenset(members)]
+        ),
+    ),
+}
+
+
+@pytest.fixture
+def profile(backend):
+    return PROFILES[backend]
+
+
 class TestRecoverPGCompletion:
-    def test_requires_read_quorum(self):
+    def test_requires_read_quorum(self, profile):
+        members = profile["members"][: profile["read_quorum"] - 1]
+        responses = [response(m, 5, []) for m in members]
         with pytest.raises(RecoveryError):
             recover_pg_completion(
-                0, config(), [response("s0", 5, []), response("s1", 5, [])]
+                0, profile["config"](profile["members"]), responses
             )
 
-    def test_takes_max_scl_over_responders(self):
+    def test_takes_max_scl_over_responders(self, profile):
+        members = profile["members"][: profile["read_quorum"]]
         responses = [
-            response("s0", 5, []),
-            response("s1", 9, []),
-            response("s2", 7, []),
+            response(m, 5 + 2 * i, []) for i, m in enumerate(members)
         ]
-        assert recover_pg_completion(0, config(), responses) == 9
+        expected = 5 + 2 * (len(members) - 1)
+        cfg = profile["config"](profile["members"])
+        assert recover_pg_completion(0, cfg, responses) == expected
 
-    def test_empty_pg_recovers_null(self):
-        responses = [response(f"s{i}", NULL_LSN, []) for i in range(3)]
-        assert recover_pg_completion(0, config(), responses) == NULL_LSN
+    def test_empty_pg_recovers_null(self, profile):
+        members = profile["members"][: profile["read_quorum"]]
+        responses = [response(m, NULL_LSN, []) for m in members]
+        cfg = profile["config"](profile["members"])
+        assert recover_pg_completion(0, cfg, responses) == NULL_LSN
 
 
 class TestRecoverVolumeState:
@@ -65,41 +106,40 @@ class TestRecoverVolumeState:
             prev = lsn
         return digests
 
-    def test_figure_4_truncation(self):
+    def test_figure_4_truncation(self, profile):
         """Crash with gaps: records 1-5 complete, 6 missing, 7-8 present on
         one segment only.  VCL=5; 6..ceiling annulled."""
         chain = self._chain(1, 2, 3, 4, 5, 6, 7, 8)
-        full = chain  # s0 has everything
+        members = profile["members"]
+        full = chain  # the first responder has everything
         partial = chain[:5]  # quorum only covered 1..5
-        responses = [
-            response("s0", 8, full),
-            response("s1", 5, partial),
-            response("s2", 5, partial),
-            response("s3", 5, partial),
+        responses = [response(members[0], 8, full)] + [
+            response(m, 5, partial)
+            for m in members[1 : profile["read_quorum"] + 1]
         ]
-        # s0's extra records never met quorum: max SCL is 8, but VCL is
-        # chain-complete through 8 since s0 holds 1..8... wait: PGCL is
-        # max SCL = 8 and the chain IS complete, so recovery keeps them.
+        # The first responder's extra records never met quorum: max SCL is
+        # 8, but the chain IS complete through 8, so recovery keeps them.
+        cfg = profile["config"](members)
         result = recover_volume_state(
-            {0: config()}, {0: responses}, highest_possible_lsn=1000
+            {0: cfg}, {0: responses}, highest_possible_lsn=1000
         )
         assert result.vcl == 8
         assert result.truncation.first == 9
         assert result.truncation.last == 1000
 
-    def test_true_ragged_edge_is_annulled(self):
+    def test_true_ragged_edge_is_annulled(self, profile):
         """A record above a genuine chain gap is cut off (Figure 4): the
         writer crashed mid-flight and record 6 reached nobody."""
         base = self._chain(1, 2, 3, 4, 5)
         straggler = digest(7, 6)  # prev=6, but 6 is nowhere
-        responses = [
-            response("s0", 5, base + [straggler]),
-            response("s1", 5, base),
-            response("s2", 5, base),
-            response("s3", 5, base),
+        members = profile["members"]
+        responses = [response(members[0], 5, base + [straggler])] + [
+            response(m, 5, base)
+            for m in members[1 : profile["read_quorum"] + 1]
         ]
+        cfg = profile["config"](members)
         result = recover_volume_state(
-            {0: config()}, {0: responses}, highest_possible_lsn=500
+            {0: cfg}, {0: responses}, highest_possible_lsn=500
         )
         assert result.vcl == 5
         assert result.truncation.contains(6)
@@ -184,17 +224,26 @@ class TestRecoverVolumeState:
         assert result.vcl == NULL_LSN
         assert result.vdl == NULL_LSN
 
-    def test_acked_commit_always_survives(self):
-        """Durability core: a record durable on a write quorum (4/6) is
-        below the recovered VCL for ANY read-quorum scan."""
+    def test_acked_commit_always_survives(self, profile):
+        """Durability core: a record durable on a write quorum (4/6 for
+        Aurora, 2/3 of the log stores for Taurus) is below the recovered
+        VCL for ANY read-quorum scan -- the W + R > V overlap, exhaustively.
+        """
         import itertools
 
         chain = self._chain(1, 2, 3)
-        cfg = config()
-        # Record 1..3 durable on s0..s3; s4, s5 empty.
-        full_state = {f"s{i}": (3, chain) for i in range(4)}
-        full_state.update({f"s{i}": (NULL_LSN, []) for i in range(4, 6)})
-        for scan_members in itertools.combinations(MEMBERS, 3):
+        members = profile["members"]
+        cfg = profile["config"](members)
+        # Records 1..3 durable on exactly a minimal write quorum; the
+        # remaining members saw nothing before the crash.
+        durable = members[: profile["write_quorum"]]
+        full_state = {m: (3, chain) for m in durable}
+        full_state.update(
+            {m: (NULL_LSN, []) for m in members[profile["write_quorum"]:]}
+        )
+        for scan_members in itertools.combinations(
+            members, profile["read_quorum"]
+        ):
             responses = [
                 response(m, full_state[m][0], full_state[m][1])
                 for m in scan_members
