@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # reports are byte-identical to a sequential run; see docs/PERF.md).
 JOBS ?= 4
 
-.PHONY: test audit audit-fleet audit-failover bench bench-paper
+.PHONY: test audit audit-fleet audit-failover audit-geo bench bench-paper
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +31,15 @@ audit-fleet:
 # (see docs/REPAIR.md "Database-tier failover").
 audit-failover:
 	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 3 --failover --jobs $(JOBS)
+
+# Geo disaster-recovery gate: a two-region Global Database per seed over
+# a lossy WAN, one terminal region event (region loss or split-brain
+# partition) plus WAN brownouts and stream stalls, gated on zero
+# sync-acked commit loss, lag-bounded async RPO, provable stale-primary
+# fencing, and the 30 s RTO budget.  Even seeds run sync ack mode, odd
+# seeds async (see docs/AUDIT.md "Geo disaster recovery").
+audit-geo:
+	$(PYTHON) -m repro audit-run --seed 0 --steps 400 --sweep 20 --geo --jobs $(JOBS)
 
 # Engine perf harness: batched fast path vs an unbatched baseline of the
 # same seeded workload, recorded in BENCH_engine.json; --check exits

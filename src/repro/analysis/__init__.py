@@ -13,6 +13,9 @@ These reproduce the arithmetic behind the paper's design arguments:
 - :mod:`repro.analysis.failover_availability` -- measured writer-failover
   windows (detection, promotion, total write unavailability) against the
   ~30 s managed-database failover budget.
+- :mod:`repro.analysis.rpo_rto` -- measured region-loss disaster
+  recovery: RPO (zero for sync-acked commits, lag-bounded for async)
+  and RTO against the cross-region recovery budget.
 """
 
 from repro.analysis.availability import (
@@ -33,6 +36,12 @@ from repro.analysis.failover_availability import (
     FailoverAvailabilityReport,
     failover_availability,
 )
+from repro.analysis.rpo_rto import (
+    GEO_RTO_BUDGET_S,
+    RpoRtoReport,
+    rpo_rto_from_records,
+    rpo_rto_report,
+)
 
 __all__ = [
     "C7_WINDOW_S",
@@ -41,9 +50,13 @@ __all__ = [
     "FAILOVER_BUDGET_S",
     "FailoverAvailabilityReport",
     "FleetDurabilityReport",
+    "GEO_RTO_BUDGET_S",
+    "RpoRtoReport",
     "failover_availability",
     "fleet_durability",
     "model_from_observed_mttr",
+    "rpo_rto_from_records",
+    "rpo_rto_report",
     "az_failure_survival",
     "quorum_availability",
     "quorum_availability_under_az_failure",

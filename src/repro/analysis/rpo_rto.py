@@ -1,0 +1,179 @@
+"""Disaster-recovery analysis for the geo-replicated Global Database
+tier: recovery-point and recovery-time objectives under region loss.
+
+The intra-region failover story (:mod:`repro.analysis.failover_availability`)
+measures how long writes are unavailable when the *writer* dies inside a
+surviving volume.  Region loss is the stronger disaster: the volume
+itself is gone, and recovery happens from the secondary region's replica
+volume.  Two objectives replace the single availability budget:
+
+- **RPO** (recovery point): how many milliseconds of acknowledged work
+  the promoted region may be missing.  In ``sync`` ack mode the commit
+  path gates on the secondary's applied frontier, so the objective is
+  *zero* -- any acknowledged-commit loss is an invariant violation, not
+  a statistic.  In ``async`` mode the RPO is bounded by the replication
+  lag frontier at the moment of failure.
+- **RTO** (recovery time): region-loss detection through secondary
+  promotion.  The budget mirrors the classic cross-region DR figure for
+  Aurora Global Database-class systems (~1 minute advertised; we hold
+  ourselves to the stricter 30 s used for intra-region failover since
+  the simulated promotion is a local crash recovery either way).
+
+:func:`rpo_rto_report` evaluates the windows the simulator *measured*
+across a sweep of seeded disaster runs, the same closed-loop treatment
+the durability and availability analyses get.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.failover_availability import WindowPoint, _point
+from repro.errors import ConfigurationError
+
+#: End-to-end region-loss recovery budget: detection + lease wait +
+#: promotion.  Simulated milliseconds are treated as real milliseconds.
+GEO_RTO_BUDGET_S = 30.0
+
+
+@dataclass
+class RpoRtoReport:
+    """Achieved disaster-recovery windows versus the RPO/RTO objectives.
+
+    Like durability, both objectives are tail phenomena: ``meets_rto``
+    compares the *worst* observed recovery against the budget, and the
+    sync-mode RPO gate tolerates zero lost acknowledged commits across
+    the whole sweep, not a low average.
+    """
+
+    detection: WindowPoint | None
+    promotion: WindowPoint | None
+    rto: WindowPoint
+    #: Async-mode recovery-point distribution (ms of acknowledged work
+    #: at risk); ``None`` when every run was sync-acked.
+    rpo: WindowPoint | None
+    rto_budget_ms: float
+    worst_rto_fraction: float
+    meets_rto: bool
+    #: Acknowledged commits lost by sync-acked runs (must be zero).
+    sync_lost_commits: int
+    sync_runs: int
+    async_runs: int
+    async_lost_commits: int
+
+    @property
+    def sync_rpo_zero(self) -> bool:
+        return self.sync_lost_commits == 0
+
+    @property
+    def ok(self) -> bool:
+        return self.meets_rto and self.sync_rpo_zero
+
+    def render_lines(self) -> list[str]:
+        lines = []
+        if self.detection is not None:
+            lines.append(f"  region-loss detection: {self.detection.line()}")
+        if self.promotion is not None:
+            lines.append(f"  secondary promotion:   {self.promotion.line()}")
+        lines.append(f"  RTO:                   {self.rto.line()}")
+        lines.append(
+            f"  RTO budget ({self.rto_budget_ms / 1000.0:.0f}s):       "
+            + (
+                f"met; worst recovery used "
+                f"{self.worst_rto_fraction:.1%} of budget"
+                if self.meets_rto
+                else f"EXCEEDED: worst recovery used "
+                f"{self.worst_rto_fraction:.1%} of budget"
+            )
+        )
+        if self.sync_runs:
+            lines.append(
+                f"  RPO (sync, {self.sync_runs} runs):   "
+                + (
+                    "zero acknowledged-commit loss"
+                    if self.sync_rpo_zero
+                    else f"VIOLATED: {self.sync_lost_commits} acknowledged "
+                    f"commits lost"
+                )
+            )
+        if self.async_runs:
+            point = (
+                self.rpo.line()
+                if self.rpo is not None
+                else "no acknowledged work at risk"
+            )
+            lines.append(
+                f"  RPO (async, {self.async_runs} runs, "
+                f"{self.async_lost_commits} commits): {point}"
+            )
+        return lines
+
+
+def rpo_rto_report(
+    rto_samples_ms: list[float],
+    rpo_samples_ms: list[float] = (),
+    detection_samples_ms: list[float] = (),
+    promotion_samples_ms: list[float] = (),
+    sync_lost_commits: int = 0,
+    sync_runs: int = 0,
+    async_runs: int = 0,
+    async_lost_commits: int = 0,
+    rto_budget_s: float = GEO_RTO_BUDGET_S,
+) -> RpoRtoReport:
+    """Evaluate measured disaster-recovery windows against RPO/RTO.
+
+    ``rto_samples_ms`` should include every terminal region recovery
+    (stalled promotions too); ``rpo_samples_ms`` carries the async-mode
+    recovery-point windows (sync runs contribute to the zero-loss gate
+    through ``sync_lost_commits`` instead).
+    """
+    if rto_budget_s <= 0:
+        raise ConfigurationError("rto_budget_s must be > 0")
+    rto = _point(rto_samples_ms)
+    if rto is None:
+        raise ConfigurationError(
+            "rpo_rto_report needs at least one RTO sample"
+        )
+    budget_ms = rto_budget_s * 1000.0
+    return RpoRtoReport(
+        detection=_point(detection_samples_ms),
+        promotion=_point(promotion_samples_ms),
+        rto=rto,
+        rpo=_point(rpo_samples_ms),
+        rto_budget_ms=budget_ms,
+        worst_rto_fraction=rto.max_ms / budget_ms,
+        meets_rto=rto.max_ms <= budget_ms,
+        sync_lost_commits=sync_lost_commits,
+        sync_runs=sync_runs,
+        async_runs=async_runs,
+        async_lost_commits=async_lost_commits,
+    )
+
+
+def rpo_rto_from_records(
+    records,
+    rto_budget_s: float = GEO_RTO_BUDGET_S,
+) -> RpoRtoReport:
+    """Build the report straight from terminal
+    :class:`repro.geo.GeoFailoverRecord` objects (single run or a sweep's
+    concatenation)."""
+    from repro.geo.replicator import SYNC
+
+    terminal = [r for r in records if r.promoted_at is not None]
+    if not terminal:
+        raise ConfigurationError(
+            "rpo_rto_from_records needs at least one promoted record"
+        )
+    sync = [r for r in terminal if r.ack_mode == SYNC]
+    other = [r for r in terminal if r.ack_mode != SYNC]
+    return rpo_rto_report(
+        rto_samples_ms=[r.rto_ms for r in terminal],
+        rpo_samples_ms=[r.rpo_ms for r in other],
+        detection_samples_ms=[r.detection_ms for r in terminal],
+        promotion_samples_ms=[r.promotion_ms for r in terminal],
+        sync_lost_commits=sum(r.lost_commits for r in sync),
+        sync_runs=len(sync),
+        async_runs=len(other),
+        async_lost_commits=sum(r.lost_commits for r in other),
+        rto_budget_s=rto_budget_s,
+    )

@@ -115,6 +115,36 @@ class AuditRunConfig:
     #: "immediate" exists for the perf harness, which measures the fast
     #: path against an unbatched run of the same workload.
     boxcar: str = "aurora"
+    #: Geo-replicated disaster-recovery mode: build a two-region
+    #: :class:`repro.geo.GeoCluster`, run the workload through a
+    #: region-aware session, inject exactly one terminal region event
+    #: (region loss or region partition) plus WAN degradation, and gate
+    #: on the audited RPO/RTO objectives.
+    geo: bool = False
+    #: Commit acknowledgement mode for geo runs: "sync", "async", or
+    #: "auto" (sync for even seeds, async for odd, so a sweep covers
+    #: both RPO regimes deterministically).
+    geo_ack_mode: str = "auto"
+    #: Region-loss recovery budget (ms): detection + lease + promotion.
+    geo_rto_budget_ms: float = 30_000.0
+
+    def as_geo(self) -> "AuditRunConfig":
+        """Switch this config to the geo disaster-recovery shape.  The
+        intra-region control planes (healer, planted false positives,
+        fleet storms, writer failover) stay off: the region event is the
+        correlated disaster under test, and the geo chaos profile keeps
+        only light intra-primary noise plus WAN degradation."""
+        self.geo = True
+        self.heal = False
+        self.membership_change = False
+        self.plant_false_positive = False
+        self.background_failures = False
+        self.failover = False
+        self.fleet_kills = 0
+        self.fleet_double_fault = False
+        self.az_bursts = False
+        self.replicas = 0
+        return self
 
     def as_fleet(self) -> "AuditRunConfig":
         """Switch this config to the fleet-scale shape: a 10-PG volume,
@@ -172,6 +202,16 @@ class AuditReport:
     failovers: FailoverSummary | None = None
     writer_kills: int = 0
     failover_ok: bool | None = None
+    #: Geo disaster-recovery telemetry (empty/None when ``geo`` is off):
+    #: the terminal region records (picklable, so sweeps can merge the
+    #: RPO/RTO distributions across seeds), the ack mode this run used,
+    #: the single-run RPO/RTO report, and the gate -- promotion reached a
+    #: terminal PROMOTED outcome with its RTO inside the budget (loss
+    #: and fencing violations surface through the auditors).
+    geo_records: list = field(default_factory=list)
+    geo_ack_mode: str = ""
+    geo_rpo_rto: object | None = None
+    geo_ok: bool | None = None
     #: Engine telemetry for the perf harness (`repro bench-engine`).
     events_executed: int = 0
     messages_sent: int = 0
@@ -187,6 +227,7 @@ class AuditReport:
             and self.planted_rollback_ok is not False
             and self.concurrency_ok is not False
             and self.failover_ok is not False
+            and self.geo_ok is not False
         )
 
     def render(self) -> str:
@@ -234,6 +275,15 @@ class AuditReport:
             if self.failover_ok is not None:
                 verdict = "ok" if self.failover_ok else "FAILED"
                 lines.append(f"  failover gate:       {verdict}")
+        if self.geo_ok is not None:
+            from repro.geo import summarize_geo_failovers
+
+            lines.append(f"  geo ack mode:        {self.geo_ack_mode}")
+            lines += summarize_geo_failovers(self.geo_records).render_lines()
+            if self.geo_rpo_rto is not None:
+                lines += self.geo_rpo_rto.render_lines()
+            verdict = "ok" if self.geo_ok else "FAILED"
+            lines.append(f"  geo DR gate:         {verdict}")
         if self.violations:
             lines.append("")
             lines.append(f"VIOLATIONS (reproduce with --seed {self.seed}):")
@@ -251,6 +301,8 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
     """Run a seeded chaos workload with the invariant auditor armed."""
     cfg = config if config is not None else AuditRunConfig()
     wall_start = time.perf_counter()
+    if cfg.geo:
+        return _run_geo_audit(cfg, wall_start)
     cluster_cfg = ClusterConfig(seed=cfg.seed, pg_count=cfg.pg_count)
     if cfg.boxcar == "immediate":
         from repro.db.driver import BoxcarMode
@@ -352,6 +404,285 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         wall_clock_s=time.perf_counter() - wall_start,
         message_types=dict(cluster.network.stats.by_type),
     )
+
+
+def _run_geo_audit(cfg: AuditRunConfig, wall_start: float) -> AuditReport:
+    """Geo disaster-recovery audit: two regions, lossy WAN, one terminal
+    region event, audited RPO/RTO gates.
+
+    The run drives a keyed workload through a region-failover-aware
+    session while the geo chaos profile degrades the WAN and eventually
+    destroys (or partitions away) the primary region.  At promotion the
+    runner reconciles its client-side model of acknowledged commits
+    against the promoted region: a sync-acked commit the secondary does
+    not serve flags ``geo-sync-commit-loss``; an async loss inside the
+    applied replication frontier flags ``geo-rpo-exceeds-lag``.  The
+    measured RPO/RTO land on the promotion record for
+    :mod:`repro.analysis.rpo_rto`.
+    """
+    from repro.analysis.rpo_rto import rpo_rto_from_records
+    from repro.errors import ConfigurationError
+    from repro.geo import GEO_TERMINAL, PROMOTED, SYNC, GeoCluster, GeoConfig
+    from repro.sim.chaos import geo_chaos_config
+
+    ack_mode = cfg.geo_ack_mode
+    if ack_mode == "auto":
+        # Deterministic coverage of both RPO regimes across a sweep.
+        ack_mode = SYNC if cfg.seed % 2 == 0 else "async"
+    geo = GeoCluster.build(
+        GeoConfig(seed=cfg.seed, pg_count=cfg.pg_count, ack_mode=ack_mode)
+    )
+    geo.network.set_stats_detail(cfg.detailed_stats)
+    primary_auditor = Auditor(tail_size=cfg.tail_size)
+    secondary_auditor = Auditor(tail_size=cfg.tail_size)
+    geo.arm_auditors(primary_auditor, secondary_auditor)
+    geo.arm_geo_failover()
+    geo.run_for(10.0)
+
+    horizon_ms = max(24_000.0, cfg.steps * 8.0)
+    schedule = ChaosSchedule.generate(
+        seed=cfg.seed,
+        nodes=sorted(geo.primary.nodes),
+        azs={az: geo.failures.az_nodes(az)
+             for az in ("az1", "az2", "az3")},
+        horizon_ms=horizon_ms,
+        config=geo_chaos_config(),
+    )
+    runner = _GeoWorkloadRunner(geo, primary_auditor, cfg)
+    runner.chaos_horizon_ms = geo.loop.now + horizon_ms
+    schedule.install(
+        geo.failures,
+        region_loss=geo.lose_region,
+        region_partition=runner.region_partition,
+        wan_brownout=geo.wan_brownout,
+        stream_stall=geo.stall_stream,
+    )
+    runner.run()
+    runner.settle_geo()
+    geo.check_fencing(primary_auditor)
+
+    coordinator = geo.geo_failover
+    promoted_records = [
+        r for r in coordinator.records if r.outcome == PROMOTED
+    ]
+    geo_ok = (
+        geo.promoted
+        and len(promoted_records) == 1
+        and all(r.outcome in GEO_TERMINAL for r in coordinator.records)
+        and all(
+            r.rto_ms is not None and r.rto_ms <= cfg.geo_rto_budget_ms
+            for r in promoted_records
+        )
+        and runner.reconciled
+    )
+    try:
+        rpo_rto = rpo_rto_from_records(
+            coordinator.records, rto_budget_s=cfg.geo_rto_budget_ms / 1000.0
+        )
+    except ConfigurationError:
+        rpo_rto = None  # nothing promoted; geo_ok is already False
+
+    return AuditReport(
+        seed=cfg.seed,
+        steps=cfg.steps,
+        sim_time_ms=geo.loop.now,
+        chaos_events=len(schedule),
+        commit_acks=primary_auditor.commit_acks
+        + secondary_auditor.commit_acks,
+        availability_errors=runner.availability_errors,
+        writer_recoveries=sum(
+            r.promotion_attempts for r in coordinator.records
+        ),
+        protocol_events=primary_auditor.events_seen
+        + secondary_auditor.events_seen,
+        violations=list(primary_auditor.violations)
+        + list(secondary_auditor.violations),
+        event_tail=primary_auditor.event_tail
+        + secondary_auditor.event_tail,
+        geo_records=list(coordinator.records),
+        geo_ack_mode=ack_mode,
+        geo_rpo_rto=rpo_rto,
+        geo_ok=geo_ok,
+        events_executed=geo.loop.events_executed,
+        messages_sent=geo.network.stats.messages_sent,
+        wall_clock_s=time.perf_counter() - wall_start,
+        message_types=dict(geo.network.stats.by_type),
+    )
+
+
+class _GeoWorkloadRunner:
+    """Drives the geo workload and reconciles acked commits at promotion."""
+
+    def __init__(self, geo, primary_auditor: Auditor, cfg: AuditRunConfig):
+        self.geo = geo
+        self.primary_auditor = primary_auditor
+        self.cfg = cfg
+        self.rng = random.Random(cfg.seed * 7919 + 13)
+        self.db = geo.session()
+        self.availability_errors = 0
+        self.chaos_horizon_ms = 0.0
+        self.reconciled = False
+        #: key -> [(acked_at, scn, value)] for every acknowledged
+        #: auto-commit; value ``None`` records an acknowledged delete.
+        self.acked_log: dict[str, list[tuple[float, int, object]]] = {}
+        #: key -> every value that may be on disk (read-check model).
+        self.history: dict[str, set] = {}
+        #: keys with an uncertain commit outcome (timeout mid-retry);
+        #: excluded from loss judgment -- their value set is ambiguous.
+        self.tainted: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        cfg = self.cfg
+        # Pace the workload across the chaos horizon so writes are in
+        # flight when the region event fires (ops themselves also burn
+        # simulated time -- a sync commit costs a WAN round trip).
+        pace = max(1.0, self.chaos_horizon_ms - self.geo.loop.now) / max(
+            1, cfg.steps
+        )
+        for step in range(cfg.steps):
+            self._maybe_reconcile()
+            self._one_op(step)
+            self.geo.run_for(self.rng.uniform(0.2, 1.8) * pace)
+        self.geo.run_for(500.0)
+
+    def settle_geo(self) -> None:
+        """Run the chaos horizon out (the region event may fire late),
+        wait for the terminal promotion, then reconcile."""
+        geo = self.geo
+        while geo.loop.now < self.chaos_horizon_ms:
+            geo.run_for(50.0)
+        for _spin in range(2000):
+            if geo.promoted and geo.geo_failover.idle:
+                break
+            geo.run_for(25.0)
+        geo.run_for(500.0)
+        self._maybe_reconcile()
+
+    def region_partition(self, duration_ms: float) -> None:
+        """Chaos callback: split brain for ``duration_ms``, then heal.
+        The heal is the interesting part -- the deposed primary comes
+        back reachable and must stay fenced."""
+        geo = self.geo
+        geo.partition_regions()
+        geo.loop.schedule(duration_ms, geo.heal_regions)
+
+    # ------------------------------------------------------------------
+    def _key(self) -> str:
+        return f"k{self.rng.randrange(self.cfg.keys):03d}"
+
+    def _one_op(self, step: int) -> None:
+        roll = self.rng.random()
+        key = self._key()
+        try:
+            if roll < 0.55:
+                value = f"g{step}"
+                # Record before driving: the value may land even if the
+                # ack never arrives.
+                self.history.setdefault(key, set()).add(value)
+                scn = self.db.write(key, value)
+                self._note_ack(key, scn, value)
+            elif roll < 0.65:
+                scn = self.db.remove(key)
+                self._note_ack(key, scn, None)
+            else:
+                value = self.db.get(key)
+                self._check_read(key, value)
+        except SimulationError:
+            self.tainted.add(key)
+            self.availability_errors += 1
+        except ReproError:
+            self.tainted.add(key)
+            self.availability_errors += 1
+
+    def _note_ack(self, key: str, scn: int, value) -> None:
+        self.acked_log.setdefault(key, []).append(
+            (self.geo.loop.now, scn, value)
+        )
+        if value is not None:
+            self.history.setdefault(key, set()).add(value)
+
+    def _check_read(self, key: str, value) -> None:
+        """Flag values that were never written.  ``None`` is never
+        flagged here: after an async promotion a key's acked tail may be
+        legitimately missing -- the reconciliation pass judges loss."""
+        if value is None:
+            return
+        if value not in self.history.get(key, set()):
+            self.primary_auditor.flag(
+                "client-read-consistency",
+                key,
+                f"read returned {value!r}, which was never written "
+                f"({len(self.history.get(key, set()))} known candidates)",
+            )
+
+    # ------------------------------------------------------------------
+    def _maybe_reconcile(self) -> None:
+        """At promotion, judge every pre-failure acknowledged commit
+        against the promoted region (once, before new writes muddy it)."""
+        from repro.geo import SYNC
+
+        geo = self.geo
+        if self.reconciled or not geo.promoted:
+            return
+        self.reconciled = True
+        record = geo.promoted_record
+        lost: list[tuple[float, int, str]] = []
+        judged_acks: list[float] = []
+        #: Acks provably covered by the applied replication frontier.
+        #: Value-equality "survival" is NOT used for the recovery point:
+        #: a lost delete whose key is also absent from the promoted
+        #: region matches by coincidence and would understate the RPO.
+        covered_acks: list[float] = []
+        skipped = 0
+        for key in sorted(self.acked_log):
+            entries = self.acked_log[key]
+            pre = [e for e in entries if e[0] < record.promoted_at]
+            if not pre:
+                continue
+            if len(pre) != len(entries) or key in self.tainted:
+                # Rewritten post-promotion (a write that blocked across
+                # the failover re-applied on the new region), or an
+                # uncertain outcome muddied the expected value set.
+                skipped += 1
+                continue
+            acked_at, scn, value = pre[-1]
+            try:
+                current = self.db.get(key)
+            except (SimulationError, ReproError):
+                skipped += 1
+                continue
+            judged_acks.append(acked_at)
+            if scn <= record.applied_vdl:
+                covered_acks.append(acked_at)
+            if current == value:
+                continue
+            lost.append((acked_at, scn, key))
+            if geo.ack_mode == SYNC:
+                self.primary_auditor.flag(
+                    "geo-sync-commit-loss",
+                    key,
+                    f"sync-acked commit scn={scn} (acked at "
+                    f"{acked_at:.1f}ms) missing after promotion: "
+                    f"expected {value!r}, promoted region has {current!r}",
+                )
+            elif scn <= record.applied_vdl:
+                self.primary_auditor.flag(
+                    "geo-rpo-exceeds-lag",
+                    key,
+                    f"async loss of scn={scn} inside the applied "
+                    f"replication frontier {record.applied_vdl}: "
+                    f"expected {value!r}, promoted region has {current!r}",
+                )
+        record.lost_commits = len(lost)
+        if lost:
+            last_ack = max(judged_acks)
+            recovery_point = max(covered_acks) if covered_acks else 0.0
+            record.rpo_ms = max(0.0, last_ack - recovery_point)
+        record.notes.append(
+            f"reconciled {len(judged_acks)} key(s), skipped {skipped}, "
+            f"lost {len(lost)}"
+        )
 
 
 def _run_audit_worker(config: AuditRunConfig) -> AuditReport:

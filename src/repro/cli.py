@@ -134,6 +134,20 @@ def _build_parser() -> argparse.ArgumentParser:
              "sweep footer reports failover windows vs the ~30s budget",
     )
     audit.add_argument(
+        "--geo", action="store_true",
+        help="geo disaster-recovery mode: a two-region Global Database "
+             "over a lossy WAN, one terminal region event (region loss "
+             "or split-brain partition) plus WAN brownouts and stream "
+             "stalls per seed, gated on zero sync-acked commit loss, "
+             "lag-bounded async RPO, and the RTO budget; the sweep "
+             "footer reports merged RPO/RTO distributions",
+    )
+    audit.add_argument(
+        "--geo-ack", choices=("auto", "sync", "async"), default="auto",
+        help="geo commit ack mode; 'auto' alternates by seed parity so "
+             "a sweep covers both RPO regimes",
+    )
+    audit.add_argument(
         "--jobs", type=int, default=1, metavar="K",
         help="run sweep seeds across K worker processes (seeds are "
              "independent, so reports are byte-identical to --jobs 1)",
@@ -315,6 +329,9 @@ def _audit_config(args: argparse.Namespace, seed: int):
         )
     if args.pgs > 0:
         config.pg_count = args.pgs
+    if getattr(args, "geo", False):
+        config.as_geo()
+        config.geo_ack_mode = args.geo_ack
     return config
 
 
@@ -331,6 +348,7 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
     failed = 0
     fleet = RepairSummary()
     fleet_failovers = FailoverSummary()
+    geo_records = []
     configs = [_audit_config(args, seed) for seed in seeds]
     for report in run_audit_sweep(configs, jobs=args.jobs):
         print(report.render())
@@ -340,6 +358,7 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
             fleet.merge(report.repairs)
         if report.failovers is not None:
             fleet_failovers.merge(report.failovers)
+        geo_records.extend(report.geo_records)
         if args.sweep > 0:
             print()
     if args.sweep > 0:
@@ -373,6 +392,22 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
             )
             for line in availability.render_lines():
                 print(line)
+        if geo_records:
+            from repro.analysis import rpo_rto_from_records
+            from repro.errors import ConfigurationError
+            from repro.geo import summarize_geo_failovers
+
+            print(
+                f"geo disaster-recovery telemetry across {len(seeds)} "
+                f"seeds:"
+            )
+            for line in summarize_geo_failovers(geo_records).render_lines():
+                print(line)
+            try:
+                for line in rpo_rto_from_records(geo_records).render_lines():
+                    print(line)
+            except ConfigurationError:
+                print("  (no promoted recovery to report RPO/RTO on)")
     return 1 if failed else 0
 
 

@@ -39,6 +39,7 @@ from repro.core.commit import CommitQueue
 from repro.core.epochs import EpochStamp
 from repro.core.read_routing import LatencyTracker, ReadPlan, ReadRouter
 from repro.core.records import LogRecord
+from repro.core.retry import Backoff, RetryPolicy
 from repro.errors import SegmentUnavailableError
 from repro.sim.events import EventLoop, Future
 from repro.storage.messages import (
@@ -90,6 +91,12 @@ class DriverConfig:
     resubmit_on_rejection: bool = True
     #: Unacknowledged batches retained per segment for resubmission.
     unacked_retain: int = 64
+    #: Pacing between successive resubmissions to the *same* segment, via
+    #: the shared :mod:`repro.core.retry` policy.  The default is the
+    #: paper's behaviour -- "just one additional request past the one
+    #: rejected", no wait -- while repeated rejections from a flapping
+    #: segment can be damped by a non-zero policy.
+    resubmit_policy: RetryPolicy = field(default_factory=RetryPolicy.immediate)
 
 
 @dataclass
@@ -180,6 +187,9 @@ class StorageDriver:
         #: Per-segment ring of recently sent, not-yet-acknowledged batches
         #: (fuel for resubmission after a stale-epoch rejection).
         self._unacked: dict[str, deque[WriteBatch]] = {}
+        #: Per-segment backoff cursor over ``config.resubmit_policy``;
+        #: reset whenever the segment acks (progress).
+        self._resubmit_backoff: dict[str, Backoff] = {}
         self.latency_tracker = LatencyTracker()
         self.router = ReadRouter(
             self.latency_tracker,
@@ -360,6 +370,9 @@ class StorageDriver:
         self.stats.acks_received += 1
         if self.health_probe is not None:
             self.health_probe.note_ack(ack.segment_id)
+        backoff = self._resubmit_backoff.get(ack.segment_id)
+        if backoff is not None:
+            backoff.reset()
         queue = self._unacked.get(ack.segment_id)
         if queue:
             # Everything at or below the acked SCL is durable on that
@@ -408,15 +421,31 @@ class StorageDriver:
         queue = self._unacked.get(rejection.segment_id)
         if not queue:
             return
-        # "Updates of stale state ... requiring just one additional request
-        # past the one rejected": re-stamp the retained batches with the
-        # adopted epochs and resend.  Segment receive is idempotent, so a
-        # batch that actually landed before the epoch bump is harmless.
+        backoff = self._resubmit_backoff.get(rejection.segment_id)
+        if backoff is None:
+            backoff = Backoff(self.config.resubmit_policy, rng=self.rng)
+            self._resubmit_backoff[rejection.segment_id] = backoff
+        delay = backoff.next_delay()
+        if delay <= 0.0:
+            self._resubmit_segment(rejection.segment_id)
+        else:
+            self.loop.schedule(
+                delay, self._resubmit_segment, rejection.segment_id
+            )
+
+    def _resubmit_segment(self, segment_id: str) -> None:
+        """"Updates of stale state ... requiring just one additional
+        request past the one rejected": re-stamp the retained batches with
+        the adopted epochs and resend.  Segment receive is idempotent, so a
+        batch that actually landed before the epoch bump is harmless."""
+        queue = self._unacked.get(segment_id)
+        if not queue:
+            return
         pending = list(queue)
         queue.clear()
         for batch in pending:
             restamped = replace(batch, epochs=self.epochs)
-            self._send(rejection.segment_id, restamped)
+            self._send(segment_id, restamped)
             queue.append(restamped)
             self.stats.batches_resubmitted += 1
 
@@ -732,6 +761,7 @@ class StorageDriver:
         self._buffers.clear()
         self._outstanding_reads.clear()
         self._unacked.clear()
+        self._resubmit_backoff.clear()
         self.pg_trackers.clear()
         self.volume = VolumeConsistencyTracker()
         self.commit_queue = CommitQueue()

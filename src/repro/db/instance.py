@@ -25,6 +25,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.consistency import MinReadPointTracker, PGFrontierHistory
 from repro.core.epochs import EpochStamp
@@ -95,6 +96,10 @@ class InstanceStats:
     recoveries: int = 0
     recovery_durations: list[float] = field(default_factory=list)
     orphan_versions_purged: int = 0
+    #: Simulated time of the most recent commit acknowledgement, or None.
+    #: The geo auditor compares this against the secondary's promotion
+    #: time to prove a fenced stale primary never acked afterwards.
+    last_commit_ack_at: float | None = None
 
 
 class WriterInstance(Actor, BlockIO):
@@ -138,6 +143,27 @@ class WriterInstance(Actor, BlockIO):
         #: close these resolve with :class:`CommitUncertainError` -- the
         #: outcome is unknown, never falsely acknowledged.
         self._pending_commits: dict[int, Future] = {}
+        #: Optional extra commit-acknowledgement gate.  When set, a commit
+        #: that has reached local durability (VCL passed its SCN) is handed
+        #: to ``commit_gate(scn, release, fail)`` instead of acking
+        #: immediately; the gate calls ``release()`` when its condition
+        #: holds (the geo tier uses this for sync cross-region acks) or
+        #: ``fail(exc)`` to resolve the future with ``exc`` -- the commit
+        #: is still locally durable, so the transaction itself completes;
+        #: only the acknowledgement is withheld.  Gated commits stay in
+        #: ``_pending_commits``, so a crash or fence while gated still
+        #: resolves them uncertain.
+        self.commit_gate: (
+            Callable[
+                [
+                    int,
+                    Callable[[], None],
+                    Callable[[BaseException], None],
+                ],
+                None,
+            ]
+            | None
+        ) = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -444,15 +470,40 @@ class WriterInstance(Actor, BlockIO):
         self._pending_commits[txn.txn_id] = future
         self.driver.commit_queue.enqueue(
             scn,
-            ack=lambda: self._finish_commit(txn, future, started),
+            ack=lambda: self._locally_durable_commit(txn, future, started),
             now=started,
             tag=txn.txn_id,
         )
         return future
 
-    def _finish_commit(
+    def _locally_durable_commit(
         self, txn: Transaction, future: Future, started: float
     ) -> None:
+        """VCL passed the commit SCN; ack now or hand to the gate."""
+        if self.commit_gate is None or self.state is not InstanceState.OPEN:
+            self._finish_commit(txn, future, started)
+            return
+        assert txn.scn is not None
+        self.commit_gate(
+            txn.scn,
+            lambda: self._finish_commit(txn, future, started),
+            lambda exc: self._finish_commit(txn, future, started, error=exc),
+        )
+
+    def _finish_commit(
+        self,
+        txn: Transaction,
+        future: Future,
+        started: float,
+        error: BaseException | None = None,
+    ) -> None:
+        """Complete the commit: ack it, or (``error``) report it unacked.
+
+        The error path still finishes the transaction -- its records ARE
+        locally durable and visible, only the cross-region guarantee the
+        gate stood for failed -- but skips the acknowledgement statistics
+        and resolves the client future with ``error`` instead of the SCN.
+        """
         self._pending_commits.pop(txn.txn_id, None)
         if self.state is not InstanceState.OPEN:
             return  # crashed before the ack could fire; commit is lost
@@ -461,8 +512,10 @@ class WriterInstance(Actor, BlockIO):
         if txn.read_view is not None:
             self.close_view(txn.read_view)
             txn.read_view = None
-        self.stats.commits_acknowledged += 1
-        self.stats.commit_latencies.append(self.loop.now - started)
+        if error is None:
+            self.stats.commits_acknowledged += 1
+            self.stats.commit_latencies.append(self.loop.now - started)
+            self.stats.last_commit_ack_at = self.loop.now
         if (
             self.publisher is not None
             and txn.scn is not None
@@ -471,8 +524,12 @@ class WriterInstance(Actor, BlockIO):
             self.publisher.publish_commit(txn.txn_id, txn.scn)
         if txn.scn is not None and txn.undo_log:
             self.logical.publish_commit(txn.txn_id, txn.scn)
-        if not future.done:
+        if future.done:
+            return
+        if error is None:
             future.set_result(txn.scn)
+        else:
+            future.set_exception(error)
 
     def rollback(self, txn: Transaction):
         """Generator: undo every write of ``txn`` with compensating MTRs."""

@@ -19,6 +19,8 @@ from repro.errors import (
     CommitUncertainError,
     FailoverInProgressError,
     InstanceStateError,
+    RegionUnavailableError,
+    ReplicationLagExceededError,
     SimulationError,
 )
 from repro.sim.events import EventLoop, Future
@@ -160,10 +162,16 @@ class ClusterSession(Session):
     """
 
     #: Errors that mean "the writer moved under you; same call is safe".
+    #: ``RegionUnavailableError`` and ``ReplicationLagExceededError`` are
+    #: subclasses of the first two but named explicitly: the geo tier's
+    #: region re-resolution depends on them staying retryable, so the
+    #: tuple documents (and tests pin) that contract.
     RETRYABLE = (
         CommitUncertainError,
         FailoverInProgressError,
         InstanceStateError,
+        RegionUnavailableError,
+        ReplicationLagExceededError,
     )
 
     def __init__(self, cluster) -> None:
@@ -173,6 +181,12 @@ class ClusterSession(Session):
     def instance(self) -> WriterInstance:  # type: ignore[override]
         writer = self.cluster.writer
         if writer is None or self.cluster.failover_in_progress:
+            # A geo cluster distinguishes "this whole region is gone,
+            # promotion pending" from an ordinary in-region failover.
+            if getattr(self.cluster, "region_unavailable", False):
+                raise RegionUnavailableError(
+                    "active region lost: waiting for secondary promotion"
+                )
             raise FailoverInProgressError(
                 "writer endpoint unresolved: a failover is in progress"
             )

@@ -114,6 +114,31 @@ class CommitUncertainError(TransactionError):
     """
 
 
+class RegionUnavailableError(InstanceStateError):
+    """The active region's writer endpoint is gone (region loss or
+    cross-region partition) and the secondary has not finished promoting.
+
+    Raised by the geo tier's session surface instead of a generic failure
+    so clients can distinguish "this region is dying, re-resolve" from a
+    local instance-state problem.  Retryable: the
+    :class:`~repro.geo.GeoFailoverCoordinator` resolves it by promoting
+    the secondary region, after which session retries land there.
+    """
+
+
+class ReplicationLagExceededError(CommitUncertainError):
+    """A synchronously geo-replicated commit could not be acknowledged
+    within the configured cross-region lag bound.
+
+    The commit *is* durable in the primary region (local quorum reached)
+    but its replication to the secondary is stalled or too far behind --
+    under sync-ack semantics that makes the outcome uncertain from the
+    client's point of view (a region loss right now would lose it), so
+    this derives from :class:`CommitUncertainError` and inherits its
+    retry/reconcile handling.
+    """
+
+
 class VolumeGeometryError(ReproError):
     """A block address fell outside the current volume geometry."""
 

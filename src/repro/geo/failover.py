@@ -1,0 +1,350 @@
+"""Region-loss disaster recovery: detection, fenced promotion, RPO/RTO.
+
+The in-region :class:`~repro.repair.failover.FailoverCoordinator` answers
+a dead *writer* with a replica promotion inside the same volume.  The
+:class:`GeoFailoverCoordinator` answers a dead *region* with a secondary
+-region promotion, and the safety argument changes shape: the two regions
+share no storage quorum, so the epoch fence that protects an in-region
+promotion cannot reach a partitioned primary.  The protocol therefore
+pairs two unilateral, consensus-free rules (the same avoid-coordination
+philosophy the paper applies to I/Os and membership):
+
+1. **The primary self-fences on lease expiry.**  A writer that has heard
+   no WAN ack for ``lease_ms`` closes itself (see
+   :class:`~repro.geo.replicator.GeoSender`), resolving in-flight commits
+   as uncertain.  No commit is ever acknowledged by a primary that the
+   secondary might already have replaced.
+2. **The secondary out-waits the lease before promoting.**  After the
+   geo health monitor confirms primary silence, the coordinator waits
+   ``lease_ms + lease_margin_ms`` past the *last observed primary
+   signal* before recovering the secondary writer.  By that point a
+   merely-partitioned primary has provably stepped down.
+
+Promotion itself is the paper's stateless crash recovery run against the
+secondary volume: merge the freshest primary epochs the applier saw,
+bump the volume epoch (strict dominance is audited), fence the secondary
+PGs, recover to the highest locally-durable VDL.  Each promotion is
+stamped into a :class:`GeoFailoverRecord` carrying the
+disaster-recovery numbers -- detection, promotion, RTO, and the RPO the
+workload reconciliation measures afterwards -- which
+:mod:`repro.analysis.rpo_rto` folds into sweep-level distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.db.instance import InstanceState
+from repro.repair.metrics import ACTIVE, ROLLED_BACK, STALLED, LatencyStats
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geo.cluster import GeoCluster
+    from repro.repair.db_health import DbHealthMonitor
+
+#: Terminal outcome: the secondary region's writer is open for business.
+PROMOTED = "promoted"
+
+GEO_TERMINAL = frozenset({PROMOTED, ROLLED_BACK, STALLED})
+
+
+@dataclass
+class GeoFailoverConfig:
+    """Coordinator knobs (times in simulated ms)."""
+
+    #: Poll slice while waiting out the lease / promotion recovery.
+    poll_ms: float = 10.0
+    #: Extra silence required beyond the primary's self-fence lease
+    #: before promotion may begin.  Covers the gap between the two
+    #: sides' reference points: the coordinator waits from the applier's
+    #: last *received* signal, while the primary's lease runs from its
+    #: last *received* ack -- one (possibly brownout-inflated) WAN flight
+    #: later -- plus both sides' poll granularity.
+    lease_margin_ms: float = 750.0
+    #: Budget for promotion recovery; exceeding it stamps ``stalled``.
+    max_promotion_ms: float = 20_000.0
+    #: Pause between failed promotion-recovery attempts.
+    retry_wait_ms: float = 250.0
+
+
+@dataclass
+class GeoFailoverRecord:
+    """One region-loss event's journey through disaster recovery."""
+
+    primary_id: str
+    ack_mode: str
+    failed_at: float
+    confirmed_at: float
+    began_at: float | None = None
+    promoted_at: float | None = None
+    finished_at: float | None = None
+    outcome: str = ACTIVE
+    promotion_attempts: int = 0
+    #: The replication lag frontier at promotion (secondary applied VDL).
+    applied_vdl: int = 0
+    #: Highest primary durable VDL the applier ever observed.
+    primary_vdl_seen: int = 0
+    #: VDL the promoted writer opened with (>= applied_vdl: recovery may
+    #: find redo that was shipped and stored but not yet ack-counted).
+    recovered_vdl: int = 0
+    #: Filled by the workload reconciliation: acknowledged commits the
+    #: promoted region does not serve, and the data-loss window they span.
+    lost_commits: int = 0
+    rpo_ms: float = 0.0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def detection_ms(self) -> float:
+        """Region failure to confirmed-silent."""
+        return self.confirmed_at - self.failed_at
+
+    @property
+    def promotion_ms(self) -> float | None:
+        """Promotion start (post lease wait) to secondary writer open."""
+        if self.promoted_at is None or self.began_at is None:
+            return None
+        return self.promoted_at - self.began_at
+
+    @property
+    def rto_ms(self) -> float | None:
+        """Recovery Time Objective: last primary liveness signal to the
+        promoted writer accepting commits."""
+        if self.promoted_at is None:
+            return None
+        return self.promoted_at - self.failed_at
+
+    def __str__(self) -> str:
+        rto = f" rto={self.rto_ms:.0f}ms" if self.rto_ms is not None else ""
+        return (
+            f"geo-failover {self.primary_id} [{self.outcome}]"
+            f" mode={self.ack_mode} detect={self.detection_ms:.0f}ms{rto}"
+            f" rpo={self.rpo_ms:.0f}ms lost={self.lost_commits}"
+        )
+
+
+@dataclass
+class GeoFailoverSummary:
+    """Aggregated disaster-recovery statistics (one run or a sweep)."""
+
+    confirmed: int = 0
+    promoted: int = 0
+    rolled_back: int = 0
+    stalled: int = 0
+    active: int = 0
+    sync_runs: int = 0
+    async_runs: int = 0
+    lost_commits: int = 0
+    detection: LatencyStats = field(default_factory=LatencyStats)
+    promotion: LatencyStats = field(default_factory=LatencyStats)
+    rto: LatencyStats = field(default_factory=LatencyStats)
+    rpo: LatencyStats = field(default_factory=LatencyStats)
+
+    def merge(self, other: "GeoFailoverSummary") -> None:
+        self.confirmed += other.confirmed
+        self.promoted += other.promoted
+        self.rolled_back += other.rolled_back
+        self.stalled += other.stalled
+        self.active += other.active
+        self.sync_runs += other.sync_runs
+        self.async_runs += other.async_runs
+        self.lost_commits += other.lost_commits
+        self.detection.merge(other.detection)
+        self.promotion.merge(other.promotion)
+        self.rto.merge(other.rto)
+        self.rpo.merge(other.rpo)
+
+    def render_lines(self) -> list[str]:
+        lines = [
+            f"  region failovers:    {self.confirmed} "
+            f"(promoted={self.promoted} rolled_back={self.rolled_back} "
+            f"stalled={self.stalled} active={self.active})",
+        ]
+        if self.detection.count:
+            lines.append(f"  region detection:    {self.detection.describe()}")
+        if self.promotion.count:
+            lines.append(f"  promotion time:      {self.promotion.describe()}")
+        if self.rto.count:
+            lines.append(f"  RTO:                 {self.rto.describe()}")
+        if self.rpo.count:
+            lines.append(
+                f"  RPO:                 {self.rpo.describe()} "
+                f"({self.lost_commits} acked commit(s) lost, async mode)"
+            )
+        return lines
+
+
+def summarize_geo_failovers(
+    records: list[GeoFailoverRecord],
+) -> GeoFailoverSummary:
+    from repro.geo.replicator import SYNC
+
+    summary = GeoFailoverSummary(confirmed=len(records))
+    for record in records:
+        if record.outcome == PROMOTED:
+            summary.promoted += 1
+        elif record.outcome == ROLLED_BACK:
+            summary.rolled_back += 1
+        elif record.outcome == STALLED:
+            summary.stalled += 1
+        else:
+            summary.active += 1
+        if record.ack_mode == SYNC:
+            summary.sync_runs += 1
+        else:
+            summary.async_runs += 1
+        summary.lost_commits += record.lost_commits
+        summary.detection.samples.append(record.detection_ms)
+        if record.promotion_ms is not None:
+            summary.promotion.samples.append(record.promotion_ms)
+        if record.rto_ms is not None:
+            summary.rto.samples.append(record.rto_ms)
+            summary.rpo.samples.append(record.rpo_ms)
+    return summary
+
+
+class GeoFailoverCoordinator:
+    """Promotes the secondary region when the primary falls silent."""
+
+    def __init__(
+        self,
+        geo: "GeoCluster",
+        monitor: "DbHealthMonitor",
+        config: GeoFailoverConfig | None = None,
+    ) -> None:
+        self.geo = geo
+        self.monitor = monitor
+        self.config = config if config is not None else GeoFailoverConfig()
+        self.records: list[GeoFailoverRecord] = []
+        self._active: GeoFailoverRecord | None = None
+        self._returned: set[str] = set()
+        monitor.on_confirmed_dead.append(self._on_confirmed_dead)
+        monitor.on_recovered.append(self._on_recovered)
+
+    @property
+    def idle(self) -> bool:
+        return self._active is None
+
+    def summary(self) -> GeoFailoverSummary:
+        return summarize_geo_failovers(self.records)
+
+    # ------------------------------------------------------------------
+    def _on_confirmed_dead(
+        self, instance_id: str, failed_at: float, confirmed_at: float
+    ) -> None:
+        if instance_id != self.geo.primary_writer_id:
+            return
+        if self._active is not None or self.geo.promoted:
+            return
+        self._returned.discard(instance_id)
+        record = GeoFailoverRecord(
+            primary_id=instance_id,
+            ack_mode=self.geo.ack_mode,
+            failed_at=failed_at,
+            confirmed_at=confirmed_at,
+        )
+        self.records.append(record)
+        self._active = record
+        Process(self.geo.loop, self._promote(record))
+
+    def _on_recovered(self, instance_id: str) -> None:
+        self._returned.add(instance_id)
+
+    # ------------------------------------------------------------------
+    def _promote(self, record: GeoFailoverRecord):
+        cfg = self.config
+        geo = self.geo
+        loop = geo.loop
+        applier = geo.applier
+        geo.failover_in_progress = True
+        geo.region_unavailable = True
+        try:
+            # Out-wait the primary's self-fence lease, measured from the
+            # last primary signal the *applier* observed.  If signals
+            # resume meanwhile (and chaos did not truly kill the region),
+            # this was a false positive: stand down, nothing changed.
+            while (
+                loop.now
+                < applier.last_primary_signal_at
+                + geo.lease_ms
+                + cfg.lease_margin_ms
+            ):
+                if (
+                    record.primary_id in self._returned
+                    and not geo.primary_lost
+                ):
+                    record.notes.append(
+                        "primary signals resumed during the lease wait"
+                    )
+                    geo.region_unavailable = False
+                    self._finish(record, ROLLED_BACK)
+                    return
+                yield cfg.poll_ms
+            # Point of no return: stop applying (a post-promotion frame
+            # must never mutate the promoted volume) and snapshot the
+            # replication frontier the RPO gate is judged against.
+            applier.stop()
+            record.applied_vdl = applier.applied_vdl
+            record.primary_vdl_seen = applier.primary_vdl
+            if applier.primary_epochs is not None:
+                # Promotion must dominate every epoch the primary ever
+                # established, or a zombie's stamp could outrank ours.
+                geo.secondary.metadata.record_epochs(applier.primary_epochs)
+            record.began_at = loop.now
+            writer = geo.secondary.writer
+            deadline = record.confirmed_at + cfg.max_promotion_ms
+            process = writer.recover()
+            while True:
+                record.promotion_attempts += 1
+                while not process.finished and loop.now < deadline:
+                    yield cfg.poll_ms
+                if (
+                    process.finished
+                    and process.completion.exception() is None
+                    and writer.state is InstanceState.OPEN
+                ):
+                    break
+                if loop.now >= deadline:
+                    record.notes.append(
+                        f"promotion exceeded {cfg.max_promotion_ms:.0f}ms"
+                    )
+                    self._finish(record, STALLED)
+                    return
+                writer.state = InstanceState.CRASHED
+                yield cfg.retry_wait_ms
+                process = writer.recover()
+            record.promoted_at = loop.now
+            record.recovered_vdl = writer.vdl
+            self._check_epoch_dominance(record, writer)
+            geo.on_promoted(record)
+            self._finish(record, PROMOTED)
+        finally:
+            geo.failover_in_progress = False
+            if self._active is record:
+                self._active = None
+
+    def _check_epoch_dominance(self, record: GeoFailoverRecord, writer):
+        """Audited invariant: the promoted region's volume epoch strictly
+        dominates every epoch the primary was known to hold, so any
+        late-healing zombie loses every epoch comparison."""
+        known = self.geo.applier.primary_epochs
+        if known is None:
+            return
+        promoted = writer.driver.epochs
+        if promoted.volume <= known.volume:
+            record.notes.append(
+                f"promoted volume epoch {promoted.volume} does not "
+                f"dominate the primary's {known.volume}"
+            )
+            auditor = writer.driver.audit_probe
+            if auditor is not None:
+                auditor.flag(
+                    "geo-promoted-epoch-not-dominant",
+                    writer.name,
+                    f"promoted with volume epoch {promoted.volume} <= "
+                    f"last known primary volume epoch {known.volume}",
+                )
+
+    def _finish(self, record: GeoFailoverRecord, outcome: str) -> None:
+        record.outcome = outcome
+        record.finished_at = self.geo.loop.now

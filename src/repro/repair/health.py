@@ -174,6 +174,11 @@ class HealthMonitor:
         }
         self._last_alive: dict[str, float] = {}
         self._states: dict[str, _SegmentState] = {}
+        #: Segments torn down for good (a dismantled region's nodes).
+        #: Metadata may still list them -- nobody is left to run the
+        #: membership change -- but the sweep must neither re-track nor
+        #: judge them, or every tick confirms a fresh ghost suspect.
+        self._retired: set[str] = set()
         #: Per-PG signal cadence: pg_index -> [last_signal_at, gap EWMA].
         self._pg_cadence: dict[int, list] = {}
         #: Current member count per PG (scales the aggregate PG cadence
@@ -192,6 +197,21 @@ class HealthMonitor:
 
     def stop(self) -> None:
         self._running = False
+
+    def retire(self, segment_id: str) -> None:
+        """Permanently stop tracking ``segment_id`` (teardown, not death).
+
+        Unlike silent removal from ``_states``, retirement survives the
+        sweep's membership re-scan: a retired segment is never re-added
+        even while metadata still lists it, and late liveness signals
+        from it are ignored rather than resurrecting tracking.
+        """
+        self._retired.add(segment_id)
+        self._states.pop(segment_id, None)
+        self._last_alive.pop(segment_id, None)
+
+    def is_retired(self, segment_id: str) -> bool:
+        return segment_id in self._retired
 
     def state_of(self, segment_id: str) -> SegmentHealth:
         entry = self._states.get(segment_id)
@@ -239,6 +259,8 @@ class HealthMonitor:
             entry.timeouts.append(self.loop.now)
 
     def _alive(self, segment_id: str) -> None:
+        if segment_id in self._retired:
+            return  # late gossip from a dismantled node: not evidence
         now = self.loop.now
         last = self._last_alive.get(segment_id)
         self._last_alive[segment_id] = now
@@ -375,6 +397,10 @@ class HealthMonitor:
         cfg = self.config
         for pg_index in self.metadata.pg_indexes():
             members = self.metadata.membership(pg_index).members
+            if self._retired:
+                members = frozenset(m for m in members if m not in self._retired)
+            if not members:
+                continue
             self._track_membership(pg_index, members, now)
             freshest = max(self._last_alive[m] for m in members)
             pg_active = self._pg_active(pg_index, freshest, now)

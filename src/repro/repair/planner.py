@@ -43,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.core.retry import Backoff, RetryPolicy
 from repro.errors import MembershipError
 from repro.repair.metrics import (
     ABORTED,
@@ -75,6 +76,13 @@ class RepairConfig:
     baseline_timeout_ms: float = 60.0
     backoff_base_ms: float = 20.0
     backoff_cap_ms: float = 160.0
+
+    def retry_policy(self) -> RetryPolicy:
+        """The shared exponential-backoff policy (:mod:`repro.core.retry`)
+        parameterized by this config's bounds."""
+        return RetryPolicy(
+            base_ms=self.backoff_base_ms, cap_ms=self.backoff_cap_ms
+        )
     #: Modeled bulk-copy time for the baseline snapshot.  The simulated
     #: baseline is a few records, but the thing it stands for is a ~10GB
     #: segment copy that dominates the paper's 10-second repair window;
@@ -257,14 +265,14 @@ class RepairPlanner:
                     if cluster.loop.now >= deadline:
                         self._finish(record, ABORTED)
                         return
-                    yield cfg.backoff_cap_ms
+                    yield cfg.retry_policy().cap_ms
             after = cluster.metadata.membership(pg_index)
             self._notify_transition(pg_index, "begin", before, after)
         record.candidate_id = candidate_id
         record.began_at = cluster.loop.now
 
         # -- Step 2: hydrate (baseline + gossip catch-up) ---------------
-        backoff = cfg.backoff_base_ms
+        backoff = Backoff(cfg.retry_policy())
         baseline_done = False
         pending_baseline: BaselineResponse | None = None
         transfer_done_at = 0.0
@@ -306,8 +314,7 @@ class RepairPlanner:
                         candidate.apply_baseline(reply)
                         baseline_done = True
                 else:
-                    yield backoff
-                    backoff = min(backoff * 2, cfg.backoff_cap_ms)
+                    yield backoff.next_delay()
             else:
                 yield cfg.poll_ms
 

@@ -35,8 +35,18 @@ PARTITION = "partition"
 #: ``__writer__`` stands for "whoever is the writer when the event fires").
 KILL_WRITER = "kill_writer"
 GREY_WRITER = "grey_writer"
+#: Geo-tier kinds (installed via callbacks, like the writer kinds).
+#: ``REGION_LOSS`` and ``REGION_PARTITION`` are *terminal* region events:
+#: a geo schedule contains exactly one of them, because after either one
+#: the secondary region is promoted and the scenario changes shape.
+REGION_LOSS = "region_loss"
+REGION_PARTITION = "region_partition"
+WAN_BROWNOUT = "wan_brownout"
+STREAM_STALL = "stream_stall"
 
 WRITER_TARGET = "__writer__"
+REGION_TARGET = "__region__"
+WAN_TARGET = "__wan__"
 
 
 @dataclass(frozen=True)
@@ -49,13 +59,17 @@ class ChaosEvent:
     kind: str
     target: str
     factor: float = 1.0
+    #: Loss rate for WAN_BROWNOUT events (``factor`` carries the latency
+    #: multiplier); 0.0 for every other kind.
+    rate: float = 0.0
 
     def __str__(self) -> str:
-        extra = (
-            f" x{self.factor:g}"
-            if self.kind in (SLOW_NODE, GREY_WRITER)
-            else ""
-        )
+        if self.kind in (SLOW_NODE, GREY_WRITER):
+            extra = f" x{self.factor:g}"
+        elif self.kind == WAN_BROWNOUT:
+            extra = f" loss={self.rate:g} x{self.factor:g}"
+        else:
+            extra = ""
         return (
             f"t={self.at:8.1f}ms {self.kind:<10} {self.target}"
             f" for {self.duration:.0f}ms{extra}"
@@ -89,6 +103,23 @@ class ChaosConfig:
     #: seeded schedules are byte-identical.
     writer_kill_period_ms: float = 0.0
     writer_grey_period_ms: float = 0.0
+    #: Geo-tier chaos.  Brownouts degrade the WAN link (loss + latency)
+    #: without severing it; stream stalls freeze the geo sender outright.
+    #: 0 disables either kind; like the writer kinds, disabled kinds draw
+    #: nothing from the RNG so pre-geo schedules replay byte-identically.
+    wan_brownout_period_ms: float = 0.0
+    stream_stall_period_ms: float = 0.0
+    #: Terminal region event selection.  When either weight is > 0 the
+    #: schedule gets *exactly one* region event -- REGION_LOSS with
+    #: probability loss/(loss+partition), else REGION_PARTITION -- placed
+    #: in the middle of the horizon so steady replication precedes it and
+    #: enough runway remains for detection, lease expiry, and promotion.
+    region_loss_weight: float = 0.0
+    region_partition_weight: float = 0.0
+    #: Duration bounds for REGION_PARTITION (must comfortably exceed the
+    #: geo lease so the stale primary provably self-fences mid-partition).
+    min_region_partition_ms: float = 5000.0
+    max_region_partition_ms: float = 9000.0
 
 
 def fleet_chaos_config() -> ChaosConfig:
@@ -100,6 +131,25 @@ def fleet_chaos_config() -> ChaosConfig:
         az_outage_period_ms=4000.0,
         az_burst_period_ms=2200.0,
         az_burst_fanout=3,
+    )
+
+
+def geo_chaos_config() -> ChaosConfig:
+    """The geo-audit profile: light intra-primary noise (crashes, grey
+    nodes, one-node partitions), recurring WAN degradation, and exactly
+    one terminal region event per schedule.  AZ outages are disabled --
+    the region event is the correlated disaster under test, and stacking
+    an AZ outage on top would conflate intra-region repair with
+    cross-region recovery in the RPO/RTO attribution."""
+    return ChaosConfig(
+        node_crash_period_ms=5000.0,
+        az_outage_period_ms=10.0**12,
+        slow_period_ms=4000.0,
+        partition_period_ms=9000.0,
+        wan_brownout_period_ms=7000.0,
+        stream_stall_period_ms=11000.0,
+        region_loss_weight=1.0,
+        region_partition_weight=1.0,
     )
 
 
@@ -276,6 +326,50 @@ class ChaosSchedule:
         if cfg.writer_grey_period_ms > 0:
             place(max(1, int(horizon_ms / cfg.writer_grey_period_ms)),
                   pick_writer_grey)
+
+        # Geo kinds likewise draw last and only when enabled.
+        def pick_wan_brownout() -> ChaosEvent | None:
+            d = rng.uniform(500.0, 1800.0)
+            at = start_time(d)
+            if at < 0:
+                return None
+            loss = rng.uniform(0.25, 0.7)
+            factor = rng.uniform(2.0, 6.0)
+            return ChaosEvent(
+                at, d, WAN_BROWNOUT, WAN_TARGET,
+                factor=round(factor, 1), rate=round(loss, 2),
+            )
+
+        def pick_stream_stall() -> ChaosEvent | None:
+            d = rng.uniform(300.0, 1200.0)
+            at = start_time(d)
+            if at < 0:
+                return None
+            return ChaosEvent(at, d, STREAM_STALL, WAN_TARGET)
+
+        if cfg.wan_brownout_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.wan_brownout_period_ms)),
+                  pick_wan_brownout)
+        if cfg.stream_stall_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.stream_stall_period_ms)),
+                  pick_stream_stall)
+        region_total = cfg.region_loss_weight + cfg.region_partition_weight
+        if region_total > 0:
+            # Exactly one terminal region event, appended directly rather
+            # than through place(): its aftermath (lease expiry, promotion,
+            # post-heal fencing) deliberately runs past the horizon tail
+            # guard, and nothing else shares its pseudo-target.
+            at = rng.uniform(0.45, 0.7) * horizon_ms
+            if rng.random() * region_total < cfg.region_loss_weight:
+                events.append(
+                    ChaosEvent(at, 0.0, REGION_LOSS, REGION_TARGET)
+                )
+            else:
+                d = rng.uniform(cfg.min_region_partition_ms,
+                                cfg.max_region_partition_ms)
+                events.append(
+                    ChaosEvent(at, d, REGION_PARTITION, REGION_TARGET)
+                )
         return cls(seed=seed, horizon_ms=horizon_ms, events=events)
 
     def install(
@@ -283,6 +377,10 @@ class ChaosSchedule:
         injector: FailureInjector,
         writer_kill=None,
         writer_grey=None,
+        region_loss=None,
+        region_partition=None,
+        wan_brownout=None,
+        stream_stall=None,
     ) -> int:
         """Schedule every event on the injector's loop; returns the count.
 
@@ -296,8 +394,11 @@ class ChaosSchedule:
         ``KILL_WRITER`` / ``GREY_WRITER`` events resolve their target at
         fire time through the ``writer_kill()`` / ``writer_grey(factor,
         duration_ms)`` callbacks (the writer's name changes across
-        failovers).  Schedules containing writer events require the
-        corresponding callback.
+        failovers).  Geo events likewise fire through callbacks:
+        ``region_loss()``, ``region_partition(duration_ms)``,
+        ``wan_brownout(loss_rate, latency_factor, duration_ms)``, and
+        ``stream_stall(duration_ms)``.  Schedules containing any of these
+        kinds require the corresponding callback.
         """
         base = injector.loop.now
         everyone: set[str] = set()
@@ -337,6 +438,45 @@ class ChaosSchedule:
                     lambda factor=event.factor, d=event.duration: (
                         writer_grey(factor, d)
                     ),
+                )
+            elif event.kind == REGION_LOSS:
+                if region_loss is None:
+                    raise ConfigurationError(
+                        "schedule contains REGION_LOSS events; pass a "
+                        "region_loss callback to install()"
+                    )
+                injector.loop.schedule_at(at, region_loss)
+            elif event.kind == REGION_PARTITION:
+                if region_partition is None:
+                    raise ConfigurationError(
+                        "schedule contains REGION_PARTITION events; pass "
+                        "a region_partition callback to install()"
+                    )
+                injector.loop.schedule_at(
+                    at,
+                    lambda d=event.duration: region_partition(d),
+                )
+            elif event.kind == WAN_BROWNOUT:
+                if wan_brownout is None:
+                    raise ConfigurationError(
+                        "schedule contains WAN_BROWNOUT events; pass a "
+                        "wan_brownout callback to install()"
+                    )
+                injector.loop.schedule_at(
+                    at,
+                    lambda loss=event.rate, factor=event.factor, d=(
+                        event.duration
+                    ): wan_brownout(loss, factor, d),
+                )
+            elif event.kind == STREAM_STALL:
+                if stream_stall is None:
+                    raise ConfigurationError(
+                        "schedule contains STREAM_STALL events; pass a "
+                        "stream_stall callback to install()"
+                    )
+                injector.loop.schedule_at(
+                    at,
+                    lambda d=event.duration: stream_stall(d),
                 )
             else:  # pragma: no cover - generator only emits known kinds
                 raise ConfigurationError(f"unknown chaos kind {event.kind!r}")

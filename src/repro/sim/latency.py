@@ -194,3 +194,14 @@ def cross_az_link() -> LatencyModel:
 def disk_service() -> LatencyModel:
     """Default model for a storage-node local write (SSD-ish, ~0.1 ms)."""
     return LogNormalLatency(median=0.1, sigma=0.30)
+
+
+def wan_link(median_ms: float = 35.0, sigma: float = 0.25) -> LatencyModel:
+    """Default model for a one-way inter-region WAN hop (~35 ms).
+
+    A long-haul link's latency distribution has a heavier tail than the
+    intra-region links (routing changes, congestion), hence the log-normal
+    with a wider body.  Loss, bandwidth, and reorder are properties of the
+    *link*, not the latency sample -- see :class:`repro.sim.wan.WanLink`.
+    """
+    return LogNormalLatency(median=median_ms, sigma=sigma)

@@ -166,6 +166,11 @@ class Network:
         self._next_request_id = 0
         self._pending_rpcs: dict[int, Future] = {}
         self._taps: list[Callable[[Message], None]] = []
+        # WAN policies per unordered pair (see repro.sim.wan.WanLink):
+        # the link decides loss and latency for every message crossing
+        # the pair, from its own rng.  Empty for purely intra-region
+        # simulations, so the hot path pays one falsy check.
+        self._wan_links: dict[frozenset[str], Any] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -197,6 +202,20 @@ class Network:
     def set_link_latency(self, a: str, b: str, model: LatencyModel) -> None:
         """Override latency for the (unordered) pair ``a``-``b``."""
         self._link_overrides[self._pair(a, b)] = model
+
+    def set_wan_link(self, a: str, b: str, wan: Any) -> None:
+        """Route the (unordered) pair ``a``-``b`` over a lossy WAN.
+
+        ``wan`` is a :class:`repro.sim.wan.WanLink`; its :meth:`plan`
+        decides per message whether the link drops it and, if not, the
+        total one-way latency (RTT distribution, bandwidth queueing,
+        reorder).  Partitions and quarantines still apply at delivery
+        time on top of the WAN's own loss.
+        """
+        self._wan_links[self._pair(a, b)] = wan
+
+    def wan_link_between(self, a: str, b: str) -> Any | None:
+        return self._wan_links.get(self._pair(a, b))
 
     # ------------------------------------------------------------------
     # Failure state
@@ -371,7 +390,18 @@ class Network:
         if not nodes[src].up:
             stats.messages_dropped += 1
             return
-        latency = self._latency_between(src, dst)
+        if self._wan_links:
+            wan = self._wan_links.get(self._pair(src, dst))
+        else:
+            wan = None
+        if wan is not None:
+            verdict = wan.plan(src, payload, self.loop.now)
+            if verdict is None:
+                stats.messages_dropped += 1
+                return
+            latency = verdict
+        else:
+            latency = self._latency_between(src, dst)
         now = self.loop.now
         message = Message(
             src=src,

@@ -1,0 +1,339 @@
+"""The WAN transport: lossy links and the reliable framing layer.
+
+The contract under test is the one the geo tier leans on: whatever the
+link drops, duplicates, or reorders, :class:`WanReceiver` delivers a
+gapless in-order prefix of the offered payloads exactly once, and
+:class:`WanSender` keeps retransmitting (with backoff) until the
+cumulative ack catches up.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.events import EventLoop
+from repro.sim.wan import (
+    WanAck,
+    WanConfig,
+    WanFrame,
+    WanHeartbeat,
+    WanLink,
+    WanReceiver,
+    WanSender,
+    WanSenderConfig,
+)
+
+
+class FixedLatency:
+    """Deterministic stand-in for a LatencyModel."""
+
+    def __init__(self, ms: float) -> None:
+        self.ms = ms
+
+    def sample(self, rng) -> float:
+        return self.ms
+
+
+class Pipe:
+    """A controllable bidirectional link wiring one sender/receiver pair.
+
+    Data-direction messages can be lost or held back (reordered); the
+    ack direction can be lost independently.  Both directions draw from
+    a private RNG, mirroring how the real WanLink behaves.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        seed: int = 0,
+        loss: float = 0.0,
+        reorder: float = 0.0,
+        ack_loss: float = 0.0,
+        latency_ms: float = 10.0,
+        sender_config: WanSenderConfig | None = None,
+    ) -> None:
+        self.loop = loop
+        self.rng = random.Random(seed)
+        self.loss = loss
+        self.reorder = reorder
+        self.ack_loss = ack_loss
+        self.latency_ms = latency_ms
+        self.delivered: list = []
+        self.acks_seen = 0
+        self.tx = WanSender(
+            loop,
+            transmit=self._to_receiver,
+            config=sender_config
+            or WanSenderConfig(retransmit_window=8, seed=seed + 1),
+        )
+        self.rx = WanReceiver(
+            loop, transmit=self._to_sender, deliver=self.delivered.append
+        )
+
+    def _to_receiver(self, payload) -> None:
+        if self.loss and self.rng.random() < self.loss:
+            return
+        delay = self.latency_ms
+        if self.reorder and self.rng.random() < self.reorder:
+            delay += 3 * self.latency_ms
+        self.loop.schedule(delay, lambda p=payload: self.rx.on_message(p))
+
+    def _to_sender(self, payload) -> None:
+        self.acks_seen += 1
+        if self.ack_loss and self.rng.random() < self.ack_loss:
+            return
+        self.loop.schedule(
+            self.latency_ms, lambda p=payload: self.tx.on_ack(p)
+        )
+
+    def run_for(self, ms: float) -> None:
+        self.loop.run(until=self.loop.now + ms)
+
+
+# ----------------------------------------------------------------------
+# End-to-end reliability over a hostile link
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("loss,reorder", [(0.0, 0.0), (0.3, 0.3), (0.5, 0.2)])
+def test_lossy_link_delivers_in_order_exactly_once(seed, loss, reorder):
+    loop = EventLoop()
+    pipe = Pipe(loop, seed=seed, loss=loss, reorder=reorder, ack_loss=loss)
+    payloads = [f"p{i}" for i in range(40)]
+    for p in payloads:
+        assert pipe.tx.offer(p)
+    # Loss < 1 and unbounded retransmission: convergence is guaranteed,
+    # the backoff ladder just decides how long the tail takes.
+    for _ in range(120):
+        if pipe.tx.cumulative_acked == len(payloads):
+            break
+        pipe.run_for(500.0)
+    assert pipe.delivered == payloads
+    assert pipe.rx.delivered == len(payloads)
+    assert pipe.tx.cumulative_acked == len(payloads)
+    assert pipe.tx.buffered == 0
+    if loss > 0.0:
+        assert pipe.tx.frames_retransmitted > 0
+
+
+def test_duplicate_frames_dropped_but_reacked():
+    loop = EventLoop()
+    acks: list[WanAck] = []
+    delivered: list = []
+    rx = WanReceiver(loop, transmit=acks.append, deliver=delivered.append)
+    frame = WanFrame(seq=1, payload="a")
+    rx.on_message(frame)
+    rx.on_message(frame)  # a retransmission whose original ack was lost
+    assert delivered == ["a"]
+    assert rx.duplicates == 1
+    # Both arrivals produced a cumulative ack, so the sender converges
+    # without the receiver ever re-applying.
+    assert [a.cumulative for a in acks] == [1, 1]
+
+
+def test_out_of_order_frames_held_until_gap_fills():
+    loop = EventLoop()
+    acks: list[WanAck] = []
+    delivered: list = []
+    rx = WanReceiver(loop, transmit=acks.append, deliver=delivered.append)
+    rx.on_message(WanFrame(seq=2, payload="b"))
+    rx.on_message(WanFrame(seq=3, payload="c"))
+    assert delivered == []
+    assert [a.cumulative for a in acks] == [0, 0]
+    rx.on_message(WanFrame(seq=1, payload="a"))
+    assert delivered == ["a", "b", "c"]
+    assert acks[-1].cumulative == 3
+
+
+def test_ack_loss_recovers_without_reapply():
+    loop = EventLoop()
+    # Every ack is dropped at first: the sender must retransmit, the
+    # receiver must re-ack duplicates, and nothing is delivered twice.
+    pipe = Pipe(loop, seed=3, ack_loss=1.0)
+    assert pipe.tx.offer("x")
+    pipe.run_for(1500.0)
+    assert pipe.delivered == ["x"]
+    assert pipe.tx.cumulative_acked == 0
+    assert pipe.tx.frames_retransmitted > 0
+    assert pipe.rx.duplicates > 0
+    pipe.ack_loss = 0.0  # the return path heals
+    pipe.run_for(3000.0)
+    assert pipe.tx.cumulative_acked == 1
+    assert pipe.delivered == ["x"]
+
+
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_any_arrival_order_yields_gapless_inorder_prefix(n, data):
+    """Adversarial permutations with duplicates, driven directly.
+
+    At every intermediate point the delivered list must be exactly the
+    gapless prefix 1..k of the offered sequence; once all seqs have
+    arrived at least once, everything is delivered exactly once.
+    """
+    frames = [WanFrame(seq=i + 1, payload=i + 1) for i in range(n)]
+    arrivals = data.draw(
+        st.permutations(
+            frames + data.draw(st.lists(st.sampled_from(frames), max_size=n))
+        )
+    )
+    loop = EventLoop()
+    delivered: list[int] = []
+    rx = WanReceiver(loop, transmit=lambda a: None, deliver=delivered.append)
+    for frame in arrivals:
+        rx.on_message(frame)
+        assert delivered == list(range(1, len(delivered) + 1))
+        assert rx.cumulative == len(delivered)
+    assert delivered == list(range(1, n + 1))
+    assert rx.delivered == n
+
+
+# ----------------------------------------------------------------------
+# The lossy link policy itself
+# ----------------------------------------------------------------------
+def test_bandwidth_cap_queues_messages_per_direction():
+    link = WanLink(
+        WanConfig(
+            latency=FixedLatency(10.0),
+            loss_rate=0.0,
+            reorder_rate=0.0,
+            bandwidth_per_ms=1.0,
+        )
+    )
+    first = link.plan("tx", WanFrame(seq=1, payload="a", wan_size=50), 0.0)
+    second = link.plan("tx", WanFrame(seq=2, payload="b", wan_size=50), 0.0)
+    # The second message serializes behind the first's 50 ms.
+    assert first == pytest.approx(60.0)
+    assert second == pytest.approx(110.0)
+    # The opposite direction has its own cursor.
+    back = link.plan("rx", WanFrame(seq=1, payload="c", wan_size=50), 0.0)
+    assert back == pytest.approx(60.0)
+    assert link.stats.queueing_ms == pytest.approx(50.0 + 100.0 + 50.0)
+
+
+def test_brownout_raises_loss_and_latency_until_cleared():
+    link = WanLink(
+        WanConfig(latency=FixedLatency(10.0), loss_rate=0.0, reorder_rate=0.0)
+    )
+    assert not link.in_brownout
+    link.set_brownout(0.75, latency_factor=4.0)
+    assert link.in_brownout
+    verdicts = [link.plan("tx", f"m{i}", 0.0) for i in range(400)]
+    lost = sum(1 for v in verdicts if v is None)
+    assert 220 <= lost <= 360  # ~75% of 400
+    assert all(v == pytest.approx(40.0) for v in verdicts if v is not None)
+    assert link.stats.messages_lost == lost
+    link.clear_brownout()
+    assert not link.in_brownout
+    assert all(
+        link.plan("tx", f"n{i}", 0.0) == pytest.approx(10.0)
+        for i in range(50)
+    )
+
+
+def test_link_config_validation():
+    with pytest.raises(ConfigurationError):
+        WanConfig(loss_rate=1.0)
+    with pytest.raises(ConfigurationError):
+        WanConfig(bandwidth_per_ms=0.0)
+    link = WanLink(WanConfig())
+    with pytest.raises(ConfigurationError):
+        link.set_brownout(1.0)
+    with pytest.raises(ConfigurationError):
+        link.set_brownout(0.5, latency_factor=0.0)
+
+
+# ----------------------------------------------------------------------
+# Sender-side bounds: backpressure, stalls, heartbeats
+# ----------------------------------------------------------------------
+def test_buffer_limit_refuses_offers_and_trips_high_water():
+    loop = EventLoop()
+    sent: list = []
+    tx = WanSender(
+        loop,
+        transmit=sent.append,
+        config=WanSenderConfig(buffer_limit=8, high_water_fraction=0.5),
+    )
+    for i in range(8):
+        assert tx.offer(i)
+        assert tx.backpressured == (i + 1 >= 4)
+    assert not tx.offer("overflow")
+    assert tx.offers_rejected == 1
+    assert tx.buffered == 8
+    # Draining via a cumulative ack releases the backpressure.
+    tx.on_ack(WanAck(cumulative=6))
+    assert tx.buffered == 2
+    assert not tx.backpressured
+    assert tx.offer("fits-again")
+
+
+def test_stall_queues_data_but_heartbeats_keep_flowing():
+    loop = EventLoop()
+    sent: list = []
+    tx = WanSender(
+        loop,
+        transmit=sent.append,
+        config=WanSenderConfig(heartbeat_ms=100.0, seed=5),
+    )
+    tx.stall(600.0)
+    assert tx.stalled
+    assert tx.offer("queued")
+    assert tx.frames_sent == 0  # held back by the stall
+    loop.run(until=500.0)
+    assert tx.frames_sent == 0
+    assert tx.heartbeats_sent >= 3  # liveness continues through the stall
+    assert all(not isinstance(m, WanFrame) for m in sent)
+    loop.run(until=2500.0)  # stall lifts; retransmit path flushes the queue
+    assert not tx.stalled
+    assert tx.frames_sent + tx.frames_retransmitted >= 1
+    assert any(
+        isinstance(m, WanFrame) and m.payload == "queued" for m in sent
+    )
+
+
+def test_stopped_sender_goes_silent():
+    loop = EventLoop()
+    sent: list = []
+    tx = WanSender(loop, transmit=sent.append)
+    assert tx.offer("a")
+    tx.stop()
+    assert not tx.offer("b")
+    assert tx.buffered == 0
+    before = len(sent)
+    loop.run(until=5000.0)
+    assert len(sent) == before  # no retransmissions, no heartbeats
+
+
+def test_heartbeat_piggybacks_info_and_receiver_surfaces_it():
+    loop = EventLoop()
+    sent: list = []
+    tx = WanSender(
+        loop,
+        transmit=sent.append,
+        config=WanSenderConfig(heartbeat_ms=100.0),
+        heartbeat_info=lambda: {"vdl": 42},
+    )
+    loop.run(until=250.0)
+    beats = [m for m in sent if isinstance(m, WanHeartbeat)]
+    assert beats and all(b.info == {"vdl": 42} for b in beats)
+    seen: list = []
+    rx = WanReceiver(
+        loop,
+        transmit=lambda a: None,
+        deliver=lambda p: None,
+        on_heartbeat=seen.append,
+    )
+    rx.on_message(beats[0])
+    assert seen == [{"vdl": 42}]
+
+
+def test_receiver_rejects_unknown_payloads():
+    loop = EventLoop()
+    rx = WanReceiver(loop, transmit=lambda a: None, deliver=lambda p: None)
+    with pytest.raises(ConfigurationError):
+        rx.on_message("not a wan payload")
