@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # reports are byte-identical to a sequential run; see docs/PERF.md).
 JOBS ?= 4
 
-.PHONY: test audit audit-fleet audit-failover audit-geo bench bench-paper
+.PHONY: test audit audit-fleet audit-failover audit-geo audit-proxy bench bench-paper
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,6 +40,14 @@ audit-failover:
 # seeds async (see docs/AUDIT.md "Geo disaster recovery").
 audit-geo:
 	$(PYTHON) -m repro audit-run --seed 0 --steps 400 --sweep 20 --geo --jobs $(JOBS)
+
+# Serving-tier gate: per seed, a lag-aware connection-multiplexing proxy
+# fronts 100k logical sessions through one writer kill, gated on zero
+# acked-commit loss, zero read-your-writes violations, every session
+# outage inside the 5 s recovery budget, and steady-state replica
+# time-lag p95 inside the 10 ms SLO (see docs/AUDIT.md "Serving tier").
+audit-proxy:
+	$(PYTHON) -m repro audit-run --seed 0 --steps 400 --sweep 20 --proxy --jobs $(JOBS)
 
 # Engine perf harness: batched fast path vs an unbatched baseline of the
 # same seeded workload, recorded in BENCH_engine.json; --check exits

@@ -11,11 +11,18 @@ Section 3.2's claims:
   anchored to durability, not issuance);
 - "if a commit has been marked durable and acknowledged to the client,
   there is no data loss when a replica is promoted" -- measured: promoted
-  writer recovers every acknowledged commit.
+  writer recovers every acknowledged commit;
+- the serving-tier extension: a connection-multiplexing proxy fans a
+  growing logical-session fleet over the same replicas -- measured:
+  steady-state replica *time* lag p95 against the sub-10 ms SLO as the
+  session count scales.
 """
 
 from repro import AuroraCluster, ClusterConfig
+from repro.analysis.serving import REPLICA_LAG_SLO_MS
+from repro.db.proxy import ConnectionProxy, ProxyConfig
 from repro.db.session import Session
+from repro.workloads.sessions import SessionScaleConfig, SessionScaleWorkload
 
 from .conftest import fmt, percentile, print_table
 
@@ -156,3 +163,70 @@ def test_c4_promotion_loses_nothing(benchmark):
     assert acked > 0
     assert recovered == acked  # zero acknowledged-commit loss
     assert failover_ms < 100  # no lease to wait out, no redo to replay
+
+
+def proxy_session_tier(sessions, seed=704):
+    """One proxied steady-state tier: ``sessions`` logical sessions over
+    two replicas, no chaos -- the lag-SLO measurement."""
+    cluster = AuroraCluster.build(ClusterConfig(seed=seed))
+    for i in range(2):
+        cluster.add_replica(f"r{i}")
+    cluster.run_for(100)
+    proxy = ConnectionProxy(cluster, ProxyConfig(pool_size=64))
+    workload = SessionScaleWorkload(
+        proxy,
+        SessionScaleConfig(
+            sessions=sessions,
+            horizon_ms=6_000.0,
+            think_ms=30_000.0,
+            seed=seed,
+        ),
+    )
+    workload.run()
+    stats = workload.stats
+    lag = proxy.lag.samples
+    return {
+        "ops": stats.ops_completed,
+        "lag_p95": percentile(lag, 0.95) if lag else 0.0,
+        "lag_max": max(lag) if lag else 0.0,
+        "replica_reads": proxy.stats.replica_reads,
+        "writer_reads": proxy.stats.writer_reads,
+        "pool_waits": proxy.stats.pool_waits,
+        "ryw_violations": stats.ryw_violations,
+        "consistency_violations": stats.shared_check_violations,
+    }
+
+
+def test_c4_session_scaling_meets_lag_slo(benchmark):
+    """Serving-tier claim: the proxied session fleet scales two orders of
+    magnitude while steady-state replica time lag stays inside the
+    sub-10 ms SLO and reads keep landing on replicas."""
+
+    def sweep():
+        return {
+            sessions: proxy_session_tier(sessions)
+            for sessions in (1_000, 10_000, 50_000)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [sessions, cell["ops"], fmt(cell["lag_p95"]), fmt(cell["lag_max"]),
+         cell["replica_reads"], cell["writer_reads"], cell["pool_waits"]]
+        for sessions, cell in results.items()
+    ]
+    print_table(
+        "C4: proxied session scaling vs replica time lag",
+        ["sessions", "ops", "lag p95 ms", "lag max ms",
+         "replica reads", "writer reads", "pool waits"],
+        rows,
+    )
+    for sessions, cell in results.items():
+        assert cell["ops"] > 0
+        assert cell["lag_p95"] < REPLICA_LAG_SLO_MS, (
+            f"{sessions} sessions broke the lag SLO"
+        )
+        assert cell["ryw_violations"] == 0
+        assert cell["consistency_violations"] == 0
+    # Scaling the fleet 50x must not shift reads onto the writer.
+    biggest = results[50_000]
+    assert biggest["replica_reads"] > biggest["writer_reads"]

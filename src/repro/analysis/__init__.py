@@ -16,6 +16,9 @@ These reproduce the arithmetic behind the paper's design arguments:
 - :mod:`repro.analysis.rpo_rto` -- measured region-loss disaster
   recovery: RPO (zero for sync-acked commits, lag-bounded for async)
   and RTO against the cross-region recovery budget.
+- :mod:`repro.analysis.serving` -- the client edge: proxied session
+  recovery through failover, replica time-lag SLO, and read routing
+  mix against the published serving envelope.
 """
 
 from repro.analysis.availability import (
@@ -42,6 +45,13 @@ from repro.analysis.rpo_rto import (
     rpo_rto_from_records,
     rpo_rto_report,
 )
+from repro.analysis.serving import (
+    REPLICA_LAG_SLO_MS,
+    SESSION_RECOVERY_BUDGET_S,
+    ServingReport,
+    merge_serving_reports,
+    serving_report,
+)
 
 __all__ = [
     "C7_WINDOW_S",
@@ -51,10 +61,15 @@ __all__ = [
     "FailoverAvailabilityReport",
     "FleetDurabilityReport",
     "GEO_RTO_BUDGET_S",
+    "REPLICA_LAG_SLO_MS",
     "RpoRtoReport",
+    "SESSION_RECOVERY_BUDGET_S",
+    "ServingReport",
     "failover_availability",
     "fleet_durability",
+    "merge_serving_reports",
     "model_from_observed_mttr",
+    "serving_report",
     "rpo_rto_from_records",
     "rpo_rto_report",
     "az_failure_survival",

@@ -1,0 +1,194 @@
+"""Serving-tier analysis: session recovery, replica lag, routing mix.
+
+The storage-tier analyses judge the simulator against the paper's
+durability and availability arithmetic; this module judges the *client
+edge* against the production envelope the serving tier advertises:
+
+- **session recovery**: through a writer (or region) failover, every
+  proxied session must be doing useful work again within the
+  ~5-second application-recovery figure published for proxy-fronted
+  Aurora fleets.  Recovery is a tail phenomenon like failover
+  availability, so the gate compares the *worst* observed session
+  outage against the budget.
+- **replica lag**: read routing only deserves its replica fan-out if
+  replicas track the writer closely; the envelope says sub-10 ms
+  typical lag, which the gate applies to the steady-state p95 of the
+  time-denominated lag distribution
+  (:class:`repro.db.proxy.LagTracker`).
+- **routing**: the report also summarises where reads actually went
+  (replica vs writer fallback) and how often read-your-writes floors
+  constrained the balancer -- the observability a proxy operator needs
+  to size the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.failover_availability import WindowPoint, _point
+from repro.errors import ConfigurationError
+
+#: Proxy-fronted application recovery budget through a failover.
+SESSION_RECOVERY_BUDGET_S = 5.0
+
+#: Steady-state replica time-lag SLO, applied at p95.
+REPLICA_LAG_SLO_MS = 10.0
+
+
+@dataclass
+class ServingReport:
+    """Measured serving-tier behaviour versus the published envelope."""
+
+    sessions: int
+    ops: int
+    #: Outage windows of sessions that saw a fault (empty => no faults).
+    recovery: WindowPoint | None
+    recovery_budget_ms: float
+    #: Fraction of the budget the worst session outage consumed.
+    worst_recovery_fraction: float
+    meets_recovery: bool
+    #: Steady-state replica time lag distribution (ms).
+    lag: WindowPoint | None
+    lag_slo_ms: float
+    meets_lag_slo: bool
+    #: Read routing mix.
+    replica_reads: int
+    writer_reads: int
+    floor_exclusions: int
+    pool_waits: int
+    #: Correctness counters (audited separately; echoed for the report).
+    ryw_violations: int = 0
+    lost_acked_writes: int = 0
+    #: Raw samples, kept so sweep footers can merge seeds.
+    recovery_samples: list = None  # type: ignore[assignment]
+    lag_samples: list = None  # type: ignore[assignment]
+
+    @property
+    def read_total(self) -> int:
+        return self.replica_reads + self.writer_reads
+
+    @property
+    def replica_read_fraction(self) -> float:
+        total = self.read_total
+        return self.replica_reads / total if total else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.meets_recovery
+            and self.meets_lag_slo
+            and self.ryw_violations == 0
+            and self.lost_acked_writes == 0
+        )
+
+    def render_lines(self) -> list[str]:
+        lines = [
+            f"  sessions:            {self.sessions} ({self.ops} ops)",
+        ]
+        if self.recovery is not None:
+            lines.append(f"  session recovery:    {self.recovery.line()}")
+            budget_s = self.recovery_budget_ms / 1000.0
+            lines.append(
+                f"  recovery budget ({budget_s:.0f}s): "
+                + (
+                    f"met; worst outage used "
+                    f"{self.worst_recovery_fraction:.1%} of budget"
+                    if self.meets_recovery
+                    else f"EXCEEDED: worst outage used "
+                    f"{self.worst_recovery_fraction:.1%} of budget"
+                )
+            )
+        else:
+            lines.append("  session recovery:    no session saw an outage")
+        if self.lag is not None:
+            lines.append(f"  replica time lag:    {self.lag.line()}")
+            lines.append(
+                f"  lag SLO (p95 < {self.lag_slo_ms:.0f}ms): "
+                + ("met" if self.meets_lag_slo else "EXCEEDED")
+            )
+        lines.append(
+            f"  read routing:        {self.replica_reads} replica / "
+            f"{self.writer_reads} writer "
+            f"({self.replica_read_fraction:.1%} offloaded), "
+            f"{self.floor_exclusions} RYW floor exclusions, "
+            f"{self.pool_waits} pool waits"
+        )
+        if self.ryw_violations or self.lost_acked_writes:
+            lines.append(
+                f"  CONSISTENCY:         {self.ryw_violations} "
+                f"read-your-writes violations, "
+                f"{self.lost_acked_writes} lost acked writes"
+            )
+        return lines
+
+
+def serving_report(
+    sessions: int,
+    ops: int,
+    recovery_samples_ms: list,
+    lag_samples_ms: list,
+    replica_reads: int = 0,
+    writer_reads: int = 0,
+    floor_exclusions: int = 0,
+    pool_waits: int = 0,
+    ryw_violations: int = 0,
+    lost_acked_writes: int = 0,
+    recovery_budget_s: float = SESSION_RECOVERY_BUDGET_S,
+    lag_slo_ms: float = REPLICA_LAG_SLO_MS,
+) -> ServingReport:
+    """Evaluate measured serving-tier distributions against the envelope.
+
+    An empty ``recovery_samples_ms`` means no session ever saw a fault
+    (a run without chaos); the recovery gate is then trivially met.
+    The lag gate is applied to the p95 of ``lag_samples_ms``: transient
+    spikes during promotion are expected, steady state is the claim.
+    """
+    if recovery_budget_s <= 0 or lag_slo_ms <= 0:
+        raise ConfigurationError("serving budgets must be > 0")
+    recovery = _point(list(recovery_samples_ms))
+    lag = _point(list(lag_samples_ms))
+    budget_ms = recovery_budget_s * 1000.0
+    worst_fraction = (recovery.max_ms / budget_ms) if recovery else 0.0
+    return ServingReport(
+        sessions=sessions,
+        ops=ops,
+        recovery=recovery,
+        recovery_budget_ms=budget_ms,
+        worst_recovery_fraction=worst_fraction,
+        meets_recovery=recovery is None or recovery.max_ms <= budget_ms,
+        lag=lag,
+        lag_slo_ms=lag_slo_ms,
+        meets_lag_slo=lag is None or lag.p95_ms < lag_slo_ms,
+        replica_reads=replica_reads,
+        writer_reads=writer_reads,
+        floor_exclusions=floor_exclusions,
+        pool_waits=pool_waits,
+        ryw_violations=ryw_violations,
+        lost_acked_writes=lost_acked_writes,
+        recovery_samples=list(recovery_samples_ms),
+        lag_samples=list(lag_samples_ms),
+    )
+
+
+def merge_serving_reports(reports: list) -> ServingReport | None:
+    """Fold per-seed reports into one sweep-level report (sample union,
+    counter sums) -- the audit sweep footer's view."""
+    reports = [r for r in reports if r is not None]
+    if not reports:
+        return None
+    return serving_report(
+        sessions=sum(r.sessions for r in reports),
+        ops=sum(r.ops for r in reports),
+        recovery_samples_ms=[
+            s for r in reports for s in (r.recovery_samples or [])
+        ],
+        lag_samples_ms=[s for r in reports for s in (r.lag_samples or [])],
+        replica_reads=sum(r.replica_reads for r in reports),
+        writer_reads=sum(r.writer_reads for r in reports),
+        floor_exclusions=sum(r.floor_exclusions for r in reports),
+        pool_waits=sum(r.pool_waits for r in reports),
+        ryw_violations=sum(r.ryw_violations for r in reports),
+        lost_acked_writes=sum(r.lost_acked_writes for r in reports),
+        recovery_budget_s=reports[0].recovery_budget_ms / 1000.0,
+        lag_slo_ms=reports[0].lag_slo_ms,
+    )

@@ -127,6 +127,35 @@ class AuditRunConfig:
     geo_ack_mode: str = "auto"
     #: Region-loss recovery budget (ms): detection + lease + promotion.
     geo_rto_budget_ms: float = 30_000.0
+    #: Serving-tier proxy mode: front a replica'd cluster with a
+    #: :class:`repro.db.proxy.ConnectionProxy`, drive ``proxy_sessions``
+    #: logical sessions through one writer kill, and gate on zero
+    #: acked-commit loss, zero read-your-writes violations, every session
+    #: recovering inside ``proxy_recovery_budget_ms``, and steady-state
+    #: replica time lag p95 under ``proxy_lag_slo_ms``.
+    proxy: bool = False
+    proxy_sessions: int = 100_000
+    proxy_pool: int = 128
+    proxy_recovery_budget_ms: float = 5_000.0
+    proxy_lag_slo_ms: float = 10.0
+
+    def as_proxy(self) -> "AuditRunConfig":
+        """Switch this config to the serving-tier shape.  The storage
+        control planes stay off (they have their own gates): the single
+        writer kill is the disaster under test, and the replica fleet
+        plus the failover coordinator are what the proxy rides on."""
+        self.proxy = True
+        self.heal = False
+        self.membership_change = False
+        self.plant_false_positive = False
+        self.background_failures = False
+        self.fleet_kills = 0
+        self.fleet_double_fault = False
+        self.az_bursts = False
+        self.geo = False
+        self.failover = True
+        self.replicas = max(self.replicas, 3)
+        return self
 
     def as_geo(self) -> "AuditRunConfig":
         """Switch this config to the geo disaster-recovery shape.  The
@@ -212,6 +241,15 @@ class AuditReport:
     geo_ack_mode: str = ""
     geo_rpo_rto: object | None = None
     geo_ok: bool | None = None
+    #: Serving-tier telemetry (None when ``proxy`` is off): the
+    #: :class:`repro.analysis.serving.ServingReport` (picklable, so
+    #: sweeps can merge recovery/lag distributions across seeds), the
+    #: logical session count, and the gate -- a promotion happened, no
+    #: acked write was lost, no read-your-writes violation, every
+    #: session outage inside the recovery budget, lag p95 inside the SLO.
+    serving: object | None = None
+    proxy_sessions: int = 0
+    proxy_ok: bool | None = None
     #: Engine telemetry for the perf harness (`repro bench-engine`).
     events_executed: int = 0
     messages_sent: int = 0
@@ -228,6 +266,7 @@ class AuditReport:
             and self.concurrency_ok is not False
             and self.failover_ok is not False
             and self.geo_ok is not False
+            and self.proxy_ok is not False
         )
 
     def render(self) -> str:
@@ -284,6 +323,13 @@ class AuditReport:
                 lines += self.geo_rpo_rto.render_lines()
             verdict = "ok" if self.geo_ok else "FAILED"
             lines.append(f"  geo DR gate:         {verdict}")
+        if self.proxy_ok is not None:
+            # The failover telemetry above already covered the kill; add
+            # the client-edge view.
+            if self.serving is not None:
+                lines += self.serving.render_lines()
+            verdict = "ok" if self.proxy_ok else "FAILED"
+            lines.append(f"  proxy gate:          {verdict}")
         if self.violations:
             lines.append("")
             lines.append(f"VIOLATIONS (reproduce with --seed {self.seed}):")
@@ -303,6 +349,8 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
     wall_start = time.perf_counter()
     if cfg.geo:
         return _run_geo_audit(cfg, wall_start)
+    if cfg.proxy:
+        return _run_proxy_audit(cfg, wall_start)
     cluster_cfg = ClusterConfig(seed=cfg.seed, pg_count=cfg.pg_count)
     if cfg.boxcar == "immediate":
         from repro.db.driver import BoxcarMode
@@ -399,6 +447,146 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         failovers=failovers,
         writer_kills=runner.writer_kills,
         failover_ok=failover_ok,
+        events_executed=cluster.loop.events_executed,
+        messages_sent=cluster.network.stats.messages_sent,
+        wall_clock_s=time.perf_counter() - wall_start,
+        message_types=dict(cluster.network.stats.by_type),
+    )
+
+
+def _run_proxy_audit(cfg: AuditRunConfig, wall_start: float) -> AuditReport:
+    """Serving-tier audit: >=100k logical sessions through a writer kill.
+
+    A replica'd cluster with the failover plane armed is fronted by a
+    :class:`repro.db.proxy.ConnectionProxy`; a
+    :class:`repro.workloads.sessions.SessionScaleWorkload` drives
+    ``cfg.proxy_sessions`` logical sessions (closed loop, think times
+    that dwarf the horizon) while exactly one deterministic writer kill
+    lands mid-horizon.  The workload flags ``proxy-read-your-writes``
+    and ``proxy-read-consistency`` violations live; after the failover
+    settles, :meth:`~repro.workloads.sessions.SessionScaleWorkload.
+    reconcile` re-reads every acknowledged private write and flags any
+    loss as ``proxy-acked-write-loss``.  The gate additionally requires
+    the kill to have produced a promotion, every session outage inside
+    the recovery budget, and steady-state replica time lag p95 inside
+    the SLO.
+    """
+    from repro.analysis.serving import serving_report
+    from repro.db.proxy import ConnectionProxy, ProxyConfig
+    from repro.repair import PROMOTED
+    from repro.workloads.sessions import (
+        SessionScaleConfig,
+        SessionScaleWorkload,
+    )
+
+    cluster_cfg = ClusterConfig(seed=cfg.seed, pg_count=cfg.pg_count)
+    cluster = AuroraCluster.build(config=cluster_cfg, seed=cfg.seed)
+    cluster.network.set_stats_detail(cfg.detailed_stats)
+    auditor = Auditor(tail_size=cfg.tail_size)
+    cluster.arm_auditor(auditor)
+    for _ in range(cfg.replicas):
+        cluster.add_replica()
+    cluster.arm_failover()
+    cluster.run_for(200.0)  # replicas attach and catch up
+
+    horizon_ms = max(12_000.0, cfg.steps * 40.0)
+    proxy = ConnectionProxy(
+        cluster,
+        ProxyConfig(
+            pool_size=cfg.proxy_pool,
+            lag_slo_ms=cfg.proxy_lag_slo_ms,
+            recovery_budget_ms=cfg.proxy_recovery_budget_ms,
+        ),
+    )
+    workload = SessionScaleWorkload(
+        proxy,
+        SessionScaleConfig(
+            sessions=cfg.proxy_sessions,
+            horizon_ms=horizon_ms,
+            think_ms=max(60_000.0, horizon_ms * 6.0),
+            seed=cfg.seed,
+        ),
+        flag=auditor.flag,
+    )
+
+    # Exactly one writer kill, at a seed-derived point mid-horizon (away
+    # from the edges so both the pre-kill steady state and the post-kill
+    # recovery are observed inside the horizon).
+    rng = random.Random(cfg.seed * 104_729 + 7)
+    kill_at = cluster.loop.now + horizon_ms * (0.35 + 0.3 * rng.random())
+    kills: list[float] = []
+
+    def kill_writer() -> None:
+        writer = cluster.writer
+        if writer is None or cluster.failover_in_progress:
+            return
+        kills.append(cluster.loop.now)
+        name = writer.name
+        writer.crash()
+        cluster.network.fail_node(name)
+
+    cluster.loop.schedule(kill_at - cluster.loop.now, kill_writer)
+
+    workload.run()
+
+    # Let the failover plane drain before judging loss.
+    for _spin in range(4000):
+        writer = cluster.writer
+        if (
+            cluster.failover.idle
+            and not cluster.failover_in_progress
+            and writer is not None
+            and writer.state is InstanceState.OPEN
+        ):
+            break
+        cluster.run_for(25.0)
+    cluster.run_for(200.0)
+    workload.reconcile()
+
+    stats = workload.stats
+    promoted = [
+        r for r in cluster.failover.records if r.outcome == PROMOTED
+    ]
+    serving = serving_report(
+        sessions=cfg.proxy_sessions,
+        ops=stats.ops_completed,
+        recovery_samples_ms=proxy.stats.recovery_samples,
+        lag_samples_ms=proxy.lag.samples,
+        replica_reads=proxy.stats.replica_reads,
+        writer_reads=proxy.stats.writer_reads,
+        floor_exclusions=proxy.stats.floor_exclusions,
+        pool_waits=proxy.stats.pool_waits,
+        ryw_violations=stats.ryw_violations,
+        lost_acked_writes=stats.lost_acked_writes,
+        recovery_budget_s=cfg.proxy_recovery_budget_ms / 1000.0,
+        lag_slo_ms=cfg.proxy_lag_slo_ms,
+    )
+    proxy_ok = (
+        serving.ok
+        and len(kills) == 1
+        and len(promoted) == 1
+        # The kill must actually have been *observed* at the client edge
+        # -- otherwise the recovery gate would pass vacuously.
+        and len(proxy.stats.recovery_samples) > 0
+        and not auditor.violations
+    )
+
+    return AuditReport(
+        seed=cfg.seed,
+        steps=cfg.steps,
+        sim_time_ms=cluster.loop.now,
+        chaos_events=len(kills),
+        commit_acks=auditor.commit_acks,
+        availability_errors=stats.errors,
+        writer_recoveries=len(promoted),
+        protocol_events=auditor.events_seen,
+        violations=list(auditor.violations),
+        event_tail=auditor.event_tail,
+        failovers=cluster.failover.summary(),
+        writer_kills=len(kills),
+        serving=serving,
+        proxy_sessions=cfg.proxy_sessions,
+        proxy_ok=proxy_ok,
         events_executed=cluster.loop.events_executed,
         messages_sent=cluster.network.stats.messages_sent,
         wall_clock_s=time.perf_counter() - wall_start,

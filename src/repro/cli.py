@@ -148,6 +148,24 @@ def _build_parser() -> argparse.ArgumentParser:
              "a sweep covers both RPO regimes",
     )
     audit.add_argument(
+        "--proxy", action="store_true",
+        help="serving-tier mode: a lag-aware connection-multiplexing "
+             "proxy fronts the session fleet through one writer kill "
+             "per seed, gated on zero acked-commit loss, zero "
+             "read-your-writes violations, every session outage inside "
+             "the 5s recovery budget, and steady-state replica time-lag "
+             "p95 inside the 10ms SLO; the sweep footer merges per-seed "
+             "serving reports",
+    )
+    audit.add_argument(
+        "--proxy-sessions", type=int, default=100_000, metavar="N",
+        help="concurrent logical sessions per seed in --proxy mode",
+    )
+    audit.add_argument(
+        "--proxy-pool", type=int, default=128, metavar="N",
+        help="backend connection-pool size in --proxy mode",
+    )
+    audit.add_argument(
         "--jobs", type=int, default=1, metavar="K",
         help="run sweep seeds across K worker processes (seeds are "
              "independent, so reports are byte-identical to --jobs 1)",
@@ -332,6 +350,10 @@ def _audit_config(args: argparse.Namespace, seed: int):
     if getattr(args, "geo", False):
         config.as_geo()
         config.geo_ack_mode = args.geo_ack
+    if getattr(args, "proxy", False):
+        config.as_proxy()
+        config.proxy_sessions = args.proxy_sessions
+        config.proxy_pool = args.proxy_pool
     return config
 
 
@@ -349,6 +371,7 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
     fleet = RepairSummary()
     fleet_failovers = FailoverSummary()
     geo_records = []
+    serving_reports = []
     configs = [_audit_config(args, seed) for seed in seeds]
     for report in run_audit_sweep(configs, jobs=args.jobs):
         print(report.render())
@@ -359,6 +382,8 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
         if report.failovers is not None:
             fleet_failovers.merge(report.failovers)
         geo_records.extend(report.geo_records)
+        if report.serving is not None:
+            serving_reports.append(report.serving)
         if args.sweep > 0:
             print()
     if args.sweep > 0:
@@ -408,6 +433,15 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
                     print(line)
             except ConfigurationError:
                 print("  (no promoted recovery to report RPO/RTO on)")
+        if serving_reports:
+            from repro.analysis import merge_serving_reports
+
+            merged = merge_serving_reports(serving_reports)
+            print(
+                f"serving-tier telemetry across {len(seeds)} seeds:"
+            )
+            for line in merged.render_lines():
+                print(line)
     return 1 if failed else 0
 
 

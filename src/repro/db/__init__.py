@@ -26,17 +26,32 @@ Modules:
   replication and read replicas.
 - :mod:`repro.db.cluster` -- one-call construction of a full simulated
   Aurora deployment (the library's main entry point).
+- :mod:`repro.db.proxy` -- the connection-multiplexing serving tier
+  (bounded backend pool, lag-aware read routing with read-your-writes
+  floors, failover ride-through).
 """
 
 from repro.db.cluster import AuroraCluster, ClusterConfig
 from repro.db.instance import WriterInstance
+from repro.db.proxy import (
+    ConnectionProxy,
+    LogicalSession,
+    ProxyConfig,
+    ProxyStats,
+    ReplicaLagBalancer,
+)
 from repro.db.replica import ReplicaInstance
 from repro.db.session import Session
 
 __all__ = [
     "AuroraCluster",
     "ClusterConfig",
+    "ConnectionProxy",
+    "LogicalSession",
+    "ProxyConfig",
+    "ProxyStats",
     "ReplicaInstance",
+    "ReplicaLagBalancer",
     "Session",
     "WriterInstance",
 ]

@@ -1,0 +1,539 @@
+"""Connection-multiplexing serving tier: the RDS-Proxy analogue.
+
+The paper's availability story ends at the storage tier, but the
+production envelope is defined at the *client* edge: up to 15 read
+replicas, sub-10 ms replica lag, and proxy-mediated sub-5-second
+application recovery through failover.  This module supplies that front
+tier for the simulator:
+
+- :class:`ConnectionProxy` multiplexes very many *logical* client
+  sessions (:class:`LogicalSession`) over a bounded pool of backend
+  slots, applying backpressure (FIFO slot queueing) when fan-in exceeds
+  the pool instead of melting the writer;
+- writes always go to the cluster's current writer; reads are routed by
+  :class:`ReplicaLagBalancer`, which picks the least-loaded,
+  least-lagged online replica **subject to the session's read-your-writes
+  floor** -- a session's reads never land on a replica whose applied VDL
+  trails that session's last commit SCN (LARK's read-point discipline:
+  commit SCNs are LSNs, so the floor is a direct frontier comparison);
+- every operation runs a ClusterSession-equivalent retry loop (same
+  :attr:`~repro.db.session.ClusterSession.RETRYABLE` taxonomy, same
+  jittered :class:`~repro.core.retry.Backoff`), so sessions ride through
+  writer failover (PR 4) and region failover (PR 7) transparently; the
+  proxy measures each session's outage window and reports the recovery
+  distribution against the 5 s budget;
+- :class:`LagTracker` converts the replicas' LSN-denominated lag into
+  *time* lag (how far behind the writer's redo frontier a replica's
+  applied VDL is, in milliseconds) for the sub-10 ms SLO gate.
+
+Everything here is generator-native: proxy operations are driven as
+:class:`~repro.sim.process.Process` steps inside the event loop (they
+never pump the loop themselves), which is what lets hundreds of
+thousands of concurrent logical sessions coexist in one simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.retry import Backoff, RetryPolicy
+from repro.db.instance import InstanceState, WriterInstance
+from repro.db.session import ClusterSession
+from repro.errors import (
+    ConfigurationError,
+    LockConflictError,
+    SimulationError,
+)
+from repro.sim.events import Future
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Shape of the serving tier.
+
+    ``pool_size`` bounds concurrent backend operations (the multiplexing
+    ratio is ``logical sessions / pool_size``); ``op_budget_ms`` bounds
+    each operation's retry loop; ``recovery_budget_ms`` and
+    ``lag_slo_ms`` are the published envelope the audit gates against.
+    """
+
+    pool_size: int = 256
+    op_budget_ms: float = 30_000.0
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            base_ms=10.0, cap_ms=250.0, multiplier=2.0, jitter=0.5
+        )
+    )
+    #: Replica time-lag SLO (the "sub-10ms replica lag" envelope).
+    lag_slo_ms: float = 10.0
+    #: Session recovery budget (the "sub-5s application recovery" envelope).
+    recovery_budget_ms: float = 5_000.0
+    #: Sampling cadence of the time-lag tracker.
+    lag_sample_interval_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ConfigurationError("pool_size must be >= 1")
+        if self.op_budget_ms <= 0 or self.lag_sample_interval_ms <= 0:
+            raise ConfigurationError("proxy time bounds must be > 0")
+
+
+@dataclass
+class ProxyStats:
+    """Counters and distributions the serving analysis consumes."""
+
+    connects: int = 0
+    reads: int = 0
+    writes: int = 0
+    #: Read routing mix.
+    replica_reads: int = 0
+    writer_reads: int = 0
+    #: Times the RYW floor excluded at least one otherwise-eligible replica.
+    floor_exclusions: int = 0
+    #: Reads that fell back to the writer because no replica was eligible.
+    writer_fallbacks: int = 0
+    #: Backpressure: operations that had to queue for a pool slot.
+    pool_waits: int = 0
+    peak_in_flight: int = 0
+    peak_queue_depth: int = 0
+    #: Retryable faults absorbed inside the proxy's retry loop.
+    retries: int = 0
+    #: Per-session outage windows (first fault to next success), ms.
+    recovery_samples: list = field(default_factory=list)
+    read_latencies: list = field(default_factory=list)
+    write_latencies: list = field(default_factory=list)
+
+
+class LogicalSession:
+    """One client's logical connection through the proxy.
+
+    Carries the session's read-your-writes floor (`last_commit_scn`) and
+    outage bookkeeping; holds no backend resources while idle -- that is
+    the point of the multiplexing tier.
+    """
+
+    __slots__ = (
+        "session_id",
+        "last_commit_scn",
+        "outage_started_at",
+        "ops",
+        "reads",
+        "writes",
+    )
+
+    def __init__(self, session_id: int) -> None:
+        self.session_id = session_id
+        #: Highest commit SCN acknowledged to this session (an LSN).
+        self.last_commit_scn = 0
+        #: Sim time of the first retryable fault of the current outage,
+        #: or ``None`` when the session is healthy.
+        self.outage_started_at: float | None = None
+        self.ops = 0
+        self.reads = 0
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LogicalSession(id={self.session_id}, "
+            f"floor={self.last_commit_scn})"
+        )
+
+
+class ReplicaLagBalancer:
+    """Lag- and load-aware read routing with per-session RYW floors.
+
+    Eligibility: the replica is attached, its host is reachable, and its
+    applied VDL has caught up to the requesting session's floor.  Among
+    eligible replicas the balancer picks the one with the fewest
+    outstanding proxy reads, breaking ties by replication lag and then
+    name -- deterministic for seeded replays.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self._outstanding: dict[str, int] = {}
+
+    def _candidates(self):
+        replicas = getattr(self.cluster, "replicas", None) or {}
+        network = getattr(self.cluster, "network", None)
+        out = []
+        for name in sorted(replicas):
+            replica = replicas[name]
+            if not replica.online:
+                continue
+            if network is not None and not network.is_up(name):
+                continue
+            out.append((name, replica))
+        return out
+
+    def pick(self, floor_scn: int, stats: ProxyStats | None = None):
+        """The read target honouring ``floor_scn``; ``(None, None)`` if
+        only the writer can serve this session's reads right now."""
+        candidates = self._candidates()
+        eligible = [
+            (name, replica)
+            for name, replica in candidates
+            if replica.applied_vdl >= floor_scn
+        ]
+        if stats is not None and len(eligible) < len(candidates):
+            stats.floor_exclusions += 1
+        if not eligible:
+            return None, None
+        name, replica = min(
+            eligible,
+            key=lambda item: (
+                self._outstanding.get(item[0], 0),
+                item[1].replica_lag,
+                item[0],
+            ),
+        )
+        return name, replica
+
+    def lease(self, name: str) -> None:
+        self._outstanding[name] = self._outstanding.get(name, 0) + 1
+
+    def release(self, name: str) -> None:
+        count = self._outstanding.get(name, 0) - 1
+        if count <= 0:
+            self._outstanding.pop(name, None)
+        else:
+            self._outstanding[name] = count
+
+
+class LagTracker:
+    """Time-denominated replica lag, sampled on a fixed cadence.
+
+    Replicas report lag in LSN units
+    (:attr:`~repro.db.replica.ReplicaInstance.replica_lag`); the SLO is
+    stated in *milliseconds*.  The tracker records the writer's durable
+    frontier ``(vdl, time)`` each tick; a replica's time lag is ``now -
+    t`` where ``t`` is the newest tick whose frontier it has fully
+    applied -- i.e. how old the replica's view is.
+    """
+
+    def __init__(self, cluster, interval_ms: float = 5.0) -> None:
+        self.cluster = cluster
+        self.interval_ms = interval_ms
+        #: Monotone (vdl, time) frontier history.
+        self._frontier: deque = deque()
+        #: Flat time-lag samples (ms) across replicas; the SLO input.
+        self.samples: list = []
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.cluster.loop.schedule(self.interval_ms, self._tick)
+
+    def _tick(self) -> None:
+        loop = self.cluster.loop
+        writer = getattr(self.cluster, "writer", None)
+        now = loop.now
+        if writer is not None and writer.state is InstanceState.OPEN:
+            vdl = writer.vdl
+            if not self._frontier or vdl >= self._frontier[-1][0]:
+                self._frontier.append((vdl, now))
+            replicas = getattr(self.cluster, "replicas", None) or {}
+            floor = None
+            for replica in replicas.values():
+                if not replica.online:
+                    continue
+                applied = replica.applied_vdl
+                self.samples.append(self._time_lag(applied, now))
+                floor = applied if floor is None else min(floor, applied)
+            if floor is not None:
+                self._prune(floor)
+        loop.schedule(self.interval_ms, self._tick)
+
+    def _time_lag(self, applied_vdl: int, now: float) -> float:
+        """Age of the newest fully-applied frontier tick, in ms."""
+        caught_up_at = None
+        for vdl, stamp in reversed(self._frontier):
+            if vdl <= applied_vdl:
+                caught_up_at = stamp
+                break
+        if caught_up_at is None:
+            # Behind the whole recorded history: at least as old as it.
+            caught_up_at = self._frontier[0][1] if self._frontier else now
+        return max(0.0, now - caught_up_at)
+
+    def _prune(self, floor_vdl: int) -> None:
+        # Keep the newest entry at-or-below every replica's applied VDL;
+        # everything older can never be a lag witness again.
+        while len(self._frontier) > 1 and self._frontier[1][0] <= floor_vdl:
+            self._frontier.popleft()
+
+
+class ConnectionProxy:
+    """The multiplexing front tier over one (geo-)cluster.
+
+    Operations are generators meant to run inside simulator processes::
+
+        proxy = ConnectionProxy(cluster)
+        session = proxy.connect()
+
+        def client():
+            scn = yield from proxy.write(session, "k", "v")
+            value = yield from proxy.read(session, "k")
+
+        Process(cluster.loop, client())
+
+    For tests and synchronous callers, :meth:`execute_read` /
+    :meth:`execute_write` drive a single operation to completion.
+    """
+
+    RETRYABLE = ClusterSession.RETRYABLE
+
+    def __init__(self, cluster, config: ProxyConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config or ProxyConfig()
+        self.stats = ProxyStats()
+        self.balancer = ReplicaLagBalancer(cluster)
+        self.lag = LagTracker(
+            cluster, interval_ms=self.config.lag_sample_interval_ms
+        )
+        self._free = self.config.pool_size
+        self._in_flight = 0
+        self._waiters: deque = deque()
+        self._session_seq = 0
+        # Deterministic jitter stream, derived from the cluster seed (the
+        # same discipline ClusterSession uses): parallel audit sweeps
+        # must stay byte-identical to sequential ones.
+        seed = getattr(getattr(cluster, "config", None), "seed", 0)
+        self._rng = random.Random((seed * 2_654_435_761 + 97) & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+    def connect(self) -> LogicalSession:
+        """Open a logical session (no backend resources are held)."""
+        session = LogicalSession(self._session_seq)
+        self._session_seq += 1
+        self.stats.connects += 1
+        return session
+
+    def start(self) -> None:
+        """Arm the background lag tracker."""
+        self.lag.start()
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    # ------------------------------------------------------------------
+    # Bounded slot pool (the multiplexer)
+    # ------------------------------------------------------------------
+    def _acquire(self):
+        if self._free > 0:
+            self._free -= 1
+        else:
+            self.stats.pool_waits += 1
+            waiter = Future(self.cluster.loop)
+            self._waiters.append(waiter)
+            self.stats.peak_queue_depth = max(
+                self.stats.peak_queue_depth, len(self._waiters)
+            )
+            yield waiter
+        self._in_flight += 1
+        self.stats.peak_in_flight = max(
+            self.stats.peak_in_flight, self._in_flight
+        )
+
+    def _release(self) -> None:
+        self._in_flight -= 1
+        if self._waiters:
+            # Direct slot handoff: the oldest waiter inherits the slot
+            # without it ever becoming free (FIFO fairness).  The wake-up
+            # is deferred one event so a long drain of waiters unwinds
+            # iteratively; resolving the future here would recurse
+            # op -> release -> next op once per queued waiter.
+            waiter = self._waiters.popleft()
+            self.cluster.loop.call_soon(waiter.set_result, None)
+        else:
+            self._free += 1
+
+    # ------------------------------------------------------------------
+    # Retry-loop plumbing (ClusterSession semantics, generator-native)
+    # ------------------------------------------------------------------
+    def _await_writer(self, session: LogicalSession, deadline: float):
+        """Yield until an open writer exists or the deadline passes.
+
+        Waiting here *is* an outage from the session's point of view
+        (the writer endpoint is unresolved), so the wait marks the
+        session faulted even though no exception is raised.  Conversely,
+        the wait ending *is* the session's recovery: the endpoint is
+        re-established and its operation proceeds, so the outage window
+        closes here rather than at operation completion.  If the window
+        only closed on success, a parked operation that goes on to lose
+        a post-promotion race (a lock conflict on a hot key, surfaced
+        to the caller as an abort) would leave the window open across
+        the session's idle think time until its *next* visit -- charging
+        minutes of idleness to the failover recovery budget.  An outage
+        stamped by a *fault* while the endpoint stayed up never passes
+        through the waiting branch, so those windows still run until
+        the next demonstrated service (success or conflict).
+        """
+        loop = self.cluster.loop
+        waited = False
+        while True:
+            writer = getattr(self.cluster, "writer", None)
+            if (
+                writer is not None
+                and not getattr(self.cluster, "failover_in_progress", False)
+                and writer.state is InstanceState.OPEN
+            ):
+                if waited:
+                    self._recovered(session)
+                return writer
+            waited = True
+            if session.outage_started_at is None:
+                session.outage_started_at = loop.now
+            if loop.now > deadline:
+                raise SimulationError(
+                    "proxy: no open writer within the operation budget "
+                    "(failover stalled or no coordinator armed?)"
+                )
+            yield min(5.0, max(0.1, deadline - loop.now))
+
+    def _fault(self, session: LogicalSession) -> None:
+        self.stats.retries += 1
+        if session.outage_started_at is None:
+            session.outage_started_at = self.cluster.loop.now
+
+    def _recovered(self, session: LogicalSession) -> None:
+        if session.outage_started_at is not None:
+            self.stats.recovery_samples.append(
+                self.cluster.loop.now - session.outage_started_at
+            )
+            session.outage_started_at = None
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def read(self, session: LogicalSession, key):
+        """Routed read honouring the session's read-your-writes floor."""
+        yield from self._acquire()
+        try:
+            value = yield from self._read_op(session, key)
+        finally:
+            self._release()
+        return value
+
+    def write(self, session: LogicalSession, key, value):
+        """Auto-commit write through the writer; returns the commit SCN
+        and raises the session's RYW floor to it."""
+        yield from self._acquire()
+        try:
+            scn = yield from self._write_op(session, key, value)
+        finally:
+            self._release()
+        return scn
+
+    def _read_op(self, session: LogicalSession, key):
+        loop = self.cluster.loop
+        started = loop.now
+        deadline = started + self.config.op_budget_ms
+        backoff = Backoff(self.config.retry, rng=self._rng)
+        while True:
+            name, replica = self.balancer.pick(
+                session.last_commit_scn, self.stats
+            )
+            try:
+                if replica is not None:
+                    self.balancer.lease(name)
+                    try:
+                        value = yield from replica.get(key)
+                    finally:
+                        self.balancer.release(name)
+                    self.stats.replica_reads += 1
+                else:
+                    writer = yield from self._await_writer(session, deadline)
+                    value = yield from writer.get(key)
+                    self.stats.writer_reads += 1
+                    self.stats.writer_fallbacks += 1
+            except self.RETRYABLE:
+                self._fault(session)
+                if loop.now > deadline:
+                    raise
+                yield max(0.1, backoff.next_delay())
+                continue
+            self._recovered(session)
+            session.ops += 1
+            session.reads += 1
+            self.stats.reads += 1
+            self.stats.read_latencies.append(loop.now - started)
+            return value
+
+    def _write_op(self, session: LogicalSession, key, value):
+        loop = self.cluster.loop
+        started = loop.now
+        deadline = started + self.config.op_budget_ms
+        backoff = Backoff(self.config.retry, rng=self._rng)
+        while True:
+            try:
+                writer = yield from self._await_writer(session, deadline)
+                txn = writer.begin()
+                try:
+                    yield from writer.put(txn, key, value)
+                except LockConflictError:
+                    # Not retryable here: the caller owns conflict
+                    # resolution.  Release the txn before surfacing it.
+                    # A conflict is proof of *service* -- the writer
+                    # processed the request -- so any open outage window
+                    # closes now; leaving it open would silently accrue
+                    # the session's think time until its next visit and
+                    # charge it to the failover recovery budget.
+                    yield from writer.rollback(txn)
+                    self._recovered(session)
+                    raise
+                scn = yield writer.commit(txn)
+            except self.RETRYABLE:
+                # Single-statement auto-commit: re-apply is a no-op by
+                # construction, so the uncertain outcome is safely
+                # retried -- the same contract as ClusterSession.write.
+                self._fault(session)
+                if loop.now > deadline:
+                    raise
+                yield max(0.1, backoff.next_delay())
+                continue
+            self._recovered(session)
+            session.last_commit_scn = max(session.last_commit_scn, scn)
+            session.ops += 1
+            session.writes += 1
+            self.stats.writes += 1
+            self.stats.write_latencies.append(loop.now - started)
+            return scn
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences (tests, notebooks)
+    # ------------------------------------------------------------------
+    def _drive(self, generator):
+        from repro.sim.process import Process
+
+        process = Process(self.cluster.loop, generator)
+        future = process.completion
+        loop = self.cluster.loop
+        deadline = loop.now + 2 * self.config.op_budget_ms
+        while not future.done:
+            if not loop.step():
+                raise SimulationError(
+                    "event loop drained before the proxy op completed"
+                )
+            if loop.now > deadline:
+                raise SimulationError(
+                    "proxy operation exceeded twice its budget"
+                )
+        return future.result()
+
+    def execute_read(self, session: LogicalSession, key):
+        return self._drive(self.read(session, key))
+
+    def execute_write(self, session: LogicalSession, key, value):
+        return self._drive(self.write(session, key, value))

@@ -71,6 +71,9 @@ class ReplicaStats:
     chunks_applied: int = 0
     records_applied: int = 0
     records_discarded: int = 0
+    #: Storage-read images not cached because a discarded record postdated
+    #: their read point (the install-vs-discard race).
+    stale_installs_declined: int = 0
     commit_notices: int = 0
     reads: int = 0
     #: Samples of (writer_vdl_seen - applied_vdl) at each VDL update.
@@ -103,6 +106,12 @@ class ReplicaInstance(Actor, BlockIO):
         self.btree: BTree | None = None
         #: Chunks sequenced by first LSN, waiting for order or durability.
         self._pending_chunks: list[tuple[int, MTRChunk]] = []
+        #: Highest redo LSN discarded per uncached block.  A storage read
+        #: issued before such a record arrived returns an image that
+        #: predates it; installing that image would silently lose the
+        #: record (later redo applies on top of the stale base).  The
+        #: install path consults this frontier and declines to cache.
+        self._discard_frontier: dict[int, int] = {}
         self._next_expected_lsn = NULL_LSN + 1
         self._writer_vdl_seen = NULL_LSN
         self._applied_vdl = NULL_LSN
@@ -157,6 +166,7 @@ class ReplicaInstance(Actor, BlockIO):
         self._next_expected_lsn = next_expected_lsn
         self._writer_vdl_seen = vdl
         self._applied_vdl = vdl
+        self._discard_frontier.clear()
         self.frontiers.reset(vdl, pg_frontiers)
         self.min_read.advance_floor(vdl)
         for txn_id, scn in commit_history.items():
@@ -262,14 +272,20 @@ class ReplicaInstance(Actor, BlockIO):
     def _apply_record(self, record: LogRecord) -> None:
         if record.block < 0:
             return
-        keep_warm = 1 <= record.block <= self.config.txn_table_blocks
         cached = self.cache.peek(record.block)
-        if cached is None and not keep_warm:
-            self.stats.records_discarded += 1
-            return  # uncached: discard; storage serves it on demand
         if cached is None:
-            self.cache.install(record.block, {}, NULL_LSN, self._applied_vdl)
-            cached = self.cache.peek(record.block)
+            # Uncached: discard; storage serves it on demand.  This must
+            # hold even for the hot txn-table blocks: fabricating an
+            # empty base image and applying only this record is correct
+            # only for a replica that has seen the block's entire
+            # history, and a replica attached mid-life (failover
+            # replenishment) has not -- it would then serve the
+            # fabricated image as authoritative.  The first read warms
+            # the block from storage at a consistent point instead.
+            if record.lsn > self._discard_frontier.get(record.block, NULL_LSN):
+                self._discard_frontier[record.block] = record.lsn
+            self.stats.records_discarded += 1
+            return
         if record.lsn <= cached.latest_lsn:
             return
         new_image = record.payload.apply(cached.image)
@@ -292,7 +308,19 @@ class ReplicaInstance(Actor, BlockIO):
         image, version_lsn = yield self.driver.read_block(
             block, pg_index, pg_point
         )
-        self.cache.install(block, dict(image), version_lsn, self._applied_vdl)
+        # Install-vs-discard race: while this read was in flight, redo for
+        # this (then-uncached) block may have arrived and been discarded.
+        # The image is a consistent snapshot at ``pg_point`` -- fine for
+        # the caller's view -- but caching it would resurrect a base that
+        # predates the discarded record, and later redo would apply on top
+        # of the gap, permanently diverging this replica.  Decline to
+        # cache; a later read at a fresh point will warm the block.
+        if self._discard_frontier.get(block, NULL_LSN) <= pg_point:
+            self.cache.install(
+                block, dict(image), version_lsn, self._applied_vdl
+            )
+        else:
+            self.stats.stale_installs_declined += 1
         return dict(image)
 
     def stage_change(self, mtr, block, payload):
@@ -396,6 +424,7 @@ class ReplicaInstance(Actor, BlockIO):
     def on_crash(self) -> None:
         self.online = False
         self.cache.drop_all()
+        self._discard_frontier.clear()
         self.views.clear()
         self.min_read.clear_active()
         self._pending_chunks.clear()

@@ -10,8 +10,10 @@ wall-clock time would.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Generator
 
+from repro.core.retry import Backoff, RetryPolicy
 from repro.db.instance import InstanceState, WriterInstance
 from repro.db.replica import ReplicaInstance
 from repro.db.txn import Transaction
@@ -174,8 +176,28 @@ class ClusterSession(Session):
         ReplicationLagExceededError,
     )
 
+    #: Re-poll schedule between retry attempts.  Jitter is load-bearing:
+    #: with the proxy tier multiplexing very many sessions over one
+    #: cluster, a fixed re-poll interval makes every session that saw the
+    #: same failure retry in lockstep (thundering herd); decorrelated
+    #: jitter spreads the wave.
+    RETRY_POLICY = RetryPolicy(
+        base_ms=10.0, cap_ms=200.0, multiplier=2.0, jitter=0.5
+    )
+
     def __init__(self, cluster) -> None:
         self.cluster = cluster
+        # Deterministic per-session jitter stream: derived from the
+        # cluster seed plus a per-cluster session counter, never from
+        # module-level state, so parallel audit sweeps stay byte-identical
+        # to sequential ones.
+        seq = getattr(cluster, "_session_jitter_seq", 0)
+        cluster._session_jitter_seq = seq + 1
+        seed = getattr(getattr(cluster, "config", None), "seed", 0)
+        self._retry_rng = random.Random((seed * 1_000_003 + seq) & 0xFFFFFFFF)
+
+    def _new_backoff(self) -> Backoff:
+        return Backoff(self.RETRY_POLICY, rng=self._retry_rng)
 
     @property
     def instance(self) -> WriterInstance:  # type: ignore[override]
@@ -217,15 +239,20 @@ class ClusterSession(Session):
 
     def _retry(self, op, max_ms: float = 60_000.0) -> Any:
         deadline = self.cluster.loop.now + max_ms
+        backoff = self._new_backoff()
         while True:
-            self.await_writer(max_ms=max_ms)
+            # Each attempt gets only the *remaining* budget: passing the
+            # full ``max_ms`` here would let a failover that stalls after
+            # the first attempt block for nearly twice the stated bound.
+            remaining = max(1.0, deadline - self.cluster.loop.now)
+            self.await_writer(max_ms=remaining)
             try:
                 return op()
             except self.RETRYABLE:
                 if self.cluster.loop.now > deadline:
                     raise
                 # Let the failover plane make progress before retrying.
-                self.cluster.run_for(25.0)
+                self.cluster.run_for(backoff.next_delay())
 
     # Idempotent surface: safe to re-apply after an uncertain outcome.
     def write(self, key, value) -> int:
@@ -240,9 +267,17 @@ class ClusterSession(Session):
         return self._retry(lambda: super(ClusterSession, self).remove(key))
 
     def get(self, key, txn: Transaction | None = None) -> Any:
-        return self._retry(lambda: super(ClusterSession, self).get(key, txn))
+        if txn is not None:
+            # A transaction handle is bound to one writer generation:
+            # replaying its reads against a promoted writer would silently
+            # change the snapshot the caller is working in.  Raise the
+            # retryable error through and let the caller restart the txn.
+            return super().get(key, txn)
+        return self._retry(lambda: super(ClusterSession, self).get(key))
 
     def scan(self, low, high, txn: Transaction | None = None) -> list:
+        if txn is not None:
+            return super().scan(low, high, txn)
         return self._retry(
-            lambda: super(ClusterSession, self).scan(low, high, txn)
+            lambda: super(ClusterSession, self).scan(low, high)
         )

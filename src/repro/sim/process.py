@@ -147,7 +147,12 @@ class Mutex:
         if not self._locked:
             raise SimulationError("mutex released while not held")
         if self._waiters:
+            # Hand the lock to the oldest waiter, but resolve its future
+            # on the next loop iteration: resolving synchronously runs
+            # the waiter's whole critical section on this call stack, and
+            # a long convoy (every waiter releasing into the next) then
+            # recurses once per waiter until the stack overflows.
             waiter = self._waiters.pop(0)
-            waiter.set_result(None)
+            self._loop.call_soon(waiter.set_result, None)
         else:
             self._locked = False

@@ -14,11 +14,19 @@ from repro.workloads.generator import (
     WorkloadRunner,
 )
 from repro.workloads.profiles import PROFILES, profile
+from repro.workloads.sessions import (
+    SessionScaleConfig,
+    SessionScaleStats,
+    SessionScaleWorkload,
+)
 
 __all__ = [
     "Operation",
     "OpKind",
     "PROFILES",
+    "SessionScaleConfig",
+    "SessionScaleStats",
+    "SessionScaleWorkload",
     "WorkloadConfig",
     "WorkloadGenerator",
     "WorkloadRunner",

@@ -29,6 +29,7 @@ from repro.errors import (
     ConfigurationError,
     FailoverInProgressError,
     InstanceStateError,
+    SimulationError,
 )
 from repro.repair import (
     PROMOTED,
@@ -370,6 +371,79 @@ class TestSessionContinuity:
         _kill_writer(cluster)
         key = sorted(committed)[0]
         assert db.get(key) == committed[key]
+
+    def test_retry_budget_not_overshot_when_failover_stalls_midway(self):
+        """Regression: each attempt used to re-arm ``await_writer`` with
+        the *full* budget instead of the remaining time to the deadline,
+        so a failover that stalled after a first failed attempt blocked
+        for nearly 2x the stated bound."""
+        cluster, _auditor, _committed = _build(audit=False)
+        db = cluster.cluster_session()
+
+        def op():
+            # First attempt finds an open writer, fails retryably, and
+            # the failover plane stalls forever afterwards.
+            cluster.failover_in_progress = True
+            raise FailoverInProgressError("stalled mid-retry")
+
+        start = cluster.loop.now
+        try:
+            with pytest.raises(SimulationError):
+                db._retry(op, max_ms=1_000.0)
+        finally:
+            cluster.failover_in_progress = False
+        elapsed = cluster.loop.now - start
+        assert elapsed <= 1_500.0, f"budget overshot: {elapsed:.0f}ms"
+
+    def test_txn_bound_reads_are_not_retried_across_failover(self):
+        """A transaction handle is bound to one writer generation, so
+        reads carrying an explicit ``txn`` must raise the retryable error
+        through instead of silently rebinding to the promoted writer."""
+        cluster, _auditor, _committed = _build()
+        db = cluster.cluster_session()
+        txn = db.begin()
+        db.put(txn, "txn-key", "txn-val")
+        assert db.get("txn-key", txn=txn) == "txn-val"
+        cluster.failover_in_progress = True
+        start = cluster.loop.now
+        try:
+            with pytest.raises(FailoverInProgressError):
+                db.get("txn-key", txn=txn)
+            with pytest.raises(FailoverInProgressError):
+                db.scan("a", "z", txn=txn)
+        finally:
+            cluster.failover_in_progress = False
+        # The errors surfaced immediately: no retry loop consumed time.
+        assert cluster.loop.now == start
+        db.rollback(txn)
+
+    def test_retry_repoll_uses_decorrelated_jittered_backoff(self):
+        """The fixed 25ms re-poll synchronized every session that saw the
+        same failure into lockstep retries; the re-poll now walks a
+        jittered ``repro.core.retry.Backoff`` with a deterministic
+        per-session stream."""
+        from repro.db.session import ClusterSession
+
+        policy = ClusterSession.RETRY_POLICY
+        assert policy.jitter > 0.0
+        cluster, _auditor, _committed = _build(audit=False)
+        s1, s2 = cluster.cluster_session(), cluster.cluster_session()
+        b1, b2 = s1._new_backoff(), s2._new_backoff()
+        seq1 = [b1.next_delay() for _ in range(6)]
+        seq2 = [b2.next_delay() for _ in range(6)]
+        # Two sessions on one cluster draw from distinct jitter streams.
+        assert seq1 != seq2
+        for attempt, (d1, d2) in enumerate(zip(seq1, seq2)):
+            skeleton = policy.delay_for(attempt)
+            for delay in (d1, d2):
+                assert skeleton * (1 - policy.jitter) <= delay
+                assert delay <= skeleton * (1 + policy.jitter)
+        # Deterministic: rebuilding the same cluster reproduces the walk.
+        cluster2, _a, _c = _build(audit=False)
+        rb = cluster2.cluster_session()._new_backoff()
+        assert [rb.next_delay() for _ in range(3)] == [
+            pytest.approx(d) for d in seq1[:3]
+        ]
 
 
 # ----------------------------------------------------------------------

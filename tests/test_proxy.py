@@ -1,0 +1,285 @@
+"""Serving-tier tests: the connection-multiplexing proxy.
+
+Covers the three envelope behaviours the proxy advertises:
+
+- read-your-writes floors survive replica re-routing (a session's reads
+  never land on a replica whose applied VDL trails its last commit SCN);
+- pool exhaustion applies backpressure (FIFO queueing) instead of
+  letting fan-in exceed the backend pool;
+- sessions ride through a writer kill with every outage inside the 5 s
+  recovery budget and no acked write lost.
+"""
+
+import pytest
+
+from repro import AuroraCluster
+from repro.db.proxy import (
+    ConnectionProxy,
+    LogicalSession,
+    ProxyConfig,
+    ReplicaLagBalancer,
+)
+from repro.db.instance import InstanceState
+from repro.errors import ConfigurationError, LockConflictError
+from repro.sim.process import Process
+
+
+def _build(seed=11, replicas=2, pool_size=8, failover=False):
+    cluster = AuroraCluster.build(seed=seed)
+    for _ in range(replicas):
+        cluster.add_replica()
+    if failover:
+        cluster.arm_failover()
+    cluster.run_for(100.0)
+    proxy = ConnectionProxy(cluster, ProxyConfig(pool_size=pool_size))
+    proxy.start()
+    return cluster, proxy
+
+
+class TestConfig:
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ConfigurationError):
+            ProxyConfig(pool_size=0)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError):
+            ProxyConfig(op_budget_ms=0.0)
+
+
+class TestReadYourWrites:
+    def test_write_raises_the_session_floor(self):
+        cluster, proxy = _build()
+        session = proxy.connect()
+        assert session.last_commit_scn == 0
+        scn = proxy.execute_write(session, "a", 1)
+        assert scn > 0
+        assert session.last_commit_scn == scn
+        assert proxy.execute_read(session, "a") == 1
+
+    def test_floor_excludes_stalled_replica_on_reroute(self):
+        """A replica whose stream is stalled stays online and reachable,
+        but the session's floor must route its reads elsewhere."""
+        cluster, proxy = _build(replicas=2)
+        session = proxy.connect()
+        proxy.execute_write(session, "a", 1)
+        cluster.run_for(50.0)  # both replicas catch up
+
+        # Stall replica-1's stream: it stays attached and reachable but
+        # its applied VDL freezes below any future commit SCN.
+        stalled = cluster.replicas["replica-1"]
+        cluster.writer.publisher.detach_replica("replica-1")
+        frozen_vdl = stalled.applied_vdl
+
+        scn = proxy.execute_write(session, "a", 2)
+        assert frozen_vdl < scn  # the floor is now above the stalled replica
+        before = proxy.stats.floor_exclusions
+        assert proxy.execute_read(session, "a") == 2
+        assert proxy.stats.floor_exclusions > before
+
+        # The balancer itself never offers the stalled replica, even
+        # once the healthy one has fully caught up.
+        cluster.run_for(50.0)
+        name, _replica = proxy.balancer.pick(session.last_commit_scn)
+        assert name == "replica-2"
+
+        # A fresh session with no floor may still read the stalled
+        # replica -- its snapshot is simply older, never wrong.
+        fresh = proxy.connect()
+        assert proxy.balancer.pick(fresh.last_commit_scn)[0] is not None
+
+    def test_floor_falls_back_to_writer_when_no_replica_qualifies(self):
+        cluster, proxy = _build(replicas=1)
+        session = proxy.connect()
+        cluster.writer.publisher.detach_replica("replica-1")
+        proxy.execute_write(session, "b", 7)
+        before = proxy.stats.writer_fallbacks
+        assert proxy.execute_read(session, "b") == 7
+        assert proxy.stats.writer_fallbacks > before
+
+
+class TestBackpressure:
+    def test_pool_exhaustion_queues_instead_of_oversubscribing(self):
+        cluster, proxy = _build(pool_size=2)
+        writer_session = proxy.connect()
+        for i in range(6):
+            proxy.execute_write(writer_session, f"k{i}", i)
+        cluster.run_for(50.0)
+
+        results = []
+
+        def client(i):
+            session = proxy.connect()
+            value = yield from proxy.read(session, f"k{i % 6}")
+            results.append((i, value))
+
+        for i in range(12):
+            Process(cluster.loop, client(i))
+        cluster.run_for(500.0)
+
+        assert len(results) == 12
+        assert sorted(v for _i, v in results) == sorted(i % 6 for i in range(12))
+        assert proxy.stats.peak_in_flight <= 2
+        assert proxy.stats.pool_waits >= 10
+        assert proxy.queue_depth == 0
+        assert proxy.in_flight == 0
+
+    def test_slot_handoff_is_fifo(self):
+        cluster, proxy = _build(pool_size=1)
+        order = []
+
+        def client(i):
+            session = proxy.connect()
+            yield from proxy.write(session, "k", i)
+            order.append(i)
+
+        for i in range(5):
+            Process(cluster.loop, client(i))
+        cluster.run_for(500.0)
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestFailoverRecovery:
+    def test_sessions_recover_within_budget_through_writer_kill(self):
+        cluster, proxy = _build(seed=13, replicas=2, pool_size=16,
+                                failover=True)
+        sessions = [proxy.connect() for _ in range(8)]
+        acked = {}
+        failures = []
+
+        def client(idx, session):
+            for step in range(6):
+                key = f"s{idx}"
+                try:
+                    yield from proxy.write(session, key, (idx, step))
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    failures.append((idx, step, exc))
+                    return
+                acked[key] = (idx, step)
+                value = yield from proxy.read(session, key)
+                if value != (idx, step):
+                    failures.append((idx, step, value))
+                yield 400.0  # think time straddling the kill window
+
+        for idx, session in enumerate(sessions):
+            Process(cluster.loop, client(idx, session))
+
+        cluster.loop.schedule(600.0, cluster.crash_writer)
+        cluster.run_for(12_000.0)
+        for _ in range(200):
+            writer = cluster.writer
+            if (cluster.failover.idle and writer is not None
+                    and writer.state is InstanceState.OPEN):
+                break
+            cluster.run_for(25.0)
+
+        assert not failures
+        assert len(acked) == 8
+        # The kill was observed at the client edge and every outage
+        # resolved inside the recovery budget.
+        assert proxy.stats.recovery_samples
+        assert max(proxy.stats.recovery_samples) < 5_000.0
+        # No acked write lost through the promotion.
+        reconciler = proxy.connect()
+        for key, expected in sorted(acked.items()):
+            assert proxy.execute_read(reconciler, key) == expected
+
+
+    def test_endpoint_return_closes_outage_window(self):
+        """Regression: the outage window must close the moment the
+        promoted writer accepts the parked operation -- NOT at the
+        operation's eventual success.  A parked write that goes on to
+        lose a post-promotion lock race (surfaced as an abort) used to
+        leave its window open across the session's idle think time
+        until its next visit, blowing the 5 s budget with idleness."""
+        cluster, proxy = _build(seed=17, replicas=2, pool_size=8,
+                                failover=True)
+        session = proxy.connect()
+        cluster.crash_writer()
+        resumed = []
+
+        def parked_op():
+            deadline = cluster.loop.now + 30_000.0
+            writer = yield from proxy._await_writer(session, deadline)
+            # Deliberately no success path: the window must already be
+            # closed by the endpoint return alone.
+            resumed.append((cluster.loop.now, writer.name))
+
+        Process(cluster.loop, parked_op())
+        cluster.run_for(50.0)
+        assert session.outage_started_at is not None  # parked = outage
+        outage_began = session.outage_started_at
+        cluster.run_for(12_000.0)
+        for _ in range(200):
+            writer = cluster.writer
+            if (cluster.failover.idle and writer is not None
+                    and writer.state is InstanceState.OPEN):
+                break
+            cluster.run_for(25.0)
+
+        assert resumed
+        assert session.outage_started_at is None
+        samples = proxy.stats.recovery_samples
+        assert len(samples) == 1
+        # The window spans exactly park -> endpoint return, nothing more.
+        assert samples[0] == pytest.approx(resumed[0][0] - outage_began)
+        assert samples[0] < 3_000.0
+
+    def test_lock_conflict_closes_outage_window(self):
+        """A lock conflict is proof of service: the writer processed
+        the request and the session lost a concurrency race, so any
+        open outage window ends there instead of accruing think time
+        until the session's next operation."""
+        cluster, proxy = _build()
+        db = cluster.session()
+        blocker = db.begin()
+        db.put(blocker, "hot", 0)  # holds the row lock
+
+        session = proxy.connect()
+        # An outage opened 500 simulated ms ago (e.g. a fault absorbed
+        # by an earlier retry attempt of this visit).
+        session.outage_started_at = cluster.loop.now - 500.0
+        with pytest.raises(LockConflictError):
+            proxy.execute_write(session, "hot", 1)
+        assert session.outage_started_at is None
+        assert len(proxy.stats.recovery_samples) == 1
+        assert proxy.stats.recovery_samples[0] == pytest.approx(
+            500.0, abs=100.0
+        )
+
+
+class TestLagTracker:
+    def test_steady_state_time_lag_is_small(self):
+        cluster, proxy = _build(replicas=2)
+        session = proxy.connect()
+        for i in range(10):
+            proxy.execute_write(session, f"k{i}", i)
+            cluster.run_for(20.0)
+        samples = proxy.lag.samples
+        assert samples
+        steady = sorted(samples)[int(len(samples) * 0.95) - 1]
+        assert steady < 10.0
+
+
+class TestBalancer:
+    def test_pick_prefers_least_loaded_then_name(self):
+        cluster, proxy = _build(replicas=2)
+        balancer = ReplicaLagBalancer(cluster)
+        cluster.run_for(50.0)
+        assert balancer.pick(0)[0] == "replica-1"
+        balancer.lease("replica-1")
+        assert balancer.pick(0)[0] == "replica-2"
+        balancer.release("replica-1")
+        assert balancer.pick(0)[0] == "replica-1"
+
+    def test_unreachable_replica_is_not_a_candidate(self):
+        cluster, proxy = _build(replicas=2)
+        cluster.network.fail_node("replica-1")
+        assert proxy.balancer.pick(0)[0] == "replica-2"
+
+    def test_logical_sessions_hold_no_backend_state(self):
+        _cluster, proxy = _build()
+        sessions = [proxy.connect() for _ in range(1000)]
+        assert proxy.in_flight == 0
+        assert proxy.queue_depth == 0
+        assert all(isinstance(s, LogicalSession) for s in sessions)
+        assert len({s.session_id for s in sessions}) == 1000

@@ -80,6 +80,48 @@ class TestReplicationStream:
         assert replica.replica_lag == 0
         assert replica.stats.chunks_applied > 0
 
+    def test_discarded_redo_raises_the_block_discard_frontier(self, cluster):
+        """Every record discarded for an uncached block must be remembered
+        (per block, highest LSN) so an in-flight storage read issued
+        before it cannot later install an image that predates it."""
+        db = cluster.session()
+        db.write_many({f"k{i}": i for i in range(30)})
+        cluster.run_for(20)
+        replica = cluster.add_replica("late")
+        # The late replica's cache is cold, so this burst is discarded
+        # record by record -- each discard raises the frontier.
+        db.write_many({f"k{i}": i * 2 for i in range(30)})
+        cluster.run_for(50)
+        assert replica.stats.records_discarded > 0
+        assert replica._discard_frontier
+        assert max(replica._discard_frontier.values()) <= replica.applied_vdl
+
+    def test_stale_image_is_served_but_never_cached(self, cluster):
+        """Regression for the install-vs-discard race: a storage read
+        whose point predates a discarded redo record for the same block
+        still answers its caller (the image is a consistent snapshot at
+        that point) but must NOT be installed in cache -- later redo
+        would apply on top of the gap and the replica would silently
+        diverge from the volume forever."""
+        db = cluster.session()
+        db.write_many({f"k{i}": i for i in range(30)})
+        cluster.run_for(20)
+        replica = cluster.add_replica("late")
+        # Simulate the race on the meta block: pretend redo for it was
+        # discarded after any read point this read can use.
+        replica._discard_frontier[replica.META_BLOCK] = (
+            replica.applied_vdl + 1
+        )
+        rs = cluster.replica_session("late")
+        assert rs.get("k7") == 7  # the caller still gets its snapshot
+        assert replica.cache.peek(replica.META_BLOCK) is None
+        assert replica.stats.stale_installs_declined >= 1
+        # Once a fresh read point covers the discarded record, the next
+        # read warms the block normally.
+        replica._discard_frontier.clear()
+        assert rs.get("k7") == 7
+        assert replica.cache.peek(replica.META_BLOCK) is not None
+
     def test_writer_path_latency_unaffected_by_replicas(self):
         """'There is little latency added to the write path ... since
         replication is asynchronous': commit latency with 3 replicas is

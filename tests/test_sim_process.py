@@ -147,6 +147,32 @@ class TestMutex:
         with pytest.raises(SimulationError):
             Mutex(EventLoop()).release()
 
+    def test_long_convoy_drains_iteratively(self):
+        """Regression: release() used to resolve the next waiter's future
+        on its own call stack, so a convoy of waiters with trivial
+        critical sections recursed once per waiter -- deep enough
+        contention (a failover backlog) overflowed the stack."""
+        loop = EventLoop()
+        mutex = Mutex(loop)
+        done = [0]
+
+        def holder():
+            yield mutex.acquire()
+            yield 1.0  # let every worker queue behind the lock
+            mutex.release()
+
+        def worker():
+            yield mutex.acquire()
+            done[0] += 1
+            mutex.release()
+
+        Process(loop, holder())
+        for _ in range(2000):
+            Process(loop, worker())
+        loop.run()
+        assert done[0] == 2000
+        assert not mutex.locked
+
     def test_critical_sections_never_interleave(self):
         loop = EventLoop()
         mutex = Mutex(loop)
