@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # reports are byte-identical to a sequential run; see docs/PERF.md).
 JOBS ?= 4
 
-.PHONY: test audit audit-fleet audit-failover audit-geo audit-proxy bench bench-paper
+.PHONY: test audit audit-fleet audit-failover audit-geo audit-proxy audit-integrity bench bench-paper
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +48,15 @@ audit-geo:
 # time-lag p95 inside the 10 ms SLO (see docs/AUDIT.md "Serving tier").
 audit-proxy:
 	$(PYTHON) -m repro audit-run --seed 0 --steps 400 --sweep 20 --proxy --jobs $(JOBS)
+
+# Silent-corruption gate: seeded bit-rot / torn / lost / misdirected
+# writes against the storage fleet with read-time verification, record
+# scrub, and quorum-vote repair armed -- on both storage backends.
+# Gated on zero corrupt reads served and every corruption repaired
+# inside the exposure budget (see docs/AUDIT.md "End-to-end integrity").
+audit-integrity:
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --integrity --backend aurora --jobs $(JOBS)
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --integrity --backend taurus --jobs $(JOBS)
 
 # Engine perf harness: batched fast path vs an unbatched baseline of the
 # same seeded workload, recorded in BENCH_engine.json; --check exits

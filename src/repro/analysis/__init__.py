@@ -19,6 +19,10 @@ These reproduce the arithmetic behind the paper's design arguments:
 - :mod:`repro.analysis.serving` -- the client edge: proxied session
   recovery through failover, replica time-lag SLO, and read routing
   mix against the published serving envelope.
+- :mod:`repro.analysis.integrity` -- silent-corruption handling: MTTD /
+  MTTR / exposure distributions, read-path interception, and the
+  zero-corrupt-reads gate, with measured exposure fed back into the C7
+  durability model.
 """
 
 from repro.analysis.availability import (
@@ -45,6 +49,12 @@ from repro.analysis.rpo_rto import (
     rpo_rto_from_records,
     rpo_rto_report,
 )
+from repro.analysis.integrity import (
+    INTEGRITY_REPAIR_BUDGET_MS,
+    IntegrityReport,
+    integrity_report,
+    merge_integrity_reports,
+)
 from repro.analysis.serving import (
     REPLICA_LAG_SLO_MS,
     SESSION_RECOVERY_BUDGET_S,
@@ -61,12 +71,16 @@ __all__ = [
     "FailoverAvailabilityReport",
     "FleetDurabilityReport",
     "GEO_RTO_BUDGET_S",
+    "INTEGRITY_REPAIR_BUDGET_MS",
+    "IntegrityReport",
     "REPLICA_LAG_SLO_MS",
     "RpoRtoReport",
     "SESSION_RECOVERY_BUDGET_S",
     "ServingReport",
     "failover_availability",
     "fleet_durability",
+    "integrity_report",
+    "merge_integrity_reports",
     "merge_serving_reports",
     "model_from_observed_mttr",
     "serving_report",

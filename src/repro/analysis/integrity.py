@@ -1,0 +1,260 @@
+"""End-to-end integrity analysis: detection, repair, and exposure.
+
+The integrity audit (``repro audit-run --integrity``) injects silent
+corruption -- bit-rot, torn writes, lost-but-acked writes, misdirected
+writes -- and measures what the verification machinery of DESIGN.md §12
+does about it.  This module turns the raw
+:class:`repro.sim.failures.IntegrityLog` streams into the report the gate
+is applied to:
+
+- **MTTD** (injection to detection) and **MTTR** (detection to repair)
+  distributions, split from the **exposure** window (injection to repair)
+  during which one copy's redundancy was silently degraded;
+- read-path interception counts: how often read-time verification caught
+  a corrupt image before it reached a replica or client;
+- the two hard zeros the gate demands: corrupt reads served, and
+  corruptions left unrepaired (or repaired past budget).
+
+The exposure windows also feed the paper's C7 durability arithmetic: a
+silently-corrupt segment copy is a failed copy the membership service
+cannot see, so the *measured* mean exposure plays the same role the
+10-second repair window plays in section 5
+(:func:`IntegrityReport.durability_model` closes that loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.durability import DurabilityModel, model_from_observed_mttr
+from repro.analysis.failover_availability import WindowPoint, _point
+from repro.errors import ConfigurationError
+
+#: Detection-plus-repair budget per injected corruption: half the scrub
+#: rotation must comfortably cover it, and it must stay well inside the
+#: ~30 s fail-stop repair budgets (a silent fault should never linger
+#: longer than a loud one would).
+INTEGRITY_REPAIR_BUDGET_MS = 12_000.0
+
+
+@dataclass
+class IntegrityReport:
+    """Measured corruption handling for one run (or a merged sweep)."""
+
+    backend: str
+    #: ``kind -> (injected, detected, repaired)``.
+    by_kind: dict[str, tuple[int, int, int]]
+    repair_budget_ms: float
+    #: Injection-to-detection / detection-to-repair / injection-to-repair.
+    mttd: WindowPoint | None
+    mttr: WindowPoint | None
+    exposure: WindowPoint | None
+    #: Reads that hit a bad version and were intercepted (vote + retry or
+    #: reroute) instead of returning the corrupt image.
+    reads_intercepted: int
+    versions_quarantined: int
+    #: WriteBatch frames rejected at ingest verification and resubmitted.
+    ingest_rejects: int
+    vote_rounds: int
+    vote_repairs: int
+    scrub_runs: int
+    #: The two hard zeros.
+    corrupt_reads_served: int
+    #: Raw samples, kept so sweep footers can merge seeds.
+    mttd_samples: list = field(default_factory=list)
+    mttr_samples: list = field(default_factory=list)
+    exposure_samples: list = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return sum(v[0] for v in self.by_kind.values())
+
+    @property
+    def detected(self) -> int:
+        return sum(v[1] for v in self.by_kind.values())
+
+    @property
+    def repaired(self) -> int:
+        return sum(v[2] for v in self.by_kind.values())
+
+    @property
+    def unrepaired(self) -> int:
+        return self.injected - self.repaired
+
+    @property
+    def meets_budget(self) -> bool:
+        return (
+            self.exposure is None
+            or self.exposure.max_ms <= self.repair_budget_ms
+        )
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.corrupt_reads_served == 0
+            and self.unrepaired == 0
+            and self.meets_budget
+        )
+
+    def durability_model(
+        self,
+        segment_mttf_hours: float = 10_000.0,
+        az_failures_per_year: float = 0.5,
+    ) -> DurabilityModel | None:
+        """C7 durability model with the measured mean exposure window as
+        the repair window: while a copy is silently corrupt it is a failed
+        copy the membership service cannot see, so exposure -- not the
+        fail-stop MTTR -- bounds the quorum's real vulnerability."""
+        if not self.exposure_samples:
+            return None
+        mean = sum(self.exposure_samples) / len(self.exposure_samples)
+        return model_from_observed_mttr(
+            mean,
+            segment_mttf_hours=segment_mttf_hours,
+            az_failures_per_year=az_failures_per_year,
+        )
+
+    def render_lines(self) -> list[str]:
+        kinds = ", ".join(
+            f"{kind}={inj}/{det}/{rep}"
+            for kind, (inj, det, rep) in sorted(self.by_kind.items())
+        )
+        lines = [
+            f"  corruption injected: {self.injected} "
+            f"(kind=inj/det/rep: {kinds or 'none'})",
+        ]
+        if self.mttd is not None:
+            lines.append(f"  detection (MTTD):    {self.mttd.line()}")
+        if self.mttr is not None:
+            lines.append(f"  repair (MTTR):       {self.mttr.line()}")
+        if self.exposure is not None:
+            lines.append(f"  exposure window:     {self.exposure.line()}")
+            lines.append(
+                f"  repair budget ({self.repair_budget_ms / 1000.0:.0f}s):"
+                f"  "
+                + (
+                    "met" if self.meets_budget else
+                    f"EXCEEDED: worst exposure "
+                    f"{self.exposure.max_ms:.0f}ms"
+                )
+            )
+        model = self.durability_model()
+        if model is not None:
+            lines.append(
+                f"  C7 @ measured exposure: read-quorum-loss "
+                f"p={model.p_read_quorum_loss():.3e} per window "
+                f"(window = mean exposure)"
+            )
+        lines.append(
+            f"  read path:           {self.reads_intercepted} intercepted, "
+            f"{self.versions_quarantined} quarantined, "
+            f"{self.corrupt_reads_served} corrupt served"
+        )
+        lines.append(
+            f"  repair path:         {self.vote_rounds} vote rounds, "
+            f"{self.vote_repairs} vote repairs, "
+            f"{self.scrub_runs} scrub runs, "
+            f"{self.ingest_rejects} ingest rejects"
+        )
+        if self.unrepaired:
+            lines.append(
+                f"  UNREPAIRED:          {self.unrepaired} corruption(s) "
+                f"still open"
+            )
+        return lines
+
+    def to_json(self) -> dict:
+        return {
+            "backend": self.backend,
+            "injected": self.injected,
+            "detected": self.detected,
+            "repaired": self.repaired,
+            "unrepaired": self.unrepaired,
+            "by_kind": {
+                kind: list(counts)
+                for kind, counts in sorted(self.by_kind.items())
+            },
+            "repair_budget_ms": self.repair_budget_ms,
+            "meets_budget": self.meets_budget,
+            "ok": self.ok,
+            "corrupt_reads_served": self.corrupt_reads_served,
+            "reads_intercepted": self.reads_intercepted,
+            "versions_quarantined": self.versions_quarantined,
+            "ingest_rejects": self.ingest_rejects,
+            "vote_rounds": self.vote_rounds,
+            "vote_repairs": self.vote_repairs,
+            "scrub_runs": self.scrub_runs,
+            "mttd_ms": list(self.mttd_samples),
+            "mttr_ms": list(self.mttr_samples),
+            "exposure_ms": list(self.exposure_samples),
+        }
+
+
+def integrity_report(
+    backend: str,
+    by_kind: dict,
+    mttd_samples_ms: list,
+    mttr_samples_ms: list,
+    exposure_samples_ms: list,
+    reads_intercepted: int = 0,
+    versions_quarantined: int = 0,
+    ingest_rejects: int = 0,
+    vote_rounds: int = 0,
+    vote_repairs: int = 0,
+    scrub_runs: int = 0,
+    corrupt_reads_served: int = 0,
+    repair_budget_ms: float = INTEGRITY_REPAIR_BUDGET_MS,
+) -> IntegrityReport:
+    """Build the report from an :class:`IntegrityLog`'s streams plus the
+    storage fleet's summed integrity counters."""
+    if repair_budget_ms <= 0:
+        raise ConfigurationError("repair_budget_ms must be > 0")
+    return IntegrityReport(
+        backend=backend,
+        by_kind={k: tuple(v) for k, v in by_kind.items()},
+        repair_budget_ms=repair_budget_ms,
+        mttd=_point(list(mttd_samples_ms)),
+        mttr=_point(list(mttr_samples_ms)),
+        exposure=_point(list(exposure_samples_ms)),
+        reads_intercepted=reads_intercepted,
+        versions_quarantined=versions_quarantined,
+        ingest_rejects=ingest_rejects,
+        vote_rounds=vote_rounds,
+        vote_repairs=vote_repairs,
+        scrub_runs=scrub_runs,
+        corrupt_reads_served=corrupt_reads_served,
+        mttd_samples=list(mttd_samples_ms),
+        mttr_samples=list(mttr_samples_ms),
+        exposure_samples=list(exposure_samples_ms),
+    )
+
+
+def merge_integrity_reports(reports: list) -> IntegrityReport | None:
+    """Fold per-seed reports into one sweep-level report (sample union,
+    counter sums) -- the audit sweep footer's view."""
+    reports = [r for r in reports if r is not None]
+    if not reports:
+        return None
+    by_kind: dict[str, tuple[int, int, int]] = {}
+    for report in reports:
+        for kind, (inj, det, rep) in report.by_kind.items():
+            a, b, c = by_kind.get(kind, (0, 0, 0))
+            by_kind[kind] = (a + inj, b + det, c + rep)
+    backends = sorted({r.backend for r in reports})
+    return integrity_report(
+        backend="+".join(backends),
+        by_kind=by_kind,
+        mttd_samples_ms=[s for r in reports for s in r.mttd_samples],
+        mttr_samples_ms=[s for r in reports for s in r.mttr_samples],
+        exposure_samples_ms=[
+            s for r in reports for s in r.exposure_samples
+        ],
+        reads_intercepted=sum(r.reads_intercepted for r in reports),
+        versions_quarantined=sum(r.versions_quarantined for r in reports),
+        ingest_rejects=sum(r.ingest_rejects for r in reports),
+        vote_rounds=sum(r.vote_rounds for r in reports),
+        vote_repairs=sum(r.vote_repairs for r in reports),
+        scrub_runs=sum(r.scrub_runs for r in reports),
+        corrupt_reads_served=sum(r.corrupt_reads_served for r in reports),
+        repair_budget_ms=reports[0].repair_budget_ms,
+    )

@@ -78,6 +78,19 @@ key off them):
     A promoted writer's recovered durable point never falls below the
     applied VDL its replica incarnation had already exposed to readers
     (section 3.2: promotion must not move reads backwards).
+``integrity-corrupt-served``
+    A read never serves a block version for which an injected corruption
+    is still open: read-time verification plus quarantine must intercept
+    every corrupt image before it reaches a replica or client
+    (DESIGN.md §12; flagged by :class:`repro.sim.failures.IntegrityLog`).
+``integrity-repair-propagated-corruption``
+    A quorum-vote repair never adopts an image whose checksum matches an
+    open corruption's digest: a corrupt peer must not win the vote
+    (DESIGN.md §12).
+``integrity-unrepaired-past-budget``
+    Every injected corruption is detected and repaired within the
+    configured repair budget; scrubbing plus the vote give bounded, not
+    best-effort, exposure windows (DESIGN.md §12).
 """
 
 from __future__ import annotations

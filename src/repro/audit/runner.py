@@ -138,6 +138,18 @@ class AuditRunConfig:
     proxy_pool: int = 128
     proxy_recovery_budget_ms: float = 5_000.0
     proxy_lag_slo_ms: float = 10.0
+    #: End-to-end integrity mode: inject silent corruption (bit rot, torn
+    #: writes, lost-but-acked writes, misdirected writes) via the
+    #: integrity chaos profile and gate on zero corrupt reads served plus
+    #: every corruption repaired inside ``integrity_repair_budget_ms``
+    #: (see DESIGN.md section 12).
+    integrity: bool = False
+    #: Storage backend for the cluster under audit ("aurora" or "taurus");
+    #: currently plumbed by the integrity mode, which must prove the
+    #: verification machinery on both layouts.
+    backend: str = "aurora"
+    #: Injection-to-repair budget per corruption (ms).
+    integrity_repair_budget_ms: float = 12_000.0
 
     def as_proxy(self) -> "AuditRunConfig":
         """Switch this config to the serving-tier shape.  The storage
@@ -196,6 +208,30 @@ class AuditRunConfig:
         )
         return self
 
+    def as_integrity(self) -> "AuditRunConfig":
+        """Switch this config to the integrity-audit shape.  The fail-stop
+        control planes (healer, failover, planted false positives, fleet
+        storms, background churn) stay off: they answer *loud* failures,
+        and their own gates already cover them.  What remains is exactly
+        the silent-failure machinery under test -- read-time verification,
+        scrub, and quorum-vote repair -- under corruption chaos plus light
+        crash/partition noise.  Operator-driven writer crash cycles are
+        pushed out past the horizon so torn-write restarts are the only
+        instance churn."""
+        self.integrity = True
+        self.heal = False
+        self.membership_change = False
+        self.plant_false_positive = False
+        self.background_failures = False
+        self.failover = False
+        self.fleet_kills = 0
+        self.fleet_double_fault = False
+        self.az_bursts = False
+        self.geo = False
+        self.proxy = False
+        self.writer_crash_every = 10**9
+        return self
+
 
 @dataclass
 class AuditReport:
@@ -250,6 +286,15 @@ class AuditReport:
     serving: object | None = None
     proxy_sessions: int = 0
     proxy_ok: bool | None = None
+    #: Integrity telemetry (None when ``integrity`` is off): the
+    #: :class:`repro.analysis.integrity.IntegrityReport` (picklable, so
+    #: sweeps can merge MTTD/MTTR/exposure distributions across seeds),
+    #: the storage backend audited, and the gate -- at least one
+    #: corruption injected, zero corrupt reads served, every corruption
+    #: repaired inside budget, zero auditor violations.
+    integrity: object | None = None
+    backend: str = ""
+    integrity_ok: bool | None = None
     #: Engine telemetry for the perf harness (`repro bench-engine`).
     events_executed: int = 0
     messages_sent: int = 0
@@ -267,6 +312,7 @@ class AuditReport:
             and self.failover_ok is not False
             and self.geo_ok is not False
             and self.proxy_ok is not False
+            and self.integrity_ok is not False
         )
 
     def render(self) -> str:
@@ -330,6 +376,12 @@ class AuditReport:
                 lines += self.serving.render_lines()
             verdict = "ok" if self.proxy_ok else "FAILED"
             lines.append(f"  proxy gate:          {verdict}")
+        if self.integrity_ok is not None:
+            lines.append(f"  storage backend:     {self.backend}")
+            if self.integrity is not None:
+                lines += self.integrity.render_lines()
+            verdict = "ok" if self.integrity_ok else "FAILED"
+            lines.append(f"  integrity gate:      {verdict}")
         if self.violations:
             lines.append("")
             lines.append(f"VIOLATIONS (reproduce with --seed {self.seed}):")
@@ -351,6 +403,8 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         return _run_geo_audit(cfg, wall_start)
     if cfg.proxy:
         return _run_proxy_audit(cfg, wall_start)
+    if cfg.integrity:
+        return _run_integrity_audit(cfg, wall_start)
     cluster_cfg = ClusterConfig(seed=cfg.seed, pg_count=cfg.pg_count)
     if cfg.boxcar == "immediate":
         from repro.db.driver import BoxcarMode
@@ -447,6 +501,154 @@ def run_audit(config: AuditRunConfig | None = None) -> AuditReport:
         failovers=failovers,
         writer_kills=runner.writer_kills,
         failover_ok=failover_ok,
+        events_executed=cluster.loop.events_executed,
+        messages_sent=cluster.network.stats.messages_sent,
+        wall_clock_s=time.perf_counter() - wall_start,
+        message_types=dict(cluster.network.stats.by_type),
+    )
+
+
+def _run_integrity_audit(
+    cfg: AuditRunConfig, wall_start: float
+) -> AuditReport:
+    """End-to-end integrity audit: silent corruption under a live workload.
+
+    The integrity chaos profile injects disk bit rot (stored block
+    versions and redo records), torn writes surfacing at crash restart,
+    lost-but-acked writes, and misdirected writes, on top of light node
+    crash / partition noise, while the mixed workload keeps reading and
+    writing.  The machinery of DESIGN.md section 12 -- read-time
+    verification with quarantine + peer read-repair, record scrub, and
+    the rotating quorum-vote sweep -- must find and repair every
+    injection.  The gate: at least one corruption injected, zero corrupt
+    reads served (``integrity-corrupt-served``), zero repairs sourced
+    from a corrupt peer copy (``integrity-repair-propagated-corruption``),
+    and every corruption's injection-to-repair exposure inside
+    ``cfg.integrity_repair_budget_ms`` (``integrity-unrepaired-past-
+    budget``).  Runs on either storage backend via ``cfg.backend``.
+    """
+    from repro.analysis.integrity import integrity_report
+    from repro.sim.chaos import integrity_chaos_config
+    from repro.storage.node import StorageNodeConfig
+
+    # A fast scrub rotation: the audit horizon is seconds, not hours, so
+    # the sweep must cover the whole segment well inside it (the repair
+    # budget assumes roughly two rotations' worth of detection latency).
+    node_cfg = StorageNodeConfig(scrub_interval=400.0)
+    cluster_cfg = ClusterConfig(
+        seed=cfg.seed,
+        pg_count=cfg.pg_count,
+        backend=cfg.backend,
+        node=node_cfg,
+    )
+    cluster = AuroraCluster.build(config=cluster_cfg, seed=cfg.seed)
+    cluster.network.set_stats_detail(cfg.detailed_stats)
+    auditor = Auditor(tail_size=cfg.tail_size)
+    cluster.arm_auditor(auditor)
+    for _ in range(cfg.replicas):
+        cluster.add_replica()
+    integrity = cluster.failures.integrity
+    integrity.bind_auditor(auditor)
+    cluster.failures.attach_storage(cluster.nodes.values())
+    # GC, truncation, and restores can destroy corrupt bytes without the
+    # repair hooks firing; the periodic reconcile closes those entries so
+    # the unrepaired gate only counts damage that is actually still live.
+    cluster.failures.start_integrity_reconcile()
+    cluster.run_for(10.0)
+
+    horizon_ms = max(6000.0, cfg.steps * 4.0)
+    schedule = ChaosSchedule.generate(
+        seed=cfg.seed,
+        nodes=sorted(cluster.nodes),
+        azs={az: cluster.failures.az_nodes(az)
+             for az in ("az1", "az2", "az3")},
+        horizon_ms=horizon_ms,
+        config=integrity_chaos_config(),
+    )
+    runner = _WorkloadRunner(cluster, auditor, cfg)
+    runner.chaos_horizon_ms = cluster.loop.now + horizon_ms
+    schedule.install(cluster.failures)
+
+    runner.run()
+
+    # Run the chaos horizon out (late injections must still land), then
+    # keep the fleet scrubbing -- with light keepalive traffic so SCLs
+    # and gossip keep advancing -- until every open corruption closes.
+    while cluster.loop.now < runner.chaos_horizon_ms:
+        cluster.run_for(50.0)
+    if not integrity.by_kind():
+        # Non-vacuity backstop: a schedule whose draws all missed (no
+        # eligible victim at fire time -- a caught-up fleet has nothing
+        # above its GC floors) would let the gate pass without exercising
+        # anything.  Write fresh records, then land one corruption
+        # deterministically before settling.
+        injectors = (
+            cluster.failures.bit_rot_any,
+            cluster.failures.lost_write_any,
+            cluster.failures.misdirected_write_any,
+        )
+        for attempt in range(30):
+            # Inject right after the write lands, before the next PGMRPL
+            # update hoists the GC floor over the fresh records and
+            # closes the eligibility window again.
+            runner._keepalive(attempt)
+            if injectors[attempt % len(injectors)]() is not None:
+                cluster.run_for(60.0)
+                break
+            cluster.run_for(60.0)
+    for spin in range(4000):
+        if integrity.open_count() == 0:
+            break
+        cluster.run_for(25.0)
+        if spin % 40 == 0:
+            runner._keepalive(spin)
+    cluster.run_for(200.0)
+    runner._harvest_pending()
+    integrity.audit_unrepaired(cfg.integrity_repair_budget_ms)
+
+    def summed(counter: str) -> int:
+        return sum(n.counters[counter] for n in cluster.nodes.values())
+
+    report = integrity_report(
+        backend=cfg.backend,
+        by_kind=integrity.by_kind(),
+        mttd_samples_ms=integrity.mttd_samples(),
+        mttr_samples_ms=integrity.mttr_samples(),
+        exposure_samples_ms=integrity.exposure_samples(),
+        reads_intercepted=summed("reads_intercepted"),
+        versions_quarantined=sum(
+            n.segment.stats["versions_quarantined"]
+            for n in cluster.nodes.values()
+        ),
+        ingest_rejects=summed("ingest_rejects"),
+        vote_rounds=summed("vote_rounds"),
+        vote_repairs=summed("vote_repairs"),
+        scrub_runs=summed("scrub_runs"),
+        corrupt_reads_served=integrity.corrupt_reads_served,
+        repair_budget_ms=cfg.integrity_repair_budget_ms,
+    )
+    integrity_ok = (
+        report.ok
+        # The gate must not pass vacuously: the schedule has to have
+        # actually landed corruption for the machinery to answer.
+        and report.injected >= 1
+        and not auditor.violations
+    )
+
+    return AuditReport(
+        seed=cfg.seed,
+        steps=cfg.steps,
+        sim_time_ms=cluster.loop.now,
+        chaos_events=len(schedule),
+        commit_acks=auditor.commit_acks,
+        availability_errors=runner.availability_errors,
+        writer_recoveries=runner.recoveries,
+        protocol_events=auditor.events_seen,
+        violations=list(auditor.violations),
+        event_tail=auditor.event_tail,
+        integrity=report,
+        backend=cfg.backend,
+        integrity_ok=integrity_ok,
         events_executed=cluster.loop.events_executed,
         messages_sent=cluster.network.stats.messages_sent,
         wall_clock_s=time.perf_counter() - wall_start,

@@ -166,6 +166,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backend connection-pool size in --proxy mode",
     )
     audit.add_argument(
+        "--integrity", action="store_true",
+        help="silent-corruption mode: seeded bit-rot, torn, lost, and "
+             "misdirected writes against the storage fleet with read-time "
+             "verification, scrub, and quorum-vote repair armed; gated on "
+             "zero corrupt reads served and every corruption repaired "
+             "inside the exposure budget; the sweep footer merges "
+             "per-seed MTTD/MTTR/exposure distributions",
+    )
+    audit.add_argument(
+        "--backend", choices=("aurora", "taurus"), default="aurora",
+        help="storage backend under test in --integrity mode",
+    )
+    audit.add_argument(
+        "--integrity-json", metavar="PATH", default="",
+        help="write the merged integrity report as JSON to PATH "
+             "(--integrity only)",
+    )
+    audit.add_argument(
         "--jobs", type=int, default=1, metavar="K",
         help="run sweep seeds across K worker processes (seeds are "
              "independent, so reports are byte-identical to --jobs 1)",
@@ -354,6 +372,9 @@ def _audit_config(args: argparse.Namespace, seed: int):
         config.as_proxy()
         config.proxy_sessions = args.proxy_sessions
         config.proxy_pool = args.proxy_pool
+    if getattr(args, "integrity", False):
+        config.as_integrity()
+        config.backend = args.backend
     return config
 
 
@@ -372,6 +393,7 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
     fleet_failovers = FailoverSummary()
     geo_records = []
     serving_reports = []
+    integrity_reports = []
     configs = [_audit_config(args, seed) for seed in seeds]
     for report in run_audit_sweep(configs, jobs=args.jobs):
         print(report.render())
@@ -384,6 +406,8 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
         geo_records.extend(report.geo_records)
         if report.serving is not None:
             serving_reports.append(report.serving)
+        if report.integrity is not None:
+            integrity_reports.append(report.integrity)
         if args.sweep > 0:
             print()
     if args.sweep > 0:
@@ -442,6 +466,29 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
             )
             for line in merged.render_lines():
                 print(line)
+        if integrity_reports:
+            from repro.analysis import merge_integrity_reports
+
+            merged = merge_integrity_reports(integrity_reports)
+            print(
+                f"integrity telemetry across {len(seeds)} seeds "
+                f"({merged.backend}):"
+            )
+            for line in merged.render_lines():
+                print(line)
+    if integrity_reports and getattr(args, "integrity_json", ""):
+        import json
+
+        from repro.analysis import merge_integrity_reports
+
+        merged = merge_integrity_reports(integrity_reports)
+        payload = merged.to_json()
+        payload["seeds"] = len(integrity_reports)
+        payload["seeds_clean"] = len(seeds) - failed
+        with open(args.integrity_json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"integrity report written to {args.integrity_json}")
     return 1 if failed else 0
 
 

@@ -212,6 +212,35 @@ class ChainDigest:
         )
 
 
+def record_digest(record: LogRecord) -> int:
+    """Deterministic content digest of one redo record.
+
+    Storage nodes capture this at ingest and the scrubber re-derives it to
+    detect bit-rot on stored records (Figure 2, activity 8 extended to the
+    hot log).  Payloads are frozen dataclasses and hash directly; the
+    ``repr`` fallback covers payloads holding unhashable values.
+    """
+    try:
+        payload_hash = hash(record.payload)
+    except TypeError:
+        payload_hash = hash(repr(record.payload))
+    return hash(
+        (
+            record.lsn,
+            record.prev_volume_lsn,
+            record.prev_pg_lsn,
+            record.prev_block_lsn,
+            record.block,
+            record.pg_index,
+            record.kind,
+            payload_hash,
+            record.txn_id,
+            record.mtr_id,
+            record.mtr_end,
+        )
+    )
+
+
 @dataclass
 class RecordBatch:
     """A boxcar of records bound for one segment node.

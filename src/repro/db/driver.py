@@ -43,6 +43,7 @@ from repro.core.retry import Backoff, RetryPolicy
 from repro.errors import SegmentUnavailableError
 from repro.sim.events import EventLoop, Future
 from repro.storage.messages import (
+    CORRUPT_PAYLOAD,
     EpochWrite,
     ReadBlockRequest,
     ReadBlockResponse,
@@ -105,6 +106,7 @@ class DriverStats:
     records_sent: int = 0
     acks_received: int = 0
     rejections_seen: int = 0
+    corrupt_rejections_seen: int = 0
     batches_resubmitted: int = 0
     reads_issued: int = 0
     reads_completed: int = 0
@@ -414,24 +416,35 @@ class StorageDriver:
             for callback in list(self.on_fenced):
                 callback()
             return
+        if (
+            self.config.resubmit_on_rejection
+            and rejection.reason == CORRUPT_PAYLOAD
+        ):
+            # The segment's ingest verification caught the payload damaged
+            # in flight; the retained copy here is clean, so resubmit it
+            # even though no epoch advanced (DESIGN.md §12).
+            self.stats.corrupt_rejections_seen += 1
+            self._schedule_resubmit(rejection.segment_id)
+            return
         if not self.config.resubmit_on_rejection or self.epochs == before:
             # Nothing newer was adopted (e.g. a read-window rejection):
             # resending the same stamp would only bounce again.
             return
-        queue = self._unacked.get(rejection.segment_id)
+        self._schedule_resubmit(rejection.segment_id)
+
+    def _schedule_resubmit(self, segment_id: str) -> None:
+        queue = self._unacked.get(segment_id)
         if not queue:
             return
-        backoff = self._resubmit_backoff.get(rejection.segment_id)
+        backoff = self._resubmit_backoff.get(segment_id)
         if backoff is None:
             backoff = Backoff(self.config.resubmit_policy, rng=self.rng)
-            self._resubmit_backoff[rejection.segment_id] = backoff
+            self._resubmit_backoff[segment_id] = backoff
         delay = backoff.next_delay()
         if delay <= 0.0:
-            self._resubmit_segment(rejection.segment_id)
+            self._resubmit_segment(segment_id)
         else:
-            self.loop.schedule(
-                delay, self._resubmit_segment, rejection.segment_id
-            )
+            self.loop.schedule(delay, self._resubmit_segment, segment_id)
 
     def _resubmit_segment(self, segment_id: str) -> None:
         """"Updates of stale state ... requiring just one additional

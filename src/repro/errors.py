@@ -139,6 +139,22 @@ class ReplicationLagExceededError(CommitUncertainError):
     """
 
 
+class CorruptVersionError(ReproError):
+    """A read landed on a block version that failed checksum verification
+    (or was already quarantined by an earlier detection).
+
+    The storage node intercepts this before any image leaves the node: the
+    version is quarantined and repaired from peers, and the reader is served
+    the repaired image or redirected to another segment.  A corrupt image is
+    never returned to a replica or client (DESIGN.md §12).
+    """
+
+    def __init__(self, block: int, lsn: int) -> None:
+        super().__init__(f"block {block} version {lsn} failed verification")
+        self.block = block
+        self.lsn = lsn
+
+
 class VolumeGeometryError(ReproError):
     """A block address fell outside the current volume geometry."""
 

@@ -43,10 +43,18 @@ REGION_LOSS = "region_loss"
 REGION_PARTITION = "region_partition"
 WAN_BROWNOUT = "wan_brownout"
 STREAM_STALL = "stream_stall"
+#: Silent-corruption kinds (DESIGN.md §12).  The victim node is resolved
+#: at fire time from the injector's attached storage fleet (like the
+#: writer kinds, the schedule does not know storage-node names).
+BIT_ROT = "bit_rot"
+TORN_WRITE = "torn_write"
+LOST_WRITE = "lost_write"
+MISDIRECTED_WRITE = "misdirected_write"
 
 WRITER_TARGET = "__writer__"
 REGION_TARGET = "__region__"
 WAN_TARGET = "__wan__"
+STORAGE_TARGET = "__storage__"
 
 
 @dataclass(frozen=True)
@@ -120,6 +128,15 @@ class ChaosConfig:
     #: geo lease so the stale primary provably self-fences mid-partition).
     min_region_partition_ms: float = 5000.0
     max_region_partition_ms: float = 9000.0
+    #: Silent-corruption chaos (DESIGN.md §12).  Each kind is disabled at
+    #: 0 and, like every kind added after v0, disabled kinds draw nothing
+    #: from the RNG -- legacy seeded schedules replay byte-identically.
+    #: ``torn_write`` events use their duration as the crash downtime
+    #: before the torn record surfaces at restart.
+    bit_rot_period_ms: float = 0.0
+    torn_write_period_ms: float = 0.0
+    lost_write_period_ms: float = 0.0
+    misdirected_write_period_ms: float = 0.0
 
 
 def fleet_chaos_config() -> ChaosConfig:
@@ -150,6 +167,25 @@ def geo_chaos_config() -> ChaosConfig:
         stream_stall_period_ms=11000.0,
         region_loss_weight=1.0,
         region_partition_weight=1.0,
+    )
+
+
+def integrity_chaos_config() -> ChaosConfig:
+    """The integrity-audit profile: light fail-stop noise (so corruption
+    repair must work through crashes, grey nodes, and partitions, not in a
+    calm fleet) plus a steady stream of all four silent-corruption kinds.
+    AZ outages are disabled -- losing a third of every quorum at once is
+    the durability audits' business; here it would only starve the vote of
+    responders without exercising anything new."""
+    return ChaosConfig(
+        node_crash_period_ms=3000.0,
+        az_outage_period_ms=10.0**12,
+        slow_period_ms=2500.0,
+        partition_period_ms=4000.0,
+        bit_rot_period_ms=900.0,
+        torn_write_period_ms=4000.0,
+        lost_write_period_ms=2500.0,
+        misdirected_write_period_ms=2800.0,
     )
 
 
@@ -370,6 +406,49 @@ class ChaosSchedule:
                 events.append(
                     ChaosEvent(at, d, REGION_PARTITION, REGION_TARGET)
                 )
+
+        # Silent-corruption kinds draw after everything above (including
+        # the region event), and only when enabled: any schedule generated
+        # before these kinds existed replays byte-identically.
+        def pick_bit_rot() -> ChaosEvent | None:
+            at = start_time(0.0)
+            if at < 0:
+                return None
+            return ChaosEvent(at, 0.0, BIT_ROT, STORAGE_TARGET)
+
+        def pick_torn_write() -> ChaosEvent | None:
+            # The duration is the crash downtime before the torn record
+            # surfaces at restart.
+            d = rng.uniform(80.0, 250.0)
+            at = start_time(d)
+            if at < 0:
+                return None
+            return ChaosEvent(at, d, TORN_WRITE, STORAGE_TARGET)
+
+        def pick_lost_write() -> ChaosEvent | None:
+            at = start_time(0.0)
+            if at < 0:
+                return None
+            return ChaosEvent(at, 0.0, LOST_WRITE, STORAGE_TARGET)
+
+        def pick_misdirected_write() -> ChaosEvent | None:
+            at = start_time(0.0)
+            if at < 0:
+                return None
+            return ChaosEvent(at, 0.0, MISDIRECTED_WRITE, STORAGE_TARGET)
+
+        if cfg.bit_rot_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.bit_rot_period_ms)),
+                  pick_bit_rot)
+        if cfg.torn_write_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.torn_write_period_ms)),
+                  pick_torn_write)
+        if cfg.lost_write_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.lost_write_period_ms)),
+                  pick_lost_write)
+        if cfg.misdirected_write_period_ms > 0:
+            place(max(1, int(horizon_ms / cfg.misdirected_write_period_ms)),
+                  pick_misdirected_write)
         return cls(seed=seed, horizon_ms=horizon_ms, events=events)
 
     def install(
@@ -399,11 +478,27 @@ class ChaosSchedule:
         ``wan_brownout(loss_rate, latency_factor, duration_ms)``, and
         ``stream_stall(duration_ms)``.  Schedules containing any of these
         kinds require the corresponding callback.
+
+        Silent-corruption kinds (``BIT_ROT`` / ``TORN_WRITE`` /
+        ``LOST_WRITE`` / ``MISDIRECTED_WRITE``) need no callback -- they
+        dispatch to the injector's own ``*_any`` operations, which resolve
+        a victim at fire time -- but the injector must have storage nodes
+        attached (:meth:`FailureInjector.attach_storage`).
         """
         base = injector.loop.now
         everyone: set[str] = set()
         for az in list(injector._az_members):
             everyone |= injector.az_nodes(az)
+        corruption_kinds = (
+            BIT_ROT, TORN_WRITE, LOST_WRITE, MISDIRECTED_WRITE,
+        )
+        if any(
+            e.kind in corruption_kinds for e in self.events
+        ) and not injector._storage_nodes:
+            raise ConfigurationError(
+                "schedule contains silent-corruption events; call "
+                "injector.attach_storage(...) before install()"
+            )
         for event in self.events:
             at = base + event.at
             if event.kind == CRASH_NODE:
@@ -477,6 +572,19 @@ class ChaosSchedule:
                 injector.loop.schedule_at(
                     at,
                     lambda d=event.duration: stream_stall(d),
+                )
+            elif event.kind == BIT_ROT:
+                injector.loop.schedule_at(at, injector.bit_rot_any)
+            elif event.kind == TORN_WRITE:
+                injector.loop.schedule_at(
+                    at,
+                    lambda d=event.duration: injector.torn_write_any(d),
+                )
+            elif event.kind == LOST_WRITE:
+                injector.loop.schedule_at(at, injector.lost_write_any)
+            elif event.kind == MISDIRECTED_WRITE:
+                injector.loop.schedule_at(
+                    at, injector.misdirected_write_any
                 )
             else:  # pragma: no cover - generator only emits known kinds
                 raise ConfigurationError(f"unknown chaos kind {event.kind!r}")

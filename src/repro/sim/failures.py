@@ -26,15 +26,346 @@ background event captures the generation current when it was scheduled and
 becomes a no-op if the node's generation has moved on.  Call
 ``enable_background_failures`` again to resume background noise for a
 manually-touched node.
+
+**Silent corruption.**  Beyond fail-stop faults, the injector models the
+faults checksums and scrubbing exist for (DESIGN.md §12): disk bit-rot on a
+stored block version or hot-log record, a torn write surfacing when a node
+restarts after a crash, a write that was acknowledged but never retained
+(``lost_write``), and a misdirected write applied under the wrong block id
+-- self-consistent (valid checksum), so only a cross-peer content vote can
+catch it.  Storage nodes are registered via :meth:`attach_storage`; every
+injected corruption is tracked in an :class:`IntegrityLog`, which doubles
+as the node-side integrity probe and turns "a corrupt image was served" or
+"a corruption outlived its repair budget" into auditor violations.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
+from repro.core.records import record_digest
 from repro.errors import ConfigurationError
 from repro.sim.events import EventLoop
 from repro.sim.network import Network
+
+#: Corruption kinds that damage (or remove) a materialized block version.
+VERSION_CORRUPTION_KINDS = frozenset(
+    {"bit_rot", "misdirected_write", "misdirected_write_hole", "lost_write"}
+)
+#: Corruption kinds that damage a stored hot-log record.
+RECORD_CORRUPTION_KINDS = frozenset({"bit_rot_record", "torn_write"})
+
+
+@dataclass
+class CorruptionRecord:
+    """One injected silent corruption, tracked from injection to repair.
+
+    ``corrupt_digest`` is the image checksum the damaged copy would present
+    if served (0 when the fault leaves nothing to serve, e.g. a lost
+    write); it is what lets the log prove a served read or an adopted
+    repair image was the corrupt one.
+    """
+
+    kind: str
+    node: str
+    block: int
+    lsn: int
+    injected_at: float
+    corrupt_digest: int = 0
+    detected_at: float | None = None
+    repaired_at: float | None = None
+    #: Set once ``audit_unrepaired`` has flagged this record, so a record
+    #: stuck past its budget produces one violation, not one per audit.
+    budget_flagged: bool = False
+
+    @property
+    def open(self) -> bool:
+        return self.repaired_at is None
+
+
+class IntegrityLog:
+    """Registry of injected corruptions and node-side integrity probe.
+
+    The log plays both roles of the integrity audit: the *injector* records
+    every fault here at injection time, and every storage node armed via
+    :meth:`repro.storage.node.StorageNode.attach_integrity_probe` reports
+    detections, repairs, and served reads back.  Crossing the two streams
+    yields MTTD/MTTR distributions and the three integrity invariants:
+
+    ``integrity-corrupt-served``
+        A read served a ``(node, block, version_lsn)`` for which a
+        corruption is still open: a corrupt image reached a replica or
+        client (the one thing read-time verification must prevent).
+    ``integrity-repair-propagated-corruption``
+        A repair adopted an image whose checksum matches an open
+        corruption's ``corrupt_digest``: a corrupt peer won the vote.
+    ``integrity-unrepaired-past-budget``
+        A corruption stayed open longer than the repair budget (flagged by
+        :meth:`audit_unrepaired`, which mode runners call at the end).
+    """
+
+    def __init__(self, loop: EventLoop) -> None:
+        self.loop = loop
+        self.records: list[CorruptionRecord] = []
+        self.auditor = None
+        self.ingest_rejects = 0
+        self.corrupt_reads_served = 0
+        #: Open version-kind corruptions keyed by (node, block, lsn); the
+        #: read-served hook runs on every read, so it must be one lookup.
+        self._open_versions: dict[tuple[str, int, int], list[CorruptionRecord]] = {}
+        #: Open record-kind corruptions keyed by (node, lsn).
+        self._open_recs: dict[tuple[str, int], list[CorruptionRecord]] = {}
+
+    def bind_auditor(self, auditor) -> None:
+        """Route integrity violations into an :class:`repro.audit.Auditor`."""
+        self.auditor = auditor
+
+    def _flag(self, invariant: str, subject: str, detail: str) -> None:
+        if self.auditor is not None:
+            self.auditor.flag(invariant, subject, detail)
+
+    # ------------------------------------------------------------------
+    # Injection side
+    # ------------------------------------------------------------------
+    def inject(
+        self, kind: str, node: str, block: int, lsn: int,
+        corrupt_digest: int = 0,
+    ) -> CorruptionRecord:
+        record = CorruptionRecord(
+            kind=kind,
+            node=node,
+            block=block,
+            lsn=lsn,
+            injected_at=self.loop.now,
+            corrupt_digest=corrupt_digest,
+        )
+        self.records.append(record)
+        if kind in RECORD_CORRUPTION_KINDS:
+            self._open_recs.setdefault((node, lsn), []).append(record)
+        else:
+            self._open_versions.setdefault((node, block, lsn), []).append(
+                record
+            )
+        return record
+
+    def _close(self, record: CorruptionRecord) -> None:
+        record.repaired_at = self.loop.now
+        if record.detected_at is None:
+            # A repair implies detection (the vote saw the divergence).
+            record.detected_at = record.repaired_at
+        if record.kind in RECORD_CORRUPTION_KINDS:
+            key = (record.node, record.lsn)
+            bucket = self._open_recs.get(key, [])
+        else:
+            key = (record.node, record.block, record.lsn)
+            bucket = self._open_versions.get(key, [])
+        if record in bucket:
+            bucket.remove(record)
+
+    # ------------------------------------------------------------------
+    # Node-side probe hooks (see StorageNode.attach_integrity_probe)
+    # ------------------------------------------------------------------
+    def on_ingest_reject(self, node: str) -> None:
+        self.ingest_rejects += 1
+
+    def on_corruption_detected(self, node: str, block: int, lsn: int) -> None:
+        for record in self._open_versions.get((node, block, lsn), ()):
+            if record.detected_at is None:
+                record.detected_at = self.loop.now
+
+    def on_record_corruption_detected(self, node: str, lsn: int) -> None:
+        for record in self._open_recs.get((node, lsn), ()):
+            if record.detected_at is None:
+                record.detected_at = self.loop.now
+
+    def on_read_served(
+        self, node: str, block: int, lsn: int, checksum: int
+    ) -> None:
+        for record in self._open_versions.get((node, block, lsn), ()):
+            self.corrupt_reads_served += 1
+            self._flag(
+                "integrity-corrupt-served",
+                node,
+                f"read served block {block} version {lsn} while a "
+                f"{record.kind} corruption injected at "
+                f"t={record.injected_at:.1f} is still unrepaired",
+            )
+
+    def on_version_repaired(
+        self, node: str, block: int, lsn: int, new_digest: int
+    ) -> None:
+        for record in self.records:
+            if (
+                record.open
+                and record.block == block
+                and record.lsn == lsn
+                and record.corrupt_digest
+                and record.corrupt_digest == new_digest
+            ):
+                self._flag(
+                    "integrity-repair-propagated-corruption",
+                    node,
+                    f"repair of block {block} version {lsn} adopted the "
+                    f"corrupt image of an open {record.kind} corruption "
+                    f"on {record.node}",
+                )
+        for record in list(self._open_versions.get((node, block, lsn), ())):
+            self._close(record)
+
+    def on_version_removed(self, node: str, block: int, lsn: int) -> None:
+        for record in list(self._open_versions.get((node, block, lsn), ())):
+            self._close(record)
+
+    def on_record_repaired(self, node: str, lsn: int) -> None:
+        for record in list(self._open_recs.get((node, lsn), ())):
+            self._close(record)
+
+    # ------------------------------------------------------------------
+    # Reconciliation against physical state
+    # ------------------------------------------------------------------
+    def reconcile(self, nodes: dict) -> int:
+        """Close open corruption whose damage has physically left the
+        system through a path the repair hooks do not observe: garbage
+        collection dropping a corrupt record or version, recovery
+        truncation, snapshot restore / hydration wiping segment state, or
+        a floor advance shadowing a version hole forever.
+
+        ``nodes`` maps node name to storage node (the injector's
+        :meth:`FailureInjector.attach_storage` registry).  Returns the
+        number of records closed.  Run periodically (see
+        :meth:`start_reconcile`) so close timestamps stay accurate.
+        """
+        closed = 0
+        for record in self.records:
+            if not record.open:
+                continue
+            node = nodes.get(record.node)
+            if node is None:
+                continue
+            seg = node.segment
+            if record.kind in RECORD_CORRUPTION_KINDS:
+                if record.lsn not in seg.hot_log:
+                    # GC, truncation, or a restore dropped the corrupt
+                    # bytes; nothing is left to detect or serve.
+                    self._close(record)
+                    closed += 1
+                continue
+            chain = seg.blocks.get(record.block)
+            version = None
+            if chain is not None:
+                at = chain.version_at(record.lsn)
+                if at is not None and at.lsn == record.lsn:
+                    version = at
+            if record.kind in ("lost_write", "misdirected_write_hole"):
+                # Absence IS the damage: closed when the version came
+                # back, when condensation rebuilt the history below it,
+                # or when a later version at or below the GC floor
+                # shadows the hole from every reachable read point.
+                if version is not None:
+                    self._close(record)
+                    closed += 1
+                    continue
+                if record.lsn <= max(seg.granular_floor, seg.gc_horizon):
+                    self._close(record)
+                    closed += 1
+                    continue
+                floor = seg.gc_floor
+                if chain is not None and any(
+                    record.lsn < v.lsn <= floor
+                    for v in chain._versions  # noqa: SLF001 - audit path
+                ):
+                    self._close(record)
+                    closed += 1
+                continue
+            # Presence-is-damage kinds (bit rot, misdirected artifact).
+            if version is None:
+                self._close(record)
+                closed += 1
+            elif (
+                record.corrupt_digest
+                and version.checksum != record.corrupt_digest
+            ):
+                # The content changed under the corruption (an unhooked
+                # repair path, e.g. hydration); the damage is gone.
+                self._close(record)
+                closed += 1
+        return closed
+
+    def start_reconcile(self, nodes: dict, interval_ms: float = 250.0) -> None:
+        """Schedule :meth:`reconcile` forever at ``interval_ms``."""
+
+        def tick() -> None:
+            self.reconcile(nodes)
+            self.loop.schedule(interval_ms, tick)
+
+        self.loop.schedule(interval_ms, tick)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def open_count(self) -> int:
+        return sum(1 for r in self.records if r.open)
+
+    def open_records(self) -> list[CorruptionRecord]:
+        return [r for r in self.records if r.open]
+
+    def audit_unrepaired(
+        self, budget_ms: float, now: float | None = None
+    ) -> list[CorruptionRecord]:
+        """Flag every corruption open longer than ``budget_ms``; returns
+        the newly-flagged records."""
+        at = self.loop.now if now is None else now
+        flagged: list[CorruptionRecord] = []
+        for record in self.records:
+            if not record.open or record.budget_flagged:
+                continue
+            if at - record.injected_at > budget_ms:
+                record.budget_flagged = True
+                flagged.append(record)
+                self._flag(
+                    "integrity-unrepaired-past-budget",
+                    record.node,
+                    f"{record.kind} on block {record.block} lsn "
+                    f"{record.lsn} open for "
+                    f"{at - record.injected_at:.0f}ms "
+                    f"(budget {budget_ms:.0f}ms)",
+                )
+        return flagged
+
+    def mttd_samples(self) -> list[float]:
+        return [
+            r.detected_at - r.injected_at
+            for r in self.records
+            if r.detected_at is not None
+        ]
+
+    def mttr_samples(self) -> list[float]:
+        return [
+            r.repaired_at - r.detected_at
+            for r in self.records
+            if r.repaired_at is not None and r.detected_at is not None
+        ]
+
+    def exposure_samples(self) -> list[float]:
+        """Injection-to-repair windows: how long redundancy was degraded."""
+        return [
+            r.repaired_at - r.injected_at
+            for r in self.records
+            if r.repaired_at is not None
+        ]
+
+    def by_kind(self) -> dict[str, tuple[int, int, int]]:
+        """``kind -> (injected, detected, repaired)`` counts."""
+        out: dict[str, tuple[int, int, int]] = {}
+        for r in self.records:
+            injected, detected, repaired = out.get(r.kind, (0, 0, 0))
+            out[r.kind] = (
+                injected + 1,
+                detected + (r.detected_at is not None),
+                repaired + (r.repaired_at is not None),
+            )
+        return out
 
 
 class FailureInjector:
@@ -54,6 +385,11 @@ class FailureInjector:
         #: Permanently decommissioned nodes: every restore (manual,
         #: AZ-wide, or background) is a no-op for them.
         self._condemned: set[str] = set()
+        #: Storage nodes registered for silent-corruption injection.
+        self._storage_nodes: dict[str, object] = {}
+        #: Every injected corruption, from injection through repair; also
+        #: the integrity probe the registered storage nodes report to.
+        self.integrity = IntegrityLog(loop)
 
     def register_az(self, az: str, nodes: set[str]) -> None:
         """Declare which nodes belong to an AZ (for whole-AZ events)."""
@@ -63,6 +399,29 @@ class FailureInjector:
         if az not in self._az_members:
             raise ConfigurationError(f"unknown AZ {az!r}")
         return set(self._az_members[az])
+
+    def attach_storage(self, nodes) -> None:
+        """Register storage nodes as silent-corruption targets and arm
+        their integrity probes, so every detection / repair / served read
+        reports back to :attr:`integrity`."""
+        for node in nodes:
+            self._storage_nodes[node.name] = node
+            node.attach_integrity_probe(self.integrity)
+
+    def _storage_node(self, name: str):
+        if name not in self._storage_nodes:
+            raise ConfigurationError(
+                f"{name!r} is not an attached storage node "
+                f"(call attach_storage first)"
+            )
+        return self._storage_nodes[name]
+
+    def start_integrity_reconcile(self, interval_ms: float = 250.0) -> None:
+        """Periodically close integrity-log entries whose damage left the
+        system through untracked paths (GC, truncation, restore); see
+        :meth:`IntegrityLog.reconcile`.  The registry dict is shared, so
+        nodes attached later are swept too."""
+        self.integrity.start_reconcile(self._storage_nodes, interval_ms)
 
     def generation_of(self, name: str) -> int:
         return self._generations.get(name, 0)
@@ -179,6 +538,214 @@ class FailureInjector:
             self.loop.schedule_at(
                 time + duration, self.heal_node_partition, name, set(others)
             )
+
+    # ------------------------------------------------------------------
+    # Silent corruption (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    def bit_rot(self, name: str) -> CorruptionRecord | None:
+        """Rot one stored artifact on ``name``: 50/50 a materialized block
+        version (image mutated *under* its recorded checksum) or a hot-log
+        record (content diverges from its ingest digest).  Falls through
+        to the other flavour when the first has no eligible target."""
+        node = self._storage_node(name)
+        if self.rng.random() < 0.5:
+            return self._rot_version(node) or self._rot_record(node)
+        return self._rot_record(node) or self._rot_version(node)
+
+    def _rot_version(self, node) -> CorruptionRecord | None:
+        from repro.storage.page import image_checksum
+
+        seg = node.segment
+        lo = max(seg.granular_floor, seg.gc_floor)
+        victims = [
+            (block, version.lsn)
+            for block, chain in sorted(seg.blocks.items())
+            for version in chain.versions
+            if version.lsn > lo and not version.quarantined
+        ]
+        if not victims:
+            return None
+        block, lsn = self.rng.choice(victims)
+        chain = seg.blocks[block]
+        chain.corrupt_version(lsn)
+        damaged = next(v for v in chain.versions if v.lsn == lsn)
+        self.log.append((self.loop.now, "bit_rot_version", node.name))
+        return self.integrity.inject(
+            "bit_rot", node.name, block, lsn,
+            corrupt_digest=image_checksum(damaged.image),
+        )
+
+    def _record_rot_targets(self, node) -> list[int]:
+        # Above the GC floor as well as the local horizon: a record below
+        # the PGMRPL floor may already be gone from every peer's hot log
+        # (they GC eagerly; this copy may lag), which would make the
+        # injected rot unrepairable by design rather than by failure --
+        # and no instance will ever read below the floor anyway.
+        seg = node.segment
+        open_recs = self.integrity._open_recs
+        floor = max(seg.gc_horizon, seg.gc_floor)
+        return [
+            lsn
+            for lsn in sorted(seg.hot_log)
+            if lsn > floor
+            and lsn not in seg.corrupt_record_lsns
+            and not open_recs.get((node.name, lsn))
+        ]
+
+    def _rot_record(self, node) -> CorruptionRecord | None:
+        eligible = self._record_rot_targets(node)
+        if not eligible:
+            return None
+        lsn = self.rng.choice(eligible)
+        mangled = node.segment.corrupt_record(lsn)
+        self.log.append((self.loop.now, "bit_rot_record", node.name))
+        return self.integrity.inject(
+            "bit_rot_record", node.name, mangled.block, lsn,
+            corrupt_digest=record_digest(mangled),
+        )
+
+    def torn_write(
+        self, name: str, duration: float = 150.0
+    ) -> CorruptionRecord | None:
+        """Crash ``name`` now; its newest hot-log record surfaces *torn*
+        (content no longer matching the ingest digest) when the node
+        restarts ``duration`` ms later.  No-op if the node is already
+        down or holds no eligible record."""
+        node = self._storage_node(name)
+        if not self.network.is_up(name):
+            return None
+        eligible = self._record_rot_targets(node)
+        if not eligible:
+            return None
+        lsn = eligible[-1]
+        mangled = node.segment.corrupt_record(lsn, payload=("__torn__", lsn))
+        self.log.append((self.loop.now, "torn_write", name))
+        corruption = self.integrity.inject(
+            "torn_write", name, mangled.block, lsn,
+            corrupt_digest=record_digest(mangled),
+        )
+        self.crash_node(name)
+        self.loop.schedule_at(
+            self.loop.now + duration, self.restore_node, name
+        )
+        return corruption
+
+    def lost_write(self, name: str) -> CorruptionRecord | None:
+        """Drop an acknowledged write from ``name``: hot-log record and
+        materialized version vanish while the SCL still covers the LSN.
+        Restricted to blocks with a *later* retained version, so the hole
+        sits mid-chain where the vote's structural comparison finds it."""
+        node = self._storage_node(name)
+        seg = node.segment
+        lo = max(seg.granular_floor, seg.gc_floor, seg.gc_horizon)
+        eligible = []
+        for lsn in sorted(seg.hot_log):
+            if lsn <= lo:
+                continue
+            chain = seg.blocks.get(seg.hot_log[lsn].block)
+            if chain is not None and chain.latest_lsn > lsn:
+                eligible.append(lsn)
+        if not eligible:
+            return None
+        lsn = self.rng.choice(eligible)
+        record = seg.lose_record(lsn)
+        self.log.append((self.loop.now, "lost_write", name))
+        return self.integrity.inject("lost_write", name, record.block, lsn)
+
+    def misdirected_write(self, name: str) -> CorruptionRecord | None:
+        """Apply a write under the wrong block id: block A's version at
+        LSN L disappears and re-surfaces mid-chain in block B with a
+        freshly computed -- *valid* -- checksum.  Both halves pass local
+        verification; only the quorum vote's cross-peer structural
+        comparison catches them."""
+        node = self._storage_node(name)
+        seg = node.segment
+        lo = max(seg.granular_floor, seg.gc_floor)
+        sources = [
+            (block, version.lsn)
+            for block, chain in sorted(seg.blocks.items())
+            for version in chain.versions
+            if lo < version.lsn < chain.latest_lsn
+            and not version.quarantined
+        ]
+        self.rng.shuffle(sources)
+        for block_a, lsn in sources[:8]:
+            targets = [
+                block
+                for block, chain in sorted(seg.blocks.items())
+                if block != block_a
+                and chain.latest_lsn > lsn
+                and all(v.lsn != lsn for v in chain.versions)
+            ]
+            if not targets:
+                continue
+            block_b = self.rng.choice(targets)
+            chain_a = seg.blocks[block_a]
+            version = next(v for v in chain_a.versions if v.lsn == lsn)
+            bogus = seg.blocks[block_b].insert(lsn, dict(version.image))
+            chain_a.remove_version(lsn)
+            self.log.append((self.loop.now, "misdirected_write", name))
+            injected = self.integrity.inject(
+                "misdirected_write", name, block_b, lsn,
+                corrupt_digest=bogus.checksum,
+            )
+            self.integrity.inject(
+                "misdirected_write_hole", name, block_a, lsn
+            )
+            return injected
+        return None
+
+    # Scheduled and fire-time-random variants (the chaos schedule resolves
+    # its victim when the event fires, like KILL_WRITER does).
+    def bit_rot_at(self, time: float, name: str) -> None:
+        self.loop.schedule_at(time, self.bit_rot, name)
+
+    def torn_write_at(
+        self, time: float, name: str, duration: float = 150.0
+    ) -> None:
+        self.loop.schedule_at(time, self.torn_write, name, duration)
+
+    def lost_write_at(self, time: float, name: str) -> None:
+        self.loop.schedule_at(time, self.lost_write, name)
+
+    def misdirected_write_at(self, time: float, name: str) -> None:
+        self.loop.schedule_at(time, self.misdirected_write, name)
+
+    def _shuffled_storage(self) -> list[str]:
+        names = sorted(self._storage_nodes)
+        self.rng.shuffle(names)
+        return names
+
+    def bit_rot_any(self) -> CorruptionRecord | None:
+        """Bit-rot a random attached storage node (first eligible one)."""
+        for name in self._shuffled_storage():
+            record = self.bit_rot(name)
+            if record is not None:
+                return record
+        return None
+
+    def torn_write_any(
+        self, duration: float = 150.0
+    ) -> CorruptionRecord | None:
+        for name in self._shuffled_storage():
+            record = self.torn_write(name, duration)
+            if record is not None:
+                return record
+        return None
+
+    def lost_write_any(self) -> CorruptionRecord | None:
+        for name in self._shuffled_storage():
+            record = self.lost_write(name)
+            if record is not None:
+                return record
+        return None
+
+    def misdirected_write_any(self) -> CorruptionRecord | None:
+        for name in self._shuffled_storage():
+            record = self.misdirected_write(name)
+            if record is not None:
+                return record
+        return None
 
     # ------------------------------------------------------------------
     # Background stochastic failures

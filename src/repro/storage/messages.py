@@ -63,6 +63,14 @@ class RequestRejected:
     current_epochs: EpochStamp
 
 
+#: ``RequestRejected.reason`` for a WriteBatch whose payload failed ingest
+#: verification, or a read that landed on an unrepairable corrupt version.
+#: The driver resubmits the retained clean batch (write) or reroutes to
+#: another segment (read) -- the storage node never persists or serves the
+#: corrupt frame.
+CORRUPT_PAYLOAD = "corrupt-payload"
+
+
 # ----------------------------------------------------------------------
 # Read path (RPC, section 3.1)
 # ----------------------------------------------------------------------
@@ -205,6 +213,47 @@ class ScrubRepairResponse:
     segment_id: str
     pg_index: int
     versions: tuple[tuple[int, int, tuple[tuple[str, object], ...]], ...]
+
+
+# ----------------------------------------------------------------------
+# Quorum-vote integrity repair (RPC between peer segments, DESIGN.md §12).
+# Replaces trust-one-random-peer scrub repair: the scrubbing segment polls
+# a read-quorum-sized peer sample for content digests, and only adopts an
+# image the majority agrees on -- so a misdirected write (valid checksum,
+# wrong content) is caught and a single corrupt peer can never propagate.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class IntegrityVoteRequest:
+    """Per block: the requester's coverage window and its retained
+    ``(version_lsn, image_checksum)`` pairs inside it.  ``record_lsns``
+    additionally probes for clean hot-log copies of those records."""
+
+    from_segment: str
+    pg_index: int
+    #: (block, window_lo, window_hi, ((version_lsn, checksum), ...)).
+    #: A checksum of 0 with an LSN present means "I hold this version but
+    #: cannot vouch for it" (quarantined / locally corrupt).
+    blocks: tuple[tuple[int, int, int, tuple[tuple[int, int], ...]], ...]
+    record_lsns: tuple[int, ...]
+    epochs: EpochStamp
+
+
+@dataclass(frozen=True, slots=True)
+class IntegrityVoteResponse:
+    """Per block: the responder's coverage overlap with the requested
+    window and its verified versions inside it.  An image is attached only
+    where the requester's checksum was absent or different (the ballot
+    itself is just ``(lsn, checksum)``)."""
+
+    segment_id: str
+    pg_index: int
+    #: (block, cover_lo, cover_hi,
+    #:  ((version_lsn, checksum, image-or-None), ...)).
+    blocks: tuple[
+        tuple[int, int, int, tuple[tuple[int, int, object], ...]], ...
+    ]
+    #: Clean hot-log records for the probed LSNs the responder still holds.
+    records: tuple[LogRecord, ...] = ()
 
 
 # ----------------------------------------------------------------------

@@ -26,11 +26,14 @@ import random
 from dataclasses import dataclass
 
 from repro.core.epochs import EpochRegistry
-from repro.errors import ReadPointError, StaleEpochError
+from repro.core.lsn import NULL_LSN
+from repro.core.retry import Backoff, RetryPolicy
+from repro.errors import CorruptVersionError, ReadPointError, StaleEpochError
 from repro.sim.latency import LatencyModel, disk_service
 from repro.sim.network import Actor, Message
 from repro.storage.backup import SimulatedS3
 from repro.storage.messages import (
+    CORRUPT_PAYLOAD,
     BaselineRequest,
     BaselineResponse,
     EpochWrite,
@@ -38,6 +41,8 @@ from repro.storage.messages import (
     GCFloorUpdate,
     GossipQuery,
     GossipResponse,
+    IntegrityVoteRequest,
+    IntegrityVoteResponse,
     ReadBlockRequest,
     ReadBlockResponse,
     RecoveryScanRequest,
@@ -71,10 +76,26 @@ class StorageNodeConfig:
     #: monitor (when one is attached) as negative evidence about the peer.
     gossip_timeout_ms: float = 60.0
     enable_background: bool = True
+    #: Healthy blocks swept through the integrity vote per scrub round
+    #: (rotating cursor); this is what catches valid-checksum corruption
+    #: (misdirected / lost-but-acked writes).  DESIGN.md §12.
+    scrub_vote_sample: int = 6
+    #: Peers polled per integrity vote round (a read-quorum-sized sample).
+    vote_fanout: int = 3
+    #: A vote round tallies whatever replies arrived by this deadline.
+    vote_timeout_ms: float = 120.0
+    #: Pacing between vote rounds after one that produced no replies
+    #: (peers crashed or partitioned); jitter-free so the node's random
+    #: stream stays replayable.
+    vote_retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.disk is None:
             self.disk = disk_service()
+        if self.vote_retry is None:
+            self.vote_retry = RetryPolicy(
+                base_ms=100.0, cap_ms=1_600.0, multiplier=2.0
+            )
 
 
 class StorageNode(Actor):
@@ -113,8 +134,32 @@ class StorageNode(Actor):
             "scrub_runs": 0,
             "scrub_repairs": 0,
             "reads_answered": 0,
+            "reads_intercepted": 0,
+            "ingest_rejects": 0,
+            "vote_rounds": 0,
+            "vote_repairs": 0,
         }
         self._started = False
+        #: Armed by the failure injector: the next WriteBatch arrives with
+        #: a damaged frame and must be rejected at ingest, never persisted.
+        self._ingest_corruptions = 0
+        #: Number of integrity vote rounds currently in flight (background
+        #: scrub starts at most one; read-repair votes run concurrently).
+        self._votes_inflight = 0
+        #: Backoff cursor over ``config.vote_retry`` for vote rounds that
+        #: drew no replies; resets on the first answered round.
+        self._vote_backoff = Backoff(self.config.vote_retry)
+        self._vote_suppressed_until = 0.0
+        #: Settled-with-replies vote rounds a corrupt hot-log record has
+        #: survived unshipped; two strikes mean the fleet no longer holds
+        #: the record and record-by-record repair is over -- fall back to
+        #: an in-place baseline rehydration from a responding peer.
+        self._record_strikes: dict[int, int] = {}
+        self._rehydration_inflight = False
+        #: Optional :class:`repro.sim.failures.IntegrityLog` observer for
+        #: detection / repair / served-read events (no-op cost when unarmed,
+        #: exactly like ``audit_probe``).
+        self.integrity_probe = None
         #: Per-instance fire time of the latest scheduled write ACK.  The
         #: SCL is read when the ACK leaves, so an ACK already scheduled at
         #: or after a new batch's disk-completion time covers that batch
@@ -140,6 +185,32 @@ class StorageNode(Actor):
         chain.audit_probe = probe
         chain.audit_owner = self.name
         probe.register_segment(self.name, self.segment.pg_index)
+
+    def attach_integrity_probe(self, probe) -> None:
+        """Arm a :class:`repro.sim.failures.IntegrityLog`: every corruption
+        detection, repair, and served read is reported for MTTD/MTTR
+        accounting and the ``integrity-*`` invariants."""
+        self.integrity_probe = probe
+
+    def arm_ingest_corruption(self, count: int = 1) -> None:
+        """Injector hook: the next ``count`` WriteBatch frames arrive
+        damaged and must fail ingest verification."""
+        self._ingest_corruptions += count
+
+    def stats_snapshot(self) -> dict:
+        """One flat, audit-facing view of this node's health counters
+        merged with its segment's activity stats (scrub/integrity counters
+        included, instead of leaving them buried in ``counters``)."""
+        snapshot = {
+            "node": self.name,
+            "pg_index": self.segment.pg_index,
+            "kind": self.segment.kind.value,
+            "scl": self.segment.scl,
+        }
+        snapshot.update(self.counters)
+        for key, value in self.segment.stats.items():
+            snapshot[f"segment_{key}"] = value
+        return snapshot
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -190,6 +261,8 @@ class StorageNode(Actor):
             self._on_baseline(message, payload)
         elif isinstance(payload, ScrubRepairRequest):
             self._on_scrub_request(message, payload)
+        elif isinstance(payload, IntegrityVoteRequest):
+            self._on_integrity_vote(message, payload)
         # Unknown payloads are dropped silently, like any real node.
 
     def _check_epochs(self, message: Message, epochs) -> bool:
@@ -219,6 +292,25 @@ class StorageNode(Actor):
             # whether or not its epochs are current.
             self.db_health_probe.note_signal(batch.instance_id)
         if not self._check_epochs(message, batch.epochs):
+            return
+        if self._ingest_corruptions > 0:
+            # The frame arrived damaged (injected): checksum verification
+            # at ingest rejects the whole batch before anything persists.
+            # The driver resubmits its retained clean copy (DESIGN.md §12).
+            self._ingest_corruptions -= 1
+            self.counters["ingest_rejects"] += 1
+            self.counters["rejections_sent"] += 1
+            if self.integrity_probe is not None:
+                self.integrity_probe.on_ingest_reject(self.name)
+            self.network.send(
+                self.name,
+                batch.instance_id,
+                RequestRejected(
+                    segment_id=self.name,
+                    reason=CORRUPT_PAYLOAD,
+                    current_epochs=self.epochs.current,
+                ),
+            )
             return
         self.counters["write_batches"] += 1
         for record in batch.records:
@@ -261,29 +353,71 @@ class StorageNode(Actor):
         disk_delay = self.config.disk.sample(self.rng)
         self.loop.schedule(disk_delay, self._serve_read, message, request)
 
-    def _serve_read(self, message: Message, request: ReadBlockRequest) -> None:
+    def _serve_read(
+        self,
+        message: Message,
+        request: ReadBlockRequest,
+        retried: bool = False,
+    ) -> None:
         try:
-            image = self.segment.read_block(request.block, request.read_point)
-        except ReadPointError as exc:
-            self.network.reply(
-                message,
-                RequestRejected(
-                    segment_id=self.name,
-                    reason=str(exc),
-                    current_epochs=self.epochs.current,
-                ),
+            version = self.segment.read_version(
+                request.block, request.read_point
             )
+        except CorruptVersionError as exc:
+            # Read-time verification intercepted a corrupt version: never
+            # serve it.  Quarantine is already set; hold the client's reply
+            # and run a synchronous peer vote to repair, then serve the
+            # repaired image -- or reject so the driver reroutes.
+            self.counters["reads_intercepted"] += 1
+            if self.integrity_probe is not None:
+                self.integrity_probe.on_corruption_detected(
+                    self.name, exc.block, exc.lsn
+                )
+            started = False
+            if not retried:
+                started = self._start_vote(
+                    [request.block],
+                    self.segment.scrub_records(),
+                    on_done=lambda repairs, replies: self._serve_read(
+                        message, request, retried=True
+                    ),
+                )
+            if not started:
+                self._reject_read(message, CORRUPT_PAYLOAD)
+            return
+        except ReadPointError as exc:
+            self._reject_read(message, str(exc))
             return
         self.counters["reads_answered"] += 1
+        if version is None:
+            image_items: tuple = ()
+            version_lsn = NULL_LSN
+        else:
+            image_items = tuple(
+                sorted(version.image.items(), key=lambda kv: repr(kv[0]))
+            )
+            version_lsn = version.lsn
+            if self.integrity_probe is not None:
+                self.integrity_probe.on_read_served(
+                    self.name, request.block, version.lsn, version.checksum
+                )
         self.network.reply(
             message,
             ReadBlockResponse(
                 segment_id=self.name,
                 block=request.block,
-                image=tuple(sorted(image.items(), key=lambda kv: repr(kv[0]))),
-                version_lsn=self.segment.block_version_lsn(
-                    request.block, request.read_point
-                ),
+                image=image_items,
+                version_lsn=version_lsn,
+            ),
+        )
+
+    def _reject_read(self, message: Message, reason: str) -> None:
+        self.network.reply(
+            message,
+            RequestRejected(
+                segment_id=self.name,
+                reason=reason,
+                current_epochs=self.epochs.current,
             ),
         )
 
@@ -423,12 +557,346 @@ class StorageNode(Actor):
     # ------------------------------------------------------------------
     def _scrub_tick(self) -> None:
         self.counters["scrub_runs"] += 1
-        failures = self.segment.scrub()
+        segment = self.segment
+        version_failures = segment.scrub()
+        record_failures = segment.scrub_records()
+        for block, lsn in version_failures:
+            if self.integrity_probe is not None:
+                self.integrity_probe.on_corruption_detected(
+                    self.name, block, lsn
+                )
+        if self.integrity_probe is not None:
+            for lsn in record_failures:
+                self.integrity_probe.on_record_corruption_detected(
+                    self.name, lsn
+                )
+        # A block's latest version survives GC and keeps serving reads
+        # even once the read floor passes it, but peers may have condensed
+        # that history (restore, hydration), so the content vote cannot
+        # arbitrate below the vote window.  Checksum-detected rot down
+        # there is repaired directly from a single peer's clean copy.
+        lo, hi = segment.vote_window()
+        below_window = [
+            (block, lsn)
+            for block, lsn in version_failures
+            if not lo < lsn <= hi
+        ]
+        if below_window:
+            self._legacy_scrub_repair(below_window)
+        # Beyond locally-flagged failures, sweep a rotating sample of
+        # healthy-looking blocks through the peer vote: valid-checksum
+        # corruption (misdirected / lost-but-acked writes) is invisible to
+        # local verification and only a cross-peer content vote exposes it.
+        blocks = sorted(
+            {
+                block
+                for block, lsn in version_failures
+                if lo < lsn <= hi
+            }
+            | set(segment.scrub_sample_blocks(self.config.scrub_vote_sample))
+        )
+        if not blocks and not record_failures:
+            return
+        if self._votes_inflight > 0:
+            return  # one background vote round at a time
+        if self.loop.now < self._vote_suppressed_until:
+            return  # backing off after a round that drew no replies
+        if not self._start_vote(blocks, record_failures, self._on_vote_settled):
+            # Fewer than two eligible voters: fall back to the legacy
+            # single-peer repair for checksum-detected failures (it cannot
+            # catch valid-checksum corruption, but it keeps bit-rot repair
+            # alive while the PG is degraded).
+            self._legacy_scrub_repair(version_failures)
+
+    def _on_vote_settled(self, repairs: int, replies: int) -> None:
+        if replies == 0:
+            self._vote_suppressed_until = (
+                self.loop.now + self._vote_backoff.next_delay()
+            )
+        else:
+            self._vote_backoff.reset()
+            self._vote_suppressed_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Quorum-vote integrity repair (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    def _vote_peers(self) -> list[str]:
+        """Chain-capable current peers (full + log stores): the voters."""
+        pg = self.segment.pg_index
+        placements = (
+            self.metadata.full_segments_of_pg(pg)
+            + self.metadata.log_segments_of_pg(pg)
+        )
+        return sorted(
+            p.segment_id for p in placements if p.segment_id != self.name
+        )
+
+    def _start_vote(self, blocks, record_lsns, on_done) -> bool:
+        """Open one vote round; returns False when no quorum is possible.
+
+        ``on_done(repairs, replies)`` fires exactly once, when every polled
+        peer answered or the vote deadline passed -- crashed or partitioned
+        peers simply never count.
+        """
+        peers = self._vote_peers()
+        if self.segment.kind is not SegmentKind.TAIL and len(peers) < 2:
+            return False
+        if not peers:
+            return False
+        fanout = min(self.config.vote_fanout, len(peers))
+        chosen = (
+            self.rng.sample(peers, fanout) if len(peers) > fanout else peers
+        )
+        request = IntegrityVoteRequest(
+            from_segment=self.name,
+            pg_index=self.segment.pg_index,
+            blocks=self.segment.vote_request_blocks(blocks),
+            record_lsns=tuple(sorted(record_lsns)),
+            epochs=self.epochs.current,
+        )
+        self.counters["vote_rounds"] += 1
+        self._votes_inflight += 1
+        state = {
+            "responses": [],
+            "expected": len(chosen),
+            "settled": False,
+            "on_done": on_done,
+            "record_lsns": tuple(sorted(record_lsns)),
+        }
+        for peer in chosen:
+            future = self.network.rpc(self.name, peer, request)
+            future.add_done_callback(
+                lambda f, s=state: self._on_vote_reply(s, f)
+            )
+        self.loop.schedule(
+            self.config.vote_timeout_ms, self._settle_vote, state
+        )
+        return True
+
+    def _on_vote_reply(self, state: dict, future) -> None:
+        if future.exception() is not None:
+            # The peer crashed or the link dropped mid-RPC; it simply does
+            # not vote this round.
+            reply = None
+        else:
+            reply = future.result()
+        if isinstance(reply, IntegrityVoteResponse):
+            state["responses"].append(reply)
+        if len(state["responses"]) >= state["expected"]:
+            self._settle_vote(state)
+
+    def _settle_vote(self, state: dict) -> None:
+        if state["settled"]:
+            return
+        state["settled"] = True
+        self._votes_inflight -= 1
+        responses = state["responses"]
+        repairs = self._tally_votes(responses)
+        self.counters["vote_repairs"] += repairs
+        self.counters["scrub_repairs"] += repairs
+        if responses:
+            self._strike_unrecoverable_records(
+                state["record_lsns"], responses
+            )
+        state["on_done"](repairs, len(responses))
+
+    def _tally_votes(self, responses) -> int:
+        """Majority content agreement per ``(block, version_lsn)``.
+
+        Each voter covering an LSN casts its verified checksum, or ABSENT
+        when it holds no version there.  This copy votes too (unless its
+        version is corrupt, which casts no content ballot).  Only a strict
+        majority overrules local state: adopt the winning image, or drop a
+        version the majority does not have (a misdirected write's
+        artifact).  A corrupt peer never propagates -- its vouched content
+        is outvoted and unverified images are never shipped.
+        """
+        segment = self.segment
+        absent = object()
+        my_lo, my_hi = segment.vote_window()
+        # Candidate LSNs: everything any responder vouched for, plus every
+        # local version inside my window for the voted blocks.
+        candidates: set[tuple[int, int]] = set()
+        voted_blocks: set[int] = set()
+        for response in responses:
+            for block, _cover_lo, _cover_hi, entries in response.blocks:
+                voted_blocks.add(block)
+                for lsn, _checksum, _image in entries:
+                    candidates.add((block, lsn))
+        for block in voted_blocks:
+            chain = segment.blocks.get(block)
+            if chain is None:
+                continue
+            for version in chain.versions:
+                if my_lo < version.lsn <= my_hi:
+                    candidates.add((block, version.lsn))
+        repairs = 0
+        for block, lsn in sorted(candidates):
+            votes: list[object] = []
+            images: dict[object, object] = {}
+            for response in responses:
+                for rblock, cover_lo, cover_hi, entries in response.blocks:
+                    if rblock != block or not cover_lo < lsn <= cover_hi:
+                        continue
+                    entry = next(
+                        (e for e in entries if e[0] == lsn), None
+                    )
+                    if entry is None:
+                        votes.append(absent)
+                    else:
+                        votes.append(entry[1])
+                        if entry[2] is not None:
+                            images[entry[1]] = entry[2]
+            if not votes:
+                continue  # no peer coverage; nothing to compare against
+            if not my_lo < lsn <= my_hi:
+                continue  # outside my comparable window
+            chain = segment.blocks.get(block)
+            mine = chain.version_at(lsn) if chain is not None else None
+            if mine is not None and mine.lsn != lsn:
+                mine = None
+            total = len(votes) + 1
+            if mine is None:
+                votes.append(absent)
+            elif mine.verify():
+                votes.append(mine.checksum)
+            else:
+                total = len(votes)  # a corrupt copy casts no ballot
+            tally: dict[object, int] = {}
+            for vote in votes:
+                tally[vote] = tally.get(vote, 0) + 1
+            winner, count = max(tally.items(), key=lambda kv: kv[1])
+            if count * 2 <= total:
+                continue  # no strict majority; retry next round
+            if winner is absent:
+                if mine is not None and segment.drop_version(block, lsn):
+                    repairs += 1
+                    if self.integrity_probe is not None:
+                        self.integrity_probe.on_version_removed(
+                            self.name, block, lsn
+                        )
+                continue
+            mine_matches = (
+                mine is not None and mine.verify() and mine.checksum == winner
+            )
+            if mine_matches:
+                continue
+            image = images.get(winner)
+            if image is None:
+                continue  # majority agreed with my (corrupt?) checksum
+            if segment.repair_version(block, lsn, image):
+                repairs += 1
+                if self.integrity_probe is not None:
+                    self.integrity_probe.on_version_repaired(
+                        self.name, block, lsn, winner
+                    )
+        # Record repair: adopt clean peer records for probed or differing
+        # LSNs this copy is missing or holds bit-rotted.
+        corrupt_records = segment.corrupt_record_lsns
+        seen: set[int] = set()
+        for response in responses:
+            for record in response.records:
+                if record.lsn in seen:
+                    continue
+                seen.add(record.lsn)
+                if (
+                    record.lsn in corrupt_records
+                    or record.lsn not in segment.hot_log
+                ):
+                    if segment.restore_record(record):
+                        repairs += 1
+                        if self.integrity_probe is not None:
+                            self.integrity_probe.on_record_repaired(
+                                self.name, record.lsn
+                            )
+        return repairs
+
+    def _strike_unrecoverable_records(self, requested, responses) -> None:
+        """Track corrupt hot-log records no responding peer shipped.
+
+        A replying peer ships a probed record whenever its own copy still
+        verifies, so a record that survives settled rounds unshipped is
+        gone from the fleet's hot logs (GC ran past it) -- record-by-record
+        repair can never succeed.  After two strikes, fall back to an
+        in-place baseline rehydration (see :meth:`_request_rehydration`).
+        """
+        still_corrupt = self.segment.corrupt_record_lsns
+        exhausted = False
+        for lsn in requested:
+            if lsn not in still_corrupt:
+                self._record_strikes.pop(lsn, None)
+                continue
+            strikes = self._record_strikes.get(lsn, 0) + 1
+            self._record_strikes[lsn] = strikes
+            if strikes >= 2:
+                exhausted = True
+        if exhausted:
+            self._request_rehydration(responses)
+
+    def _request_rehydration(self, responses) -> None:
+        """Re-baseline this segment in place from a responding peer.
+
+        The peer's collapsed baseline covers the range our coalescing has
+        been stalled on (it is content-complete through the peer's
+        coalesce point), so adopting it jumps ``coalesced_upto`` past the
+        unrecoverable record; the immediate GC pass then drops the
+        orphaned corrupt record, exactly as it would any other record
+        below the materialized bound.  This is the same
+        :class:`BaselineRequest` hydration a replacement candidate uses --
+        scoped corruption recovery instead of a full segment replacement.
+        """
+        if self._rehydration_inflight:
+            return
+        self._rehydration_inflight = True
+        request = BaselineRequest(
+            from_segment=self.name,
+            pg_index=self.segment.pg_index,
+            epochs=self.epochs.current,
+        )
+        future = self.network.rpc(
+            self.name, responses[0].segment_id, request
+        )
+        future.add_done_callback(self._on_rehydration_baseline)
+
+    def _on_rehydration_baseline(self, future) -> None:
+        self._rehydration_inflight = False
+        if future.exception() is not None:
+            return  # source crashed mid-RPC; the next strike retries
+        reply = future.result()
+        if not isinstance(reply, BaselineResponse):
+            return
+        scl_before = self.segment.scl
+        self.apply_baseline(reply)
+        # Drop the corrupt records the adopted baseline just shadowed;
+        # the integrity reconcile observes the removal and closes them.
+        self.segment.garbage_collect()
+        self._record_strikes.clear()
+        if self.segment.scl > scl_before:
+            for instance_id in self._instance_read_floors:
+                self._send_ack(instance_id)
+
+    def _on_integrity_vote(
+        self, message: Message, request: IntegrityVoteRequest
+    ) -> None:
+        if not self._check_epochs(message, request.epochs):
+            return
+        blocks, records = self.segment.answer_vote(
+            request.blocks, request.record_lsns
+        )
+        self.network.reply(
+            message,
+            IntegrityVoteResponse(
+                segment_id=self.name,
+                pg_index=self.segment.pg_index,
+                blocks=blocks,
+                records=records,
+            ),
+        )
+
+    def _legacy_scrub_repair(self, failures) -> None:
+        """Single-peer repair fallback when no vote quorum is reachable."""
         if not failures:
             return
-        # Repair from a full peer over the network, like every other flow:
-        # the request experiences latency, partitions, and crashes, and an
-        # unlucky round simply retries at the next scrub interval.
         peers = sorted(
             p.segment_id
             for p in self.metadata.full_segments_of_pg(self.segment.pg_index)
@@ -447,6 +915,8 @@ class StorageNode(Actor):
         future.add_done_callback(self._on_scrub_reply)
 
     def _on_scrub_reply(self, future) -> None:
+        if future.exception() is not None:
+            return  # peer crashed or partitioned mid-RPC; retry next tick
         reply = future.result()
         if not isinstance(reply, ScrubRepairResponse):
             return  # rejected or unexpected; retry at the next scrub tick
@@ -543,6 +1013,8 @@ class StorageNode(Actor):
         )
 
     def _on_hydration_baseline(self, future) -> None:
+        if future.exception() is not None:
+            return  # source crashed or partitioned mid-RPC; retry via gossip
         reply = future.result()
         if isinstance(reply, BaselineResponse):
             scl_before = self.segment.scl
@@ -563,6 +1035,12 @@ class StorageNode(Actor):
                     chain.append(version_lsn, dict(image))
             self.segment.coalesced_upto = max(
                 self.segment.coalesced_upto, response.coalesced_upto
+            )
+            # The baseline collapses history into one version per block;
+            # structural integrity votes below it would disagree with
+            # peers that kept granular chains.
+            self.segment.granular_floor = max(
+                self.segment.granular_floor, response.coalesced_upto
             )
         self.segment.chain.rebase(response.gc_horizon)
         self.segment.gc_horizon = max(

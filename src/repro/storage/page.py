@@ -37,11 +37,17 @@ def image_checksum(image: Mapping[str, Any]) -> int:
 
 @dataclass
 class BlockVersion:
-    """One materialized version of a block."""
+    """One materialized version of a block.
+
+    ``quarantined`` marks a version the read path caught failing
+    verification: it must never be served or vouched for in a repair vote
+    until overwritten with a verified peer image (DESIGN.md §12).
+    """
 
     lsn: int
     image: dict[str, Any]
     checksum: int
+    quarantined: bool = False
 
     @staticmethod
     def of(lsn: int, image: Mapping[str, Any]) -> "BlockVersion":
@@ -49,7 +55,7 @@ class BlockVersion:
         return BlockVersion(lsn=lsn, image=frozen, checksum=image_checksum(frozen))
 
     def verify(self) -> bool:
-        return self.checksum == image_checksum(self.image)
+        return not self.quarantined and self.checksum == image_checksum(self.image)
 
 
 class BlockVersionChain:
@@ -129,11 +135,73 @@ class BlockVersionChain:
         self._versions = kept
         return removed
 
+    def insert(self, lsn: int, image: Mapping[str, Any]) -> BlockVersion:
+        """Insert a version at an arbitrary chain position (repair adopt).
+
+        Unlike :meth:`append` this accepts mid-chain LSNs -- peer repair of
+        a lost write restores a version *between* existing ones.  The LSN
+        must not collide with a retained version.
+        """
+        version = BlockVersion.of(lsn, image)
+        lo, hi = 0, len(self._versions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._versions[mid].lsn < lsn:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self._versions) and self._versions[lo].lsn == lsn:
+            raise ReadPointError(lsn, lsn + 1, 2**63)
+        self._versions.insert(lo, version)
+        return version
+
+    def remove_version(self, lsn: int) -> bool:
+        """Drop the version at exactly ``lsn`` (misdirected-write cleanup)."""
+        for i, version in enumerate(self._versions):
+            if version.lsn == lsn:
+                del self._versions[i]
+                return True
+        return False
+
+    def corrupt_version(
+        self,
+        lsn: int | None = None,
+        *,
+        valid_checksum: bool = False,
+        image: Mapping[str, Any] | None = None,
+    ) -> int | None:
+        """Injector API: silently damage a stored version in place.
+
+        ``lsn=None`` targets the newest version.  With
+        ``valid_checksum=False`` the image is mutated *under* its recorded
+        checksum (disk bit-rot -- local verification catches it).  With
+        ``valid_checksum=True`` the image (``image`` or a marker) replaces
+        the stored one and the checksum is recomputed, modelling a
+        misdirected write: self-consistent, only a cross-peer content vote
+        can catch it.  Returns the damaged LSN, or ``None`` if no version
+        matched.
+        """
+        if not self._versions:
+            return None
+        victim = self._versions[-1] if lsn is None else None
+        if victim is None:
+            for version in self._versions:
+                if version.lsn == lsn:
+                    victim = version
+                    break
+        if victim is None:
+            return None
+        new_image = dict(image) if image is not None else dict(victim.image)
+        if image is None:
+            new_image["__corrupted__"] = True
+        victim.image = new_image
+        if valid_checksum:
+            victim.checksum = image_checksum(new_image)
+        return victim.lsn
+
     def corrupt_latest(self) -> None:
-        """Test hook: flip the newest version's stored image under its
-        checksum so the scrubber can detect it."""
-        if self._versions:
-            self._versions[-1].image["__corrupted__"] = True
+        """Back-compat shim for :meth:`corrupt_version` (newest, bit-rot)."""
+        self.corrupt_version()
 
     def scrub(self) -> list[int]:
         """Return the LSNs of versions whose checksum no longer matches."""

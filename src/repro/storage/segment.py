@@ -25,13 +25,14 @@ nodes will only accept read requests between PGMRPL and SCL."
 from __future__ import annotations
 
 import enum
-from bisect import bisect_right, insort
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import replace
 from typing import Iterable
 
 from repro.core.consistency import SegmentChainTracker
 from repro.core.lsn import NULL_LSN, TruncationRange
-from repro.core.records import NO_BLOCK, ChainDigest, LogRecord
-from repro.errors import ConfigurationError, ReadPointError
+from repro.core.records import NO_BLOCK, ChainDigest, LogRecord, record_digest
+from repro.errors import ConfigurationError, CorruptVersionError, ReadPointError
 from repro.storage.page import BlockVersionChain, image_checksum
 
 
@@ -86,6 +87,22 @@ class Segment:
         #: ("even if in-flight asynchronous operations complete during the
         #: process of crash recovery, they are ignored").
         self.truncations: list[TruncationRange] = []
+        #: Content digest of every hot-log record, captured at ingest.  The
+        #: scrubber and the coalescer re-derive digests to detect bit-rot
+        #: on stored records before their redo is ever applied.
+        self.record_digests: dict[int, int] = {}
+        #: Hot-log LSNs whose stored record failed digest verification;
+        #: coalescing stops below the lowest one until peer repair replaces
+        #: the record.
+        self._corrupt_record_lsns: set[int] = set()
+        #: Below this LSN the per-version chain structure is condensed
+        #: (snapshot restore / hydration collapse history into a single
+        #: baseline version), so cross-peer structural votes are only
+        #: meaningful above it.  Monotone.
+        self.granular_floor = NULL_LSN
+        #: Rotating cursor for scrub block sampling (full coverage every
+        #: ``ceil(len(blocks)/sample)`` scrub rounds, deterministically).
+        self._scrub_cursor = 0
         self.stats = {
             "records_received": 0,
             "duplicates": 0,
@@ -96,6 +113,9 @@ class Segment:
             "gc_versions_dropped": 0,
             "reads_served": 0,
             "scrub_failures": 0,
+            "record_scrub_failures": 0,
+            "versions_quarantined": 0,
+            "votes_answered": 0,
         }
 
     # ------------------------------------------------------------------
@@ -125,6 +145,7 @@ class Segment:
             return False
         self.hot_log[record.lsn] = record
         insort(self._lsn_index, record.lsn)
+        self.record_digests[record.lsn] = record_digest(record)
         self.stats["records_received"] += 1
         if via_gossip:
             self.stats["records_gossiped_in"] += 1
@@ -153,8 +174,22 @@ class Segment:
         hi = bisect_right(index, limit)
         applied = 0
         hot_log = self.hot_log
+        digests = self.record_digests
         for lsn in index[lo:hi]:
-            self._apply_record(hot_log[lsn])
+            record = hot_log[lsn]
+            # Verify the stored record against its ingest digest before
+            # applying redo: bit-rot on a hot-log record must never be
+            # materialized into a corrupt version carrying a *valid* image
+            # checksum.  Coalescing stalls just below the damaged record
+            # until peer repair replaces it.
+            if record_digest(record) != digests.get(lsn):
+                if lsn not in self._corrupt_record_lsns:
+                    self._corrupt_record_lsns.add(lsn)
+                    self.stats["record_scrub_failures"] += 1
+                self.coalesced_upto = lsn - 1
+                self.stats["coalesce_applications"] += applied
+                return applied
+            self._apply_record(record)
             applied += 1
         self.coalesced_upto = limit
         self.stats["coalesce_applications"] += applied
@@ -181,7 +216,23 @@ class Segment:
         Materializes on demand ("materializing blocks in background or
         on-demand to satisfy a read request").  Raises
         :class:`ReadPointError` outside the [gc_floor, SCL] window and on
-        tail segments (which hold no blocks).
+        tail segments (which hold no blocks), and
+        :class:`CorruptVersionError` when the served version fails
+        verification.
+        """
+        version = self.read_version(block, read_point)
+        return dict(version.image) if version is not None else {}
+
+    def read_version(self, block: int, read_point: int):
+        """Guarded, verified read returning the served :class:`BlockVersion`
+        (``None`` for a never-written block).
+
+        Every read verifies the served version's checksum (DESIGN.md §12):
+        raises :class:`CorruptVersionError` when it fails verification --
+        quarantining the version so it can never be served or vouched for
+        until repaired -- or when a corrupt hot-log record at or below the
+        read point stalled coalescing (the image would be silently
+        incomplete).
         """
         if self.kind is SegmentKind.TAIL:
             raise ReadPointError(read_point, 0, 0)
@@ -197,11 +248,19 @@ class Segment:
         if not self.gc_floor <= read_point <= self.scl:
             raise ReadPointError(read_point, self.gc_floor, self.scl)
         self.coalesce(upto=read_point)
-        self.stats["reads_served"] += 1
+        if self._corrupt_record_lsns:
+            blocking = min(self._corrupt_record_lsns)
+            if blocking <= min(read_point, self.scl):
+                raise CorruptVersionError(block, blocking)
         chain = self.blocks.get(block)
-        if chain is None:
-            return {}
-        return chain.image_at(read_point)
+        version = chain.version_at(read_point) if chain is not None else None
+        if version is not None and not version.verify():
+            if not version.quarantined:
+                version.quarantined = True
+                self.stats["versions_quarantined"] += 1
+            raise CorruptVersionError(block, version.lsn)
+        self.stats["reads_served"] += 1
+        return version
 
     def block_version_lsn(self, block: int, read_point: int) -> int:
         """LSN of the version that :meth:`read_block` would serve."""
@@ -215,10 +274,31 @@ class Segment:
     # Gossip support
     # ------------------------------------------------------------------
     def records_after(self, lsn: int, limit: int = 1024) -> list[LogRecord]:
-        """Hot-log records above ``lsn``, in LSN order (gossip fill-ins)."""
+        """Hot-log records above ``lsn``, in LSN order (gossip fill-ins).
+
+        Verified on the way out: a record whose stored bytes no longer
+        match the ingest digest is withheld (and remembered as corrupt for
+        scrub repair) rather than shipped.  This matters most for lagging
+        copies -- a Taurus page store draining the log, or a hydrating
+        replacement -- which would otherwise ingest the rotted bytes as
+        authentic and materialize them under a *valid* image checksum.
+        The requester fills the hole from another peer's clean copy.
+        """
         index = self._lsn_index
         lo = bisect_right(index, lsn)
-        return [self.hot_log[l] for l in index[lo : lo + limit]]
+        digests = self.record_digests
+        out: list[LogRecord] = []
+        for l in index[lo:]:
+            if len(out) >= limit:
+                break
+            record = self.hot_log[l]
+            if record_digest(record) != digests.get(l):
+                if l not in self._corrupt_record_lsns:
+                    self._corrupt_record_lsns.add(l)
+                    self.stats["record_scrub_failures"] += 1
+                continue
+            out.append(record)
+        return out
 
     def missing_below_scl_of(self, peer_scl: int) -> bool:
         """Would gossip with a peer at ``peer_scl`` teach this segment
@@ -253,6 +333,8 @@ class Segment:
         doomed = index[lo:hi]
         for lsn in doomed:
             del self.hot_log[lsn]
+            self.record_digests.pop(lsn, None)
+            self._corrupt_record_lsns.discard(lsn)
         self._lsn_index = index[:lo] + index[hi:]
         self.chain.truncate(pg_point, truncation.last)
         for chain in self.blocks.values():
@@ -295,6 +377,8 @@ class Segment:
         snapshot_scl = payload["scl"]
         self.hot_log.clear()
         self._lsn_index.clear()
+        self.record_digests.clear()
+        self._corrupt_record_lsns.clear()
         self.blocks = {}
         if self.kind is SegmentKind.FULL:
             for block, image in payload["blocks"].items():
@@ -310,6 +394,10 @@ class Segment:
             self.coalesced_upto = snapshot_scl
         self.backed_up_upto = snapshot_scl
         self.gc_horizon = max(self.gc_horizon, snapshot_scl)
+        # The restored baseline collapses per-block history into one
+        # version at the snapshot SCL; structural votes below it would
+        # disagree with peers that kept granular chains.
+        self.granular_floor = max(self.granular_floor, snapshot_scl)
         return snapshot_scl
 
     def advance_gc_floor(self, floor: int) -> None:
@@ -341,6 +429,8 @@ class Segment:
         doomed = index[:cut]
         for lsn in doomed:
             del self.hot_log[lsn]
+            self.record_digests.pop(lsn, None)
+            self._corrupt_record_lsns.discard(lsn)
         self._lsn_index = index[cut:]
         versions_dropped = 0
         for chain in self.blocks.values():
@@ -413,6 +503,242 @@ class Segment:
         )
 
     # ------------------------------------------------------------------
+    # Integrity: record scrub + quorum-vote repair (DESIGN.md §12)
+    # ------------------------------------------------------------------
+    def scrub_records(self) -> list[int]:
+        """Verify every hot-log record against its ingest digest.
+
+        Returns the LSNs of records whose stored bytes no longer match
+        (bit-rot on the log itself); they are also remembered so coalescing
+        refuses to apply them until peer repair replaces the record.
+        """
+        bad = self._corrupt_record_lsns
+        digests = self.record_digests
+        for lsn in self._lsn_index:
+            if lsn in bad:
+                continue
+            if record_digest(self.hot_log[lsn]) != digests.get(lsn):
+                bad.add(lsn)
+                self.stats["record_scrub_failures"] += 1
+        return sorted(bad)
+
+    @property
+    def corrupt_record_lsns(self) -> frozenset[int]:
+        return frozenset(self._corrupt_record_lsns)
+
+    def vote_window(self) -> tuple[int, int]:
+        """``(lo, hi]``: where this copy's version chains are granular and
+        materialized, i.e. structurally comparable across peers.
+
+        Below ``granular_floor`` history was condensed by restore or
+        hydration; below ``gc_floor`` versions have been collected; above
+        ``coalesced_upto`` nothing is materialized yet.
+        """
+        return (max(self.granular_floor, self.gc_floor), self.coalesced_upto)
+
+    def scrub_sample_blocks(self, n: int) -> list[int]:
+        """Next ``n`` blocks under the rotating scrub cursor.
+
+        Sampling healthy-looking blocks is what catches corruption with a
+        *valid* checksum (misdirected writes, lost-but-acked writes): only
+        a cross-peer content vote can expose those, so the scrubber sweeps
+        every block through the vote on a deterministic rotation.
+        """
+        if not self.blocks or n <= 0:
+            return []
+        order = sorted(self.blocks)
+        start = self._scrub_cursor % len(order)
+        picked = [
+            order[(start + i) % len(order)]
+            for i in range(min(n, len(order)))
+        ]
+        self._scrub_cursor = (start + len(picked)) % len(order)
+        return picked
+
+    def vote_request_blocks(
+        self, blocks_of_interest: Iterable[int]
+    ) -> tuple[tuple[int, int, int, tuple[tuple[int, int], ...]], ...]:
+        """Build the per-block entries of an IntegrityVoteRequest.
+
+        For each block: this copy's granular window and its retained
+        ``(version_lsn, checksum)`` pairs inside it.  A checksum of 0 marks
+        a version held but unvouchable (quarantined or locally corrupt) so
+        a responder knows to attach its image.
+        """
+        lo, hi = self.vote_window()
+        out = []
+        for block in blocks_of_interest:
+            chain = self.blocks.get(block)
+            pairs = []
+            if chain is not None:
+                for version in chain._versions:  # noqa: SLF001 - scrub path
+                    if lo < version.lsn <= hi:
+                        pairs.append(
+                            (
+                                version.lsn,
+                                version.checksum if version.verify() else 0,
+                            )
+                        )
+            out.append((block, lo, hi, tuple(pairs)))
+        return tuple(out)
+
+    def answer_vote(
+        self,
+        blocks: Iterable[tuple[int, int, int, tuple[tuple[int, int], ...]]],
+        record_lsns: Iterable[int] = (),
+    ) -> tuple[
+        tuple[tuple[int, int, int, tuple[tuple[int, int, object], ...]], ...],
+        tuple[LogRecord, ...],
+    ]:
+        """Answer a peer's integrity vote (IntegrityVoteResponse payload).
+
+        Per block: the overlap of our granular window with the requested
+        one, and our *verified* versions inside it -- a corrupt or
+        quarantined local version is never vouched for nor shipped.  Images
+        ride along only where the requester's checksum was absent or
+        different.  Clean hot-log records are attached for probed LSNs and
+        for every differing version (so a lost write's record is restored
+        together with its image).
+        """
+        self.stats["votes_answered"] += 1
+        blocks = tuple(blocks)
+        # Log stores materialize on demand so their chains can vouch: this
+        # is the Taurus log-tail-replay fallback that breaks a 2-copy page
+        # store tie.  Skip when history below the GC horizon was never
+        # materialized here (same guard as read_block).
+        if (
+            self.kind is SegmentKind.LOG
+            and self.coalesced_upto >= self.gc_horizon
+        ):
+            hi_needed = max((b[2] for b in blocks), default=NULL_LSN)
+            if hi_needed > self.coalesced_upto:
+                self.coalesce(upto=hi_needed)
+        lo_own, hi_own = self.vote_window()
+        reply_blocks = []
+        want_records: set[int] = set(record_lsns)
+        for block, req_lo, req_hi, pairs in blocks:
+            cover_lo = max(lo_own, req_lo)
+            cover_hi = min(hi_own, req_hi)
+            if self.kind is SegmentKind.TAIL or cover_lo >= cover_hi:
+                reply_blocks.append((block, cover_lo, cover_lo, ()))
+                continue
+            theirs = dict(pairs)
+            chain = self.blocks.get(block)
+            entries = []
+            if chain is not None:
+                for version in chain._versions:  # noqa: SLF001 - scrub path
+                    if not cover_lo < version.lsn <= cover_hi:
+                        continue
+                    if not version.verify():
+                        continue
+                    image = None
+                    if theirs.get(version.lsn) != version.checksum:
+                        image = tuple(
+                            sorted(
+                                version.image.items(),
+                                key=lambda kv: repr(kv[0]),
+                            )
+                        )
+                        want_records.add(version.lsn)
+                    entries.append((version.lsn, version.checksum, image))
+            reply_blocks.append((block, cover_lo, cover_hi, tuple(entries)))
+        records = []
+        for lsn in sorted(want_records):
+            record = self.hot_log.get(lsn)
+            if (
+                record is not None
+                and record_digest(record) == self.record_digests.get(lsn)
+            ):
+                records.append(record)
+        return tuple(reply_blocks), tuple(records)
+
+    def repair_version(
+        self, block: int, lsn: int, image: Iterable[tuple[str, object]]
+    ) -> bool:
+        """Adopt a majority-agreed image: overwrite the local version in
+        place (clearing quarantine) or insert it mid-chain (lost write)."""
+        if any(t.contains(lsn) for t in self.truncations):
+            return False
+        chain = self.blocks.get(block)
+        if chain is None:
+            chain = BlockVersionChain(block)
+            self.blocks[block] = chain
+        version = chain.version_at(lsn)
+        if version is not None and version.lsn == lsn:
+            version.image = dict(image)
+            version.checksum = image_checksum(version.image)
+            version.quarantined = False
+            return True
+        chain.insert(lsn, dict(image))
+        return True
+
+    def drop_version(self, block: int, lsn: int) -> bool:
+        """Remove a version the peer majority does not have (the local
+        artifact of a misdirected write)."""
+        chain = self.blocks.get(block)
+        return chain.remove_version(lsn) if chain is not None else False
+
+    def restore_record(self, record: LogRecord) -> bool:
+        """Re-adopt a clean peer copy of a hot-log record.
+
+        Replaces a bit-rotted stored record, or refills the record a
+        lost-but-acked write dropped.  Bypasses :meth:`receive`'s duplicate
+        guard (the LSN is typically at or below our SCL already) but still
+        honours truncation annulment and the GC horizon.
+        """
+        if any(t.contains(record.lsn) for t in self.truncations):
+            return False
+        if record.lsn <= self.gc_horizon:
+            return False
+        existing = record.lsn in self.hot_log
+        self.hot_log[record.lsn] = record
+        if not existing:
+            insort(self._lsn_index, record.lsn)
+        self.record_digests[record.lsn] = record_digest(record)
+        self._corrupt_record_lsns.discard(record.lsn)
+        return True
+
+    def corrupt_record(self, lsn: int, payload=None) -> LogRecord | None:
+        """Injector API: silently mangle the stored hot-log record at
+        ``lsn``.  The digest captured at ingest is deliberately left
+        untouched -- that mismatch is what :meth:`scrub_records` and the
+        verified :meth:`coalesce` detect.  Returns the mangled record, or
+        ``None`` if the LSN is not in the hot log.
+        """
+        record = self.hot_log.get(lsn)
+        if record is None:
+            return None
+        mangled = replace(
+            record,
+            payload=("__bit_rot__", lsn) if payload is None else payload,
+        )
+        self.hot_log[lsn] = mangled
+        return mangled
+
+    def lose_record(self, lsn: int) -> LogRecord | None:
+        """Injector API: drop an acknowledged record -- and its
+        materialized version -- as if the disk write never happened.
+
+        The SCL keeps covering ``lsn``; that is the fault being modelled
+        (a lost-but-acked write): gossip never re-fetches below the SCL,
+        so only a cross-peer integrity vote can notice the hole.  Returns
+        the dropped record, or ``None`` if the LSN is not in the hot log.
+        """
+        record = self.hot_log.pop(lsn, None)
+        if record is None:
+            return None
+        index = self._lsn_index
+        pos = bisect_left(index, lsn)
+        if pos < len(index) and index[pos] == lsn:
+            del index[pos]
+        self.record_digests.pop(lsn, None)
+        self._corrupt_record_lsns.discard(lsn)
+        chain = self.blocks.get(record.block)
+        if chain is not None:
+            chain.remove_version(lsn)
+        return record
+
+    # ------------------------------------------------------------------
     # Hydration (membership repair, section 4.2)
     # ------------------------------------------------------------------
     def hydrate_from(self, source: "Segment") -> int:
@@ -443,6 +769,12 @@ class Segment:
         # by the S3 backup (tail), so the chain re-anchors there.
         self.chain.rebase(source.gc_horizon)
         self.gc_horizon = max(self.gc_horizon, source.gc_horizon)
+        # Copied chains inherit the source's structure only inside its own
+        # granular window; below that (and below any pre-existing local
+        # baseline) this copy is condensed relative to other peers.
+        self.granular_floor = max(
+            self.granular_floor, source.granular_floor, source.gc_horizon
+        )
         for record in source.records_after(self.scl, limit=10**9):
             self.receive(record, via_gossip=True)
             copied += 1

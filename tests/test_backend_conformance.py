@@ -20,6 +20,7 @@ from hypothesis import strategies as st
 
 from repro import AuroraCluster, ClusterConfig
 from repro.db.instance import InstanceState
+from repro.storage.node import StorageNodeConfig
 from repro.db.session import Session
 from repro.errors import CommitUncertainError, InstanceStateError
 from repro.storage.backend import BACKENDS, resolve_backend
@@ -503,3 +504,66 @@ class TestTaurusFailureEdges:
         assert replication.sync_write_copies == 3
         aurora = resolve_backend("aurora").replication()
         assert aurora.sync_write_copies == 6
+
+
+# ----------------------------------------------------------------------
+# Contract 7: integrity under silent corruption
+class TestIntegrityContract:
+    """Every backend must detect injected silent corruption, never serve
+    it to a reader, and repair it from surviving copies (see DESIGN.md
+    section 12).  The fleet runs with read-time verification, record
+    scrub, quorum-vote repair, and the integrity ledger armed -- the same
+    machinery the `--integrity` audit gates on."""
+
+    def _armed(self, backend: str) -> AuroraCluster:
+        cluster = build(
+            backend,
+            seed=7,
+            node=StorageNodeConfig(scrub_interval=400.0),
+        )
+        cluster.failures.attach_storage(cluster.nodes.values())
+        cluster.failures.start_integrity_reconcile()
+        return cluster
+
+    def _inject_one(self, cluster, db) -> None:
+        """Land one corruption on a fresh mid-chain victim (a pinned read
+        view keeps the GC floor below it; see tests/test_integrity.py)."""
+        injectors = (
+            cluster.failures.bit_rot_any,
+            cluster.failures.lost_write_any,
+            cluster.failures.misdirected_write_any,
+        )
+        for attempt in range(20):
+            view = cluster.writer.open_view()
+            try:
+                for i in range(4):
+                    db.write(f"victim{attempt}.{i}", f"v{attempt}.{i}")
+                for i in range(4):
+                    db.write(f"victim{attempt}.{i}", f"w{attempt}.{i}")
+                cluster.run_for(30.0)
+                corruption = injectors[attempt % len(injectors)]()
+            finally:
+                cluster.writer.close_view(view)
+            if corruption is not None:
+                return
+            cluster.run_for(120.0)
+        raise AssertionError("injector found no eligible victim")
+
+    def test_corruption_repaired_and_never_served(self, backend):
+        cluster = self._armed(backend)
+        db = Session(cluster.writer)
+        expected = {}
+        for i in range(10):
+            db.write(f"k{i}", f"v{i}")
+            expected[f"k{i}"] = f"v{i}"
+        integrity = cluster.failures.integrity
+        self._inject_one(cluster, db)
+        assert integrity.open_count() >= 1
+        for _ in range(60):
+            if integrity.open_count() == 0:
+                break
+            cluster.run_for(500.0)
+        assert integrity.open_count() == 0, integrity.open_records()
+        assert integrity.corrupt_reads_served == 0
+        for key, value in expected.items():
+            assert db.get(key) == value

@@ -1,0 +1,567 @@
+"""End-to-end integrity: silent corruption, verification, and repair.
+
+Covers the DESIGN.md section 12 machinery at three levels:
+
+- segment/chain units: the general corruption-injection API, record
+  scrub, verified coalescing, and ship-path verification;
+- storage-node fleets: read-time interception (a corrupt version is
+  never served), the quorum vote under peer crashes, and the baseline
+  rehydration fallback for records no peer can restore;
+- whole clusters: each injector kind is detected and repaired under a
+  live workload on both storage backends, the corruption bookkeeping
+  reconciles entries destroyed by GC, and the chaos schedule stays
+  byte-identical for legacy configs with the integrity kinds disabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+
+import pytest
+
+from repro import AuroraCluster, ClusterConfig
+from repro.core.epochs import EpochStamp
+from repro.core.records import BlockPut, LogRecord, RecordKind
+from repro.db.session import Session
+from repro.errors import CorruptVersionError
+from repro.sim.chaos import (
+    BIT_ROT,
+    LOST_WRITE,
+    MISDIRECTED_WRITE,
+    STORAGE_TARGET,
+    TORN_WRITE,
+    ChaosConfig,
+    ChaosSchedule,
+    integrity_chaos_config,
+)
+from repro.sim.events import EventLoop
+from repro.sim.latency import FixedLatency
+from repro.sim.network import Actor, Network
+from repro.storage.backup import SimulatedS3
+from repro.storage.messages import (
+    ReadBlockRequest,
+    ReadBlockResponse,
+    RequestRejected,
+    WriteAck,
+    WriteBatch,
+)
+from repro.storage.metadata import SegmentPlacement, StorageMetadataService
+from repro.storage.node import StorageNode, StorageNodeConfig
+from repro.storage.page import BlockVersionChain
+from repro.storage.segment import Segment, SegmentKind
+from repro.storage.volume import VolumeGeometry
+from repro.core.membership import MembershipState
+
+
+# ----------------------------------------------------------------------
+# Local fleet helpers (mirrors test_storage_node.py's idiom)
+# ----------------------------------------------------------------------
+class FakeInstance(Actor):
+    def __init__(self, name="db"):
+        super().__init__(name)
+        self.acks = []
+        self.reads = []
+        self.rejections = []
+
+    def on_message(self, message):
+        payload = message.payload
+        if isinstance(payload, WriteAck):
+            self.acks.append(payload)
+        elif isinstance(payload, ReadBlockResponse):
+            self.reads.append(payload)
+        elif isinstance(payload, RequestRejected):
+            self.rejections.append(payload)
+
+
+def build_fleet(node_count=6, background=False, scrub_interval=500.0):
+    loop = EventLoop()
+    rng = random.Random(17)
+    network = Network(
+        loop, rng, intra_az=FixedLatency(0.2), cross_az=FixedLatency(0.8)
+    )
+    geometry = VolumeGeometry(blocks_per_pg=64, pg_count=1)
+    metadata = StorageMetadataService(geometry)
+    s3 = SimulatedS3()
+    names = [f"seg{i}" for i in range(node_count)]
+    metadata.set_membership(0, MembershipState.initial(names))
+    nodes = {}
+    config = StorageNodeConfig(
+        disk=FixedLatency(0.05),
+        enable_background=background,
+        scrub_interval=scrub_interval,
+    )
+    for i, name in enumerate(names):
+        segment = Segment(name, 0)
+        node = StorageNode(segment, metadata, s3, rng, config)
+        network.attach(node, az=f"az{i % 3 + 1}")
+        metadata.place_segment(
+            SegmentPlacement(name, 0, name, f"az{i % 3 + 1}",
+                             SegmentKind.FULL)
+        )
+        nodes[name] = node
+    for node in nodes.values():
+        node.register_peer_directory(nodes)
+        node.start()
+    instance = FakeInstance()
+    network.attach(instance, az="az1")
+    return loop, network, metadata, nodes, instance
+
+
+def make_record(lsn, prev_pg, block=0):
+    return LogRecord(
+        lsn=lsn, prev_volume_lsn=lsn - 1, prev_pg_lsn=prev_pg,
+        prev_block_lsn=0, block=block, pg_index=0, kind=RecordKind.DATA,
+        payload=BlockPut(entries=(("k", lsn),)),
+    )
+
+
+def batch(records, epochs=None, pgmrpl=0):
+    return WriteBatch(
+        instance_id="db", pg_index=0, records=tuple(records),
+        epochs=epochs or EpochStamp(), pgmrpl=pgmrpl,
+    )
+
+
+def feed_all(network, nodes, records, pgmrpl=0):
+    for name in nodes:
+        network.send("db", name, batch(records, pgmrpl=pgmrpl))
+
+
+# ----------------------------------------------------------------------
+# The general corruption-injection API (and its back-compat shim)
+# ----------------------------------------------------------------------
+class TestCorruptionApi:
+    def _chain(self):
+        chain = BlockVersionChain(0)
+        for lsn in (1, 2, 3):
+            chain.append(lsn, {"k": lsn})
+        return chain
+
+    def test_corrupt_version_targets_specific_lsn(self):
+        chain = self._chain()
+        chain.corrupt_version(2)
+        by_lsn = {v.lsn: v for v in chain.versions}
+        assert not by_lsn[2].verify()
+        assert by_lsn[1].verify() and by_lsn[3].verify()
+
+    def test_corrupt_version_defaults_to_newest(self):
+        chain = self._chain()
+        chain.corrupt_version()
+        assert not max(chain.versions, key=lambda v: v.lsn).verify()
+
+    def test_valid_checksum_corruption_passes_local_verification(self):
+        chain = self._chain()
+        chain.corrupt_version(2, valid_checksum=True)
+        damaged = next(v for v in chain.versions if v.lsn == 2)
+        # The image changed but the checksum was recomputed over the
+        # bogus content: only a cross-peer vote can expose this.
+        assert damaged.verify()
+        assert damaged.image != {"k": 2}
+
+    def test_corrupt_latest_shim_matches_corrupt_version(self):
+        a, b = self._chain(), self._chain()
+        a.corrupt_latest()
+        b.corrupt_version()
+        failed_a = [v.lsn for v in a.versions if not v.verify()]
+        failed_b = [v.lsn for v in b.versions if not v.verify()]
+        assert failed_a == failed_b == [3]
+
+
+# ----------------------------------------------------------------------
+# Record scrub, verified coalescing, ship-path verification
+# ----------------------------------------------------------------------
+class TestRecordIntegrity:
+    def _segment(self):
+        seg = Segment("s", 0)
+        for lsn in (1, 2, 3):
+            seg.receive(make_record(lsn, lsn - 1))
+        return seg
+
+    def test_scrub_records_detects_bit_rot(self):
+        seg = self._segment()
+        assert seg.scrub_records() == []
+        seg.corrupt_record(2)
+        assert seg.scrub_records() == [2]
+        assert seg.stats["record_scrub_failures"] == 1
+
+    def test_coalesce_stalls_below_corrupt_record(self):
+        seg = self._segment()
+        seg.corrupt_record(2)
+        applied = seg.coalesce()
+        assert applied == 1
+        assert seg.coalesced_upto == 1
+        assert 2 in seg.corrupt_record_lsns
+        # The stall never materializes the rotted payload.
+        assert seg.blocks[0].latest_lsn == 1
+
+    def test_read_refuses_while_corrupt_record_blocks_the_point(self):
+        seg = self._segment()
+        seg.corrupt_record(2)
+        with pytest.raises(CorruptVersionError):
+            seg.read_version(0, 3)
+
+    def test_records_after_withholds_corrupt_records(self):
+        seg = self._segment()
+        seg.corrupt_record(2)
+        shipped = [r.lsn for r in seg.records_after(0)]
+        # The rotted record is withheld from gossip/baseline shipping and
+        # flagged for repair, instead of propagating to a lagging peer.
+        assert shipped == [1, 3]
+        assert 2 in seg.corrupt_record_lsns
+
+    def test_restore_record_clears_corruption_and_unstalls(self):
+        seg = self._segment()
+        clean = seg.hot_log[2]
+        seg.corrupt_record(2)
+        seg.coalesce()
+        assert seg.coalesced_upto == 1
+        assert seg.restore_record(clean)
+        assert 2 not in seg.corrupt_record_lsns
+        seg.coalesce()
+        assert seg.coalesced_upto == 3
+        assert seg.read_version(0, 3).image == {"k": 3}
+
+
+# ----------------------------------------------------------------------
+# Read-time interception: a corrupt version is never served
+# ----------------------------------------------------------------------
+class TestReadInterception:
+    def test_corrupt_version_intercepted_and_repaired_inline(self):
+        loop, network, _m, nodes, instance = build_fleet()
+        records = [make_record(i, i - 1) for i in range(1, 4)]
+        feed_all(network, nodes, records)
+        loop.run(until=50.0)
+        for node in nodes.values():
+            node.segment.coalesce()
+        victim = nodes["seg0"]
+        victim.segment.blocks[0].corrupt_version(3)
+        future = network.rpc(
+            "db", "seg0",
+            ReadBlockRequest(
+                pg_index=0, block=0, read_point=3, epochs=EpochStamp()
+            ),
+        )
+        loop.run(until=2_000.0)
+        assert victim.counters["reads_intercepted"] >= 1
+        # The reply is either the repaired clean image or a rejection
+        # (driver reroutes) -- never the corrupt bytes.
+        assert future.done and future.exception() is None
+        reply = future.result()
+        assert isinstance(reply, ReadBlockResponse)
+        assert dict(reply.image) == {"k": 3}
+        assert victim.segment.read_version(0, 3).image == {"k": 3}
+
+    def test_vote_round_survives_peer_crash(self):
+        loop, network, _m, nodes, instance = build_fleet()
+        records = [make_record(i, i - 1) for i in range(1, 4)]
+        feed_all(network, nodes, records)
+        loop.run(until=50.0)
+        for node in nodes.values():
+            node.segment.coalesce()
+        network.fail_node("seg1")
+        network.fail_node("seg2")
+        victim = nodes["seg0"]
+        victim.segment.blocks[0].corrupt_version(3)
+        network.rpc(
+            "db", "seg0",
+            ReadBlockRequest(
+                pg_index=0, block=0, read_point=3, epochs=EpochStamp()
+            ),
+        )
+        loop.run(until=3_000.0)
+        # Crashed peers simply never vote; the surviving majority still
+        # repairs, and the client still gets the clean image.
+        assert victim.segment.read_version(0, 3).image == {"k": 3}
+
+    def test_scrub_reply_ignores_failed_future(self):
+        """Regression: a scrub-repair RPC whose future completed with an
+        exception (peer crashed mid-RPC) must be ignored, not raise out
+        of the callback."""
+        loop, network, _m, nodes, _instance = build_fleet()
+
+        class FailedFuture:
+            def exception(self):
+                return RuntimeError("peer crashed mid-RPC")
+
+            def result(self):
+                raise AssertionError(
+                    "result() must not be called on a failed future"
+                )
+
+        nodes["seg0"]._on_scrub_reply(FailedFuture())  # must not raise
+
+
+# ----------------------------------------------------------------------
+# Baseline rehydration fallback: records no peer can restore
+# ----------------------------------------------------------------------
+class TestRehydrationFallback:
+    def test_unrecoverable_record_unwedged_by_baseline(self):
+        """A corrupt hot-log record whose clean copies every peer has
+        already GC'd can never be restored by vote; after two dry rounds
+        the node rehydrates a coalesced baseline in place and resumes."""
+        loop, network, _m, nodes, _instance = build_fleet(
+            background=True, scrub_interval=400.0
+        )
+        records = [make_record(i, i - 1) for i in range(1, 4)]
+        feed_all(network, nodes, records)
+        # Records are delivered (sub-ms latency) but the first coalesce
+        # tick (10ms) has not fired yet: the rot lands pre-materialization.
+        loop.run(until=2.0)
+        victim = nodes["seg0"]
+        victim.segment.corrupt_record(2)
+        # Peers materialize, back up, and GC their hot logs entirely:
+        # no clean copy of record 2 survives anywhere.
+        for name, node in nodes.items():
+            if name == "seg0":
+                continue
+            seg = node.segment
+            seg.coalesce()
+            seg.mark_backed_up(3)
+            seg.advance_gc_floor(3)
+            seg.garbage_collect()
+            assert 2 not in seg.hot_log
+        # The read floor has moved past the stall (as PGMRPL updates do
+        # in a live cluster): the wedge is now exactly seed-shaped --
+        # coalesce pinned below the rot, no peer able to restore it.
+        victim.segment.advance_gc_floor(3)
+        assert victim.segment.coalesce() == 1  # stalls below the rot
+        loop.run(until=30_000.0)
+        seg = victim.segment
+        assert seg.coalesced_upto >= 3
+        assert 2 not in seg.corrupt_record_lsns
+        assert seg.read_version(0, 3).image == {"k": 3}
+
+
+# ----------------------------------------------------------------------
+# Cluster-level: every injector kind repaired under a live workload
+# ----------------------------------------------------------------------
+def _integrity_cluster(backend: str = "aurora", seed: int = 5):
+    config = ClusterConfig(
+        seed=seed,
+        backend=backend,
+        node=StorageNodeConfig(scrub_interval=400.0),
+    )
+    cluster = AuroraCluster.build(config)
+    cluster.failures.attach_storage(cluster.nodes.values())
+    cluster.failures.start_integrity_reconcile()
+    return cluster
+
+
+def _inject_with_fresh_writes(cluster, db, inject, attempts=20):
+    """Write fresh victims, then inject while a pinned read view holds
+    the GC floor below them (the injectors refuse victims no instance
+    could ever read; PGMRPL is the minimum open read point, so an open
+    view keeps the floor from riding past the new records).  Each key is
+    written twice so the earlier version sits mid-chain -- lost and
+    misdirected writes only accept such victims -- and a short quiet run
+    lets coalesce materialize the chains before the draw."""
+    for attempt in range(attempts):
+        view = cluster.writer.open_view()
+        try:
+            for i in range(4):
+                db.write(f"fresh{attempt}.{i}", f"v{attempt}.{i}")
+            for i in range(4):
+                db.write(f"fresh{attempt}.{i}", f"w{attempt}.{i}")
+            cluster.run_for(30.0)
+            corruption = inject()
+        finally:
+            cluster.writer.close_view(view)
+        if corruption is not None:
+            return corruption
+        cluster.run_for(120.0)
+    raise AssertionError("injector found no eligible victim")
+
+
+class TestClusterRepair:
+    @pytest.mark.parametrize(
+        "kind", ["bit_rot", "lost_write", "misdirected_write", "torn_write"]
+    )
+    def test_injected_corruption_detected_and_repaired(self, kind):
+        cluster = _integrity_cluster()
+        db = Session(cluster.writer)
+        expected = {}
+        for i in range(12):
+            db.write(f"k{i}", f"v{i}")
+            expected[f"k{i}"] = f"v{i}"
+        integrity = cluster.failures.integrity
+        inject = getattr(cluster.failures, f"{kind}_any")
+        _inject_with_fresh_writes(cluster, db, inject)
+        assert integrity.open_count() >= 1
+        for _ in range(40):
+            if integrity.open_count() == 0:
+                break
+            cluster.run_for(500.0)
+        assert integrity.open_count() == 0, (
+            f"unrepaired after settling: {integrity.open_records()}"
+        )
+        assert integrity.corrupt_reads_served == 0
+        for key, value in expected.items():
+            assert db.get(key) == value
+
+    def test_reconcile_closes_corruption_destroyed_by_gc(self):
+        """GC can drop a rotted record (its redo was already applied)
+        without any repair hook firing; the reconcile sweep must close
+        the book entry instead of counting it unrepaired forever."""
+        cluster = _integrity_cluster()
+        db = Session(cluster.writer)
+        for i in range(6):
+            db.write(f"k{i}", f"v{i}")
+        integrity = cluster.failures.integrity
+        name, node = next(iter(sorted(cluster.nodes.items())))
+        seg = node.segment
+        eligible = [lsn for lsn in sorted(seg.hot_log)
+                    if lsn > seg.gc_horizon]
+        assert eligible, "no hot-log records to corrupt"
+        lsn = eligible[0]
+        block = seg.hot_log[lsn].block
+        seg.corrupt_record(lsn)
+        record = integrity.inject("bit_rot_record", name, block, lsn)
+        # Destroy the rotted bytes outside the repair path, as GC would.
+        seg.hot_log.pop(lsn)
+        seg._lsn_index.remove(lsn)
+        seg._corrupt_record_lsns.discard(lsn)
+        closed = integrity.reconcile({name: node})
+        assert closed == 1
+        assert not record.open
+        assert integrity.open_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Taurus edges: the log/page split under corruption
+# ----------------------------------------------------------------------
+class TestTaurusIntegrity:
+    def _log_and_page_stores(self, cluster):
+        logs = sorted(
+            n for n, node in cluster.nodes.items()
+            if node.segment.kind is SegmentKind.LOG
+        )
+        pages = sorted(
+            n for n, node in cluster.nodes.items()
+            if node.segment.kind is SegmentKind.FULL
+        )
+        return logs, pages
+
+    def test_log_record_rot_never_reaches_page_stores(self):
+        """A rotted redo record on a log store must not be shipped to the
+        asynchronously-draining page stores, which would materialize it
+        under a valid image checksum."""
+        cluster = _integrity_cluster(backend="taurus")
+        db = Session(cluster.writer)
+        logs, pages = self._log_and_page_stores(cluster)
+        expected = {}
+
+        def rot_a_log_record():
+            seg = cluster.nodes[logs[0]].segment
+            eligible = [lsn for lsn in sorted(seg.hot_log)
+                        if lsn > max(seg.gc_horizon, seg.gc_floor)]
+            if not eligible:
+                return None
+            lsn = eligible[-1]
+            mangled = seg.corrupt_record(lsn)
+            return cluster.failures.integrity.inject(
+                "bit_rot_record", logs[0], mangled.block, lsn
+            )
+
+        for i in range(8):
+            db.write(f"k{i}", f"v{i}")
+            expected[f"k{i}"] = f"v{i}"
+        _inject_with_fresh_writes(cluster, db, rot_a_log_record)
+        integrity = cluster.failures.integrity
+        for _ in range(40):
+            if integrity.open_count() == 0:
+                break
+            cluster.run_for(500.0)
+        assert integrity.open_count() == 0
+        # Page stores never materialized the rotted payload: every
+        # committed value reads back correct (reads route to them).
+        for key, value in expected.items():
+            assert db.get(key) == value
+        for name in pages:
+            seg = cluster.nodes[name].segment
+            for chain in seg.blocks.values():
+                for version in chain.versions:
+                    assert version.verify()
+
+    def test_page_store_divergence_broken_by_log_tail_replay(self):
+        """With only two page stores, a misdirected write on one creates
+        a 1-1 structural tie; a log store's on-demand materialization of
+        its tail must break it in favour of the clean copy."""
+        cluster = _integrity_cluster(backend="taurus")
+        db = Session(cluster.writer)
+        _logs, pages = self._log_and_page_stores(cluster)
+        expected = {}
+        for i in range(10):
+            db.write(f"k{i}", f"v{i}")
+            expected[f"k{i}"] = f"v{i}"
+        cluster.run_for(600.0)  # let the page stores drain + coalesce
+        integrity = cluster.failures.integrity
+        _inject_with_fresh_writes(
+            cluster, db,
+            lambda: cluster.failures.misdirected_write(pages[0]),
+        )
+        for _ in range(40):
+            if integrity.open_count() == 0:
+                break
+            cluster.run_for(500.0)
+        assert integrity.open_count() == 0, (
+            f"unrepaired: {integrity.open_records()}"
+        )
+        assert integrity.corrupt_reads_served == 0
+        for key, value in expected.items():
+            assert db.get(key) == value
+
+
+# ----------------------------------------------------------------------
+# Chaos schedule determinism: legacy configs replay byte-identically
+# ----------------------------------------------------------------------
+class TestChaosDeterminism:
+    NODES = [f"pg0-{c}" for c in "abcdef"]
+    AZS = {
+        "az1": {"pg0-a", "pg0-d"},
+        "az2": {"pg0-b", "pg0-e"},
+        "az3": {"pg0-c", "pg0-f"},
+    }
+
+    def test_disabled_integrity_kinds_draw_nothing(self):
+        """The silent-corruption kinds draw last and only when enabled:
+        a schedule generated from a legacy config is event-for-event
+        identical to the non-storage prefix of one with them enabled."""
+        base = ChaosConfig()
+        enabled = dc_replace(
+            base,
+            bit_rot_period_ms=900.0,
+            torn_write_period_ms=4000.0,
+            lost_write_period_ms=2500.0,
+            misdirected_write_period_ms=2800.0,
+        )
+        for seed in range(6):
+            legacy = ChaosSchedule.generate(
+                seed, self.NODES, self.AZS, 20_000.0, config=base
+            )
+            with_storage = ChaosSchedule.generate(
+                seed, self.NODES, self.AZS, 20_000.0, config=enabled
+            )
+            assert legacy.events == [
+                e for e in with_storage.events
+                if e.target != STORAGE_TARGET
+            ]
+
+    def test_integrity_profile_draws_all_four_kinds(self):
+        schedule = ChaosSchedule.generate(
+            3, self.NODES, self.AZS, 30_000.0,
+            config=integrity_chaos_config(),
+        )
+        kinds = {e.kind for e in schedule.events if e.target == STORAGE_TARGET}
+        assert kinds == {BIT_ROT, TORN_WRITE, LOST_WRITE, MISDIRECTED_WRITE}
+
+    def test_schedule_reproducible_for_seed(self):
+        a = ChaosSchedule.generate(
+            7, self.NODES, self.AZS, 20_000.0,
+            config=integrity_chaos_config(),
+        )
+        b = ChaosSchedule.generate(
+            7, self.NODES, self.AZS, 20_000.0,
+            config=integrity_chaos_config(),
+        )
+        assert a.events == b.events
