@@ -6,7 +6,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # reports are byte-identical to a sequential run; see docs/PERF.md).
 JOBS ?= 4
 
-.PHONY: test audit audit-fleet audit-failover audit-geo audit-proxy audit-integrity bench bench-paper
+.PHONY: test audit audit-fleet audit-failover audit-geo audit-proxy audit-integrity audit-adaptive bench bench-paper
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,6 +57,18 @@ audit-proxy:
 audit-integrity:
 	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --integrity --backend aurora --jobs $(JOBS)
 	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --sweep 20 --integrity --backend taurus --jobs $(JOBS)
+
+# Adaptive group-commit smoke: one reduced run of every audit profile
+# with group_commit=adaptive forced, so the load-derived boxcar window
+# is exercised under chaos, failover, geo, proxy, and integrity schedules
+# -- not just the benchmarks (see docs/PERF.md "Adaptive boxcar").
+audit-adaptive:
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --group-commit adaptive
+	$(PYTHON) -m repro audit-run --seed 0 --steps 300 --fleet --group-commit adaptive
+	$(PYTHON) -m repro audit-run --seed 0 --steps 500 --failover --group-commit adaptive
+	$(PYTHON) -m repro audit-run --seed 0 --steps 400 --geo --group-commit adaptive
+	$(PYTHON) -m repro audit-run --seed 0 --steps 300 --proxy --proxy-sessions 20000 --group-commit adaptive
+	$(PYTHON) -m repro audit-run --seed 0 --steps 400 --integrity --backend aurora --group-commit adaptive
 
 # Engine perf harness: batched fast path vs an unbatched baseline of the
 # same seeded workload, recorded in BENCH_engine.json; --check exits

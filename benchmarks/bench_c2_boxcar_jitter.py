@@ -147,3 +147,81 @@ def test_c2_per_record_boxcar_delay(benchmark):
     assert max(results[BoxcarMode.AURORA]) <= 0.06
     assert percentile(results[BoxcarMode.TIMEOUT], 0.5) >= 3.9
     assert max(results[BoxcarMode.IMMEDIATE]) == 0.0
+
+
+def test_c2_adaptive_window_converges(benchmark):
+    """Adaptive group commit: idle -> burst -> idle window convergence.
+
+    The adaptive policy derives the AURORA-mode window from an EWMA of
+    inter-record arrival gaps.  The regression this guards: a burst must
+    not leave a sticky wide window behind -- the first record after an
+    idle period has to flush with a sub-millisecond window, because the
+    idle gap resets the load estimate (see DriverConfig.adaptive_idle_gap).
+    """
+
+    def run():
+        config = ClusterConfig(seed=502)
+        config.instance.driver.group_commit = "adaptive"
+        cluster = AuroraCluster.build(config)
+        db = cluster.session()
+        driver = cluster.writer.driver
+
+        def paced_burst(count, pace_ms):
+            futures = []
+            for i in range(count):
+                txn = db.begin()
+                db.put(txn, f"k{i:03d}", i)
+                futures.append(db.commit_async(txn))
+                cluster.run_for(pace_ms)
+            for future in futures:
+                db.drive(future)
+
+        trace = {}
+        # Burst: records arrive every ~0.5 ms, so the EWMA converges to
+        # ~0.5 and the window opens to gain x gap (clamped to the boxcar
+        # timeout) -- far wider than the fixed 0.05 ms submit window.
+        paced_burst(40, pace_ms=0.5)
+        trace["burst"] = driver.adaptive_window(0)
+        # Idle: nothing arrives for 50 ms (>> adaptive_idle_gap).
+        cluster.run_for(50.0)
+        txn = db.begin()
+        db.put(txn, "post-idle", 1)
+        future = db.commit_async(txn)
+        trace["post_idle"] = driver.adaptive_window(0)
+        db.drive(future)
+        # Second burst then idle again: convergence is repeatable, not a
+        # first-run artifact.
+        paced_burst(40, pace_ms=0.5)
+        trace["burst2"] = driver.adaptive_window(0)
+        cluster.run_for(50.0)
+        txn = db.begin()
+        db.put(txn, "post-idle-2", 2)
+        future = db.commit_async(txn)
+        trace["post_idle2"] = driver.adaptive_window(0)
+        db.drive(future)
+        trace["stats"] = driver.stats
+        return trace
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = trace["stats"]
+    mean_window = (
+        stats.adaptive_window_sum / stats.adaptive_windows_armed
+        if stats.adaptive_windows_armed
+        else 0.0
+    )
+    print_table(
+        "C2c: adaptive window across idle -> burst -> idle (ms)",
+        ["burst", "post-idle", "burst#2", "post-idle#2", "armed mean",
+         "armed max"],
+        [[fmt(trace["burst"]), fmt(trace["post_idle"]),
+          fmt(trace["burst2"]), fmt(trace["post_idle2"]),
+          fmt(mean_window), fmt(stats.adaptive_window_max)]],
+    )
+    # Under steady ~0.5 ms arrivals the window opens well past the fixed
+    # 0.05 ms submit window...
+    assert trace["burst"] > 1.0
+    assert trace["burst2"] > 1.0
+    # ... and converges back to sub-millisecond immediately after idle:
+    # no sticky wide window.
+    assert trace["post_idle"] < 1.0
+    assert trace["post_idle2"] < 1.0

@@ -19,6 +19,7 @@ import argparse
 import sys
 
 from repro import AuroraCluster, ClusterConfig
+from repro.db.driver import GROUP_COMMIT_POLICIES
 from repro.db.session import Session
 from repro.report import cluster_report, format_report
 from repro.workloads import PROFILES, WorkloadGenerator, WorkloadRunner, profile
@@ -188,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run sweep seeds across K worker processes (seeds are "
              "independent, so reports are byte-identical to --jobs 1)",
     )
+    audit.add_argument(
+        "--group-commit", choices=GROUP_COMMIT_POLICIES, default="fixed",
+        help="writer group-commit policy: 'adaptive' derives the boxcar "
+             "window from observed load (EWMA of arrival gaps), "
+             "'quorum-piggyback' rides flushes on ack round-trips, "
+             "'immediate' flushes per record",
+    )
 
     bench = sub.add_parser(
         "bench-engine",
@@ -213,7 +221,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare against the committed record at --out before "
              "overwriting it; exit nonzero on a >25%% throughput "
              "regression (machine-independent: both runs measure the "
-             "batched/unbatched ratio on the same host)",
+             "batched/unbatched ratio on the same host) or on a "
+             "genuinely-parallel >=4-seed sweep running no faster than "
+             "the sequential one",
+    )
+    bench.add_argument(
+        "--group-commit", choices=GROUP_COMMIT_POLICIES, default="fixed",
+        help="group-commit policy for the measured batched runs "
+             "(the unbatched baseline always flushes per record)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="cProfile one batched measured run and emit the top-25 "
+             "cumulative-time functions as a text table plus a JSON "
+             "artifact next to --out",
     )
     return parser
 
@@ -375,6 +396,7 @@ def _audit_config(args: argparse.Namespace, seed: int):
     if getattr(args, "integrity", False):
         config.as_integrity()
         config.backend = args.backend
+    config.group_commit = getattr(args, "group_commit", "fixed")
     return config
 
 
@@ -492,7 +514,13 @@ def _cmd_audit_run(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def _bench_run(seed: int, steps: int, boxcar: str, detailed: bool) -> dict:
+def _bench_run(
+    seed: int,
+    steps: int,
+    boxcar: str,
+    detailed: bool,
+    group_commit: str = "fixed",
+) -> dict:
     """One measured run of the C1-style concurrent write workload.
 
     Returns engine telemetry (events/sec, messages/sec, per-type counts
@@ -506,6 +534,7 @@ def _bench_run(seed: int, steps: int, boxcar: str, detailed: bool) -> dict:
     config = ClusterConfig(seed=seed)
     if boxcar == "immediate":
         config.instance.driver.boxcar_mode = BoxcarMode.IMMEDIATE
+    config.instance.driver.group_commit = group_commit
     clients = 16
     cluster = AuroraCluster.build(config)
     cluster.network.set_stats_detail(detailed)
@@ -534,18 +563,47 @@ def _bench_run(seed: int, steps: int, boxcar: str, detailed: bool) -> dict:
     }
 
 
+def _profile_bench(args: argparse.Namespace) -> list[dict]:
+    """cProfile one batched run; top-25 functions by cumulative time."""
+    import cProfile
+
+    prof = cProfile.Profile()
+    prof.enable()
+    _bench_run(args.seed, args.steps, "aurora", False, args.group_commit)
+    prof.disable()
+    prof.create_stats()
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        prof.stats.items(), key=lambda kv: kv[1][3], reverse=True
+    )[:25]:
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}({name})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+        )
+    return rows
+
+
 def _cmd_bench_engine(args: argparse.Namespace) -> int:
     import json
     import time
     from pathlib import Path
 
     from repro.audit import AuditRunConfig, run_audit_sweep
+    from repro.audit.runner import effective_sweep_jobs
 
     def best_of(boxcar: str, detailed: bool, reps: int = 3) -> dict:
         # Fastest of `reps` identical runs: scheduler noise only ever
         # slows a run down, so the minimum is the cleanest estimate.
         runs = [
-            _bench_run(args.seed, args.steps, boxcar, detailed)
+            _bench_run(
+                args.seed, args.steps, boxcar, detailed, args.group_commit
+            )
             for _ in range(reps)
         ]
         return min(runs, key=lambda r: r["wall_clock_s"])
@@ -576,8 +634,12 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     sweep_reports = run_audit_sweep(sweep_cfgs, jobs=1)
     sequential_wall = time.perf_counter() - t0
+    # Only measure the parallel lane when the sweep will genuinely fork:
+    # on a box whose core count clamps --jobs to 1 the "parallel" wall is
+    # the sequential wall plus pool overhead, which is noise, not signal.
+    effective_jobs = effective_sweep_jobs(args.jobs, len(sweep_cfgs))
     parallel_wall = None
-    if args.jobs > 1:
+    if effective_jobs > 1:
         t0 = time.perf_counter()
         run_audit_sweep(sweep_cfgs, jobs=args.jobs)
         parallel_wall = time.perf_counter() - t0
@@ -588,6 +650,7 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         "schema": 1,
         "seed": args.seed,
         "steps": args.steps,
+        "group_commit": args.group_commit,
         "single_seed": {
             "baseline_unbatched": baseline,
             "fast_batched": fast,
@@ -601,6 +664,7 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
         "sweep": {
             "seeds": len(sweep_cfgs),
             "jobs": args.jobs,
+            "effective_jobs": effective_jobs,
             "sequential_wall_s": round(sequential_wall, 3),
             "parallel_wall_s": (
                 round(parallel_wall, 3) if parallel_wall else None
@@ -639,6 +703,33 @@ def _cmd_bench_engine(args: argparse.Namespace) -> int:
             print(f"REGRESSION: WriteBatch reduction "
                   f"{batch_reduction:.1f}x is below the 5x floor")
             status = 1
+        if (
+            parallel_wall is not None
+            and len(sweep_cfgs) >= 4
+            and parallel_wall >= sequential_wall
+        ):
+            print(f"REGRESSION: parallel sweep ({effective_jobs} workers) "
+                  f"took {parallel_wall:.2f}s vs {sequential_wall:.2f}s "
+                  f"sequential -- fork-pool overhead is eating the "
+                  f"parallelism")
+            status = 1
+    if args.profile:
+        rows = _profile_bench(args)
+        print("  top-25 by cumulative time (batched measured run):")
+        print(f"    {'cumtime':>8} {'tottime':>8} {'ncalls':>9} function")
+        for row in rows:
+            print(f"    {row['cumtime_s']:8.4f} {row['tottime_s']:8.4f} "
+                  f"{row['ncalls']:9d} {row['function']}")
+        profile_out = out.with_name(out.stem + "_profile.json")
+        profile_out.write_text(
+            json.dumps(
+                {"seed": args.seed, "steps": args.steps,
+                 "group_commit": args.group_commit, "top": rows},
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"  wrote {profile_out}")
     if status == 0:
         out.write_text(json.dumps(record, indent=2) + "\n")
         print(f"  wrote {out}")

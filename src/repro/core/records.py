@@ -128,6 +128,33 @@ class ControlPayload(RedoPayload):
         return dict(image)
 
 
+@dataclass(frozen=True)
+class ElidedPayload(RedoPayload):
+    """Wire-compression stand-in for a superseded record's payload.
+
+    When every key a DATA record touches is overwritten by a *later record
+    of the same transaction inside the same write batch*, the driver ships
+    the record with its payload elided: the LSN and all three back-chain
+    pointers stay intact (SCL tracking, VCL math, recovery walks, and
+    gossip are untouched) but the redo content rides for free -- the
+    covering record's payload embeds the superseded effect, because B-tree
+    row updates log the full MVCC version chain built on the prior image.
+
+    Restricting elision to one transaction is what makes it safe: a commit
+    record between two *different* transactions' writes would make the
+    earlier transaction's effect readable at intermediate read points,
+    while an uncommitted intermediate version is invisible at every legal
+    read point by MVCC visibility.  ``apply`` is the identity transform.
+    """
+
+    #: LSN of the later same-transaction record whose payload covers this
+    #: record's write set.
+    covered_by: int = 0
+
+    def apply(self, image: Mapping[str, Any]) -> dict[str, Any]:
+        return dict(image)
+
+
 #: Block number used by records that touch no real block (commit / control).
 NO_BLOCK = -1
 
@@ -219,7 +246,23 @@ def record_digest(record: LogRecord) -> int:
     detect bit-rot on stored records (Figure 2, activity 8 extended to the
     hot log).  Payloads are frozen dataclasses and hash directly; the
     ``repr`` fallback covers payloads holding unhashable values.
+
+    The digest is cached on the record object: records are immutable, and
+    corruption injection always *replaces* the record object
+    (``dataclasses.replace``), so a cached digest can never mask divergent
+    content.  Every verification boundary (ingest, coalesce, gossip,
+    recovery) re-derives the digest through this function, making the cache
+    a pure speedup.
     """
+    cached = getattr(record, "_digest", None)
+    if cached is not None:
+        return cached
+    digest = _compute_record_digest(record)
+    object.__setattr__(record, "_digest", digest)
+    return digest
+
+
+def _compute_record_digest(record: LogRecord) -> int:
     try:
         payload_hash = hash(record.payload)
     except TypeError:

@@ -40,6 +40,11 @@ from repro.core.epochs import EpochStamp
 from repro.core.read_routing import LatencyTracker, ReadPlan, ReadRouter
 from repro.core.records import LogRecord
 from repro.core.retry import Backoff, RetryPolicy
+from repro.db.wire import (
+    batch_logical_bytes,
+    batch_wire_bytes,
+    elide_superseded,
+)
 from repro.errors import SegmentUnavailableError
 from repro.sim.events import EventLoop, Future
 from repro.storage.messages import (
@@ -70,6 +75,10 @@ class BoxcarMode(enum.Enum):
     IMMEDIATE = "immediate"
 
 
+#: Legal :attr:`DriverConfig.group_commit` policies.
+GROUP_COMMIT_POLICIES = ("fixed", "immediate", "adaptive", "quorum-piggyback")
+
+
 @dataclass
 class DriverConfig:
     boxcar_mode: BoxcarMode = BoxcarMode.AURORA
@@ -78,6 +87,38 @@ class DriverConfig:
     #: TIMEOUT mode parameters.
     boxcar_timeout: float = 4.0
     boxcar_max_records: int = 32
+    #: Group-commit policy governing the AURORA-mode window:
+    #:
+    #: - ``"fixed"``: the window is ``submit_delay``, always (PR 5
+    #:   behaviour; the default).
+    #: - ``"immediate"``: flush on every record (ablation; like
+    #:   ``BoxcarMode.IMMEDIATE`` but switchable per policy).
+    #: - ``"adaptive"``: the window is derived from observed load -- an
+    #:   EWMA of inter-record arrival gaps per PG, scaled by
+    #:   ``adaptive_gain`` and clamped to ``[0, boxcar_timeout]``.  A gap
+    #:   of ``adaptive_idle_gap`` or more resets the estimate, so the
+    #:   first record after an idle period flushes with a ~zero window
+    #:   (no sticky wide window after a burst).
+    #: - ``"quorum-piggyback"``: hold the buffer until the next WriteAck
+    #:   arrives for that PG (piggyback the flush on quorum round-trip
+    #:   completions), with ``boxcar_timeout`` as the backstop timer.
+    group_commit: str = "fixed"
+    #: Adaptive window = ``adaptive_gain`` x EWMA(inter-arrival gap).
+    adaptive_gain: float = 16.0
+    #: EWMA smoothing factor for arrival gaps (0 < alpha <= 1).
+    adaptive_alpha: float = 0.2
+    #: An arrival gap at or above this (ms) marks an idle boundary and
+    #: resets the EWMA, collapsing the window for the next record.
+    adaptive_idle_gap: float = 2.0
+    #: Gap samples required since the last idle reset before the window
+    #: opens at all.  One or two closely spaced records are not load
+    #: evidence -- a lone transaction's put->commit gap must not buy its
+    #: own commit record a wait (the low-load latency guardrail in C1).
+    adaptive_min_samples: int = 4
+    #: Compress redo payloads on the wire: delta-encode consecutive LSNs
+    #: and elide same-transaction superseded payloads inside each batch
+    #: (see :mod:`repro.db.wire`).
+    wire_compression: bool = True
     #: Hedged-read fallback sweep period when no other I/O fires (ms).
     hedge_sweep_interval: float = 1.0
     #: Grace period to collect straggler responses past quorum (ms).
@@ -99,6 +140,13 @@ class DriverConfig:
     #: segment can be damped by a non-zero policy.
     resubmit_policy: RetryPolicy = field(default_factory=RetryPolicy.immediate)
 
+    def __post_init__(self) -> None:
+        if self.group_commit not in GROUP_COMMIT_POLICIES:
+            raise ValueError(
+                f"unknown group_commit policy {self.group_commit!r}; "
+                f"expected one of {GROUP_COMMIT_POLICIES}"
+            )
+
 
 @dataclass
 class DriverStats:
@@ -115,14 +163,35 @@ class DriverStats:
     read_latencies: list[float] = field(default_factory=list)
     #: Per-record wait between submit() and the batch leaving the driver.
     boxcar_delays: list[float] = field(default_factory=list)
+    #: Wire compression: superseded same-txn payloads elided from batches.
+    records_elided: int = 0
+    #: Modelled wire bytes of every batch sent (per unique batch, not per
+    #: fan-out target) versus the uncompressed bytes of the same records.
+    wire_bytes: int = 0
+    logical_bytes: int = 0
+    #: Adaptive group commit: windows actually used at flush-arm time.
+    adaptive_window_max: float = 0.0
+    adaptive_window_sum: float = 0.0
+    adaptive_windows_armed: int = 0
 
 
 class _PGWriteBuffer:
     """Pending records for one protection group."""
 
+    __slots__ = (
+        "records", "flush_event", "last_arrival", "ewma_gap", "ewma_samples"
+    )
+
     def __init__(self) -> None:
         self.records: list[tuple[LogRecord, float]] = []
         self.flush_event = None  # scheduled Event or None
+        #: Adaptive group commit: when the last record arrived, the EWMA
+        #: of inter-arrival gaps (None until two arrivals land close
+        #: enough together to estimate load), and how many gap samples
+        #: fed it since the last idle reset.
+        self.last_arrival: float | None = None
+        self.ewma_gap: float | None = None
+        self.ewma_samples: int = 0
 
     def __len__(self) -> int:
         return len(self.records)
@@ -286,40 +355,100 @@ class StorageDriver:
     def submit(self, records: list[LogRecord]) -> None:
         """Hand sealed MTR records to the driver (registers them for VCL
         tracking and shards them into per-PG write buffers)."""
+        now = self.loop.now
+        adaptive = self.config.group_commit == "adaptive"
         for record in records:
             self.volume.register(record.lsn, record.pg_index, record.mtr_end)
             buffer = self._buffers.setdefault(record.pg_index, _PGWriteBuffer())
-            buffer.records.append((record, self.loop.now))
+            buffer.records.append((record, now))
+            if adaptive:
+                self._observe_arrival(buffer, now)
             self._arm_flush(record.pg_index, buffer)
 
+    def _observe_arrival(self, buffer: _PGWriteBuffer, now: float) -> None:
+        """Feed the per-PG inter-arrival EWMA (adaptive group commit).
+
+        Records submitted at the same instant are one arrival event; a gap
+        at or above ``adaptive_idle_gap`` is an idle boundary and resets
+        the estimate so a burst's wide window never outlives the burst.
+        """
+        last = buffer.last_arrival
+        if last is None:
+            buffer.last_arrival = now
+            return
+        gap = now - last
+        if gap <= 0.0:
+            return
+        buffer.last_arrival = now
+        config = self.config
+        if gap >= config.adaptive_idle_gap:
+            buffer.ewma_gap = None
+            buffer.ewma_samples = 0
+        elif buffer.ewma_gap is None:
+            buffer.ewma_gap = gap
+            buffer.ewma_samples = 1
+        else:
+            buffer.ewma_gap += config.adaptive_alpha * (gap - buffer.ewma_gap)
+            buffer.ewma_samples += 1
+
+    def adaptive_window(self, pg_index: int) -> float:
+        """The AURORA-mode window the adaptive policy would use right now."""
+        buffer = self._buffers.get(pg_index)
+        if (
+            buffer is None
+            or buffer.ewma_gap is None
+            or buffer.ewma_samples < self.config.adaptive_min_samples
+        ):
+            return 0.0
+        window = self.config.adaptive_gain * buffer.ewma_gap
+        if window > self.config.boxcar_timeout:
+            return self.config.boxcar_timeout
+        return window
+
     def _arm_flush(self, pg_index: int, buffer: _PGWriteBuffer) -> None:
-        mode = self.config.boxcar_mode
-        if mode is BoxcarMode.IMMEDIATE:
+        config = self.config
+        mode = config.boxcar_mode
+        if mode is BoxcarMode.IMMEDIATE or config.group_commit == "immediate":
             self._flush(pg_index)
             return
         if mode is BoxcarMode.AURORA:
             # Size bound: a full boxcar goes out immediately -- the async
             # send "executes" once the wire buffer is full.  The time bound
-            # (submit_delay) otherwise caps how long the first record waits.
-            if len(buffer) >= self.config.boxcar_max_records:
+            # (the group-commit window) otherwise caps how long the first
+            # record waits.
+            if len(buffer) >= config.boxcar_max_records:
                 if buffer.flush_event is not None:
                     buffer.flush_event.cancel()
                     buffer.flush_event = None
                 self._flush(pg_index)
             elif buffer.flush_event is None:
+                policy = config.group_commit
+                if policy == "adaptive":
+                    window = self.adaptive_window(pg_index)
+                    stats = self.stats
+                    stats.adaptive_windows_armed += 1
+                    stats.adaptive_window_sum += window
+                    if window > stats.adaptive_window_max:
+                        stats.adaptive_window_max = window
+                elif policy == "quorum-piggyback":
+                    # Wait for the next ack round-trip to carry the flush;
+                    # the boxcar timeout backstops a quiet ack path.
+                    window = config.boxcar_timeout
+                else:
+                    window = config.submit_delay
                 buffer.flush_event = self.loop.schedule(
-                    self.config.submit_delay, self._flush, pg_index
+                    window, self._flush, pg_index
                 )
             return
         # TIMEOUT mode: flush when full, else wait out the boxcar timer.
-        if len(buffer) >= self.config.boxcar_max_records:
+        if len(buffer) >= config.boxcar_max_records:
             if buffer.flush_event is not None:
                 buffer.flush_event.cancel()
                 buffer.flush_event = None
             self._flush(pg_index)
         elif buffer.flush_event is None:
             buffer.flush_event = self.loop.schedule(
-                self.config.boxcar_timeout, self._flush, pg_index
+                config.boxcar_timeout, self._flush, pg_index
             )
 
     def _flush(self, pg_index: int) -> None:
@@ -335,12 +464,23 @@ class StorageDriver:
         )
         buffer.records.clear()
         buffer.flush_event = None
+        wire_bytes = logical_bytes = 0
+        if self.config.wire_compression:
+            logical_bytes = batch_logical_bytes(records)
+            records, elided = elide_superseded(records)
+            wire_bytes = batch_wire_bytes(records)
+            stats = self.stats
+            stats.records_elided += elided
+            stats.wire_bytes += wire_bytes
+            stats.logical_bytes += logical_bytes
         batch = WriteBatch(
             instance_id=self.instance_id,
             pg_index=pg_index,
             records=records,
             epochs=self.epochs,
             pgmrpl=self.pgmrpl_provider(),
+            wire_bytes=wire_bytes,
+            logical_bytes=logical_bytes,
         )
         # The synchronous write fan-out is backend policy: Aurora ships to
         # all six members; Taurus ships only to the log stores (page
@@ -372,6 +512,16 @@ class StorageDriver:
         self.stats.acks_received += 1
         if self.health_probe is not None:
             self.health_probe.note_ack(ack.segment_id)
+        if self.config.group_commit == "quorum-piggyback":
+            # A completed round-trip for this PG carries the pending buffer
+            # out "for free" -- the backstop timer (if armed) is cancelled
+            # by _flush clearing flush_event below.
+            buffer = self._buffers.get(ack.pg_index)
+            if buffer is not None and buffer.records:
+                if buffer.flush_event is not None:
+                    buffer.flush_event.cancel()
+                    buffer.flush_event = None
+                self._flush(ack.pg_index)
         backoff = self._resubmit_backoff.get(ack.segment_id)
         if backoff is not None:
             backoff.reset()

@@ -103,6 +103,9 @@ class GeoConfig:
     sender: GeoSenderConfig | None = None
     #: Name prefix / AZ prefix for the secondary region.
     secondary_region: str = "geo"
+    #: Group-commit policy for both regions' writers (see
+    #: :data:`repro.db.driver.GROUP_COMMIT_POLICIES`).
+    group_commit: str = "fixed"
 
     def __post_init__(self) -> None:
         if not self.secondary_region:
@@ -159,24 +162,28 @@ class GeoCluster:
         network = Network(loop, rng)
         failures = FailureInjector(loop, network, rng)
         shared = (loop, network, failures, rng)
+        primary_cfg = ClusterConfig(
+            seed=config.seed,
+            pg_count=config.pg_count,
+            backend=config.backend,
+        )
+        primary_cfg.instance.driver.group_commit = config.group_commit
         primary = AuroraCluster.build(
-            ClusterConfig(
-                seed=config.seed,
-                pg_count=config.pg_count,
-                backend=config.backend,
-            ),
+            primary_cfg,
             shared=shared,
             bootstrap=False,
         )
-        secondary = AuroraCluster.build(
-            ClusterConfig(
-                seed=config.seed,
-                pg_count=config.pg_count,
-                backend=RegionBackend(
-                    config.backend, config.secondary_region
-                ),
-                name_prefix=f"{config.secondary_region}-",
+        secondary_cfg = ClusterConfig(
+            seed=config.seed,
+            pg_count=config.pg_count,
+            backend=RegionBackend(
+                config.backend, config.secondary_region
             ),
+            name_prefix=f"{config.secondary_region}-",
+        )
+        secondary_cfg.instance.driver.group_commit = config.group_commit
+        secondary = AuroraCluster.build(
+            secondary_cfg,
             shared=shared,
             bootstrap=False,
         )

@@ -1,10 +1,14 @@
 """Event loop and futures for the discrete-event simulator.
 
-The loop is a classic calendar queue: a binary heap of ``(time, seq,
-callback)`` entries.  ``seq`` is a monotonically increasing tie-breaker so
-that two events scheduled for the same instant fire in the order they were
-scheduled, which keeps simulations deterministic regardless of heap
-internals.
+The loop is a classic calendar queue in struct-of-arrays form: the heap
+holds bare ``(time, seq)`` tuples -- compared at C speed, no Python
+``__lt__`` dispatch per sift -- and a flat side table maps ``seq`` to the
+``(callback, args)`` pair.  ``seq`` is a monotonically increasing
+tie-breaker so that two events scheduled for the same instant fire in the
+order they were scheduled, which keeps simulations deterministic regardless
+of heap internals.  Cancellation deletes the side-table entry (O(1), and
+the callback's references drop immediately); the heap tuple is swept
+lazily on pop or by compaction.
 
 Times are floats in arbitrary units; this library uses **milliseconds**
 throughout by convention (network RTTs of a fraction of a millisecond to a
@@ -20,43 +24,38 @@ from repro.errors import SimulationError
 
 
 class Event:
-    """A scheduled callback.  Cancellable until it has fired."""
+    """Handle to a scheduled callback.  Cancellable until it has fired.
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_loop")
+    A thin view over the loop's flat tables: the callback itself lives in
+    the loop, keyed by ``seq``, so the hot scheduling path never builds a
+    Python object per event -- handles exist only for callers that keep one
+    (timers they may cancel).
+    """
 
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., None] | None,
-        args: tuple,
-        loop: "EventLoop | None" = None,
-    ) -> None:
+    __slots__ = ("time", "seq", "_loop")
+
+    def __init__(self, time: float, seq: int, loop: "EventLoop") -> None:
         self.time = time
         self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
         self._loop = loop
 
     def cancel(self) -> None:
-        """Prevent the callback from running when its time arrives."""
-        # ``callback is None`` marks an event that already fired; cancelling
-        # it again must not disturb the loop's live/stale accounting.
-        if self.cancelled or self.callback is None:
-            return
-        self.cancelled = True
-        loop = self._loop
-        if loop is not None:
-            loop._live -= 1
-            loop._stale += 1
-            loop._maybe_compact()
+        """Prevent the callback from running when its time arrives.
+
+        A no-op once the event has fired or was already cancelled (either
+        way its entry is gone from the loop's table).
+        """
+        self._loop._cancel(self.seq)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.seq not in self._loop._entries
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "done" if self.cancelled else "pending"
         return f"<Event t={self.time:.3f} seq={self.seq} {state}>"
 
 
@@ -71,17 +70,20 @@ class EventLoop:
         assert loop.now == 5.0
     """
 
-    # Lazy-deletion compaction: cancelled events stay in the heap until
-    # popped, which leaks memory on long soaks that arm and re-arm timers.
-    # When the stale fraction passes ~50% (and the heap is big enough for a
-    # rebuild to pay for itself) the heap is filtered and re-heapified.
+    # Lazy-deletion compaction: cancelled events leave a stale (time, seq)
+    # tuple in the heap until popped, which leaks memory on long soaks that
+    # arm and re-arm timers.  When the stale fraction passes ~50% (and the
+    # heap is big enough for a rebuild to pay for itself) the heap is
+    # filtered against the live table and re-heapified.
     COMPACT_MIN_HEAP = 256
 
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._heap: list[Event] = []
-        self._live = 0
+        #: Bare (time, seq) tuples -- native comparisons in the heap.
+        self._heap: list[tuple[float, int]] = []
+        #: seq -> (callback, args); membership defines "live".
+        self._entries: dict[int, tuple[Callable[..., None], tuple]] = {}
         self._stale = 0
         self.events_executed = 0
 
@@ -106,11 +108,11 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule at {time} before now {self._now}"
             )
-        event = Event(time, self._seq, callback, args, self)
-        self._seq += 1
-        self._live += 1
-        heapq.heappush(self._heap, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        self._entries[seq] = (callback, args)
+        heapq.heappush(self._heap, (time, seq))
+        return Event(time, seq, self)
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback`` at the current time (after pending events).
@@ -118,27 +120,31 @@ class EventLoop:
         Fast path: skips the delay/past-time validation of
         :meth:`schedule_at` -- ``now`` is never before ``now``.
         """
-        event = Event(self._now, self._seq, callback, args, self)
-        self._seq += 1
-        self._live += 1
-        heapq.heappush(self._heap, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        self._entries[seq] = (callback, args)
+        heapq.heappush(self._heap, (self._now, seq))
+        return Event(self._now, seq, self)
+
+    def _cancel(self, seq: int) -> None:
+        if self._entries.pop(seq, None) is not None:
+            self._stale += 1
+            self._maybe_compact()
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if none remain."""
         heap = self._heap
+        entries = self._entries
+        pop = heapq.heappop
         while heap:
-            event = heapq.heappop(heap)
-            if event.cancelled:
+            time, seq = pop(heap)
+            entry = entries.pop(seq, None)
+            if entry is None:
                 self._stale -= 1
                 continue
-            self._now = event.time
-            self._live -= 1
+            self._now = time
             self.events_executed += 1
-            callback, args = event.callback, event.args
-            # Mark fired (and drop references) so a late cancel() is a no-op.
-            event.callback = None
-            event.args = ()
+            callback, args = entry
             callback(*args)
             return True
         return False
@@ -151,7 +157,7 @@ class EventLoop:
         """
         executed = 0
         while self._heap:
-            if until is not None and self._heap[0].time > until:
+            if until is not None and self._heap[0][0] > until:
                 self._now = until
                 return
             if not self.step():
@@ -172,12 +178,13 @@ class EventLoop:
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1))."""
-        return self._live
+        return len(self._entries)
 
     def _maybe_compact(self) -> None:
         heap = self._heap
         if len(heap) >= self.COMPACT_MIN_HEAP and self._stale * 2 > len(heap):
-            self._heap = [e for e in heap if not e.cancelled]
+            entries = self._entries
+            self._heap = [item for item in heap if item[1] in entries]
             heapq.heapify(self._heap)
             self._stale = 0
 
@@ -199,7 +206,9 @@ class Future:
         self._done = False
         self._value: Any = None
         self._exception: BaseException | None = None
-        self._callbacks: list[Callable[["Future"], None]] = []
+        #: None (none yet), a bare callable (the common single-waiter
+        #: case: no list allocation), or a list of callables.
+        self._callbacks: Any = None
 
     @property
     def done(self) -> bool:
@@ -240,13 +249,22 @@ class Future:
         """Run ``fn(self)`` when resolved (immediately if already done)."""
         if self._done:
             fn(self)
-        else:
+        elif self._callbacks is None:
+            self._callbacks = fn
+        elif type(self._callbacks) is list:
             self._callbacks.append(fn)
+        else:
+            self._callbacks = [self._callbacks, fn]
 
     def _run_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks is None:
+            return
+        if type(callbacks) is list:
+            for fn in callbacks:
+                fn(self)
+        else:
+            callbacks(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         if not self._done:

@@ -113,6 +113,14 @@ class NetworkStats:
     messages_dropped: int = 0
     by_type: Counter = field(default_factory=Counter)
     detailed: bool = True
+    #: Wire-byte accounting for boxcar payloads that carry a size model
+    #: (:class:`~repro.storage.messages.WriteBatch`): modelled bytes
+    #: actually sent (delta-encoded LSNs, elided payloads) versus the
+    #: uncompressed bytes of the same logical records.  Ratio =
+    #: ``wire_bytes_sent / logical_bytes_sent`` is the on-wire compression
+    #: factor benchmarks report alongside write amplification.
+    wire_bytes_sent: int = 0
+    logical_bytes_sent: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -387,6 +395,10 @@ class Network:
             stats.by_type[name] += 1
             if getattr(payload, "is_boxcar", False):
                 stats.by_type[name + ".records"] += payload.boxcar_count()
+                wire = getattr(payload, "wire_bytes", 0)
+                if wire:
+                    stats.wire_bytes_sent += wire
+                    stats.logical_bytes_sent += payload.logical_bytes
         if not nodes[src].up:
             stats.messages_dropped += 1
             return

@@ -34,6 +34,15 @@ class WriteBatch:
     epochs: EpochStamp
     #: The sender's current PGMRPL, piggybacked to advance the GC floor.
     pgmrpl: int
+    #: Modelled bytes this batch occupies on the wire after delta-encoding
+    #: consecutive LSNs and eliding superseded payloads (0 when the sender
+    #: does not account for wire size).  Computed once by the driver at
+    #: flush time so the per-target fan-out adds a field read, not a walk.
+    wire_bytes: int = 0
+    #: Modelled bytes of the same records uncompressed (full LSNs, full
+    #: payloads) -- the numerator/denominator pair keeps network write
+    #: amplification honest under compression.
+    logical_bytes: int = 0
 
     # Marks boxcar payloads for the network's batch-aware stats: the wire
     # message is counted once under the class name and once per contained

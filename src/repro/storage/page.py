@@ -17,7 +17,6 @@ disk"; tests inject corruption to exercise it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.core.lsn import NULL_LSN
@@ -28,34 +27,76 @@ def image_checksum(image: Mapping[str, Any]) -> int:
     """Deterministic checksum of a block image (order-independent).
 
     A frozenset hash is order-independent by construction, which avoids
-    repr-ing and sorting the keys -- this runs once per materialized block
-    version and is among the hottest functions in long simulations.  Values
-    go through ``repr`` so unhashable payload values still checksum.
+    repr-ing and sorting the keys -- this is among the hottest functions in
+    long simulations.  Most images hold hashable values (tuples, ints,
+    strings), which hash directly; only images carrying unhashable values
+    fall back to ``repr``.  Equal images always take the same path, so the
+    checksum stays a pure content function either way.
     """
-    return hash(frozenset((k, repr(v)) for k, v in image.items()))
+    try:
+        return hash(frozenset(image.items()))
+    except TypeError:
+        return hash(frozenset((k, repr(v)) for k, v in image.items()))
 
 
-@dataclass
 class BlockVersion:
     """One materialized version of a block.
 
     ``quarantined`` marks a version the read path caught failing
     verification: it must never be served or vouched for in a repair vote
     until overwritten with a verified peer image (DESIGN.md §12).
+
+    The checksum is captured lazily: the vast majority of versions written
+    during a simulation are never individually read, voted on, or scrubbed,
+    so the checksum of the just-applied image is only materialized on first
+    access.  Corruption injectors force-capture it *before* mutating the
+    image (bit-rot damages data under an already-recorded checksum), which
+    keeps detection semantics identical to eager capture.
     """
 
-    lsn: int
-    image: dict[str, Any]
-    checksum: int
-    quarantined: bool = False
+    __slots__ = ("lsn", "image", "_checksum", "quarantined")
+
+    def __init__(
+        self,
+        lsn: int,
+        image: dict[str, Any],
+        checksum: int | None = None,
+        quarantined: bool = False,
+    ) -> None:
+        self.lsn = lsn
+        self.image = image
+        self._checksum = checksum
+        self.quarantined = quarantined
+
+    @property
+    def checksum(self) -> int:
+        """Recorded checksum, captured from the image on first access."""
+        if self._checksum is None:
+            self._checksum = image_checksum(self.image)
+        return self._checksum
+
+    @checksum.setter
+    def checksum(self, value: int) -> None:
+        self._checksum = value
 
     @staticmethod
     def of(lsn: int, image: Mapping[str, Any]) -> "BlockVersion":
-        frozen = dict(image)
-        return BlockVersion(lsn=lsn, image=frozen, checksum=image_checksum(frozen))
+        return BlockVersion(lsn=lsn, image=dict(image))
+
+    @staticmethod
+    def of_owned(lsn: int, image: dict[str, Any]) -> "BlockVersion":
+        """Like :meth:`of` but takes ownership of ``image`` (no copy)."""
+        return BlockVersion(lsn=lsn, image=image)
 
     def verify(self) -> bool:
         return not self.quarantined and self.checksum == image_checksum(self.image)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BlockVersion lsn={self.lsn} keys={len(self.image)}>"
+
+
+#: Shared empty image returned by :meth:`BlockVersionChain.latest_image_view`.
+_EMPTY_IMAGE: Mapping[str, Any] = {}
 
 
 class BlockVersionChain:
@@ -81,11 +122,34 @@ class BlockVersionChain:
         self._versions.append(version)
         return version
 
+    def append_owned(self, lsn: int, image: dict[str, Any]) -> BlockVersion:
+        """Append a version taking ownership of ``image`` (no defensive copy).
+
+        Redo application builds a fresh image per record; copying it again on
+        append doubled the allocation cost of the coalesce hot loop.  Callers
+        must not mutate ``image`` after handing it over.
+        """
+        if self._versions and lsn <= self._versions[-1].lsn:
+            raise ReadPointError(lsn, self._versions[-1].lsn + 1, 2**63)
+        version = BlockVersion.of_owned(lsn, image)
+        self._versions.append(version)
+        return version
+
     def latest_image(self) -> dict[str, Any]:
         """The newest image (empty dict for a never-written block)."""
         if not self._versions:
             return {}
         return dict(self._versions[-1].image)
+
+    def latest_image_view(self) -> Mapping[str, Any]:
+        """Read-only view of the newest image (no copy; do not mutate).
+
+        Redo payloads are pure (they never mutate their input), so the
+        coalesce hot loop can apply them directly against the stored image.
+        """
+        if not self._versions:
+            return _EMPTY_IMAGE
+        return self._versions[-1].image
 
     def version_at(self, read_point: int) -> BlockVersion | None:
         """Latest version with ``lsn <= read_point`` (binary search)."""
@@ -191,6 +255,10 @@ class BlockVersionChain:
                     break
         if victim is None:
             return None
+        # Capture the checksum of the *good* image before damaging it: bit
+        # rot mutates data under an already-recorded checksum.  (With lazy
+        # capture this is the injection point's responsibility.)
+        victim.checksum
         new_image = dict(image) if image is not None else dict(victim.image)
         if image is None:
             new_image["__corrupted__"] = True

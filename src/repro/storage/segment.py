@@ -25,7 +25,7 @@ nodes will only accept read requests between PGMRPL and SCL."
 from __future__ import annotations
 
 import enum
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from dataclasses import replace
 from typing import Iterable
 
@@ -70,6 +70,14 @@ class Segment:
         #: binary search per record and saves a full sort per coalesce
         #: tick / gossip query / recovery scan.
         self._lsn_index: list[int] = []
+        #: Struct-of-arrays mirror of the hot log, parallel to
+        #: ``_lsn_index``: ``_records[i]`` is ``hot_log[_lsn_index[i]]`` and
+        #: ``_digests[i]`` its ingest digest.  The coalesce / gossip /
+        #: recovery / GC loops walk these flat arrays instead of doing a
+        #: dict probe per record; every mutation site (receive, truncate,
+        #: GC, restore, lose, corrupt) keeps all three aligned.
+        self._records: list[LogRecord] = []
+        self._digests: list[int] = []
         #: Materialized block version chains (full segments only).
         self.blocks: dict[int, BlockVersionChain] = {}
         #: Highest LSN whose redo has been applied to blocks.
@@ -137,15 +145,31 @@ class Segment:
                 f"record for PG {record.pg_index} routed to segment "
                 f"{self.segment_id} of PG {self.pg_index}"
             )
-        if any(t.contains(record.lsn) for t in self.truncations):
+        if self.truncations and any(
+            t.contains(record.lsn) for t in self.truncations
+        ):
             self.stats["annulled_refused"] += 1
             return False
-        if record.lsn in self.hot_log or record.lsn <= self.chain.scl:
+        lsn = record.lsn
+        if lsn in self.hot_log or lsn <= self.chain.scl:
             self.stats["duplicates"] += 1
             return False
-        self.hot_log[record.lsn] = record
-        insort(self._lsn_index, record.lsn)
-        self.record_digests[record.lsn] = record_digest(record)
+        digest = getattr(record, "_digest", None)
+        if digest is None:
+            digest = record_digest(record)
+        self.hot_log[lsn] = record
+        index = self._lsn_index
+        if not index or lsn > index[-1]:
+            # In-order arrival (the overwhelmingly common case): append.
+            index.append(lsn)
+            self._records.append(record)
+            self._digests.append(digest)
+        else:
+            pos = bisect_left(index, lsn)
+            index.insert(pos, lsn)
+            self._records.insert(pos, record)
+            self._digests.insert(pos, digest)
+        self.record_digests[lsn] = digest
         self.stats["records_received"] += 1
         if via_gossip:
             self.stats["records_gossiped_in"] += 1
@@ -173,23 +197,40 @@ class Segment:
         lo = bisect_right(index, self.coalesced_upto)
         hi = bisect_right(index, limit)
         applied = 0
-        hot_log = self.hot_log
-        digests = self.record_digests
-        for lsn in index[lo:hi]:
-            record = hot_log[lsn]
+        records = self._records
+        digests = self._digests
+        blocks = self.blocks
+        for i in range(lo, hi):
+            record = records[i]
             # Verify the stored record against its ingest digest before
             # applying redo: bit-rot on a hot-log record must never be
             # materialized into a corrupt version carrying a *valid* image
             # checksum.  Coalescing stalls just below the damaged record
             # until peer repair replaces it.
-            if record_digest(record) != digests.get(lsn):
+            digest = getattr(record, "_digest", None)
+            if digest is None:
+                digest = record_digest(record)
+            if digest != digests[i]:
+                lsn = index[i]
                 if lsn not in self._corrupt_record_lsns:
                     self._corrupt_record_lsns.add(lsn)
                     self.stats["record_scrub_failures"] += 1
                 self.coalesced_upto = lsn - 1
                 self.stats["coalesce_applications"] += applied
                 return applied
-            self._apply_record(record)
+            block = record.block
+            if block != NO_BLOCK:
+                chain = blocks.get(block)
+                if chain is None:
+                    chain = BlockVersionChain(block)
+                    blocks[block] = chain
+                if chain.latest_lsn < record.lsn:
+                    # Payloads are pure: apply against the stored image view
+                    # and hand ownership of the fresh image to the chain.
+                    chain.append_owned(
+                        record.lsn,
+                        record.payload.apply(chain.latest_image_view()),
+                    )
             applied += 1
         self.coalesced_upto = limit
         self.stats["coalesce_applications"] += applied
@@ -204,8 +245,8 @@ class Segment:
             self.blocks[record.block] = chain
         if chain.latest_lsn >= record.lsn:
             return  # already applied (idempotence)
-        new_image = record.payload.apply(chain.latest_image())
-        chain.append(record.lsn, new_image)
+        new_image = record.payload.apply(chain.latest_image_view())
+        chain.append_owned(record.lsn, new_image)
 
     # ------------------------------------------------------------------
     # Reads
@@ -286,13 +327,15 @@ class Segment:
         """
         index = self._lsn_index
         lo = bisect_right(index, lsn)
-        digests = self.record_digests
+        records = self._records
+        digests = self._digests
         out: list[LogRecord] = []
-        for l in index[lo:]:
+        for i in range(lo, len(index)):
             if len(out) >= limit:
                 break
-            record = self.hot_log[l]
-            if record_digest(record) != digests.get(l):
+            record = records[i]
+            if record_digest(record) != digests[i]:
+                l = index[i]
                 if l not in self._corrupt_record_lsns:
                     self._corrupt_record_lsns.add(l)
                     self.stats["record_scrub_failures"] += 1
@@ -310,9 +353,7 @@ class Segment:
     # ------------------------------------------------------------------
     def chain_digests(self) -> tuple[ChainDigest, ...]:
         """Digests of every hot-log record (recovery scan payload)."""
-        return tuple(
-            ChainDigest.of(self.hot_log[lsn]) for lsn in self._lsn_index
-        )
+        return tuple(ChainDigest.of(record) for record in self._records)
 
     def truncate(self, pg_point: int, truncation: TruncationRange) -> int:
         """Annul records above this PG's surviving point; returns count.
@@ -335,7 +376,9 @@ class Segment:
             del self.hot_log[lsn]
             self.record_digests.pop(lsn, None)
             self._corrupt_record_lsns.discard(lsn)
-        self._lsn_index = index[:lo] + index[hi:]
+        del self._lsn_index[lo:hi]
+        del self._records[lo:hi]
+        del self._digests[lo:hi]
         self.chain.truncate(pg_point, truncation.last)
         for chain in self.blocks.values():
             chain.truncate_above(pg_point, truncation.last)
@@ -377,6 +420,8 @@ class Segment:
         snapshot_scl = payload["scl"]
         self.hot_log.clear()
         self._lsn_index.clear()
+        self._records.clear()
+        self._digests.clear()
         self.record_digests.clear()
         self._corrupt_record_lsns.clear()
         self.blocks = {}
@@ -431,7 +476,9 @@ class Segment:
             del self.hot_log[lsn]
             self.record_digests.pop(lsn, None)
             self._corrupt_record_lsns.discard(lsn)
-        self._lsn_index = index[cut:]
+        del self._lsn_index[:cut]
+        del self._records[:cut]
+        del self._digests[:cut]
         versions_dropped = 0
         for chain in self.blocks.values():
             versions_dropped += chain.gc_below(self.gc_floor)
@@ -513,11 +560,14 @@ class Segment:
         refuses to apply them until peer repair replaces the record.
         """
         bad = self._corrupt_record_lsns
-        digests = self.record_digests
-        for lsn in self._lsn_index:
+        index = self._lsn_index
+        records = self._records
+        digests = self._digests
+        for i in range(len(index)):
+            lsn = index[i]
             if lsn in bad:
                 continue
-            if record_digest(self.hot_log[lsn]) != digests.get(lsn):
+            if record_digest(records[i]) != digests[i]:
                 bad.add(lsn)
                 self.stats["record_scrub_failures"] += 1
         return sorted(bad)
@@ -690,11 +740,18 @@ class Segment:
             return False
         if record.lsn <= self.gc_horizon:
             return False
+        digest = record_digest(record)
         existing = record.lsn in self.hot_log
         self.hot_log[record.lsn] = record
-        if not existing:
-            insort(self._lsn_index, record.lsn)
-        self.record_digests[record.lsn] = record_digest(record)
+        pos = bisect_left(self._lsn_index, record.lsn)
+        if existing:
+            self._records[pos] = record
+            self._digests[pos] = digest
+        else:
+            self._lsn_index.insert(pos, record.lsn)
+            self._records.insert(pos, record)
+            self._digests.insert(pos, digest)
+        self.record_digests[record.lsn] = digest
         self._corrupt_record_lsns.discard(record.lsn)
         return True
 
@@ -713,6 +770,12 @@ class Segment:
             payload=("__bit_rot__", lsn) if payload is None else payload,
         )
         self.hot_log[lsn] = mangled
+        # Keep the flat mirror pointing at the mangled object, or the
+        # verified coalesce/gossip loops would keep reading the clean copy
+        # and the injected rot would be undetectable by design.
+        pos = bisect_left(self._lsn_index, lsn)
+        if pos < len(self._lsn_index) and self._lsn_index[pos] == lsn:
+            self._records[pos] = mangled
         return mangled
 
     def lose_record(self, lsn: int) -> LogRecord | None:
@@ -731,6 +794,8 @@ class Segment:
         pos = bisect_left(index, lsn)
         if pos < len(index) and index[pos] == lsn:
             del index[pos]
+            del self._records[pos]
+            del self._digests[pos]
         self.record_digests.pop(lsn, None)
         self._corrupt_record_lsns.discard(lsn)
         chain = self.blocks.get(record.block)

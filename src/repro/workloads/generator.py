@@ -14,6 +14,7 @@ emerges, including the tail behaviour benchmark C1/C2 measure).
 from __future__ import annotations
 
 import enum
+import itertools
 import random
 from dataclasses import dataclass, field
 
@@ -68,6 +69,10 @@ class WorkloadGenerator:
         self._weights = self._zipf_weights(
             config.key_count, config.zipf_theta
         )
+        # Precomputed cumulative weights: ``random.choices`` accumulates the
+        # raw weights on every call (O(key_count) per pick) but bisects when
+        # handed ``cum_weights`` directly -- same RNG draws, same picks.
+        self._cum_weights = list(itertools.accumulate(self._weights))
         self._keys = [f"key{i:08d}" for i in range(config.key_count)]
         self._txn_counter = 0
 
@@ -78,7 +83,9 @@ class WorkloadGenerator:
         return [1.0 / (rank**theta) for rank in range(1, n + 1)]
 
     def _pick_key(self) -> str:
-        return self.rng.choices(self._keys, weights=self._weights, k=1)[0]
+        return self.rng.choices(
+            self._keys, cum_weights=self._cum_weights, k=1
+        )[0]
 
     def _value(self) -> str:
         self._txn_counter += 1

@@ -129,3 +129,169 @@ class TestTimeBoundFlushOnIdleDriver:
         batches = cluster.network.stats.by_type["WriteBatch"]
         # No batch exceeded the cap even though arrivals outpaced it.
         assert records / batches <= cap
+
+
+# ----------------------------------------------------------------------
+# Compressed wire format (repro.db.wire): the protocol edge cases above
+# must hold when batches ship with delta-encoded LSNs and superseded
+# same-transaction payloads elided.
+# ----------------------------------------------------------------------
+from repro.core.records import (
+    BlockPut,
+    BlockReplace,
+    CommitPayload,
+    ElidedPayload,
+    LogRecord,
+    NO_BLOCK,
+    RecordKind,
+)
+from repro.db.wire import (
+    batch_logical_bytes,
+    batch_wire_bytes,
+    elide_superseded,
+)
+
+
+def _rec(lsn, block=1, txn=7, kind=RecordKind.DATA, payload=None):
+    if payload is None:
+        payload = BlockPut(entries=((f"k{lsn}", lsn),))
+    return LogRecord(
+        lsn=lsn,
+        prev_volume_lsn=lsn - 1,
+        prev_pg_lsn=lsn - 1,
+        prev_block_lsn=max(lsn - 1, 0),
+        block=block,
+        pg_index=0,
+        kind=kind,
+        payload=payload,
+        txn_id=txn,
+    )
+
+
+class TestElideSuperseded:
+    def test_same_txn_same_key_overwrite_is_elided(self):
+        first = _rec(10, payload=BlockPut(entries=(("row", 1),)))
+        second = _rec(11, payload=BlockPut(entries=(("row", 2),)))
+        out, elided = elide_superseded((first, second))
+        assert elided == 1
+        assert isinstance(out[0].payload, ElidedPayload)
+        assert out[0].payload.covered_by == 11
+        # Everything but the payload is untouched: chains, LSN, txn.
+        assert out[0].lsn == 10 and out[0].prev_pg_lsn == 9
+        assert out[1] is second
+
+    def test_block_replace_covers_all_prior_keys(self):
+        first = _rec(10, payload=BlockPut(entries=(("a", 1), ("b", 2))))
+        second = _rec(11, payload=BlockReplace.of({"c": 3}))
+        out, elided = elide_superseded((first, second))
+        assert elided == 1
+        assert isinstance(out[0].payload, ElidedPayload)
+
+    def test_cross_txn_overwrite_is_never_elided(self):
+        first = _rec(10, txn=7, payload=BlockPut(entries=(("row", 1),)))
+        second = _rec(11, txn=8, payload=BlockPut(entries=(("row", 2),)))
+        out, elided = elide_superseded((first, second))
+        assert elided == 0
+        assert out == (first, second)
+
+    def test_partial_coverage_keeps_the_record(self):
+        first = _rec(10, payload=BlockPut(entries=(("a", 1), ("b", 2))))
+        second = _rec(11, payload=BlockPut(entries=(("a", 9),)))  # no "b"
+        _out, elided = elide_superseded((first, second))
+        assert elided == 0
+
+    def test_commit_and_control_records_are_never_elided(self):
+        data = _rec(10, payload=BlockPut(entries=(("row", 1),)))
+        commit = _rec(
+            11, block=NO_BLOCK, kind=RecordKind.COMMIT,
+            payload=CommitPayload(txn_id=7, scn=11),
+        )
+        covering = _rec(12, payload=BlockPut(entries=(("row", 2),)))
+        out, elided = elide_superseded((data, commit, covering))
+        assert elided == 1  # only the superseded DATA record
+        assert out[1] is commit
+
+    def test_different_blocks_do_not_cover_each_other(self):
+        first = _rec(10, block=1, payload=BlockPut(entries=(("row", 1),)))
+        second = _rec(11, block=2, payload=BlockPut(entries=(("row", 2),)))
+        _out, elided = elide_superseded((first, second))
+        assert elided == 0
+
+    def test_wire_bytes_shrink_and_logical_bytes_do_not(self):
+        records = tuple(
+            _rec(lsn, payload=BlockPut(entries=(("row", lsn),)))
+            for lsn in range(10, 18)
+        )
+        logical = batch_logical_bytes(records)
+        compressed, elided = elide_superseded(records)
+        assert elided == len(records) - 1
+        wire = batch_wire_bytes(compressed)
+        assert wire < logical
+        # Consecutive LSNs delta-encode even without elision.
+        assert batch_wire_bytes(records) < logical
+
+
+class TestCompressedWireEndToEnd:
+    def _compressing_cluster(self, seed=73):
+        config = ClusterConfig(seed=seed)
+        assert config.instance.driver.wire_compression
+        return AuroraCluster.build(config)
+
+    def multi_write_burst(self, db, count, writes_per_txn=3):
+        """Transactions that overwrite their own row: elision fodder."""
+        futures = []
+        for i in range(count):
+            txn = db.begin()
+            for v in range(writes_per_txn):
+                db.put(txn, f"k{i:03d}", v)
+            futures.append(db.commit_async(txn))
+        for future in futures:
+            db.drive(future)
+
+    def test_elision_fires_and_reads_stay_correct(self):
+        cluster = self._compressing_cluster()
+        db = cluster.session()
+        self.multi_write_burst(db, 12)
+        stats = cluster.writer.driver.stats
+        assert stats.records_elided > 0
+        assert 0 < stats.wire_bytes < stats.logical_bytes
+        # The final value of every self-overwriting txn is what reads see.
+        assert all(db.get(f"k{i:03d}") == 2 for i in range(12))
+
+    def test_epoch_rejected_compressed_boxcars_resubmit_whole(self):
+        cluster = self._compressing_cluster(seed=74)
+        db = cluster.session()
+        db.write("seed", 0)
+        for node in cluster.nodes.values():
+            node.epochs.advance(node.epochs.current.bump_membership())
+        driver = cluster.writer.driver
+        before = driver.stats.batches_resubmitted
+        self.multi_write_burst(db, 10)
+        cluster.run_for(200.0)
+        assert driver.stats.rejections_seen >= 1
+        assert driver.stats.batches_resubmitted > before
+        assert driver.stats.records_elided > 0
+        # Resubmission reships the *retained elided* batch as a unit and
+        # storage converges on it: no record lost, no divergent segment.
+        assert all(db.get(f"k{i:03d}") == 2 for i in range(10))
+        cluster.run_for(400.0)
+        assert len(set(cluster.segment_scls(0).values())) == 1
+
+    def test_partial_batch_acks_under_crash_with_elision(self):
+        cluster = self._compressing_cluster(seed=75)
+        db = cluster.session()
+        db.write("seed", 0)
+        cluster.failures.crash_node("pg0-e")
+        cluster.failures.crash_node("pg0-f")
+        self.multi_write_burst(db, 8)
+        driver = cluster.writer.driver
+        assert driver.stats.records_elided > 0
+        # 4/6 quorum carried every commit despite two unacked copies of
+        # each compressed boxcar.
+        assert all(db.get(f"k{i:03d}") == 2 for i in range(8))
+        cluster.failures.restore_node("pg0-e")
+        cluster.failures.restore_node("pg0-f")
+        cluster.run_for(400.0)
+        # Gossip refills the restored members from the elided hot log and
+        # all six segments converge to one SCL.
+        assert len(set(cluster.segment_scls(0).values())) == 1

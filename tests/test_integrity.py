@@ -419,7 +419,10 @@ class TestClusterRepair:
         record = integrity.inject("bit_rot_record", name, block, lsn)
         # Destroy the rotted bytes outside the repair path, as GC would.
         seg.hot_log.pop(lsn)
-        seg._lsn_index.remove(lsn)
+        pos = seg._lsn_index.index(lsn)
+        del seg._lsn_index[pos]
+        del seg._records[pos]
+        del seg._digests[pos]
         seg._corrupt_record_lsns.discard(lsn)
         closed = integrity.reconcile({name: node})
         assert closed == 1
